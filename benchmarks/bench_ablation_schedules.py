@@ -1,0 +1,48 @@
+"""Ablation: serial (paper) vs parallel (future-work) shuffle schedules.
+
+§VI lists asynchronous execution with parallel communications as a future
+direction.  Three variants per scheme: the paper's serial turns, naive
+asynchronous sending (NIC contention only), and conflict-free scheduled
+rounds (1-factorization for unicast, greedy group packing for multicast).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figures import schedule_ablation
+from repro.experiments.report import render_ablation
+
+
+def bench_schedule_ablation_k16_r3(benchmark, sink):
+    result = benchmark.pedantic(
+        lambda: schedule_ablation(num_nodes=16, redundancy=3),
+        rounds=1,
+        iterations=1,
+    )
+    rows = {label: (sh, tot) for label, sh, tot in result.rows}
+    serial_ts = rows["TeraSort, serial (paper)"][0]
+    parallel_ts = rows["TeraSort, parallel (naive async)"][0]
+    rounds_ts = rows["TeraSort, rounds (scheduled parallel)"][0]
+    serial_cts = rows["CodedTeraSort, serial (paper)"][0]
+    parallel_cts = rows["CodedTeraSort, parallel (naive async)"][0]
+    rounds_cts = rows["CodedTeraSort, rounds (scheduled parallel)"][0]
+    # In the paper's serialized regime coding wins decisively.
+    assert serial_cts < serial_ts / 2
+    # Naive async helps both; unscheduled multicast contention (groups of
+    # r+1 = 4 nodes conflict often) keeps the coded gain modest.
+    assert parallel_ts < serial_ts / 2
+    assert parallel_cts < serial_cts
+    # Scheduled rounds approach the concurrency caps: ~K/2 disjoint
+    # unicasts, ~K/(r+1) disjoint multicasts per round.
+    assert rounds_ts < serial_ts / 6  # cap 8x, packing realizes > 6x
+    assert rounds_cts < serial_cts / 2.5  # cap 4x, packing realizes > 2.5x
+    # The honest punchline: with fully scheduled parallelism the uncoded
+    # exchange (2 nodes/transfer) out-parallelizes r+1-node multicasts —
+    # coding's win is tied to the serialized fabric the paper uses.
+    assert rounds_ts < rounds_cts
+    benchmark.extra_info["serial_vs_rounds_terasort"] = round(
+        serial_ts / rounds_ts, 2
+    )
+    benchmark.extra_info["serial_vs_rounds_coded"] = round(
+        serial_cts / rounds_cts, 2
+    )
+    sink.add("ablation_schedules", render_ablation(result, markdown=True))

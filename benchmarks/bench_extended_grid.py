@@ -1,0 +1,34 @@
+"""The extended (K, r) grid behind the paper's "up to 4.11x" remark (§V-C).
+
+The paper points to additional experiments on its companion site with
+speedups up to 4.11x.  We sweep K in {12, 16, 20} x r in {2..6} and check
+that the best configuration lands in that band.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figures import extended_grid
+from repro.experiments.report import render_sweep
+
+
+def bench_extended_grid(benchmark, sink):
+    points = benchmark.pedantic(
+        lambda: extended_grid(), rounds=1, iterations=1
+    )
+    best = max(points, key=lambda p: p.speedup)
+    # The best simulated speedup should approach the paper's 4.11x
+    # (smaller K + moderate r is the sweet spot).
+    assert 3.0 < best.speedup < 5.0, (best.num_nodes, best.redundancy, best.speedup)
+    benchmark.extra_info["best"] = {
+        "K": best.num_nodes,
+        "r": best.redundancy,
+        "speedup": round(best.speedup, 2),
+    }
+    benchmark.extra_info["paper_best"] = 4.11
+    sink.add(
+        "extended_grid",
+        render_sweep(
+            points, "Extended (K, r) grid — paper reports up to 4.11x",
+            markdown=True,
+        ),
+    )

@@ -1,0 +1,54 @@
+"""Fig. 2: communication load vs computation load (K = 10).
+
+Two series per curve: the closed forms of Eq. (2) and loads *measured* by
+byte-accounting real CodedTeraSort runs on the thread backend.  The
+measured coded points sit a few percent above theory (packet headers),
+exactly as a real implementation must.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.figures import fig2_series
+from repro.experiments.report import render_fig2
+
+
+def bench_fig2_theory_curves(benchmark, sink):
+    points = benchmark(lambda: fig2_series(num_nodes=10, measure=False))
+    assert len(points) == 10
+    # Eq. (2) spot values from the figure: L(1)=0.9, coded L(2)=0.4.
+    assert points[0].uncoded_theory == pytest.approx(0.9)
+    assert points[1].coded_theory == pytest.approx(0.4)
+    sink.add("fig2_theory", render_fig2(points, markdown=True))
+
+
+def bench_fig2_measured_loads(benchmark, sink):
+    """Functional runs at K=10 for r = 1..5 (C(10,r) files each).
+
+    The load cut is asymptotic: per-(file, partition) cells must be large
+    enough that packet headers and max-of-r zero-padding are second-order.
+    Padding scales as ~E[max of r cells]/mean ~ 1 + c/sqrt(cell records);
+    at r=5, C(10,5)=252 files over 10 partitions, 400k records give ~160
+    records per cell and a ~10% envelope.
+    """
+    points = benchmark.pedantic(
+        lambda: fig2_series(
+            num_nodes=10, n_records=400_000, measure=True, max_measured_r=5
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    for p in points:
+        if p.coded_measured is not None:
+            # Measured tracks theory within 15% (headers + padding).
+            assert p.coded_measured == pytest.approx(
+                p.coded_theory, rel=0.15, abs=0.02
+            ), f"r={p.r}"
+            # Headers/padding only ever add bytes.
+            assert p.coded_measured >= p.coded_theory * 0.999, f"r={p.r}"
+    measured = {p.r: p.coded_measured for p in points if p.coded_measured}
+    benchmark.extra_info["coded_measured"] = {
+        r: round(v, 4) for r, v in measured.items()
+    }
+    sink.add("fig2_measured", render_fig2(points, markdown=True))

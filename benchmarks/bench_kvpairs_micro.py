@@ -1,0 +1,58 @@
+"""Microbenchmarks: the KV-pair substrate (real measured throughput).
+
+TeraGen generation, Map-stage hash partitioning, Reduce-stage sorting, and
+Pack/Unpack serialization — the compute stages whose EC2 rates the cost
+model calibrates.  ``extra_info`` reports records/s so the numbers can be
+compared against the calibrated constants.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.mapper import hash_file
+from repro.core.partitioner import RangePartitioner
+from repro.kvpairs.serialization import pack_batch, unpack_batch
+from repro.kvpairs.sorting import is_sorted, sort_batch
+from repro.kvpairs.teragen import teragen
+
+N = 200_000
+
+
+@pytest.fixture(scope="module")
+def batch():
+    return teragen(N, seed=1)
+
+
+def bench_teragen(benchmark):
+    out = benchmark(lambda: teragen(N, seed=2))
+    assert len(out) == N
+
+
+def bench_hash_partition_k16(benchmark, batch):
+    partitioner = RangePartitioner.uniform(16)
+    parts = benchmark(lambda: hash_file(batch, partitioner))
+    assert sum(len(p) for p in parts) == N
+    benchmark.extra_info["records_per_s_hint"] = N
+
+
+def bench_sort(benchmark, batch):
+    out = benchmark(lambda: sort_batch(batch))
+    assert is_sorted(out)
+    benchmark.extra_info["records"] = N
+
+
+def bench_pack(benchmark, batch):
+    buf = benchmark(lambda: pack_batch(batch, tag=1))
+    assert len(buf) > N * 100
+
+
+def bench_unpack(benchmark, batch):
+    buf = pack_batch(batch, tag=1)
+    tag, out = benchmark(lambda: unpack_batch(buf))
+    assert tag == 1 and len(out) == N
+
+
+def bench_key_words(benchmark, batch):
+    hi, lo = benchmark(batch.key_words)
+    assert len(hi) == N and len(lo) == N

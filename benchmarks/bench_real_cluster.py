@@ -1,0 +1,120 @@
+"""Real end-to-end runs: multiprocess workers, sockets, rate-limited NICs.
+
+The closest local equivalent of the paper's EC2 experiment: K worker
+*processes* exchange data over a socket mesh with token-bucket pacing
+(the paper's ``tc``-style 100 Mbps throttle, scaled so each bench run
+stays in seconds).  CodedTeraSort must beat TeraSort end-to-end when the
+shuffle is bandwidth-bound — the paper's claim measured for real, not
+simulated.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.coded_terasort import run_coded_terasort
+from repro.core.terasort import run_terasort
+from repro.kvpairs.teragen import teragen
+from repro.kvpairs.validation import validate_sorted_permutation
+from repro.runtime.api import MulticastMode
+from repro.runtime.process import ProcessCluster
+from repro.utils.tables import format_table
+
+K = 4
+R = 2
+RECORDS = 40_000  # 4 MB
+RATE = 4e6  # 4 MB/s per-node egress -> shuffle-bound like the paper
+
+
+def bench_real_terasort_rate_limited(benchmark):
+    data = teragen(RECORDS, seed=3)
+    run = benchmark.pedantic(
+        lambda: run_terasort(
+            ProcessCluster(K, rate_bytes_per_s=RATE, timeout=120), data
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    validate_sorted_permutation(data, run.partitions)
+    benchmark.extra_info["shuffle_s"] = round(run.stage_times["shuffle"], 3)
+    benchmark.extra_info["total_s"] = round(run.stage_times.total, 3)
+
+
+def bench_real_coded_terasort_rate_limited(benchmark):
+    data = teragen(RECORDS, seed=3)
+    run = benchmark.pedantic(
+        lambda: run_coded_terasort(
+            ProcessCluster(
+                K,
+                rate_bytes_per_s=RATE,
+                timeout=120,
+                multicast_mode=MulticastMode.TREE,
+            ),
+            data,
+            redundancy=R,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    validate_sorted_permutation(data, run.partitions)
+    benchmark.extra_info["shuffle_s"] = round(run.stage_times["shuffle"], 3)
+    benchmark.extra_info["total_s"] = round(run.stage_times.total, 3)
+
+
+def bench_real_speedup_comparison(benchmark, sink):
+    """Both algorithms back-to-back; asserts the coded shuffle wins.
+
+    Uses a larger input than the standalone benches so the rate-limited
+    transfer time dominates scheduler noise (this is a real wall-clock
+    measurement on whatever machine runs the suite).
+    """
+    data = teragen(100_000, seed=4)  # 10 MB -> ~2.5 s of paced shuffle
+
+    def both():
+        plain = run_terasort(
+            ProcessCluster(K, rate_bytes_per_s=RATE, timeout=240), data
+        )
+        coded = run_coded_terasort(
+            ProcessCluster(
+                K,
+                rate_bytes_per_s=RATE,
+                timeout=240,
+                multicast_mode=MulticastMode.TREE,
+            ),
+            data,
+            redundancy=R,
+        )
+        return plain, coded
+
+    plain, coded = benchmark.pedantic(both, rounds=1, iterations=1)
+    validate_sorted_permutation(data, plain.partitions)
+    validate_sorted_permutation(data, coded.partitions)
+    shuffle_gain = (
+        plain.stage_times["shuffle"] / coded.stage_times["shuffle"]
+    )
+    if shuffle_gain <= 1.1:
+        # One retry: a co-scheduled process can stall a worker mid-turn;
+        # a genuine regression fails twice.
+        plain, coded = both()
+        shuffle_gain = (
+            plain.stage_times["shuffle"] / coded.stage_times["shuffle"]
+        )
+    # Paper §V-C: shuffle gain is positive but below r (multicast overhead).
+    assert shuffle_gain > 1.1, f"coded shuffle not faster: {shuffle_gain:.2f}"
+    benchmark.extra_info["real_shuffle_gain"] = round(shuffle_gain, 2)
+    benchmark.extra_info["r"] = R
+    rows = []
+    for label, run in (("TeraSort", plain), ("CodedTeraSort r=2", coded)):
+        st = run.stage_times
+        rows.append([label, st["shuffle"], st.total])
+    sink.add(
+        "real_cluster",
+        f"Real multiprocess run — K={K}, {RECORDS} records, "
+        f"{RATE/1e6:.0f} MB/s per-node throttle\n\n"
+        + format_table(
+            ["algorithm", "shuffle (s)", "total (s)"],
+            rows,
+            decimals=3,
+            markdown=True,
+        ),
+    )

@@ -1,0 +1,84 @@
+"""Straggler-coding comparison — the [11] result the paper's intro cites.
+
+Reproduces the reported 31.3%–35.7% average-runtime reduction of MDS-coded
+distributed gradient descent over the uncoded baseline, on the shifted-
+exponential machine model, and sweeps the recovery threshold k to show the
+trade (small k: more work per worker; large k: longer straggler wait).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.stragglers.latency import ShiftedExponential
+from repro.stragglers.matmul import CodedMatVec, UncodedMatVec
+from repro.stragglers.runner import (
+    render_straggler_table,
+    straggler_comparison,
+)
+from repro.utils.tables import format_table
+
+
+def bench_straggler_gd_comparison(benchmark, sink):
+    results = benchmark.pedantic(
+        lambda: straggler_comparison(iterations=80, seed=3),
+        rounds=1,
+        iterations=1,
+    )
+    by_scheme = {r.scheme: r for r in results}
+    # Analytic saving inside the quoted band; simulation near it.
+    exp_saving = 1.0 - (
+        by_scheme["coded"].expected_iteration_time
+        / by_scheme["uncoded"].expected_iteration_time
+    )
+    assert 0.313 <= exp_saving <= 0.357
+    assert 0.25 < by_scheme["coded"].reduction_vs_uncoded < 0.45
+    # Replication helps less than MDS coding (also per [11]).
+    assert (
+        by_scheme["replication"].reduction_vs_uncoded
+        < by_scheme["coded"].reduction_vs_uncoded
+    )
+    benchmark.extra_info["coded_saving"] = round(
+        by_scheme["coded"].reduction_vs_uncoded, 3
+    )
+    sink.add(
+        "stragglers_gd", render_straggler_table(results, markdown=True)
+    )
+
+
+def bench_straggler_threshold_sweep(benchmark, sink):
+    """Expected matvec time vs recovery threshold k (n = 10 workers)."""
+    a = np.zeros((100, 4))
+    lat = ShiftedExponential(shift=1.0, rate=0.5)
+
+    def sweep():
+        rows = []
+        uncoded = UncodedMatVec(a, 10, latency=lat).expected_time()
+        for k in range(1, 11):
+            coded = CodedMatVec(
+                a, 10, recovery_threshold=k, latency=lat
+            ).expected_time()
+            rows.append((k, coded, 1.0 - coded / uncoded))
+        return uncoded, rows
+
+    uncoded, rows = benchmark(sweep)
+    times = [t for _, t, _ in rows]
+    best_k = rows[int(np.argmin(times))][0]
+    # The optimum is interior: both extremes lose.  k=n means waiting for
+    # every worker at uncoded-sized blocks is strictly worse than uncoded
+    # (same wait, n/k = 1) — equal actually, so compare strictly interior.
+    assert 2 <= best_k <= 9, f"best k={best_k}"
+    assert min(times) < uncoded
+    # k = n degenerates to uncoded exactly.
+    assert times[-1] == pytest.approx(uncoded)
+    benchmark.extra_info["best_k"] = best_k
+    sink.add(
+        "stragglers_threshold",
+        format_table(
+            ["k", "expected matvec (s)", "saving vs uncoded"],
+            [[k, t, f"{100 * s:.1f}%"] for k, t, s in rows],
+            decimals=3,
+            markdown=True,
+        ),
+    )

@@ -1,0 +1,33 @@
+"""§V-C trend: speedup vs cluster size K at fixed r = 3.
+
+The paper: "As K increases, the speedup decreases" — CodeGen grows as
+C(K, r+1) and each node holds a smaller data fraction, raising the
+communication load.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figures import sweep_k
+from repro.experiments.report import render_sweep
+
+
+def bench_sweep_k_r3(benchmark, sink):
+    points = benchmark.pedantic(
+        lambda: sweep_k(redundancy=3, k_values=(8, 12, 16, 20, 24)),
+        rounds=1,
+        iterations=1,
+    )
+    speedups = [p.speedup for p in points]
+    ks = [p.num_nodes for p in points]
+    assert ks == [8, 12, 16, 20, 24]
+    # Monotone decreasing speedup in K.
+    assert speedups == sorted(speedups, reverse=True), speedups
+    # All still > 1 (coding keeps winning in this range).
+    assert min(speedups) > 1.0
+    benchmark.extra_info["speedups"] = {
+        k: round(s, 2) for k, s in zip(ks, speedups)
+    }
+    sink.add(
+        "sweep_k",
+        render_sweep(points, "Speedup vs K (r=3, 12 GB)", markdown=True),
+    )

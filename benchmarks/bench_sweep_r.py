@@ -1,0 +1,74 @@
+"""§V-C trend: speedup vs redundancy r at fixed K.
+
+The paper observes that speedup rises with r while the shuffle gain
+dominates, then falls once the C(K, r+1) CodeGen cost takes over — and
+limits its experiments to r <= 5 because of it.  The crossover location
+depends on K through C(K, r+1):
+
+* at K=20, C(20, r+1) grows steeply (38,760 groups already at r=5) and
+  the full rise-then-fall appears inside r = 1..8 (peak near r=4);
+* at K=16, C(16, r+1) tops out at r+1=8 (12,870 groups ~ 43 s), which
+  never dominates the 12 GB shuffle, so within the paper's experimental
+  range the speedup is still rising — consistent with Table II showing
+  3.39x at r=5 > 2.16x at r=3.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figures import sweep_r
+from repro.experiments.report import render_sweep
+
+
+def bench_sweep_r_k16(benchmark, sink):
+    """K=16: monotone rise over the paper's r range (Table II regime)."""
+    points = benchmark.pedantic(
+        lambda: sweep_r(num_nodes=16, r_values=(1, 2, 3, 4, 5)),
+        rounds=1,
+        iterations=1,
+    )
+    speedups = {p.redundancy: p.speedup for p in points}
+    # r=1 pays the multicast penalty for no coding gain.
+    assert speedups[1] < 1.0
+    # Monotone rise through the measured range; Table II ratios bracketed.
+    for r in (2, 3, 4, 5):
+        assert speedups[r] > speedups[r - 1]
+    assert 1.8 < speedups[3] < 2.6  # paper: 2.16x
+    assert 2.8 < speedups[5] < 3.9  # paper: 3.39x
+    # CodeGen grows with C(16, r+1) over this range.
+    codegen = [p.codegen_time for p in points]
+    assert codegen == sorted(codegen)
+    benchmark.extra_info["speedups"] = {
+        r: round(s, 2) for r, s in speedups.items()
+    }
+    sink.add(
+        "sweep_r_k16",
+        render_sweep(points, "Speedup vs r (K=16, 12 GB)", markdown=True),
+    )
+
+
+def bench_sweep_r_k20(benchmark, sink):
+    """K=20: the full rise-then-fall — CodeGen takes over past r~4."""
+    points = benchmark.pedantic(
+        lambda: sweep_r(num_nodes=20, r_values=(1, 2, 3, 4, 5, 6, 7, 8)),
+        rounds=1,
+        iterations=1,
+    )
+    speedups = {p.redundancy: p.speedup for p in points}
+    # Rising region (shuffle dominates).
+    assert speedups[2] > speedups[1]
+    assert speedups[3] > speedups[2]
+    # Falling region: C(20, r+1) CodeGen dominates (§V-C observation).
+    peak_r = max(speedups, key=speedups.get)
+    assert 3 <= peak_r <= 6, f"peak at r={peak_r}"
+    assert speedups[8] < speedups[peak_r] / 1.5
+    # CodeGen strictly increases with r here (C(20, r+1) monotone to r=8).
+    codegen = [p.codegen_time for p in points]
+    assert codegen == sorted(codegen)
+    benchmark.extra_info["speedups"] = {
+        r: round(s, 2) for r, s in speedups.items()
+    }
+    benchmark.extra_info["peak_r"] = peak_r
+    sink.add(
+        "sweep_r_k20",
+        render_sweep(points, "Speedup vs r (K=20, 12 GB)", markdown=True),
+    )

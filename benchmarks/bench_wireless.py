@@ -1,0 +1,102 @@
+"""Wireless distributed computing benches — the §VI mobile direction.
+
+Regenerates the load curves of the wireless setting ([24], [25]): airtime
+per input byte vs redundancy for the four protocols, and the scalability
+series showing the grouped construction's load independent of K.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.kvpairs.teragen import teragen
+from repro.kvpairs.validation import validate_sorted_permutation
+from repro.utils.tables import format_table
+from repro.wireless.theory import (
+    wireless_coded_load,
+    wireless_edge_load,
+    wireless_grouped_load,
+    wireless_uncoded_load,
+)
+from repro.wireless.wdc import run_wireless_sort
+
+
+def bench_wireless_load_vs_r(benchmark, sink):
+    """Airtime load vs r at K=6 for all three protocols (measured)."""
+    n = 24_000
+
+    def sweep():
+        data = teragen(n, seed=0)
+        rows = []
+        for r in (1, 2, 3, 4, 5):
+            measured = {}
+            for protocol in ("uncoded", "d2d", "edge"):
+                out = run_wireless_sort(data, 6, r, protocol=protocol)
+                validate_sorted_permutation(data, out.partitions)
+                measured[protocol] = out.shuffle_load()
+            rows.append((r, measured))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    for r, measured in rows:
+        assert measured["uncoded"] == pytest.approx(
+            wireless_uncoded_load(r, 6), rel=0.08
+        )
+        assert measured["d2d"] == pytest.approx(
+            wireless_coded_load(r, 6), rel=0.15, abs=0.01
+        )
+        assert measured["edge"] == pytest.approx(
+            wireless_edge_load(r, 6), rel=0.15, abs=0.02
+        )
+        # Ordering: d2d strictly wins; edge <= uncoded with equality at
+        # r=1 (both fly twice, no coding gain — headers add ~0.1%).
+        assert measured["d2d"] < measured["edge"]
+        assert measured["edge"] <= measured["uncoded"] * 1.01
+    sink.add(
+        "wireless_load",
+        "Wireless airtime load vs r (K=6, measured over real sorts)\n\n"
+        + format_table(
+            ["r", "uncoded", "edge coded", "d2d coded"],
+            [
+                [r, m["uncoded"], m["edge"], m["d2d"]]
+                for r, m in rows
+            ],
+            decimals=4,
+            markdown=True,
+        ),
+    )
+
+
+def bench_wireless_scalability(benchmark, sink):
+    """[24]'s headline: grouped airtime load is flat in the user count."""
+    n = 24_000
+
+    def sweep():
+        rows = []
+        for k in (4, 8, 12, 16):
+            data = teragen(n, seed=1)
+            grouped = run_wireless_sort(data, k, 2, group_size=4)
+            plain = run_wireless_sort(data, k, 2, protocol="d2d")
+            rows.append((k, grouped.shuffle_load(), plain.shuffle_load()))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    grouped_loads = [g for _, g, _ in rows]
+    plain_loads = [p for _, _, p in rows]
+    ideal = wireless_grouped_load(2, 4)
+    # Grouped: flat at (1/r)(1 - r/g) for every K.
+    for load in grouped_loads:
+        assert load == pytest.approx(ideal, rel=0.10)
+    # Plain: grows with K toward 1/r.
+    assert plain_loads == sorted(plain_loads)
+    assert plain_loads[-1] > plain_loads[0] * 1.3
+    sink.add(
+        "wireless_scalability",
+        "Grouped vs plain coded airtime load as users scale (r=2, g=4)\n\n"
+        + format_table(
+            ["K users", "grouped load", "plain coded load"],
+            [[k, g, p] for k, g, p in rows],
+            decimals=4,
+            markdown=True,
+        ),
+    )

@@ -1,0 +1,52 @@
+"""Benchmark-suite fixtures: result sink writing results/*.md artifacts.
+
+Every bench both (a) runs under pytest-benchmark for timing and (b) pushes
+its reproduced table/figure rows into the session :class:`ResultSink`, which
+writes one markdown fragment per experiment into ``results/`` at session
+end.  EXPERIMENTS.md aggregates the same content via ``python -m repro
+report``; the per-bench fragments let a single experiment be regenerated in
+isolation.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from typing import Dict, List
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
+
+
+class ResultSink:
+    """Collects rendered experiment fragments and flushes them to disk."""
+
+    def __init__(self) -> None:
+        self.fragments: Dict[str, str] = {}
+
+    def add(self, name: str, content: str) -> None:
+        self.fragments[name] = content
+
+    def flush(self) -> List[str]:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        written = []
+        for name, content in sorted(self.fragments.items()):
+            path = RESULTS_DIR / f"{name}.md"
+            path.write_text(content, encoding="utf-8")
+            written.append(str(path))
+        return written
+
+
+@pytest.fixture(scope="session")
+def sink():
+    s = ResultSink()
+    yield s
+    for path in s.flush():
+        print(f"[results] wrote {path}")
+
+
+@pytest.fixture(scope="session")
+def paper_cost():
+    from repro.sim.costmodel import EC2CostModel
+
+    return EC2CostModel.paper_calibrated()

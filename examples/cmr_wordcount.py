@@ -1,0 +1,120 @@
+#!/usr/bin/env python
+"""Coded MapReduce beyond sorting: WordCount, Grep, and InvertedIndex.
+
+The paper's conclusion (Section VI) points at applying the coding idea to
+other shuffle-bound applications — "e.g., Grep, SelfJoin" — built on the
+same generic Coded MapReduce engine (Section II).  This example runs three
+text-analytics jobs over a synthetic corpus under three shuffle schemes:
+
+* uncoded, r=1 — plain MapReduce (every file mapped once);
+* uncoded, r   — redundant placement, but unicast shuffle;
+* coded,   r   — redundant placement + XOR multicast (Algorithm 1/2);
+
+and reports, per job, the measured shuffle payload bytes of each scheme.
+Outputs are asserted identical across schemes: coding is transparent.
+
+Usage::
+
+    python examples/cmr_wordcount.py [--nodes K] [--redundancy r] [--files N]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.core.cmr import run_mapreduce
+from repro.core.jobs import GrepJob, InvertedIndexJob, WordCountJob
+from repro.runtime.inproc import ThreadCluster
+from repro.utils.subsets import binomial
+from repro.utils.tables import format_table
+
+_WORDS = (
+    "coded shuffle multicast terasort map reduce node packet key value "
+    "sort network load speedup group subset segment decode encode index "
+    "distributed computing redundancy communication bottleneck cluster"
+).split()
+
+
+def make_corpus(num_files: int, words_per_file: int, seed: int = 0) -> list:
+    """Deterministic synthetic text files with a Zipf-ish word mix."""
+    import random
+
+    rng = random.Random(seed)
+    files = []
+    for _ in range(num_files):
+        # Weight early vocabulary words more heavily (skewed frequencies).
+        picks = rng.choices(
+            _WORDS, weights=[1.0 / (i + 1) for i in range(len(_WORDS))],
+            k=words_per_file,
+        )
+        files.append(" ".join(picks))
+    return files
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--nodes", "-K", type=int, default=4)
+    parser.add_argument("--redundancy", "-r", type=int, default=2)
+    parser.add_argument("--files", "-N", type=int, default=None,
+                        help="number of input files; must be a multiple of "
+                             "C(K, r) (default: 4 * C(K, r))")
+    parser.add_argument("--words-per-file", type=int, default=2000)
+    args = parser.parse_args()
+
+    k, r = args.nodes, args.redundancy
+    if not 1 <= r < k:
+        parser.error(f"redundancy must satisfy 1 <= r < K, got r={r}, K={k}")
+    base_files = binomial(k, r)
+    num_files = args.files if args.files is not None else 4 * base_files
+    if num_files % base_files != 0:
+        parser.error(f"--files must be a multiple of C({k},{r}) = {base_files}")
+
+    corpus = make_corpus(num_files, args.words_per_file)
+    print(f"Corpus: {num_files} files x {args.words_per_file} words, "
+          f"K={k} nodes, r={r}\n")
+
+    jobs = [
+        ("WordCount", WordCountJob()),
+        ("Grep /cod/", GrepJob(r"cod")),
+        ("InvertedIndex", InvertedIndexJob()),
+    ]
+    schemes = [
+        ("uncoded r=1", 1, False),
+        (f"uncoded r={r}", r, False),
+        (f"coded   r={r}", r, True),
+    ]
+
+    for job_name, job in jobs:
+        rows = []
+        reference = None
+        for label, rr, coded in schemes:
+            run = run_mapreduce(
+                ThreadCluster(k, recv_timeout=60.0), job, corpus,
+                redundancy=rr, coded=coded,
+            )
+            if reference is None:
+                reference = run.outputs
+            elif run.outputs != reference:
+                raise AssertionError(
+                    f"{job_name}: scheme {label} changed the job output"
+                )
+            shuffle = run.traffic.load_bytes("shuffle")
+            rows.append([label, shuffle, run.traffic.message_count("shuffle")])
+        base_bytes = rows[0][1]
+        for row in rows:
+            row.append(base_bytes / row[1] if row[1] else float("inf"))
+        print(f"== {job_name}: outputs identical under all schemes ==")
+        print(format_table(
+            ["scheme", "shuffle payload B", "messages", "reduction vs r=1"],
+            rows, decimals=2,
+        ))
+        print()
+
+    print("The coded scheme multicasts XOR packets that serve r nodes at")
+    print("once; with payload-dominated intermediate values its shuffle")
+    print("bytes approach (1/r) * (1 - r/K) / (1 - 1/K) of plain MapReduce.")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,91 @@
+#!/usr/bin/env python
+"""Coded computation against stragglers: distributed linear regression.
+
+The introduction of *Coded TeraSort* motivates coding with two results:
+the paper's own coded shuffle, and the MDS-coded computation of Lee et
+al. [11], which cuts the average run time of distributed gradient descent
+by 31.3%–35.7% by ignoring stragglers.  This example reproduces the
+second result with ``repro.stragglers``:
+
+1. builds a synthetic least-squares problem,
+2. runs distributed gradient descent where every per-iteration matvec is
+   computed by ``n`` simulated workers drawing shifted-exponential
+   completion times,
+3. compares uncoded (wait for all n), 2-replication (fastest replica per
+   block), and (n, k) MDS coding (fastest k of n), and
+4. checks the iterates are *identical* — coding is lossless; only the
+   simulated wall-clock differs.
+
+Usage::
+
+    python examples/straggler_regression.py [--workers N] [--threshold K]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+import numpy as np
+
+from repro.stragglers.latency import ShiftedExponential
+from repro.stragglers.regression import coded_least_squares
+from repro.stragglers.runner import (
+    render_straggler_table,
+    straggler_comparison,
+)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--workers", "-n", type=int, default=10,
+                        help="workers per distributed operator (default 10)")
+    parser.add_argument("--threshold", "-k", type=int, default=7,
+                        help="MDS recovery threshold k (default 7)")
+    parser.add_argument("--iterations", "-t", type=int, default=80,
+                        help="gradient-descent iterations (default 80)")
+    parser.add_argument("--shift", type=float, default=1.0,
+                        help="deterministic service time (default 1.0)")
+    parser.add_argument("--rate", type=float, default=0.5,
+                        help="straggling rate; smaller = heavier tail")
+    args = parser.parse_args()
+    if not 1 <= args.threshold <= args.workers:
+        parser.error("need 1 <= threshold <= workers")
+
+    latency = ShiftedExponential(shift=args.shift, rate=args.rate)
+    print(f"Straggler model: T = work * ({args.shift} + Exp({args.rate}))")
+    print(f"Schemes: uncoded (n={args.workers}), 2-replication, "
+          f"({args.workers}, {args.threshold}) MDS\n")
+
+    results = straggler_comparison(
+        num_workers=args.workers,
+        recovery_threshold=args.threshold,
+        iterations=args.iterations,
+        latency=latency,
+    )
+    print(render_straggler_table(results))
+
+    coded = next(r for r in results if r.scheme == "coded")
+    print(f"\nCoded GD saved {100 * coded.reduction_vs_uncoded:.1f}% of the "
+          f"uncoded run time ([11] reports 31.3%-35.7%).")
+
+    # Lossless check: run uncoded and coded end to end, compare solutions.
+    rng = np.random.default_rng(0)
+    a = rng.standard_normal((200, 12))
+    b = a @ rng.standard_normal(12)
+    runs = {
+        scheme: coded_least_squares(
+            a, b, args.workers, scheme=scheme, iterations=50,
+            latency=latency,
+            **({"recovery_threshold": args.threshold} if scheme == "coded" else {}),
+        )
+        for scheme in ("uncoded", "coded")
+    }
+    drift = float(np.abs(runs["uncoded"].x - runs["coded"].x).max())
+    print(f"\nmax |x_uncoded - x_coded| = {drift:.2e}  "
+          "(identical trajectories: coding is exact)")
+    assert drift < 1e-8
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,11 @@
+"""Legacy setuptools shim.
+
+All metadata lives in pyproject.toml; this file exists only so that
+``pip install -e .`` works in offline environments that lack the ``wheel``
+package (pip then uses the legacy ``setup.py develop`` code path instead of
+building a PEP 660 wheel).
+"""
+
+from setuptools import setup
+
+setup()

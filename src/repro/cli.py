@@ -1,0 +1,321 @@
+"""Command-line interface.
+
+Subcommands::
+
+    codedterasort sort      — sort synthetic data locally (threads/processes)
+    codedterasort simulate  — one simulated run at paper scale
+    codedterasort tables    — regenerate Tables I-III
+    codedterasort figures   — Fig. 2 + trend sweeps
+    codedterasort report    — full reproduction report (optionally to
+                              EXPERIMENTS.md)
+    codedterasort theory    — closed-form loads and optimal r for a config
+
+Also runnable as ``python -m repro ...``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+
+def _cmd_sort(args: argparse.Namespace) -> int:
+    from repro.core.coded_terasort import run_coded_terasort
+    from repro.core.terasort import run_terasort
+    from repro.kvpairs.teragen import teragen
+    from repro.kvpairs.validation import validate_sorted_permutation
+    from repro.runtime.inproc import ThreadCluster
+    from repro.runtime.process import ProcessCluster
+    from repro.utils.tables import format_table
+
+    data = teragen(args.records, seed=args.seed)
+    if args.backend == "process":
+        cluster = ProcessCluster(
+            args.nodes,
+            rate_bytes_per_s=args.rate_mbps * 125_000 if args.rate_mbps else None,
+        )
+    else:
+        cluster = ThreadCluster(args.nodes)
+    if args.algorithm == "coded":
+        run = run_coded_terasort(cluster, data, redundancy=args.redundancy)
+    else:
+        run = run_terasort(cluster, data)
+    validate_sorted_permutation(data, run.partitions)
+    print(f"sorted {args.records} records on {args.nodes} nodes "
+          f"({args.algorithm}, backend={args.backend}) — output valid")
+    stages = run.stage_times
+    print(format_table(
+        ["stage", "seconds"],
+        [[s, stages.seconds.get(s, 0.0)] for s in stages.stages]
+        + [["total", stages.total]],
+        decimals=4,
+    ))
+    if run.traffic is not None:
+        shuffle = run.traffic.load_bytes("shuffle")
+        print(f"shuffle payload: {shuffle} bytes "
+              f"({shuffle / max(1, data.nbytes):.4f} of dataset)")
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    from repro.sim.runner import simulate_coded_terasort, simulate_terasort
+    from repro.utils.tables import format_table
+
+    if args.algorithm == "coded":
+        rep = simulate_coded_terasort(
+            args.nodes, args.redundancy, n_records=args.records
+        )
+    else:
+        rep = simulate_terasort(args.nodes, n_records=args.records)
+    print(f"simulated {rep.algorithm}: K={rep.num_nodes}, r={rep.redundancy}, "
+          f"{rep.n_records} records, {rep.transfers} transfers")
+    print(format_table(
+        ["stage", "seconds"],
+        [[s, rep.stage_times.seconds[s]] for s in rep.stage_times.stages]
+        + [["total", rep.total_time]],
+        decimals=2,
+    ))
+    return 0
+
+
+def _cmd_tables(args: argparse.Namespace) -> int:
+    from repro.experiments.report import render_table
+    from repro.experiments.tables import table1, table2, table3
+
+    granularity = "turn" if args.fast else "transfer"
+    for t in (table1, table2, table3):
+        print(render_table(t(granularity=granularity)))
+    return 0
+
+
+def _cmd_figures(args: argparse.Namespace) -> int:
+    from repro.experiments.figures import fig2_series, sweep_k, sweep_r
+    from repro.experiments.report import render_fig2, render_sweep
+
+    print(render_fig2(fig2_series(measure=not args.fast, max_measured_r=6)))
+    print(render_sweep(sweep_r(), "Speedup vs r (K=16)"))
+    print(render_sweep(sweep_k(), "Speedup vs K (r=3)"))
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.experiments.report import render_all, write_experiments_md
+
+    if args.output:
+        write_experiments_md(args.output, fast=args.fast)
+        print(f"wrote {args.output}")
+    else:
+        print(render_all(fast=args.fast))
+    return 0
+
+
+def _cmd_theory(args: argparse.Namespace) -> int:
+    from repro.core.theory import (
+        TimeModel,
+        coded_comm_load,
+        optimal_r,
+        optimal_total_time,
+        predicted_total_time,
+        uncoded_comm_load,
+    )
+    from repro.utils.tables import format_table
+
+    k = args.nodes
+    rows = []
+    for r in range(1, k + 1):
+        rows.append([r, uncoded_comm_load(r, k), coded_comm_load(r, k)])
+    print(format_table(["r", "L_uncoded", "L_CMR"], rows, decimals=4))
+    if args.t_map is not None and args.t_shuffle is not None:
+        model = TimeModel(
+            t_map=args.t_map,
+            t_shuffle=args.t_shuffle,
+            t_reduce=args.t_reduce,
+        )
+        r_star = optimal_r(model, k)
+        print(f"T_uncoded = {model.total_uncoded:.2f}s; "
+              f"r* = {r_star}; "
+              f"T(r*) = {predicted_total_time(model, r_star, k):.2f}s; "
+              f"Eq.(5) bound = {optimal_total_time(model):.2f}s")
+    return 0
+
+
+def _cmd_stragglers(args: argparse.Namespace) -> int:
+    from repro.stragglers.latency import ShiftedExponential
+    from repro.stragglers.runner import (
+        render_straggler_table,
+        straggler_comparison,
+    )
+
+    latency = ShiftedExponential(shift=args.shift, rate=args.rate)
+    results = straggler_comparison(
+        num_workers=args.workers,
+        recovery_threshold=args.threshold,
+        iterations=args.iterations,
+        latency=latency,
+    )
+    print(render_straggler_table(results))
+    coded = next(r for r in results if r.scheme == "coded")
+    print(f"\ncoded saving vs uncoded: "
+          f"{100 * coded.reduction_vs_uncoded:.1f}% "
+          f"([11] reports 31.3%-35.7%)")
+    return 0
+
+
+def _cmd_scalable(args: argparse.Namespace) -> int:
+    from repro.scalable.sim import simulate_grouped_coded_terasort
+    from repro.scalable.theory import grouped_vs_full
+    from repro.sim.runner import simulate_coded_terasort, simulate_terasort
+    from repro.utils.tables import format_table
+
+    k, g, r = args.nodes, args.group_size, args.redundancy
+    cmp = grouped_vs_full(k, g, r)
+    print(f"grouped (g={g}, r={r}) vs full coded (r={cmp.full_redundancy}) "
+          f"at K={k}:")
+    print(f"  load {cmp.load_grouped:.3f} vs {cmp.load_full:.3f}; "
+          f"CodeGen {cmp.codegen_grouped} vs {cmp.codegen_full} groups "
+          f"({cmp.codegen_ratio:.0f}x fewer)\n")
+    base = simulate_terasort(k, granularity="turn")
+    full = simulate_coded_terasort(k, r, granularity="turn")
+    grouped = simulate_grouped_coded_terasort(k, g, r, granularity="turn")
+    rows = []
+    for label, rep in (
+        ("TeraSort", base),
+        (f"CodedTeraSort r={r}", full),
+        (f"Grouped g={g}, r={r}", grouped),
+    ):
+        stage = rep.stage_times
+        rows.append([
+            label,
+            stage.seconds.get("codegen", 0.0),
+            stage.seconds.get("shuffle", 0.0),
+            stage.total,
+            base.total_time / rep.total_time,
+        ])
+    print(format_table(
+        ["scheme", "codegen (s)", "shuffle (s)", "total (s)", "speedup"],
+        rows, decimals=2,
+    ))
+    return 0
+
+
+def _cmd_wireless(args: argparse.Namespace) -> int:
+    from repro.kvpairs.teragen import teragen
+    from repro.kvpairs.validation import validate_sorted_permutation
+    from repro.utils.tables import format_table
+    from repro.wireless.theory import (
+        wireless_coded_load,
+        wireless_edge_load,
+        wireless_uncoded_load,
+    )
+    from repro.wireless.wdc import run_wireless_sort
+
+    k, r = args.users, args.redundancy
+    data = teragen(args.records, seed=0)
+    theory = {
+        "uncoded": wireless_uncoded_load(r, k),
+        "edge": wireless_edge_load(r, k),
+        "d2d": wireless_coded_load(r, k),
+    }
+    rows = []
+    for protocol in ("uncoded", "edge", "d2d"):
+        out = run_wireless_sort(data, k, r, protocol=protocol)
+        validate_sorted_permutation(data, out.partitions)
+        rows.append([
+            protocol,
+            out.shuffle_load(),
+            theory[protocol],
+            out.airtime.total_airtime,
+        ])
+    print(format_table(
+        ["protocol", "measured load", "theory load", "airtime (s)"],
+        rows, decimals=4,
+    ))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="codedterasort",
+        description="Coded TeraSort reproduction (Li et al., 2017)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("sort", help="sort synthetic data locally")
+    p.add_argument("--algorithm", choices=["terasort", "coded"], default="coded")
+    p.add_argument("--nodes", "-K", type=int, default=6)
+    p.add_argument("--redundancy", "-r", type=int, default=2)
+    p.add_argument("--records", "-n", type=int, default=60_000)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--backend", choices=["thread", "process"], default="thread")
+    p.add_argument("--rate-mbps", type=float, default=None,
+                   help="per-node egress throttle (process backend)")
+    p.set_defaults(func=_cmd_sort)
+
+    p = sub.add_parser("simulate", help="simulate one run at paper scale")
+    p.add_argument("--algorithm", choices=["terasort", "coded"], default="coded")
+    p.add_argument("--nodes", "-K", type=int, default=16)
+    p.add_argument("--redundancy", "-r", type=int, default=3)
+    p.add_argument("--records", "-n", type=int, default=120_000_000)
+    p.set_defaults(func=_cmd_simulate)
+
+    p = sub.add_parser("tables", help="regenerate Tables I-III")
+    p.add_argument("--fast", action="store_true")
+    p.set_defaults(func=_cmd_tables)
+
+    p = sub.add_parser("figures", help="regenerate Fig. 2 and trend sweeps")
+    p.add_argument("--fast", action="store_true")
+    p.set_defaults(func=_cmd_figures)
+
+    p = sub.add_parser("report", help="full reproduction report")
+    p.add_argument("--output", "-o", default=None,
+                   help="write markdown to this path (e.g. EXPERIMENTS.md)")
+    p.add_argument("--fast", action="store_true")
+    p.set_defaults(func=_cmd_report)
+
+    p = sub.add_parser("theory", help="closed-form loads / optimal r")
+    p.add_argument("--nodes", "-K", type=int, default=16)
+    p.add_argument("--t-map", type=float, default=None)
+    p.add_argument("--t-shuffle", type=float, default=None)
+    p.add_argument("--t-reduce", type=float, default=0.0)
+    p.set_defaults(func=_cmd_theory)
+
+    p = sub.add_parser(
+        "stragglers",
+        help="MDS-coded gradient descent vs stragglers (ref [11])",
+    )
+    p.add_argument("--workers", "-n", type=int, default=10)
+    p.add_argument("--threshold", "-k", type=int, default=7)
+    p.add_argument("--iterations", "-t", type=int, default=60)
+    p.add_argument("--shift", type=float, default=1.0)
+    p.add_argument("--rate", type=float, default=0.5)
+    p.set_defaults(func=_cmd_stragglers)
+
+    p = sub.add_parser(
+        "scalable",
+        help="grouped coded sorting vs the CodeGen wall (§VI)",
+    )
+    p.add_argument("--nodes", "-K", type=int, default=20)
+    p.add_argument("--group-size", "-g", type=int, default=10)
+    p.add_argument("--redundancy", "-r", type=int, default=5)
+    p.set_defaults(func=_cmd_scalable)
+
+    p = sub.add_parser(
+        "wireless",
+        help="coded shuffling over a shared wireless medium ([24]/[25])",
+    )
+    p.add_argument("--users", "-K", type=int, default=6)
+    p.add_argument("--redundancy", "-r", type=int, default=2)
+    p.add_argument("--records", "-n", type=int, default=20_000)
+    p.set_defaults(func=_cmd_wireless)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

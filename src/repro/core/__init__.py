@@ -1,0 +1,45 @@
+"""The paper's contribution: TeraSort, CodedTeraSort, and Coded MapReduce.
+
+Layering (bottom-up):
+
+* :mod:`repro.core.partitioner` — key-domain partitioning (§III-A2);
+* :mod:`repro.core.placement` — file placement: uncoded (§III-A1) and the
+  structured redundant placement over ``r``-subsets (§IV-A);
+* :mod:`repro.core.mapper` — the Map-stage hash of files into per-partition
+  intermediate values (§III-A3, §IV-B), with the coded retention rule;
+* :mod:`repro.core.groups` — multicast groups and the CodeGen stage (§V-A);
+* :mod:`repro.core.encoding` / :mod:`repro.core.decoding` — Algorithms 1
+  and 2 (§IV-C, §IV-E);
+* :mod:`repro.core.terasort` / :mod:`repro.core.coded_terasort` — the two
+  distributed sort node programs (§III, §IV) plus driver helpers;
+* :mod:`repro.core.cmr` — the general Coded MapReduce engine of §II, with
+  ready-made jobs (WordCount, Grep, SelfJoin, InvertedIndex) in
+  :mod:`repro.core.jobs`;
+* :mod:`repro.core.theory` — closed-form loads and run-time model
+  (Eqs. (2)-(5), Fig. 2).
+"""
+
+from repro.core.partitioner import RangePartitioner
+from repro.core.placement import CodedPlacement, UncodedPlacement
+from repro.core.terasort import TeraSortProgram, run_terasort
+from repro.core.coded_terasort import CodedTeraSortProgram, run_coded_terasort
+from repro.core.theory import (
+    coded_comm_load,
+    uncoded_comm_load,
+    optimal_r,
+    predicted_total_time,
+)
+
+__all__ = [
+    "RangePartitioner",
+    "CodedPlacement",
+    "UncodedPlacement",
+    "TeraSortProgram",
+    "run_terasort",
+    "CodedTeraSortProgram",
+    "run_coded_terasort",
+    "coded_comm_load",
+    "uncoded_comm_load",
+    "optimal_r",
+    "predicted_total_time",
+]

@@ -1,0 +1,368 @@
+"""General Coded MapReduce (§II): arbitrary map/reduce jobs, coded shuffle.
+
+This is the framework of [7]-[9] that CodedTeraSort instantiates for
+sorting: ``K`` nodes compute ``Q`` output functions from ``N`` input files,
+with each file mapped on ``r`` nodes so that coded multicasts cut the
+shuffle load ``r``-fold.
+
+Three schemes are provided (matching the paper's Fig. 1 comparison):
+
+* **uncoded, r = 1** — every file mapped once, all remote intermediate
+  values unicast (Fig. 1(a));
+* **uncoded, r > 1** — redundant placement but *no coding*: for each file
+  subset ``S`` and target ``t ∉ S`` a single designated member of ``S``
+  (the minimum rank) unicasts ``I^t_S``;
+* **coded, r > 1** — redundant placement plus Algorithm 1/2 XOR multicast.
+
+Function ``q`` is reduced at node ``q mod K``; the intermediate value
+``I^t_S`` packs, for every file of subset ``S`` and every function owned by
+node ``t``, the map output — built in deterministic (file id, function id)
+order so that all ``r`` mappers of a file serialize byte-identical values
+(a requirement of XOR coding).
+
+Jobs must therefore have deterministic ``map_file`` output serialization;
+the bundled jobs in :mod:`repro.core.jobs` comply.
+"""
+
+from __future__ import annotations
+
+import pickle
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.core.decoding import recover_intermediate
+from repro.core.encoding import CodedPacket, encode_packet
+from repro.core.groups import build_coding_plan
+from repro.core.placement import CodedPlacement
+from repro.runtime.api import Comm
+from repro.runtime.program import ClusterResult, NodeProgram
+from repro.runtime.traffic import TrafficLog
+from repro.utils.subsets import Subset, k_subsets, without
+from repro.utils.timer import StageTimes
+
+UNICAST_TAG = 2000
+MULTICAST_TAG_BASE = 20_000
+
+
+class MapReduceJob(ABC):
+    """A user job: Q output functions over N input files (Eq. (1)).
+
+    Subclasses define the map and reduce laws; serialization defaults to
+    pickle protocol 4 (deterministic for the standard container types used
+    by the bundled jobs).
+    """
+
+    #: Human-readable job name (reports / logs).
+    name: str = "job"
+
+    def num_functions(self, num_nodes: int) -> int:
+        """``Q``; defaults to one function per node."""
+        return num_nodes
+
+    @abstractmethod
+    def map_file(self, file_id: int, payload: Any) -> Mapping[int, Any]:
+        """Map one file: returns ``{function id q -> intermediate value}``.
+
+        Functions absent from the mapping contribute nothing for this file.
+        Must be deterministic: replicas of the file on different nodes must
+        produce identical (serialization-identical) outputs.
+        """
+
+    @abstractmethod
+    def reduce(self, q: int, values: Sequence[Tuple[int, Any]]) -> Any:
+        """Reduce function ``q`` from ``(file_id, value)`` pairs.
+
+        ``values`` is sorted by file id and contains one entry per file
+        whose map emitted something for ``q``.
+        """
+
+    def serialize(self, obj: Any) -> bytes:
+        return pickle.dumps(obj, protocol=4)
+
+    def deserialize(self, buf: bytes) -> Any:
+        return pickle.loads(buf)
+
+
+@dataclass
+class CMRRun:
+    """Outcome of a Coded MapReduce run."""
+
+    outputs: Dict[int, Any]
+    stage_times: StageTimes
+    traffic: Optional[TrafficLog]
+    meta: Dict[str, object] = field(default_factory=dict)
+
+
+def _owner_of(q: int, num_nodes: int) -> int:
+    """Node reducing function ``q`` (round-robin assignment)."""
+    return q % num_nodes
+
+
+def _build_intermediate(
+    job: MapReduceJob,
+    target: int,
+    num_nodes: int,
+    num_functions: int,
+    map_outputs: Dict[int, Mapping[int, Any]],
+) -> List[Tuple[int, int, Any]]:
+    """Deterministic ``I^target_S`` structure from a subset's map outputs.
+
+    Returns sorted ``(file_id, q, value)`` triples for every function owned
+    by ``target``.
+    """
+    out: List[Tuple[int, int, Any]] = []
+    for file_id in sorted(map_outputs):
+        emitted = map_outputs[file_id]
+        for q in sorted(emitted):
+            if not 0 <= q < num_functions:
+                raise ValueError(
+                    f"map emitted function id {q} outside [0, {num_functions})"
+                )
+            if _owner_of(q, num_nodes) == target:
+                out.append((file_id, q, emitted[q]))
+    return out
+
+
+class _CMRProgramBase(NodeProgram):
+    """Shared map/reduce plumbing for the three shuffle schemes."""
+
+    def __init__(
+        self,
+        comm: Comm,
+        job: MapReduceJob,
+        files: Dict[int, Any],
+        subsets: Dict[int, Subset],
+        redundancy: int,
+    ) -> None:
+        super().__init__(comm)
+        self.job = job
+        self.files = files
+        self.subsets = subsets
+        self.redundancy = redundancy
+        self.num_functions = job.num_functions(comm.size)
+
+    # -- map --------------------------------------------------------------
+
+    def _map_all(self) -> Dict[Subset, Dict[int, Mapping[int, Any]]]:
+        """Map every local file, grouped by file subset."""
+        by_subset: Dict[Subset, Dict[int, Mapping[int, Any]]] = {}
+        for file_id in sorted(self.files):
+            subset = self.subsets[file_id]
+            by_subset.setdefault(subset, {})[file_id] = self.job.map_file(
+                file_id, self.files[file_id]
+            )
+        return by_subset
+
+    def _serialized_store(
+        self, by_subset: Dict[Subset, Dict[int, Mapping[int, Any]]]
+    ) -> Dict[Tuple[Subset, int], bytes]:
+        """``(S, t) -> serialized I^t_S`` under the retention rule."""
+        store: Dict[Tuple[Subset, int], bytes] = {}
+        for subset, outputs in by_subset.items():
+            in_subset = set(subset)
+            for target in range(self.size):
+                if target != self.rank and target in in_subset:
+                    continue  # retention rule: target computes it locally
+                value = _build_intermediate(
+                    self.job, target, self.size, self.num_functions, outputs
+                )
+                store[(subset, target)] = self.job.serialize(value)
+        return store
+
+    # -- reduce -------------------------------------------------------------
+
+    def _reduce(
+        self,
+        store: Dict[Tuple[Subset, int], bytes],
+        received: List[bytes],
+    ) -> Dict[int, Any]:
+        """Merge own + received intermediates and reduce owned functions."""
+        entries: List[Tuple[int, int, Any]] = []
+        for (subset, target), buf in store.items():
+            if target == self.rank and self.rank in subset:
+                entries.extend(self.job.deserialize(buf))
+        for buf in received:
+            entries.extend(self.job.deserialize(buf))
+        per_q: Dict[int, List[Tuple[int, Any]]] = {}
+        for file_id, q, value in entries:
+            per_q.setdefault(q, []).append((file_id, value))
+        outputs: Dict[int, Any] = {}
+        for q in range(self.num_functions):
+            if _owner_of(q, self.size) != self.rank:
+                continue
+            values = sorted(per_q.get(q, []), key=lambda e: e[0])
+            outputs[q] = self.job.reduce(q, values)
+        return outputs
+
+
+class UncodedCMRProgram(_CMRProgramBase):
+    """Uncoded shuffle at any computation load ``r`` (Fig. 1(a)/(b) left).
+
+    For each file subset ``S`` and target ``t ∉ S``, the minimum-rank member
+    of ``S`` unicasts ``I^t_S`` — redundancy reduces the load from
+    ``1 - 1/K`` to ``1 - r/K`` but no coding gain is taken.
+    """
+
+    STAGES = ["map", "pack", "shuffle", "unpack", "reduce"]
+
+    def run(self) -> Dict[int, Any]:
+        with self.stage("map"):
+            by_subset = self._map_all()
+
+        with self.stage("pack"):
+            store = self._serialized_store(by_subset)
+            # The serial schedule is global: every node walks the full
+            # subset list (derivable from K and r), not just its own files.
+            all_subsets = list(k_subsets(self.size, self.redundancy))
+
+        with self.stage("shuffle"):
+            received_raw: List[bytes] = []
+            # Serial schedule: subsets in lex order, targets ascending.
+            for subset in all_subsets:
+                sender = min(subset)
+                for target in range(self.size):
+                    if target in subset:
+                        continue
+                    if self.rank == sender:
+                        self.comm.send(
+                            target, UNICAST_TAG, store[(subset, target)]
+                        )
+                    elif self.rank == target:
+                        received_raw.append(self.comm.recv(sender, UNICAST_TAG))
+
+        with self.stage("unpack"):
+            received = list(received_raw)
+
+        with self.stage("reduce"):
+            return self._reduce(store, received)
+
+
+class CodedCMRProgram(_CMRProgramBase):
+    """Coded shuffle (Fig. 1(b) right): Algorithm 1/2 over generic payloads."""
+
+    STAGES = ["codegen", "map", "encode", "shuffle", "decode", "reduce"]
+
+    def run(self) -> Dict[int, Any]:
+        rank = self.rank
+
+        with self.stage("codegen"):
+            plan = build_coding_plan(self.size, self.redundancy)
+            my_groups = plan.groups_of_node[rank]
+
+        with self.stage("map"):
+            by_subset = self._map_all()
+
+        with self.stage("encode"):
+            store = self._serialized_store(by_subset)
+
+            def lookup(subset: Subset, target: int) -> bytes:
+                return store[(subset, target)]
+
+            packets_out = {
+                gidx: encode_packet(rank, plan.groups[gidx], lookup).to_bytes()
+                for gidx in my_groups
+            }
+
+        with self.stage("shuffle"):
+            received_raw: Dict[int, Dict[int, bytes]] = {g: {} for g in my_groups}
+            for gidx, sender in plan.schedule:
+                group = plan.groups[gidx]
+                if rank not in group:
+                    continue
+                tag = MULTICAST_TAG_BASE + gidx
+                if sender == rank:
+                    self.comm.bcast(group, rank, tag, packets_out[gidx])
+                else:
+                    received_raw[gidx][sender] = self.comm.bcast(group, sender, tag)
+
+        with self.stage("decode"):
+            received: List[bytes] = []
+            for gidx in my_groups:
+                group = plan.groups[gidx]
+                packets = {
+                    s: CodedPacket.from_bytes(raw)
+                    for s, raw in received_raw[gidx].items()
+                }
+                received.append(
+                    recover_intermediate(rank, group, packets, lookup)
+                )
+
+        with self.stage("reduce"):
+            return self._reduce(store, received)
+
+
+def run_mapreduce(
+    cluster,
+    job: MapReduceJob,
+    file_payloads: Sequence[Any],
+    redundancy: int = 1,
+    coded: bool = False,
+) -> CMRRun:
+    """Run ``job`` over ``file_payloads`` on ``cluster``.
+
+    Args:
+        cluster: a runtime backend with ``size`` and ``run(factory)``.
+        job: the map/reduce job.
+        file_payloads: the ``N`` input files; for redundancy ``r``, ``N``
+            must be a multiple of ``C(K, r)`` (the batched placement).
+        redundancy: ``r``; with ``coded=False`` and ``r = 1`` this is plain
+            MapReduce.
+        coded: use the coded shuffle (requires ``r >= 1``; at ``r = 1``
+            groups have two members and coding degenerates to unicast).
+
+    Returns:
+        A :class:`CMRRun` with the merged ``{q -> result}`` outputs.
+    """
+    k = cluster.size
+    n = len(file_payloads)
+    placement = _make_placement(k, redundancy, n)
+    per_node_files: List[Dict[int, Any]] = [dict() for _ in range(k)]
+    per_node_subsets: List[Dict[int, Subset]] = [dict() for _ in range(k)]
+    for file_id in range(n):
+        subset = placement.subset_of_file(file_id)
+        for node in subset:
+            per_node_files[node][file_id] = file_payloads[file_id]
+            per_node_subsets[node][file_id] = subset
+
+    program_cls = CodedCMRProgram if coded else UncodedCMRProgram
+
+    def factory(comm: Comm) -> NodeProgram:
+        return program_cls(
+            comm,
+            job,
+            per_node_files[comm.rank],
+            per_node_subsets[comm.rank],
+            redundancy,
+        )
+
+    result: ClusterResult = cluster.run(factory)
+    outputs: Dict[int, Any] = {}
+    for node_outputs in result.results:
+        overlap = set(outputs) & set(node_outputs)
+        if overlap:
+            raise RuntimeError(f"functions reduced twice: {sorted(overlap)}")
+        outputs.update(node_outputs)
+    return CMRRun(
+        outputs=outputs,
+        stage_times=result.stage_times,
+        traffic=result.traffic,
+        meta={
+            "job": job.name,
+            "num_nodes": k,
+            "num_files": n,
+            "redundancy": redundancy,
+            "coded": coded,
+        },
+    )
+
+
+def _make_placement(k: int, redundancy: int, n_files: int) -> CodedPlacement:
+    """Placement for ``n_files`` at redundancy ``r`` (batched subsets)."""
+    base = CodedPlacement(k, redundancy, 1).num_subsets
+    if n_files % base != 0 or n_files == 0:
+        raise ValueError(
+            f"number of files ({n_files}) must be a positive multiple of "
+            f"C(K={k}, r={redundancy}) = {base}"
+        )
+    return CodedPlacement(k, redundancy, n_files // base)

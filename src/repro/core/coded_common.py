@@ -1,0 +1,42 @@
+"""Shared helpers for coded execution (used by CodedTeraSort and CMR).
+
+The coding engine addresses intermediate values by *file subset*: with
+``batches_per_subset > 1`` several physical files share a subset ``S``, and
+their per-target intermediate values are concatenated (in ascending file id)
+into the single logical ``I^t_S`` the XOR coding operates on — exactly the
+batching construction of the general CMR scheme in [9].
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.kvpairs.records import RecordBatch
+from repro.utils.subsets import Subset
+
+
+def group_store_by_subset(
+    kept: Dict[int, Dict[int, RecordBatch]],
+    subsets: Dict[int, Subset],
+) -> Dict[Tuple[Subset, int], RecordBatch]:
+    """Aggregate per-file map outputs into per-(subset, target) values.
+
+    Args:
+        kept: file id -> {target node -> retained intermediate batch}.
+        subsets: file id -> subset of that file.
+
+    Returns:
+        ``(subset S, target t) -> I^t_S`` with batch files concatenated in
+        ascending file id (both replicas of ``S`` concatenate in the same
+        order on every node, which the XOR coding requires).
+    """
+    buckets: Dict[Tuple[Subset, int], List[Tuple[int, RecordBatch]]] = {}
+    for file_id in sorted(kept):
+        subset = subsets[file_id]
+        for target, batch in kept[file_id].items():
+            buckets.setdefault((subset, target), []).append((file_id, batch))
+    out: Dict[Tuple[Subset, int], RecordBatch] = {}
+    for key, entries in buckets.items():
+        entries.sort(key=lambda e: e[0])
+        out[key] = RecordBatch.concat([b for _, b in entries])
+    return out

@@ -1,0 +1,206 @@
+"""CodedTeraSort: the paper's contribution (§IV).
+
+Six stages per node (§V-A):
+
+1. **CodeGen** — build the coding plan: multicast groups, memberships, and
+   the serial multicast schedule (cost grows as ``C(K, r+1)``);
+2. **Map** — hash every locally placed file ``F_S`` (``rank ∈ S``), keeping
+   ``I^rank_S`` and ``{I^i_S : i ∉ S}`` per the retention rule;
+3. **Encode** — serialize intermediate values and build one coded packet
+   ``E_{M, rank}`` per group ``M ∋ rank`` (Algorithm 1);
+4. **Multicast Shuffle** — walk the serial schedule of Fig. 9(b),
+   multicasting each packet to the group's other ``r`` members;
+5. **Decode** — recover every missing ``I^rank_S`` (``rank ∉ S``) from the
+   received packets (Algorithm 2) and deserialize;
+6. **Reduce** — locally sort partition ``P_rank``.
+
+The intermediate-value store is keyed by file *subset* (with
+``batches_per_subset > 1``, the files of a subset are concatenated before
+encoding, as in the batched CMR scheme of [9]).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.core.coded_common import group_store_by_subset
+from repro.core.decoding import recover_intermediate
+from repro.core.encoding import CodedPacket, encode_packet
+from repro.core.groups import CodingPlan, build_coding_plan
+from repro.core.mapper import map_node_coded
+from repro.core.partitioner import RangePartitioner
+from repro.core.placement import CodedPlacement
+from repro.core.terasort import SortRun, _build_partitioner
+from repro.kvpairs.records import RecordBatch
+from repro.kvpairs.sorting import sort_batch
+from repro.runtime.api import Comm
+from repro.runtime.program import ClusterResult, NodeProgram
+from repro.utils.subsets import Subset, without
+
+#: Tag base for multicast shuffle; group index is added per packet.
+MULTICAST_TAG_BASE = 10_000
+
+STAGES_CODED = ["codegen", "map", "encode", "shuffle", "decode", "reduce"]
+
+
+class CodedTeraSortProgram(NodeProgram):
+    """Per-node CodedTeraSort execution.
+
+    Args:
+        comm: communication endpoint.
+        files: file id -> data for every file placed on this node.
+        subsets: file id -> node subset ``S`` (``rank ∈ S``).
+        partitioner: shared ``K``-way range partitioner.
+        redundancy: the computation-load parameter ``r``.
+    """
+
+    STAGES = STAGES_CODED
+
+    def __init__(
+        self,
+        comm: Comm,
+        files: Dict[int, RecordBatch],
+        subsets: Dict[int, Subset],
+        partitioner: RangePartitioner,
+        redundancy: int,
+    ) -> None:
+        super().__init__(comm)
+        self.files = files
+        self.subsets = subsets
+        self.partitioner = partitioner
+        self.redundancy = redundancy
+
+    def run(self) -> RecordBatch:
+        rank = self.rank
+
+        with self.stage("codegen"):
+            plan: CodingPlan = build_coding_plan(self.size, self.redundancy)
+            my_groups = plan.groups_of_node[rank]
+
+        with self.stage("map"):
+            kept = map_node_coded(rank, self.files, self.subsets, self.partitioner)
+            # Store keyed by (subset, target); batches of a subset concatenated.
+            store: Dict[Tuple[Subset, int], RecordBatch] = group_store_by_subset(
+                kept, self.subsets
+            )
+
+        with self.stage("encode"):
+            serialized: Dict[Tuple[Subset, int], bytes] = {
+                key: batch.to_bytes() for key, batch in store.items()
+            }
+
+            def lookup(subset: Subset, target: int) -> bytes:
+                return serialized[(subset, target)]
+
+            packets_out: Dict[int, bytes] = {
+                gidx: encode_packet(rank, plan.groups[gidx], lookup).to_bytes()
+                for gidx in my_groups
+            }
+
+        with self.stage("shuffle"):
+            received_raw: Dict[int, Dict[int, bytes]] = {g: {} for g in my_groups}
+            for gidx, sender in plan.schedule:
+                group = plan.groups[gidx]
+                if rank not in group:
+                    continue
+                tag = MULTICAST_TAG_BASE + gidx
+                if sender == rank:
+                    self.comm.bcast(group, rank, tag, packets_out[gidx])
+                else:
+                    received_raw[gidx][sender] = self.comm.bcast(
+                        group, sender, tag
+                    )
+
+        with self.stage("decode"):
+            decoded: List[RecordBatch] = []
+            for gidx in my_groups:
+                group = plan.groups[gidx]
+                packets = {
+                    sender: CodedPacket.from_bytes(raw)
+                    for sender, raw in received_raw[gidx].items()
+                }
+                raw_value = recover_intermediate(rank, group, packets, lookup)
+                decoded.append(RecordBatch.from_bytes(raw_value))
+
+        with self.stage("reduce"):
+            own = [
+                batch
+                for (subset, target), batch in store.items()
+                if target == rank and rank in subset
+            ]
+            result = sort_batch(RecordBatch.concat(own + decoded))
+        return result
+
+
+def run_coded_terasort(
+    cluster,
+    data: RecordBatch,
+    redundancy: int,
+    batches_per_subset: int = 1,
+    sampled_partitioner: bool = False,
+    sample_size: int = 10000,
+    sample_seed: int = 7,
+) -> SortRun:
+    """Sort ``data`` with CodedTeraSort on ``cluster``.
+
+    Args:
+        cluster: any backend with ``size`` and ``run(factory)``.
+        data: the full input batch.
+        redundancy: ``r ∈ [1, K-1]`` — each file is mapped on ``r`` nodes.
+        batches_per_subset: input files per node subset (``N = b * C(K, r)``).
+        sampled_partitioner / sample_size / sample_seed: see
+            :func:`repro.core.terasort.run_terasort`.
+
+    Returns:
+        A :class:`~repro.core.terasort.SortRun` whose ``meta`` carries the
+        coding-plan statistics (groups, packets, schedule length).
+    """
+    k = cluster.size
+    # CodedPlacement itself allows r = K (one file everywhere), but the
+    # coded shuffle needs multicast groups of r+1 <= K nodes; reject early
+    # so the error carries no cluster-failure wrapping.
+    if not 1 <= redundancy <= k - 1:
+        raise ValueError(
+            f"redundancy must be in [1, K-1] = [1, {k - 1}], got {redundancy}"
+        )
+    partitioner = _build_partitioner(
+        data, k, sampled_partitioner, sample_size, sample_seed
+    )
+    placement = CodedPlacement(k, redundancy, batches_per_subset)
+    assignments = placement.place(data)
+
+    per_node_files: List[Dict[int, RecordBatch]] = [dict() for _ in range(k)]
+    per_node_subsets: List[Dict[int, Subset]] = [dict() for _ in range(k)]
+    for fa in assignments:
+        for node in fa.subset:
+            per_node_files[node][fa.file_id] = fa.data
+            per_node_subsets[node][fa.file_id] = fa.subset
+
+    def factory(comm: Comm) -> CodedTeraSortProgram:
+        return CodedTeraSortProgram(
+            comm,
+            per_node_files[comm.rank],
+            per_node_subsets[comm.rank],
+            partitioner,
+            redundancy,
+        )
+
+    result: ClusterResult = cluster.run(factory)
+    plan = build_coding_plan(k, redundancy)
+    return SortRun(
+        partitions=list(result.results),
+        stage_times=result.stage_times,
+        traffic=result.traffic,
+        partitioner=partitioner,
+        meta={
+            "algorithm": "coded_terasort",
+            "num_nodes": k,
+            "redundancy": redundancy,
+            "batches_per_subset": batches_per_subset,
+            "input_records": len(data),
+            "num_files": placement.num_files,
+            "files_per_node": placement.files_per_node(),
+            "num_groups": plan.num_groups,
+            "total_multicasts": plan.total_multicasts,
+        },
+    )

@@ -1,0 +1,123 @@
+"""Algorithm 2: decoding coded packets back into intermediate values.
+
+Within group ``M``, node ``k`` receives ``E_{M,u}`` from every other member
+``u``.  For each such packet,
+
+    ``E_{M,u} = XOR over t in M\\{u} of  I^t_{M\\{t}, u}``
+
+and node ``k`` locally knows every constituent except the ``t = k`` term
+(it mapped file ``M\\{t}`` for all ``t ∈ M\\{u, k}``).  XORing those known
+segments out of the payload leaves ``I^k_{M\\{k}, u}`` — the ``u``-indexed
+segment of the intermediate value node ``k`` is missing.  Collecting the
+segments from all ``u ∈ M\\{k}`` and concatenating them in ascending ``u``
+(the same order the encoder split in) reconstructs ``I^k_{M\\{k}}`` exactly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping
+
+from repro.core.encoding import (
+    CodedPacket,
+    CodingError,
+    IntermediateLookup,
+    segment_of,
+    xor_into,
+)
+from repro.utils.subsets import Subset, without
+
+
+def decode_segment(
+    receiver: int, packet: CodedPacket, lookup: IntermediateLookup
+) -> bytes:
+    """Recover ``I^receiver_{M\\{receiver}, sender}`` from one packet.
+
+    Args:
+        receiver: the decoding node ``k``; must be addressed by the packet.
+        packet: ``E_{M, u}`` from some ``u ∈ M\\{k}``.
+        lookup: the receiver's locally known intermediate values, called as
+            ``lookup(M\\{t}, t)`` for ``t ∈ M\\{u, k}``.
+
+    Returns:
+        The true-length (unpadded) segment destined to the receiver.
+    """
+    group = packet.group
+    sender = packet.sender
+    if receiver == sender:
+        raise CodingError("a node cannot decode its own packet")
+    if receiver not in group:
+        raise CodingError(f"receiver {receiver} not in group {group}")
+    acc = bytearray(packet.payload)
+    for t in group:
+        if t == sender or t == receiver:
+            continue
+        file_subset = without(group, t)  # receiver ∈ F, so I^t_F is known
+        known = lookup(file_subset, t)
+        expected = packet.length_for(t)
+        seg = segment_of(known, file_subset, sender)
+        if len(seg) != expected:
+            raise CodingError(
+                f"segment length mismatch for target {t}: local {len(seg)} "
+                f"vs packet header {expected} (inconsistent map outputs?)"
+            )
+        xor_into(acc, seg)
+    true_len = packet.length_for(receiver)
+    if true_len > len(acc):
+        raise CodingError(
+            f"header claims {true_len} bytes but payload is {len(acc)}"
+        )
+    return bytes(acc[:true_len])
+
+
+def recover_intermediate(
+    receiver: int,
+    group: Subset,
+    packets: Mapping[int, CodedPacket],
+    lookup: IntermediateLookup,
+) -> bytes:
+    """Reassemble ``I^receiver_{M\\{receiver}}`` from a group's packets.
+
+    Args:
+        receiver: node ``k ∈ M``.
+        group: the multicast group ``M``.
+        packets: sender ``u`` -> ``E_{M,u}`` for every ``u ∈ M\\{k}``.
+        lookup: locally known intermediate values.
+
+    Returns:
+        The full serialized intermediate value of file ``M\\{k}`` destined
+        to the receiver (segments concatenated in ascending sender order,
+        matching :func:`repro.core.encoding.segment_bounds`).
+    """
+    file_subset = without(group, receiver)
+    parts = []
+    for u in file_subset:  # ascending sender order == segment order
+        if u not in packets:
+            raise CodingError(f"missing packet from sender {u} in group {group}")
+        pkt = packets[u]
+        if tuple(pkt.group) != tuple(group):
+            raise CodingError(
+                f"packet group {pkt.group} does not match {group}"
+            )
+        if pkt.sender != u:
+            raise CodingError(f"packet sender {pkt.sender} filed under {u}")
+        parts.append(decode_segment(receiver, pkt, lookup))
+    return b"".join(parts)
+
+
+def decode_all_groups(
+    receiver: int,
+    packets_by_group: Mapping[Subset, Mapping[int, CodedPacket]],
+    lookup: IntermediateLookup,
+) -> Dict[Subset, bytes]:
+    """Run Algorithm 2 over every group the receiver belongs to.
+
+    Returns:
+        file subset ``S = M\\{receiver}`` -> serialized ``I^receiver_S``,
+        i.e. exactly the intermediate values ``{I^k_S : k ∉ S}`` the node
+        was missing after the Map stage.
+    """
+    out: Dict[Subset, bytes] = {}
+    for group, packets in packets_by_group.items():
+        file_subset = without(group, receiver)
+        out[file_subset] = recover_intermediate(receiver, group, packets, lookup)
+    return out

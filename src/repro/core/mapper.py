@@ -1,0 +1,96 @@
+"""The Map stage: hashing files into per-partition intermediate values.
+
+§III-A3: hashing file ``F`` under a ``K``-way partitioner produces the
+intermediate values ``{I^1_F, ..., I^K_F}`` where ``I^j_F`` holds the KV
+pairs of ``F`` whose keys fall in partition ``P_j``.  The split is done with
+one vectorized stable argsort over partition indices (a counting-sort-style
+grouping), no per-record Python work.
+
+§IV-B adds the coded *retention rule*: after mapping file ``F_S`` on node
+``k`` (``k ∈ S``), only ``I^k_S`` (needed by ``k`` itself) and
+``{I^i_S : i ∉ S}`` (to be encoded for nodes outside ``S``) are kept —
+``I^i_S`` for other ``i ∈ S`` is discarded because node ``i`` computes it
+locally.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.core.partitioner import RangePartitioner
+from repro.kvpairs.records import RecordBatch
+from repro.utils.subsets import Subset
+
+
+def hash_file(
+    data: RecordBatch, partitioner: RangePartitioner
+) -> List[RecordBatch]:
+    """Split ``data`` into ``K`` per-partition intermediate values.
+
+    Returns:
+        ``out[j] = I^j`` — the records of ``data`` whose key falls in
+        partition ``j``; concatenating all outputs is a permutation of the
+        input.
+    """
+    k = partitioner.num_partitions
+    n = len(data)
+    if n == 0:
+        return [RecordBatch.empty() for _ in range(k)]
+    idx = partitioner.partition_indices(data)
+    order = np.argsort(idx, kind="stable")
+    grouped = data.take(order)
+    counts = np.bincount(idx, minlength=k)
+    offsets = np.cumsum(counts)[:-1]
+    return grouped.split_at([int(o) for o in offsets])
+
+
+def map_node_uncoded(
+    file_data: RecordBatch,
+    partitioner: RangePartitioner,
+) -> List[RecordBatch]:
+    """TeraSort's Map at one node: hash its single file (keep everything)."""
+    return hash_file(file_data, partitioner)
+
+
+def map_node_coded(
+    node: int,
+    files: Dict[int, RecordBatch],
+    subsets: Dict[int, Subset],
+    partitioner: RangePartitioner,
+) -> Dict[int, Dict[int, RecordBatch]]:
+    """CodedTeraSort's Map at ``node``: hash every local file, apply retention.
+
+    Args:
+        node: this node's rank ``k``.
+        files: file id -> file data, the files placed on this node.
+        subsets: file id -> node subset ``S`` of that file (``node ∈ S``).
+        partitioner: the shared ``K``-way partitioner.
+
+    Returns:
+        ``kept[file_id][j] = I^j_S`` for exactly the retained targets:
+        ``j == node`` and every ``j ∉ S``.
+    """
+    kept: Dict[int, Dict[int, RecordBatch]] = {}
+    for file_id, data in files.items():
+        subset = subsets[file_id]
+        if node not in subset:
+            raise ValueError(
+                f"node {node} asked to map file {file_id} of subset {subset}"
+            )
+        parts = hash_file(data, partitioner)
+        in_subset = set(subset)
+        retained: Dict[int, RecordBatch] = {node: parts[node]}
+        for j in range(partitioner.num_partitions):
+            if j not in in_subset:
+                retained[j] = parts[j]
+        kept[file_id] = retained
+    return kept
+
+
+def map_output_bytes(kept: Dict[int, Dict[int, RecordBatch]]) -> int:
+    """Total retained intermediate bytes (memory-footprint diagnostics)."""
+    return sum(
+        batch.nbytes for per_file in kept.values() for batch in per_file.values()
+    )

@@ -1,0 +1,192 @@
+"""TeraSort: the uncoded baseline (§III).
+
+Five stages per node, exactly as the paper's implementation (§V-A):
+
+1. **Map** — hash the node's single input file into ``K`` per-partition
+   intermediate values;
+2. **Pack** — serialize each intermediate value into one contiguous buffer
+   so a single flow carries it;
+3. **Shuffle** — serial unicast (Fig. 9(a)): senders take turns in rank
+   order; during node ``j``'s turn it unicasts ``I^k_{j}`` to every other
+   node ``k`` back-to-back;
+4. **Unpack** — deserialize the ``K-1`` received buffers;
+5. **Reduce** — locally sort partition ``P_k``.
+
+The program runs on any :class:`~repro.runtime.api.Comm` backend; the driver
+:func:`run_terasort` handles placement, the shared partitioner, and output
+validation hooks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.mapper import hash_file
+from repro.core.partitioner import RangePartitioner
+from repro.core.placement import UncodedPlacement
+from repro.kvpairs.records import RecordBatch
+from repro.kvpairs.serialization import pack_batch, unpack_batch
+from repro.kvpairs.sorting import sort_batch
+from repro.runtime.api import Comm
+from repro.runtime.program import ClusterResult, NodeProgram
+from repro.utils.timer import StageTimes
+
+from repro.runtime.traffic import TrafficLog
+
+#: User tag carrying shuffled intermediate values.
+SHUFFLE_TAG = 1000
+
+STAGES_TERASORT = ["map", "pack", "shuffle", "unpack", "reduce"]
+
+
+class TeraSortProgram(NodeProgram):
+    """Per-node TeraSort execution.
+
+    Args:
+        comm: communication endpoint.
+        file_data: this node's input file ``F_{k}``.
+        partitioner: the shared ``K``-way range partitioner.
+    """
+
+    STAGES = STAGES_TERASORT
+
+    def __init__(
+        self,
+        comm: Comm,
+        file_data: RecordBatch,
+        partitioner: RangePartitioner,
+    ) -> None:
+        super().__init__(comm)
+        self.file_data = file_data
+        self.partitioner = partitioner
+
+    def run(self) -> RecordBatch:
+        k = self.size
+        rank = self.rank
+
+        with self.stage("map"):
+            parts = hash_file(self.file_data, self.partitioner)
+
+        with self.stage("pack"):
+            outgoing: Dict[int, bytes] = {
+                dst: pack_batch(parts[dst], tag=rank)
+                for dst in range(k)
+                if dst != rank
+            }
+            own = parts[rank]
+
+        with self.stage("shuffle"):
+            received: Dict[int, bytes] = {}
+            # Fig. 9(a): one sender at a time, in rank order.
+            for sender in range(k):
+                if sender == rank:
+                    for dst in range(k):
+                        if dst != rank:
+                            self.comm.send(dst, SHUFFLE_TAG, outgoing[dst])
+                else:
+                    received[sender] = self.comm.recv(sender, SHUFFLE_TAG)
+
+        with self.stage("unpack"):
+            incoming: List[RecordBatch] = []
+            for sender in sorted(received):
+                tag, batch = unpack_batch(received[sender])
+                if tag != sender:
+                    raise RuntimeError(
+                        f"shuffle frame tag {tag} does not match sender {sender}"
+                    )
+                incoming.append(batch)
+
+        with self.stage("reduce"):
+            result = sort_batch(RecordBatch.concat([own] + incoming))
+        return result
+
+
+@dataclass
+class SortRun:
+    """Result of a full distributed sort run.
+
+    Attributes:
+        partitions: per-rank sorted output partitions (ascending key ranges).
+        stage_times: merged per-stage breakdown (max over nodes).
+        traffic: the run's traffic log (None if backend doesn't collect one).
+        partitioner: the partitioner used (for validation / inspection).
+        meta: algorithm-specific extras (e.g. coding plan statistics).
+    """
+
+    partitions: List[RecordBatch]
+    stage_times: StageTimes
+    traffic: Optional[TrafficLog]
+    partitioner: RangePartitioner
+    meta: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def total_records(self) -> int:
+        return sum(len(p) for p in self.partitions)
+
+
+def run_terasort(
+    cluster,
+    data: RecordBatch,
+    sampled_partitioner: bool = False,
+    sample_size: int = 10000,
+    sample_seed: int = 7,
+) -> SortRun:
+    """Sort ``data`` with TeraSort on ``cluster``.
+
+    Args:
+        cluster: any object with ``size`` and ``run(factory) -> ClusterResult``
+            (:class:`~repro.runtime.inproc.ThreadCluster` or
+            :class:`~repro.runtime.process.ProcessCluster`).
+        data: the full input batch (the coordinator's view).
+        sampled_partitioner: use sampled quantile splitters instead of the
+            uniform ones (needed for skewed keys).
+        sample_size: number of records sampled for the splitter.
+        sample_seed: RNG seed for the sample.
+
+    Returns:
+        A :class:`SortRun`; ``partitions[k]`` is node ``k``'s sorted output.
+    """
+    k = cluster.size
+    partitioner = _build_partitioner(
+        data, k, sampled_partitioner, sample_size, sample_seed
+    )
+    placement = UncodedPlacement(k)
+    files = placement.place(data)
+
+    def factory(comm: Comm) -> TeraSortProgram:
+        return TeraSortProgram(comm, files[comm.rank].data, partitioner)
+
+    result: ClusterResult = cluster.run(factory)
+    return SortRun(
+        partitions=list(result.results),
+        stage_times=result.stage_times,
+        traffic=result.traffic,
+        partitioner=partitioner,
+        meta={
+            "algorithm": "terasort",
+            "num_nodes": k,
+            "input_records": len(data),
+        },
+    )
+
+
+def _build_partitioner(
+    data: RecordBatch,
+    k: int,
+    sampled: bool,
+    sample_size: int,
+    sample_seed: int,
+) -> RangePartitioner:
+    """Coordinator-side partitioner construction shared by both drivers."""
+    if not sampled:
+        return RangePartitioner.uniform(k)
+    import numpy as np
+
+    rng = np.random.default_rng(sample_seed)
+    n = len(data)
+    take = min(sample_size, n)
+    if take == 0:
+        return RangePartitioner.uniform(k)
+    idx = rng.choice(n, size=take, replace=False)
+    return RangePartitioner.from_sample(data.take(idx), k)

@@ -1,0 +1,27 @@
+"""Experiment harness: regenerate every table and figure of the paper.
+
+* :mod:`repro.experiments.configs` — the paper's published numbers and the
+  experiment grid;
+* :mod:`repro.experiments.tables` — Tables I, II, III (simulated at full
+  12 GB scale) with paper-vs-measured comparison;
+* :mod:`repro.experiments.figures` — Fig. 2 load curves (theory + measured
+  byte accounting), the speedup-vs-r and speedup-vs-K trend sweeps (§V-C),
+  and the extended grid behind the "up to 4.11x" remark;
+* :mod:`repro.experiments.report` — renders console/markdown reports;
+  EXPERIMENTS.md is generated from here (``python -m repro report``).
+"""
+
+from repro.experiments.tables import table1, table2, table3
+from repro.experiments.figures import fig2_series, sweep_r, sweep_k
+from repro.experiments.report import render_all, write_experiments_md
+
+__all__ = [
+    "table1",
+    "table2",
+    "table3",
+    "fig2_series",
+    "sweep_r",
+    "sweep_k",
+    "render_all",
+    "write_experiments_md",
+]

@@ -1,0 +1,253 @@
+"""Report rendering: console tables and the EXPERIMENTS.md generator.
+
+Every reproduced artifact renders as a paper-vs-measured table.  The
+markdown document produced by :func:`write_experiments_md` is the checked-in
+EXPERIMENTS.md; run ``python -m repro report`` to regenerate it.
+"""
+
+from __future__ import annotations
+
+import io
+from typing import List, Optional, Sequence
+
+from repro.experiments.figures import (
+    AblationResult,
+    Fig2Point,
+    SweepPoint,
+    fig2_series,
+    multicast_penalty_ablation,
+    schedule_ablation,
+    sweep_k,
+    sweep_r,
+)
+from repro.experiments.tables import TableResult, table1, table2, table3
+from repro.utils.tables import format_table
+
+
+def render_table(result: TableResult, markdown: bool = False) -> str:
+    """Render one regenerated table with per-stage paper/measured pairs."""
+    out = io.StringIO()
+    out.write(f"{result.name}\n")
+    for row in result.rows:
+        headers = ["row", "source"] + [s for s, _, _ in row.stage_pairs()] + [
+            "total",
+            "speedup",
+        ]
+        paper_speedup = row.paper.speedup
+        measured_speedup = result.measured_speedup(row)
+        rows = [
+            [row.label, "paper"]
+            + [p for _, p, _ in row.stage_pairs()]
+            + [row.paper.total, paper_speedup],
+            [row.label, "measured"]
+            + [m for _, _, m in row.stage_pairs()]
+            + [row.measured_total, measured_speedup],
+        ]
+        out.write(format_table(headers, rows, decimals=2, markdown=markdown))
+        out.write("\n")
+    return out.getvalue()
+
+
+def render_fig2(points: Sequence[Fig2Point], markdown: bool = False) -> str:
+    headers = [
+        "r",
+        "uncoded L (theory)",
+        "coded L (theory)",
+        "uncoded L (measured)",
+        "coded L (measured)",
+    ]
+    rows = [
+        [p.r, p.uncoded_theory, p.coded_theory, p.uncoded_measured, p.coded_measured]
+        for p in points
+    ]
+    return format_table(headers, rows, decimals=4, markdown=markdown)
+
+
+def render_sweep(
+    points: Sequence[SweepPoint], what: str, markdown: bool = False
+) -> str:
+    headers = [
+        "K",
+        "r",
+        "TeraSort total (s)",
+        "Coded total (s)",
+        "CodeGen (s)",
+        "Shuffle (s)",
+        "speedup",
+    ]
+    rows = [
+        [
+            p.num_nodes,
+            p.redundancy,
+            p.terasort_total,
+            p.coded_total,
+            p.codegen_time,
+            p.shuffle_time,
+            p.speedup,
+        ]
+        for p in points
+    ]
+    return f"{what}\n" + format_table(headers, rows, decimals=2, markdown=markdown)
+
+
+def render_ablation(result: AblationResult, markdown: bool = False) -> str:
+    headers = ["variant", "shuffle (s)", "total (s)"]
+    rows = [[label, sh, tot] for label, sh, tot in result.rows]
+    return f"{result.name}\n" + format_table(
+        headers, rows, decimals=2, markdown=markdown
+    )
+
+
+def render_all(fast: bool = False, markdown: bool = False) -> str:
+    """Run every experiment and render the full reproduction report.
+
+    Args:
+        fast: use coarse event granularity and theory-only Fig. 2 points
+            (used by tests; the full run takes ~1 minute).
+        markdown: pipe-table output.
+    """
+    granularity = "turn" if fast else "transfer"
+    out = io.StringIO()
+    out.write("# Coded TeraSort — reproduction report\n\n")
+    out.write(
+        "Simulated at the paper's scale (12 GB, 100 Mbps, serial shuffles) "
+        "on the calibrated EC2 cost model; loads measured from real "
+        "functional runs of the engine.\n\n"
+    )
+    for result in (
+        table1(granularity=granularity),
+        table2(granularity=granularity),
+        table3(granularity=granularity),
+    ):
+        out.write("## " + result.name + "\n\n")
+        out.write(render_table(result, markdown=markdown))
+        out.write("\n")
+
+    out.write("## Fig. 2 — communication load vs computation load (K=10)\n\n")
+    points = fig2_series(measure=not fast, max_measured_r=6)
+    out.write(render_fig2(points, markdown=markdown))
+    out.write("\n")
+
+    out.write("## §V-C trends\n\n")
+    out.write(
+        render_sweep(sweep_r(), "Speedup vs r (K=16)", markdown=markdown)
+    )
+    out.write("\n")
+    out.write(
+        render_sweep(sweep_k(), "Speedup vs K (r=3)", markdown=markdown)
+    )
+    out.write("\n")
+
+    out.write("## Ablations\n\n")
+    out.write(render_ablation(schedule_ablation(), markdown=markdown))
+    out.write("\n")
+    out.write(render_ablation(multicast_penalty_ablation(), markdown=markdown))
+    out.write("\n")
+
+    out.write(_render_extensions(fast=fast, markdown=markdown))
+    return out.getvalue()
+
+
+def _render_extensions(fast: bool = False, markdown: bool = False) -> str:
+    """The §VI future-direction reproductions (extension pillars)."""
+    from repro.kvpairs.teragen import teragen
+    from repro.scalable.sim import simulate_grouped_coded_terasort
+    from repro.sim.runner import simulate_coded_terasort, simulate_terasort
+    from repro.stragglers.runner import (
+        render_straggler_table,
+        straggler_comparison,
+    )
+    from repro.utils.tables import format_table
+    from repro.wireless.theory import (
+        wireless_coded_load,
+        wireless_edge_load,
+        wireless_uncoded_load,
+    )
+    from repro.wireless.wdc import run_wireless_sort
+
+    out = io.StringIO()
+    out.write("## Extension: straggler coding (intro, ref [11])\n\n")
+    out.write(
+        "MDS-coded distributed gradient descent vs uncoded and "
+        "2-replication; [11] reports a 31.3%-35.7% run-time saving.\n\n"
+    )
+    iters = 20 if fast else 80
+    out.write(
+        render_straggler_table(
+            straggler_comparison(iterations=iters, seed=3),
+            markdown=markdown,
+        )
+    )
+    out.write("\n")
+
+    out.write("## Extension: scalable (grouped) coding (§VI, ref [24])\n\n")
+    base = simulate_terasort(20, granularity="turn")
+    full = simulate_coded_terasort(20, 5, granularity="turn")
+    grouped = simulate_grouped_coded_terasort(20, 10, 5, granularity="turn")
+    rows = []
+    for label, rep in (
+        ("TeraSort", base),
+        ("CodedTeraSort r=5", full),
+        ("Grouped g=10, r=5", grouped),
+    ):
+        stage = rep.stage_times
+        rows.append([
+            label,
+            stage.seconds.get("codegen", 0.0),
+            stage.seconds.get("map", 0.0),
+            stage.seconds.get("shuffle", 0.0),
+            stage.total,
+            base.total_time / rep.total_time,
+        ])
+    out.write(format_table(
+        ["scheme", "codegen (s)", "map (s)", "shuffle (s)", "total (s)",
+         "speedup"],
+        rows, decimals=2, markdown=markdown,
+    ))
+    out.write("\n")
+
+    out.write("## Extension: wireless shuffling (§VI, refs [24][25])\n\n")
+    n = 6_000 if fast else 24_000
+    k, r = 6, 2
+    data = teragen(n, seed=0)
+    theory = {
+        "uncoded": wireless_uncoded_load(r, k),
+        "edge": wireless_edge_load(r, k),
+        "d2d": wireless_coded_load(r, k),
+    }
+    rows = []
+    for protocol in ("uncoded", "edge", "d2d"):
+        res = run_wireless_sort(data, k, r, protocol=protocol)
+        rows.append([protocol, res.shuffle_load(), theory[protocol]])
+    out.write(format_table(
+        ["protocol", "measured airtime load", "theory"],
+        rows, decimals=4, markdown=markdown,
+    ))
+    out.write("\n")
+    return out.getvalue()
+
+
+def write_experiments_md(
+    path: str = "EXPERIMENTS.md", fast: bool = False
+) -> str:
+    """Generate the EXPERIMENTS.md document; returns its content."""
+    content = _experiments_preamble() + render_all(fast=fast, markdown=True)
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(content)
+    return content
+
+
+def _experiments_preamble() -> str:
+    return (
+        "<!-- generated by `python -m repro report`; edit the generator, "
+        "not this file -->\n\n"
+        "This document records paper-vs-measured results for every table "
+        "and figure in *Coded TeraSort* (Li et al., 2017).  Measured "
+        "numbers come from the discrete-event simulator at full 12 GB "
+        "scale (calibrated against Tables I-III as documented in "
+        "DESIGN.md §5) and, for communication loads, from byte-accounted "
+        "functional runs of the real engine.  Expected fidelity: stage "
+        "times within ~10% per cell, speedups within ~0.25x, and all "
+        "qualitative trends (who wins, where CodeGen overtakes, load "
+        "curves) exact.\n\n"
+    )

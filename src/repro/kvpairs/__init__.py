@@ -1,0 +1,48 @@
+"""Key-value record substrate (the paper's TeraGen data format).
+
+Every record is 100 bytes: a 10-byte key and a 90-byte value, matching the
+Hadoop TeraGen records the paper sorts.  Records are held in NumPy structured
+arrays and all bulk operations (partitioning, sorting, serialization) are
+vectorized per the HPC guide — no per-record Python loops on the data path.
+"""
+
+from repro.kvpairs.records import (
+    KEY_BYTES,
+    RECORD_BYTES,
+    RECORD_DTYPE,
+    VALUE_BYTES,
+    RecordBatch,
+)
+from repro.kvpairs.teragen import teragen, teragen_skewed
+from repro.kvpairs.serialization import (
+    pack_batch,
+    unpack_batch,
+    pack_batches,
+    unpack_batches,
+)
+from repro.kvpairs.sorting import sort_batch, merge_sorted, is_sorted
+from repro.kvpairs.validation import (
+    validate_sorted,
+    validate_permutation,
+    batch_checksum,
+)
+
+__all__ = [
+    "KEY_BYTES",
+    "VALUE_BYTES",
+    "RECORD_BYTES",
+    "RECORD_DTYPE",
+    "RecordBatch",
+    "teragen",
+    "teragen_skewed",
+    "pack_batch",
+    "unpack_batch",
+    "pack_batches",
+    "unpack_batches",
+    "sort_batch",
+    "merge_sorted",
+    "is_sorted",
+    "validate_sorted",
+    "validate_permutation",
+    "batch_checksum",
+]

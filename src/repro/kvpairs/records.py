@@ -1,0 +1,214 @@
+"""100-byte KV records stored in NumPy structured arrays.
+
+Format (identical to Hadoop TeraGen, which the paper uses):
+
+* key:   10 bytes, compared as a big-endian unsigned integer — i.e. plain
+  lexicographic byte order;
+* value: 90 bytes, opaque.
+
+Key comparisons never go through Python objects.  A 10-byte key is decomposed
+into ``(hi, lo)`` where ``hi`` is the first 8 bytes as a big-endian ``uint64``
+and ``lo`` is the last 2 bytes as a big-endian ``uint16``; ``np.lexsort`` on
+the pair realizes the exact 10-byte order.  Range partitioning uses ``hi``
+only, which is a deterministic function of the key (all records with equal
+``hi`` land in the same partition, so global sortedness across partitions is
+preserved).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+KEY_BYTES = 10
+VALUE_BYTES = 90
+RECORD_BYTES = KEY_BYTES + VALUE_BYTES
+
+RECORD_DTYPE = np.dtype([("key", f"S{KEY_BYTES}"), ("value", f"S{VALUE_BYTES}")])
+assert RECORD_DTYPE.itemsize == RECORD_BYTES
+
+
+class RecordBatch:
+    """An immutable-by-convention batch of 100-byte KV records.
+
+    Wraps a C-contiguous structured array of :data:`RECORD_DTYPE`.  All
+    operations returning new batches share memory where NumPy slicing allows.
+    """
+
+    __slots__ = ("_arr",)
+
+    def __init__(self, arr: np.ndarray) -> None:
+        if arr.dtype != RECORD_DTYPE:
+            raise TypeError(f"expected dtype {RECORD_DTYPE}, got {arr.dtype}")
+        if arr.ndim != 1:
+            raise ValueError(f"expected 1-D record array, got shape {arr.shape}")
+        self._arr = arr
+
+    # -- constructors -------------------------------------------------------
+
+    @classmethod
+    def empty(cls) -> "RecordBatch":
+        return cls(np.empty(0, dtype=RECORD_DTYPE))
+
+    @classmethod
+    def from_arrays(cls, keys: np.ndarray, values: np.ndarray) -> "RecordBatch":
+        """Build a batch from parallel key/value byte arrays.
+
+        Args:
+            keys: shape ``(n,)`` of ``S10`` or ``(n, 10)`` uint8.
+            values: shape ``(n,)`` of ``S90`` or ``(n, 90)`` uint8.
+        """
+        keys = _as_bytes_col(keys, KEY_BYTES, "key")
+        values = _as_bytes_col(values, VALUE_BYTES, "value")
+        if len(keys) != len(values):
+            raise ValueError(
+                f"length mismatch: {len(keys)} keys vs {len(values)} values"
+            )
+        arr = np.empty(len(keys), dtype=RECORD_DTYPE)
+        arr["key"] = keys
+        arr["value"] = values
+        return cls(arr)
+
+    @classmethod
+    def concat(cls, batches: Iterable["RecordBatch"]) -> "RecordBatch":
+        """Concatenate batches in order (empty input gives an empty batch)."""
+        arrays = [b._arr for b in batches]
+        if not arrays:
+            return cls.empty()
+        return cls(np.concatenate(arrays))
+
+    # -- accessors ----------------------------------------------------------
+
+    @property
+    def array(self) -> np.ndarray:
+        """The underlying structured array (do not mutate)."""
+        return self._arr
+
+    @property
+    def keys(self) -> np.ndarray:
+        return self._arr["key"]
+
+    @property
+    def values(self) -> np.ndarray:
+        return self._arr["value"]
+
+    @property
+    def nbytes(self) -> int:
+        """Payload size in bytes (``len(self) * 100``)."""
+        return len(self._arr) * RECORD_BYTES
+
+    def __len__(self) -> int:
+        return len(self._arr)
+
+    def __repr__(self) -> str:
+        return f"RecordBatch(n={len(self)}, nbytes={self.nbytes})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, RecordBatch):
+            return NotImplemented
+        return len(self) == len(other) and bool(
+            np.array_equal(self._arr, other._arr)
+        )
+
+    __hash__ = None  # type: ignore[assignment]  # mutable buffer underneath
+
+    # -- key decomposition ---------------------------------------------------
+
+    def key_words(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Decompose keys into ``(hi, lo)`` sortable integer columns.
+
+        Returns:
+            ``hi``: first 8 key bytes as big-endian ``uint64``;
+            ``lo``: last 2 key bytes as big-endian ``uint16``.
+
+        ``np.lexsort((lo, hi))`` orders records exactly as 10-byte
+        lexicographic key order.
+        """
+        n = len(self._arr)
+        if n == 0:
+            return (
+                np.empty(0, dtype=np.uint64),
+                np.empty(0, dtype=np.uint16),
+            )
+        # View the structured array as raw bytes; each row is 100 bytes with
+        # the key first.  Copies only 10n bytes total.
+        raw = self.raw_view()
+        hi = np.ascontiguousarray(raw[:, :8]).view(">u8").reshape(n)
+        lo = np.ascontiguousarray(raw[:, 8:10]).view(">u2").reshape(n)
+        return hi.astype(np.uint64, copy=False), lo.astype(np.uint16, copy=False)
+
+    def key_prefix_u64(self) -> np.ndarray:
+        """First 8 key bytes as big-endian ``uint64`` (partitioning column)."""
+        return self.key_words()[0]
+
+    def raw_view(self) -> np.ndarray:
+        """The records as an ``(n, 100)`` uint8 matrix (zero-copy if possible).
+
+        Columns ``0..9`` are the key bytes, ``10..99`` the value bytes.
+        Field views of structured arrays are not byte-contiguous, so byte-level
+        access must go through this whole-record view.
+        """
+        arr = self._arr
+        if not arr.flags["C_CONTIGUOUS"]:
+            arr = np.ascontiguousarray(arr)
+        return arr.view(np.uint8).reshape(len(arr), RECORD_BYTES)
+
+    # -- transforms ----------------------------------------------------------
+
+    def take(self, indices: np.ndarray) -> "RecordBatch":
+        return RecordBatch(self._arr[indices])
+
+    def slice(self, start: int, stop: int) -> "RecordBatch":
+        return RecordBatch(self._arr[start:stop])
+
+    def split_at(self, offsets: Sequence[int]) -> List["RecordBatch"]:
+        """Split into consecutive chunks at ``offsets`` (cumulative indices).
+
+        ``offsets`` has one entry per split point, e.g. ``[3, 7]`` splits a
+        batch of 10 into chunks of sizes 3, 4, 3.
+        """
+        parts = np.split(self._arr, list(offsets))
+        return [RecordBatch(p) for p in parts]
+
+    def copy(self) -> "RecordBatch":
+        return RecordBatch(self._arr.copy())
+
+    # -- raw bytes -----------------------------------------------------------
+
+    def to_bytes(self) -> bytes:
+        """Raw little-overhead wire form: the packed 100-byte records."""
+        return self._arr.tobytes()
+
+    @classmethod
+    def from_bytes(cls, buf: bytes) -> "RecordBatch":
+        """Inverse of :meth:`to_bytes`.
+
+        Raises:
+            ValueError: if ``len(buf)`` is not a multiple of 100.
+        """
+        if len(buf) % RECORD_BYTES != 0:
+            raise ValueError(
+                f"buffer length {len(buf)} not a multiple of {RECORD_BYTES}"
+            )
+        arr = np.frombuffer(buf, dtype=RECORD_DTYPE).copy()
+        return cls(arr)
+
+
+def _as_bytes_col(a: np.ndarray, width: int, what: str) -> np.ndarray:
+    """Normalize an ``(n, width)`` uint8 or ``(n,)`` S<width> array to S<width>."""
+    a = np.asarray(a)
+    if a.dtype == np.uint8:
+        if a.ndim != 2 or a.shape[1] != width:
+            raise ValueError(f"{what} uint8 array must be (n, {width}), got {a.shape}")
+        return np.ascontiguousarray(a).view(f"S{width}").reshape(len(a))
+    if a.dtype == np.dtype(f"S{width}"):
+        return a
+    if a.dtype.kind == "S":
+        # Narrower bytes are zero-padded to width by astype.
+        if a.dtype.itemsize > width:
+            raise ValueError(
+                f"{what} byte strings wider than {width}: {a.dtype.itemsize}"
+            )
+        return a.astype(f"S{width}")
+    raise TypeError(f"{what}: unsupported dtype {a.dtype}")

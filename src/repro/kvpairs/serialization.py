@@ -1,0 +1,125 @@
+"""Pack / Unpack: the wire format for intermediate values.
+
+The paper's implementation adds explicit Pack and Unpack stages around the
+shuffle: each intermediate value is serialized into one contiguous memory
+array so that a single TCP flow carries it (Section V-A).  We reproduce that
+with a small framed binary format:
+
+* ``pack_batch`` / ``unpack_batch`` — one RecordBatch <-> one frame;
+* ``pack_batches`` / ``unpack_batches`` — an ordered sequence of tagged
+  batches in a single buffer (used when a node ships several intermediate
+  values to the same destination).
+
+Frame layout (little-endian):
+
+========  =====  =========================================
+offset    size   field
+========  =====  =========================================
+0         4      magic ``b"CTS1"``
+4         8      tag (uint64, caller-defined identifier)
+12        8      payload length in bytes (uint64)
+20        n      payload: packed 100-byte records
+========  =====  =========================================
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from repro.kvpairs.records import RECORD_BYTES, RecordBatch
+
+MAGIC = b"CTS1"
+_HEADER = struct.Struct("<4sQQ")
+HEADER_BYTES = _HEADER.size
+
+
+class SerializationError(ValueError):
+    """Raised when a buffer does not parse as a valid frame sequence."""
+
+
+def pack_batch(batch: RecordBatch, tag: int = 0) -> bytes:
+    """Serialize one batch into a single framed buffer."""
+    payload = batch.to_bytes()
+    return _HEADER.pack(MAGIC, tag, len(payload)) + payload
+
+
+def unpack_batch(buf: bytes) -> Tuple[int, RecordBatch]:
+    """Parse a buffer holding exactly one frame.
+
+    Returns:
+        ``(tag, batch)``.
+
+    Raises:
+        SerializationError: on bad magic, truncation, or trailing bytes.
+    """
+    tag, batch, end = _read_frame(buf, 0)
+    if end != len(buf):
+        raise SerializationError(
+            f"{len(buf) - end} trailing bytes after single frame"
+        )
+    return tag, batch
+
+
+def pack_batches(batches: Iterable[Tuple[int, RecordBatch]]) -> bytes:
+    """Serialize an ordered sequence of ``(tag, batch)`` into one buffer."""
+    parts: List[bytes] = []
+    for tag, batch in batches:
+        parts.append(pack_batch(batch, tag))
+    return b"".join(parts)
+
+
+def unpack_batches(buf: bytes) -> List[Tuple[int, RecordBatch]]:
+    """Parse a concatenation of frames, preserving order.
+
+    Raises:
+        SerializationError: if any frame is malformed.
+    """
+    out: List[Tuple[int, RecordBatch]] = []
+    pos = 0
+    while pos < len(buf):
+        tag, batch, pos = _read_frame(buf, pos)
+        out.append((tag, batch))
+    return out
+
+
+def unpack_batches_dict(buf: bytes) -> Dict[int, RecordBatch]:
+    """Like :func:`unpack_batches` but keyed by tag.
+
+    Raises:
+        SerializationError: on duplicate tags.
+    """
+    out: Dict[int, RecordBatch] = {}
+    for tag, batch in unpack_batches(buf):
+        if tag in out:
+            raise SerializationError(f"duplicate tag {tag} in frame sequence")
+        out[tag] = batch
+    return out
+
+
+def packed_size(n_records: int) -> int:
+    """Frame size for a batch of ``n_records`` (header + payload)."""
+    return HEADER_BYTES + n_records * RECORD_BYTES
+
+
+def _read_frame(buf: bytes, pos: int) -> Tuple[int, RecordBatch, int]:
+    if len(buf) - pos < HEADER_BYTES:
+        raise SerializationError(
+            f"truncated header at offset {pos} ({len(buf) - pos} bytes left)"
+        )
+    magic, tag, length = _HEADER.unpack_from(buf, pos)
+    if magic != MAGIC:
+        raise SerializationError(f"bad magic {magic!r} at offset {pos}")
+    start = pos + HEADER_BYTES
+    end = start + length
+    if end > len(buf):
+        raise SerializationError(
+            f"truncated payload at offset {start}: need {length}, "
+            f"have {len(buf) - start}"
+        )
+    if length % RECORD_BYTES != 0:
+        raise SerializationError(
+            f"payload length {length} not a multiple of {RECORD_BYTES}"
+        )
+    batch = RecordBatch.from_bytes(buf[start:end])
+    return tag, batch, end

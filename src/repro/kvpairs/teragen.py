@@ -1,0 +1,113 @@
+"""TeraGen-style synthetic record generation.
+
+The paper's inputs come from Hadoop TeraGen: 120 M records of a 10-byte
+uniformly random key plus a 90-byte value.  We reproduce the format with a
+seeded NumPy generator.  Values embed the global row id in ASCII (as TeraGen
+does) so that validation can detect record corruption, and the remainder is a
+deterministic filler pattern.
+
+A skewed variant (``teragen_skewed``) draws keys from a Zipf-like
+distribution over a reduced key prefix space; it exercises the sampling
+partitioner the way hot-key workloads stress real TeraSort deployments.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.kvpairs.records import KEY_BYTES, VALUE_BYTES, RecordBatch
+
+_ROWID_DIGITS = 20  # enough for 2**64 row ids in decimal
+_FILLER = b"ABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789"
+
+
+def teragen(n: int, seed: int = 0, start_row: int = 0) -> RecordBatch:
+    """Generate ``n`` TeraGen-format records.
+
+    Args:
+        n: number of 100-byte records.
+        seed: RNG seed; same (seed, start_row, n) always gives the same batch.
+        start_row: global row id of the first record (embedded in values).
+
+    Returns:
+        A :class:`RecordBatch` with uniform random 10-byte keys.
+    """
+    if n < 0:
+        raise ValueError(f"n must be >= 0, got {n}")
+    rng = np.random.default_rng(seed)
+    # Uniform random key bytes, exactly like TeraGen's random keys.
+    keys = rng.integers(0, 256, size=(n, KEY_BYTES), dtype=np.uint8)
+    values = _make_values(n, start_row)
+    return RecordBatch.from_arrays(keys, values)
+
+
+def teragen_skewed(
+    n: int,
+    seed: int = 0,
+    start_row: int = 0,
+    zipf_a: float = 1.3,
+    hot_prefixes: int = 4096,
+) -> RecordBatch:
+    """Generate records whose key *prefixes* follow a Zipf distribution.
+
+    The first two key bytes are drawn from ``hot_prefixes`` values with
+    Zipf(``zipf_a``) popularity; the remaining 8 bytes stay uniform.  This
+    creates heavily imbalanced range partitions under a naive uniform
+    splitter, which the sampling partitioner must fix.
+    """
+    if n < 0:
+        raise ValueError(f"n must be >= 0, got {n}")
+    if zipf_a <= 1.0:
+        raise ValueError(f"zipf_a must be > 1, got {zipf_a}")
+    rng = np.random.default_rng(seed)
+    ranks = rng.zipf(zipf_a, size=n)
+    prefixes = ((ranks - 1) % hot_prefixes).astype(np.uint16)
+    # Spread prefixes over the full 16-bit space, preserving the skew shape.
+    spread = (
+        prefixes.astype(np.uint32) * (65536 // hot_prefixes)
+    ).astype(np.uint16)
+    keys = np.empty((n, KEY_BYTES), dtype=np.uint8)
+    keys[:, 0] = spread >> 8
+    keys[:, 1] = spread & 0xFF
+    keys[:, 2:] = rng.integers(0, 256, size=(n, KEY_BYTES - 2), dtype=np.uint8)
+    values = _make_values(n, start_row)
+    return RecordBatch.from_arrays(keys, values)
+
+
+def _make_values(n: int, start_row: int) -> np.ndarray:
+    """Vectorized 90-byte values: zero-padded decimal row id + filler."""
+    values = np.empty((n, VALUE_BYTES), dtype=np.uint8)
+    if n == 0:
+        return values
+    row_ids = np.arange(start_row, start_row + n, dtype=np.uint64)
+    # Decimal digits of the row id, most significant first, as ASCII.
+    digits = np.empty((n, _ROWID_DIGITS), dtype=np.uint64)
+    rem = row_ids.copy()
+    for pos in range(_ROWID_DIGITS - 1, -1, -1):
+        digits[:, pos] = rem % 10
+        rem //= 10
+    values[:, :_ROWID_DIGITS] = digits.astype(np.uint8) + ord("0")
+    filler = np.frombuffer(_FILLER, dtype=np.uint8)
+    reps = -(-(VALUE_BYTES - _ROWID_DIGITS) // len(filler))
+    tail = np.tile(filler, reps)[: VALUE_BYTES - _ROWID_DIGITS]
+    values[:, _ROWID_DIGITS:] = tail
+    return values
+
+
+def extract_row_ids(batch: RecordBatch) -> np.ndarray:
+    """Recover the embedded row ids from a TeraGen batch's values.
+
+    Inverse of the value layout produced by :func:`teragen`; used by
+    validation to check that no record was corrupted in flight.
+    """
+    n = len(batch)
+    if n == 0:
+        return np.empty(0, dtype=np.uint64)
+    raw = batch.raw_view()[:, KEY_BYTES:]
+    digits = raw[:, :_ROWID_DIGITS].astype(np.uint64) - ord("0")
+    if digits.min(initial=0) > 9 or digits.max(initial=0) > 9:
+        raise ValueError("values do not carry TeraGen row ids")
+    out = np.zeros(n, dtype=np.uint64)
+    for pos in range(_ROWID_DIGITS):
+        out = out * np.uint64(10) + digits[:, pos]
+    return out

@@ -1,0 +1,103 @@
+"""Output validation (TeraValidate's role in the Hadoop benchmark suite).
+
+After a distributed sort we verify two properties:
+
+1. **Sortedness** — the concatenation of the per-node outputs, in partition
+   order, is non-decreasing in key order (checked without materializing the
+   concatenation: each part sorted + boundary keys ordered).
+2. **Permutation** — the output is a permutation of the input: same record
+   count and same multiset of records.  The multiset check uses an
+   order-independent 128-bit checksum (sum of per-record BLAKE2 digests mod
+   2^128), so it needs one pass and no global sort.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Sequence
+
+import numpy as np
+
+from repro.kvpairs.records import RECORD_BYTES, RecordBatch
+from repro.kvpairs.sorting import is_sorted
+
+_CHECKSUM_MOD = 1 << 128
+
+
+def batch_checksum(batch: RecordBatch) -> int:
+    """Order-independent 128-bit multiset checksum of a batch.
+
+    Sums a 16-byte BLAKE2b digest of each record modulo 2^128.  Addition is
+    commutative, so any permutation of the same records gives the same value,
+    while any single-byte corruption changes it with overwhelming probability.
+    """
+    n = len(batch)
+    if n == 0:
+        return 0
+    raw = batch.raw_view()
+    total = 0
+    # Hash in chunks to bound Python-loop overhead for large batches.
+    chunk = 65536
+    for start in range(0, n, chunk):
+        rows = raw[start : start + chunk]
+        for row in rows:
+            digest = hashlib.blake2b(row.tobytes(), digest_size=16).digest()
+            total = (total + int.from_bytes(digest, "little")) % _CHECKSUM_MOD
+    return total
+
+
+def validate_permutation(inp: RecordBatch, out_parts: Sequence[RecordBatch]) -> None:
+    """Assert that ``out_parts`` together are a permutation of ``inp``.
+
+    Raises:
+        AssertionError: with a diagnostic message on count or content
+        mismatch.
+    """
+    n_out = sum(len(p) for p in out_parts)
+    if n_out != len(inp):
+        raise AssertionError(
+            f"record count mismatch: input {len(inp)}, output {n_out}"
+        )
+    in_sum = batch_checksum(inp)
+    out_sum = 0
+    for p in out_parts:
+        out_sum = (out_sum + batch_checksum(p)) % _CHECKSUM_MOD
+    if in_sum != out_sum:
+        raise AssertionError(
+            "output is not a permutation of the input (checksum mismatch)"
+        )
+
+
+def validate_sorted(out_parts: Sequence[RecordBatch]) -> None:
+    """Assert that the partition-ordered output is globally sorted.
+
+    Checks each part individually plus the boundary between consecutive
+    non-empty parts.
+
+    Raises:
+        AssertionError: naming the offending part or boundary.
+    """
+    prev_idx = None
+    prev_last = None  # (hi, lo) of last key of previous non-empty part
+    for i, part in enumerate(out_parts):
+        if not is_sorted(part):
+            raise AssertionError(f"partition {i} is not locally sorted")
+        if len(part) == 0:
+            continue
+        hi, lo = part.key_words()
+        first = (int(hi[0]), int(lo[0]))
+        if prev_last is not None and first < prev_last:
+            raise AssertionError(
+                f"boundary violation between partitions {prev_idx} and {i}: "
+                f"{prev_last} > {first}"
+            )
+        prev_last = (int(hi[-1]), int(lo[-1]))
+        prev_idx = i
+
+
+def validate_sorted_permutation(
+    inp: RecordBatch, out_parts: Sequence[RecordBatch]
+) -> None:
+    """Full TeraValidate: sorted and a permutation of the input."""
+    validate_sorted(out_parts)
+    validate_permutation(inp, out_parts)

@@ -1,0 +1,35 @@
+"""Message-passing runtime: an MPI-like substrate built from scratch.
+
+The paper implements both algorithms in C++ over Open MPI (``MPI_Send``,
+``MPI_Bcast``, ``MPI_Comm_split``).  This package provides the equivalent
+communication layer for the reproduction:
+
+* :mod:`repro.runtime.api` — the :class:`Comm` interface (send / recv /
+  bcast / barrier) that node programs are written against;
+* :mod:`repro.runtime.inproc` — a threaded in-process backend used for
+  functional tests and byte accounting;
+* :mod:`repro.runtime.process` — a multiprocessing backend over an AF_UNIX
+  socket mesh with optional token-bucket rate limiting (the paper throttles
+  EC2 NICs to 100 Mbps with ``tc``);
+* :mod:`repro.runtime.traffic` — traffic accounting that counts each
+  multicast payload once (the paper's communication-load convention) while
+  also tracking raw wire bytes.
+"""
+
+from repro.runtime.api import Comm, CommError, MulticastMode
+from repro.runtime.traffic import TrafficLog, TrafficRecord
+from repro.runtime.program import NodeProgram, ClusterResult
+from repro.runtime.inproc import ThreadCluster
+from repro.runtime.process import ProcessCluster
+
+__all__ = [
+    "Comm",
+    "CommError",
+    "MulticastMode",
+    "TrafficLog",
+    "TrafficRecord",
+    "NodeProgram",
+    "ClusterResult",
+    "ThreadCluster",
+    "ProcessCluster",
+]

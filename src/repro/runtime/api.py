@@ -1,0 +1,235 @@
+"""The communication interface node programs are written against.
+
+Mirrors the subset of MPI the paper uses:
+
+* ``send`` / ``recv`` — blocking point-to-point with integer tags
+  (``MPI_Send`` / ``MPI_Recv``);
+* ``bcast`` — application-layer multicast within an explicit member group
+  (``MPI_Bcast`` on a communicator built by ``MPI_Comm_split``); supports a
+  *linear* root-sends-to-all mode and a *binomial tree* mode matching Open
+  MPI's broadcast algorithm — the tree is what gives the logarithmic
+  multicast penalty the paper measures (§V-C);
+* ``barrier`` — full synchronization, used between the serial turns of the
+  Fig. 9 schedules.
+
+Backends implement the three ``_raw`` primitives; the group algorithms and
+traffic accounting live here so every backend behaves identically.
+"""
+
+from __future__ import annotations
+
+import enum
+from abc import ABC, abstractmethod
+from typing import Optional, Sequence, Tuple
+
+from repro.runtime.traffic import TrafficLog
+
+#: Tags at or above this value are reserved for internal protocols
+#: (broadcast trees, barriers).  User programs must stay below it.
+RESERVED_TAG_BASE = 1 << 48
+
+_BCAST_TAG = RESERVED_TAG_BASE + 1
+_BARRIER_TAG = RESERVED_TAG_BASE + 2
+
+
+class CommError(RuntimeError):
+    """Raised on protocol misuse (bad ranks, reserved tags, dead peers)."""
+
+
+class MulticastMode(enum.Enum):
+    """How ``bcast`` moves bytes.
+
+    LINEAR: root unicasts to each member in turn — the naive application-
+        layer multicast; wall time at the root scales with group size.
+    TREE: binomial tree as in Open MPI's ``MPI_Bcast`` — wall time scales
+        with ``log2(group size)`` rounds, the behaviour the paper observes.
+    """
+
+    LINEAR = "linear"
+    TREE = "tree"
+
+
+class Comm(ABC):
+    """Per-node communication endpoint.
+
+    Attributes:
+        rank: this node's id in ``range(size)``.
+        size: total number of nodes (the paper's ``K``).
+    """
+
+    def __init__(
+        self,
+        rank: int,
+        size: int,
+        traffic: Optional[TrafficLog] = None,
+        multicast_mode: MulticastMode = MulticastMode.LINEAR,
+    ) -> None:
+        if not 0 <= rank < size:
+            raise CommError(f"rank {rank} out of range(size={size})")
+        self.rank = rank
+        self.size = size
+        self.traffic = traffic
+        self.multicast_mode = multicast_mode
+        self._stage = "init"
+
+    # -- stage attribution ----------------------------------------------------
+
+    def set_stage(self, name: str) -> None:
+        """Attribute subsequent traffic to stage ``name``."""
+        self._stage = name
+
+    @property
+    def stage(self) -> str:
+        return self._stage
+
+    # -- backend primitives ----------------------------------------------------
+
+    @abstractmethod
+    def _send_raw(self, dst: int, tag: int, payload: bytes) -> None:
+        """Deliver ``payload`` to ``dst`` under ``tag`` (blocking ok)."""
+
+    @abstractmethod
+    def _recv_raw(self, src: int, tag: int) -> bytes:
+        """Block until a message from ``src`` with ``tag`` arrives."""
+
+    @abstractmethod
+    def _barrier_raw(self) -> None:
+        """Block until all ``size`` nodes have entered the barrier."""
+
+    # -- public API -------------------------------------------------------------
+
+    def send(self, dst: int, tag: int, payload: bytes) -> None:
+        """Blocking tagged unicast (logged as one unicast transfer)."""
+        self._check_peer(dst)
+        self._check_tag(tag)
+        if self.traffic is not None:
+            self.traffic.record(self._stage, "unicast", self.rank, (dst,), len(payload))
+        self._send_raw(dst, tag, payload)
+
+    def recv(self, src: int, tag: int) -> bytes:
+        """Blocking tagged receive from a specific source."""
+        self._check_peer(src)
+        self._check_tag(tag)
+        return self._recv_raw(src, tag)
+
+    def bcast(
+        self,
+        members: Sequence[int],
+        root: int,
+        tag: int,
+        payload: Optional[bytes] = None,
+    ) -> bytes:
+        """Multicast within ``members``; every member must call this.
+
+        Args:
+            members: group ranks; must contain both ``root`` and ``self.rank``
+                and hold no duplicates.  All members must pass the same group
+                (in any order) and tag.
+            root: the sending rank.
+            tag: user tag (also namespaces concurrent broadcasts).
+            payload: required at the root, ignored elsewhere.
+
+        Returns:
+            The payload, at every member (including the root).
+        """
+        group = tuple(sorted(members))
+        if len(set(group)) != len(group):
+            raise CommError(f"duplicate members in bcast group {members!r}")
+        if root not in group:
+            raise CommError(f"root {root} not in group {group}")
+        if self.rank not in group:
+            raise CommError(f"rank {self.rank} called bcast for group {group}")
+        self._check_tag(tag)
+        if self.rank == root:
+            if payload is None:
+                raise CommError("bcast root must provide a payload")
+            if self.traffic is not None:
+                dsts = tuple(m for m in group if m != root)
+                if dsts:
+                    self.traffic.record(
+                        self._stage, "multicast", root, dsts, len(payload)
+                    )
+        if len(group) == 1:
+            assert payload is not None
+            return payload
+        inner_tag = _BCAST_TAG + tag
+        if self.multicast_mode is MulticastMode.TREE:
+            return self._bcast_tree(group, root, inner_tag, payload)
+        return self._bcast_linear(group, root, inner_tag, payload)
+
+    def barrier(self) -> None:
+        """Block until every rank has reached the barrier."""
+        self._barrier_raw()
+
+    # -- broadcast algorithms -----------------------------------------------------
+
+    def _bcast_linear(
+        self, group: Tuple[int, ...], root: int, tag: int, payload: Optional[bytes]
+    ) -> bytes:
+        if self.rank == root:
+            assert payload is not None
+            for m in group:
+                if m != root:
+                    self._send_raw(m, tag, payload)
+            return payload
+        return self._recv_raw(root, tag)
+
+    def _bcast_tree(
+        self, group: Tuple[int, ...], root: int, tag: int, payload: Optional[bytes]
+    ) -> bytes:
+        """Binomial-tree broadcast (MPICH/Open MPI algorithm).
+
+        Members are renumbered relative to the root; in round ``i`` every
+        current holder forwards to the member ``2^i`` positions ahead.
+        Every non-root receives exactly once, so wire bytes equal the linear
+        mode; only the critical path shortens to ``ceil(log2(g))`` rounds.
+        """
+        g = len(group)
+        idx = group.index(self.rank)
+        root_idx = group.index(root)
+        rel = (idx - root_idx) % g
+
+        data = payload
+        # Phase 1 — receive once (non-roots).  Scanning masks upward, the
+        # first set bit of ``rel`` names the round in which this member is
+        # reached; its parent is ``rel`` with that bit cleared.  The root
+        # (rel == 0) never breaks and exits with mask = 2^ceil(log2(g)).
+        mask = 1
+        while mask < g:
+            if rel & mask:
+                src_rel = rel - mask
+                src = group[(src_rel + root_idx) % g]
+                data = self._recv_raw(src, tag)
+                break
+            mask <<= 1
+        # Phase 2 — forward to children: all members rel + m for m below the
+        # mask at which we obtained the data.
+        mask >>= 1
+        while mask > 0:
+            if rel + mask < g:
+                dst = group[(rel + mask + root_idx) % g]
+                assert data is not None
+                self._send_raw(dst, tag, data)
+            mask >>= 1
+        assert data is not None
+        return data
+
+    # -- checks ----------------------------------------------------------------
+
+    def _check_peer(self, peer: int) -> None:
+        if not 0 <= peer < self.size:
+            raise CommError(f"peer {peer} out of range(size={self.size})")
+        if peer == self.rank:
+            raise CommError("self-send/recv is not allowed")
+
+    @staticmethod
+    def _check_tag(tag: int) -> None:
+        if not 0 <= tag < RESERVED_TAG_BASE:
+            raise CommError(
+                f"tag {tag} outside user range [0, {RESERVED_TAG_BASE})"
+            )
+
+
+def barrier_tag(round_idx: int) -> int:
+    """Internal tag for dissemination-barrier round ``round_idx``."""
+    return _BARRIER_TAG + round_idx

@@ -1,0 +1,189 @@
+"""Threaded in-process cluster backend.
+
+Runs one OS thread per node with lock-protected mailboxes for tagged
+point-to-point delivery.  This backend exists for *functional* fidelity —
+end-to-end correctness tests, deterministic byte accounting, and the Fig. 1 /
+Fig. 2 load measurements — not wall-clock performance (the GIL serializes
+compute).  Real parallel timing comes from
+:class:`repro.runtime.process.ProcessCluster` and the simulator.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Any, Deque, Dict, List, Optional, Tuple
+
+from repro.runtime.api import Comm, CommError, MulticastMode
+from repro.runtime.program import ClusterResult, NodeProgram, ProgramFactory
+from repro.runtime.traffic import TrafficLog
+from repro.utils.timer import StageTimes
+
+_MailKey = Tuple[int, int]  # (src, tag)
+
+
+class _Mailbox:
+    """Per-node tagged mailbox with blocking selective receive."""
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition()
+        self._queues: Dict[_MailKey, Deque[bytes]] = {}
+        self._closed = False
+
+    def put(self, src: int, tag: int, payload: bytes) -> None:
+        with self._cond:
+            if self._closed:
+                raise CommError("mailbox closed (peer died?)")
+            self._queues.setdefault((src, tag), deque()).append(payload)
+            self._cond.notify_all()
+
+    def get(self, src: int, tag: int, timeout: Optional[float]) -> bytes:
+        key = (src, tag)
+        with self._cond:
+            while True:
+                q = self._queues.get(key)
+                if q:
+                    return q.popleft()
+                if self._closed:
+                    raise CommError(
+                        f"mailbox closed while waiting for (src={src}, tag={tag})"
+                    )
+                if not self._cond.wait(timeout=timeout):
+                    raise CommError(
+                        f"recv timeout waiting for (src={src}, tag={tag})"
+                    )
+
+    def close(self) -> None:
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()
+
+
+class _ThreadComm(Comm):
+    """Comm endpoint backed by shared-memory mailboxes."""
+
+    def __init__(
+        self,
+        rank: int,
+        size: int,
+        mailboxes: List[_Mailbox],
+        barrier: threading.Barrier,
+        traffic: TrafficLog,
+        multicast_mode: MulticastMode,
+        recv_timeout: Optional[float],
+    ) -> None:
+        super().__init__(rank, size, traffic=traffic, multicast_mode=multicast_mode)
+        self._mailboxes = mailboxes
+        self._barrier = barrier
+        self._recv_timeout = recv_timeout
+
+    def _send_raw(self, dst: int, tag: int, payload: bytes) -> None:
+        self._mailboxes[dst].put(self.rank, tag, payload)
+
+    def _recv_raw(self, src: int, tag: int) -> bytes:
+        return self._mailboxes[self.rank].get(src, tag, self._recv_timeout)
+
+    def _barrier_raw(self) -> None:
+        try:
+            self._barrier.wait(timeout=self._recv_timeout)
+        except threading.BrokenBarrierError as exc:
+            raise CommError("barrier broken (a peer failed)") from exc
+
+
+class ThreadCluster:
+    """A K-node cluster of threads sharing one traffic log.
+
+    Args:
+        size: number of nodes (the paper's ``K``).
+        multicast_mode: linear or binomial-tree application multicast.
+        recv_timeout: per-receive timeout in seconds; ``None`` disables it.
+            Tests use a finite timeout so protocol bugs fail fast instead of
+            deadlocking the suite.
+    """
+
+    def __init__(
+        self,
+        size: int,
+        multicast_mode: MulticastMode = MulticastMode.LINEAR,
+        recv_timeout: Optional[float] = 60.0,
+    ) -> None:
+        if size < 1:
+            raise ValueError(f"cluster size must be >= 1, got {size}")
+        self.size = size
+        self.multicast_mode = multicast_mode
+        self.recv_timeout = recv_timeout
+
+    def run(self, factory: ProgramFactory) -> ClusterResult:
+        """Run one program instance per node; gather results and timings.
+
+        Any exception in any node thread is re-raised in the caller (the
+        first one chronologically), after closing all mailboxes so the
+        remaining threads unblock and exit.
+        """
+        mailboxes = [_Mailbox() for _ in range(self.size)]
+        barrier = threading.Barrier(self.size)
+        traffic = TrafficLog()
+
+        results: List[Any] = [None] * self.size
+        times: List[Dict[str, float]] = [dict() for _ in range(self.size)]
+        errors: List[Tuple[int, BaseException]] = []
+        errors_lock = threading.Lock()
+        programs: List[Optional[NodeProgram]] = [None] * self.size
+
+        def worker(rank: int) -> None:
+            comm = _ThreadComm(
+                rank,
+                self.size,
+                mailboxes,
+                barrier,
+                traffic,
+                self.multicast_mode,
+                self.recv_timeout,
+            )
+            try:
+                program = factory(comm)
+                programs[rank] = program
+                results[rank] = program.run()
+                times[rank] = program.stopwatch.times()
+            except BaseException as exc:  # noqa: BLE001 - propagated below
+                with errors_lock:
+                    errors.append((rank, exc))
+                barrier.abort()
+                for mb in mailboxes:
+                    mb.close()
+
+        threads = [
+            threading.Thread(target=worker, args=(rank,), name=f"node-{rank}")
+            for rank in range(self.size)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+        if errors:
+            rank, exc = errors[0]
+            raise RuntimeError(f"node {rank} failed: {exc!r}") from exc
+
+        stages = _collect_stages(programs)
+        return ClusterResult(
+            results=results,
+            stage_times=StageTimes.merge_max(stages, times),
+            per_node_times=times,
+            traffic=traffic,
+        )
+
+
+def _collect_stages(programs: List[Optional[NodeProgram]]) -> List[str]:
+    for p in programs:
+        if p is not None and p.STAGES:
+            return list(p.STAGES)
+    # Fall back to union of observed stage names in rank order.
+    seen: List[str] = []
+    for p in programs:
+        if p is None:
+            continue
+        for s in p.stopwatch.times():
+            if s not in seen:
+                seen.append(s)
+    return seen

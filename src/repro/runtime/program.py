@@ -1,0 +1,71 @@
+"""Node programs and the cluster-result container.
+
+A :class:`NodeProgram` is the unit both sort algorithms are written as: a
+class instantiated once per node with a :class:`~repro.runtime.api.Comm`
+endpoint, whose :meth:`run` method walks the algorithm's stages.  The same
+program runs unmodified on the threaded backend (functional tests, byte
+accounting) and the multiprocessing backend (real parallel execution) —
+mirroring how the paper's single MPI program runs on any cluster size.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.runtime.api import Comm
+from repro.runtime.traffic import TrafficLog
+from repro.utils.timer import StageTimes, Stopwatch
+
+
+class NodeProgram(ABC):
+    """Base class for per-node distributed programs.
+
+    Subclasses implement :meth:`run`, using ``self.comm`` for communication
+    and ``self.stopwatch`` (via ``self.stage(name)``) for per-stage timing.
+    """
+
+    #: Ordered stage names, used to merge breakdowns; subclasses override.
+    STAGES: List[str] = []
+
+    def __init__(self, comm: Comm) -> None:
+        self.comm = comm
+        self.rank = comm.rank
+        self.size = comm.size
+        self.stopwatch = Stopwatch()
+
+    def stage(self, name: str):
+        """Enter stage ``name``: times it and attributes traffic to it."""
+        self.comm.set_stage(name)
+        return self.stopwatch.stage(name)
+
+    @abstractmethod
+    def run(self) -> Any:
+        """Execute the node's share of the computation; return its result."""
+
+
+#: A factory building the program for one node given its Comm endpoint.
+ProgramFactory = Callable[[Comm], NodeProgram]
+
+
+@dataclass
+class ClusterResult:
+    """Everything a cluster run returns to the driver.
+
+    Attributes:
+        results: per-rank return values of :meth:`NodeProgram.run`.
+        stage_times: per-stage breakdown, max over nodes (barrier semantics,
+            matching the paper's tables).
+        per_node_times: raw per-rank stage dictionaries.
+        traffic: the merged traffic log.
+    """
+
+    results: List[Any]
+    stage_times: StageTimes
+    per_node_times: List[Dict[str, float]] = field(default_factory=list)
+    traffic: Optional[TrafficLog] = None
+
+    @property
+    def size(self) -> int:
+        return len(self.results)

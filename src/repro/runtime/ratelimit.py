@@ -1,0 +1,78 @@
+"""Token-bucket pacing for the real (multiprocessing) backend.
+
+The paper throttles every EC2 instance to 100 Mbps with ``tc`` so that the
+shuffle bottleneck is visible at modest data sizes.  We reproduce that in
+userspace: a sender-side token bucket paces socket writes, so a local run
+with ``rate_bytes_per_s=12.5e6`` exhibits the same shuffle-dominated profile
+as the paper's cluster.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Optional
+
+
+class TokenBucket:
+    """Classic token bucket: ``rate`` tokens/s, capacity ``burst`` tokens.
+
+    One token = one byte.  :meth:`consume` blocks (sleeps) until the
+    requested number of tokens is available; requests larger than the burst
+    are drawn down in burst-sized installments, which yields smooth pacing
+    for arbitrarily large messages.
+    """
+
+    def __init__(
+        self,
+        rate_bytes_per_s: float,
+        burst_bytes: Optional[int] = None,
+        clock: Callable[[], float] = time.monotonic,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> None:
+        if rate_bytes_per_s <= 0:
+            raise ValueError(f"rate must be positive, got {rate_bytes_per_s}")
+        self.rate = float(rate_bytes_per_s)
+        self.burst = int(burst_bytes) if burst_bytes else max(int(self.rate / 10), 1)
+        if self.burst <= 0:
+            raise ValueError(f"burst must be positive, got {self.burst}")
+        self._clock = clock
+        self._sleep = sleep
+        self._tokens = float(self.burst)
+        self._last = clock()
+
+    def _refill(self) -> None:
+        now = self._clock()
+        elapsed = now - self._last
+        if elapsed > 0:
+            self._tokens = min(self.burst, self._tokens + elapsed * self.rate)
+            self._last = now
+
+    def consume(self, nbytes: int) -> None:
+        """Block until ``nbytes`` tokens have been consumed."""
+        if nbytes < 0:
+            raise ValueError(f"nbytes must be >= 0, got {nbytes}")
+        remaining = nbytes
+        while remaining > 0:
+            self._refill()
+            take = min(remaining, self.burst)
+            if self._tokens >= take:
+                self._tokens -= take
+                remaining -= take
+                continue
+            deficit = take - self._tokens
+            self._sleep(deficit / self.rate)
+            # We slept for exactly the deficit, so the bucket has earned it;
+            # the clock may not show the full amount (sub-resolution sleeps
+            # round to nothing, which would starve the refill loop), so top
+            # the balance up to ``take`` if quantization left it short.
+            self._refill()
+            if self._tokens < take:
+                self._tokens = float(take)
+
+    def try_consume(self, nbytes: int) -> bool:
+        """Non-blocking variant: consume all-or-nothing."""
+        self._refill()
+        if self._tokens >= nbytes:
+            self._tokens -= nbytes
+            return True
+        return False

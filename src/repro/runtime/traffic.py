@@ -1,0 +1,128 @@
+"""Traffic accounting for communication-load measurements.
+
+The paper defines the communication load ``L`` as the total amount of
+intermediate data *exchanged*, where a multicast packet counts **once** no
+matter how many nodes it serves — that is exactly the quantity coding
+reduces.  The wire, in contrast, carries an application-layer multicast as
+``(group size - 1)`` unicasts (whether linear or tree-shaped: every non-root
+member receives the payload exactly once).
+
+:class:`TrafficLog` therefore tracks both quantities per record:
+
+* ``load_bytes``  = payload size (multicast counted once);
+* ``wire_bytes``  = payload size x number of receivers.
+
+Records carry the stage name active when they were emitted, so per-stage
+summaries (e.g. "Shuffle only") can be extracted.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class TrafficRecord:
+    """One logical transfer (a unicast or one multicast packet)."""
+
+    stage: str
+    kind: str  # "unicast" | "multicast"
+    src: int
+    dsts: Tuple[int, ...]
+    payload_bytes: int
+
+    @property
+    def load_bytes(self) -> int:
+        return self.payload_bytes
+
+    @property
+    def wire_bytes(self) -> int:
+        return self.payload_bytes * len(self.dsts)
+
+
+class TrafficLog:
+    """Thread-safe append-only log of :class:`TrafficRecord`."""
+
+    def __init__(self) -> None:
+        self._records: List[TrafficRecord] = []
+        self._lock = threading.Lock()
+
+    def record(
+        self,
+        stage: str,
+        kind: str,
+        src: int,
+        dsts: Iterable[int],
+        payload_bytes: int,
+    ) -> None:
+        if kind not in ("unicast", "multicast"):
+            raise ValueError(f"unknown traffic kind {kind!r}")
+        rec = TrafficRecord(
+            stage=stage,
+            kind=kind,
+            src=src,
+            dsts=tuple(dsts),
+            payload_bytes=int(payload_bytes),
+        )
+        with self._lock:
+            self._records.append(rec)
+
+    def extend(self, records: Iterable[TrafficRecord]) -> None:
+        with self._lock:
+            self._records.extend(records)
+
+    @property
+    def records(self) -> List[TrafficRecord]:
+        with self._lock:
+            return list(self._records)
+
+    # -- summaries -----------------------------------------------------------
+
+    def load_bytes(self, stage: Optional[str] = None) -> int:
+        """Total load bytes, optionally restricted to one stage."""
+        return sum(
+            r.load_bytes
+            for r in self.records
+            if stage is None or r.stage == stage
+        )
+
+    def wire_bytes(self, stage: Optional[str] = None) -> int:
+        return sum(
+            r.wire_bytes
+            for r in self.records
+            if stage is None or r.stage == stage
+        )
+
+    def message_count(self, stage: Optional[str] = None) -> int:
+        return sum(
+            1 for r in self.records if stage is None or r.stage == stage
+        )
+
+    def by_stage(self) -> Dict[str, int]:
+        """Stage name -> load bytes."""
+        out: Dict[str, int] = {}
+        for r in self.records:
+            out[r.stage] = out.get(r.stage, 0) + r.load_bytes
+        return out
+
+    def by_sender(self, stage: Optional[str] = None) -> Dict[int, int]:
+        """Sender rank -> load bytes (for balance checks)."""
+        out: Dict[int, int] = {}
+        for r in self.records:
+            if stage is not None and r.stage != stage:
+                continue
+            out[r.src] = out.get(r.src, 0) + r.load_bytes
+        return out
+
+    def normalized_load(self, total_intermediate_bytes: int, stage: str) -> float:
+        """The paper's ``L``: stage load bytes / total intermediate bytes.
+
+        For sorting, ``total_intermediate_bytes`` is the full dataset size
+        (``Q*N`` intermediate values of the map outputs in the general
+        formulation reduce to "all bytes must reach their reducer").
+        """
+        if total_intermediate_bytes <= 0:
+            raise ValueError("total_intermediate_bytes must be positive")
+        return self.load_bytes(stage) / total_intermediate_bytes

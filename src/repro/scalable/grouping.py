@@ -1,0 +1,87 @@
+"""Partitioning the cluster into coding groups.
+
+Nodes are grouped contiguously: node ``k`` belongs to group ``k // g`` as
+member ``k % g``.  All coding structure (file subsets, multicast groups)
+is expressed in *member indices* ``0..g-1`` and translated to global ranks
+per group, so every group runs an identical plan on its own members.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.utils.subsets import Subset
+
+
+@dataclass(frozen=True)
+class NodeGrouping:
+    """A partition of ``num_nodes`` ranks into groups of ``group_size``.
+
+    Attributes:
+        num_nodes: ``K``; must be a positive multiple of ``group_size``.
+        group_size: ``g >= 2`` (a group of one has no one to talk to).
+    """
+
+    num_nodes: int
+    group_size: int
+
+    def __post_init__(self) -> None:
+        if self.group_size < 2:
+            raise ValueError(
+                f"group_size must be >= 2, got {self.group_size}"
+            )
+        if self.num_nodes < self.group_size:
+            raise ValueError(
+                f"num_nodes ({self.num_nodes}) < group_size "
+                f"({self.group_size})"
+            )
+        if self.num_nodes % self.group_size != 0:
+            raise ValueError(
+                f"num_nodes ({self.num_nodes}) must be a multiple of "
+                f"group_size ({self.group_size})"
+            )
+
+    @property
+    def num_groups(self) -> int:
+        """``G = K / g``."""
+        return self.num_nodes // self.group_size
+
+    def group_of(self, node: int) -> int:
+        """The group index of ``node``."""
+        self._check_node(node)
+        return node // self.group_size
+
+    def member_index(self, node: int) -> int:
+        """``node``'s position within its group (``0..g-1``)."""
+        self._check_node(node)
+        return node % self.group_size
+
+    def members(self, group: int) -> Tuple[int, ...]:
+        """Global ranks of ``group``'s members, ascending."""
+        if not 0 <= group < self.num_groups:
+            raise ValueError(
+                f"group {group} out of range({self.num_groups})"
+            )
+        start = group * self.group_size
+        return tuple(range(start, start + self.group_size))
+
+    def to_global(self, group: int, member_subset: Subset) -> Subset:
+        """Translate a member-index subset into global ranks for ``group``."""
+        members = self.members(group)
+        for m in member_subset:
+            if not 0 <= m < self.group_size:
+                raise ValueError(
+                    f"member index {m} out of range({self.group_size})"
+                )
+        return tuple(members[m] for m in member_subset)
+
+    def groupmates(self, node: int) -> List[int]:
+        """All members of ``node``'s group, including ``node``."""
+        return list(self.members(self.group_of(node)))
+
+    def _check_node(self, node: int) -> None:
+        if not 0 <= node < self.num_nodes:
+            raise ValueError(
+                f"node {node} out of range({self.num_nodes})"
+            )

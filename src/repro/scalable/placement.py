@@ -1,0 +1,110 @@
+"""Grouped redundant file placement (dataset replicated across groups).
+
+The input splits into ``N = b * C(g, r)`` files indexed by member-index
+``r``-subsets (as in the plain coded placement with K -> g).  Every group
+stores *every* file: within group ``j``, file ``F_S`` lives on the global
+ranks ``{j*g + m : m in S}``.  Per-node storage is therefore ``r / g`` of
+the input — the price the grouped construction pays for intra-group-only
+shuffles (the plain coded placement stores ``r / K``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.core.placement import CodedPlacement, split_even
+from repro.kvpairs.records import RecordBatch
+from repro.scalable.grouping import NodeGrouping
+from repro.utils.subsets import Subset
+
+
+@dataclass(frozen=True)
+class GroupedFileAssignment:
+    """One input file and where it lives.
+
+    The same data is stored once per group; ``global_subsets[j]`` is the
+    rank set holding it inside group ``j``.
+    """
+
+    file_id: int
+    member_subset: Subset  # r-subset in member indices (0..g-1)
+    global_subsets: List[Subset]  # one per group, index = group id
+    data: RecordBatch
+
+
+class GroupedCodedPlacement:
+    """The grouped placement: plain coded placement replicated per group.
+
+    Args:
+        grouping: the node grouping (K nodes in groups of g).
+        redundancy: ``r``; each file is on ``r`` members *of every group*.
+        batches_per_subset: ``b``; total files ``N = b * C(g, r)``.
+    """
+
+    def __init__(
+        self,
+        grouping: NodeGrouping,
+        redundancy: int,
+        batches_per_subset: int = 1,
+    ) -> None:
+        if not 1 <= redundancy < grouping.group_size:
+            raise ValueError(
+                f"redundancy must be in [1, g-1] = "
+                f"[1, {grouping.group_size - 1}], got {redundancy}"
+            )
+        self.grouping = grouping
+        self.redundancy = redundancy
+        # The member-index structure is exactly a coded placement on g.
+        self.inner = CodedPlacement(
+            grouping.group_size, redundancy, batches_per_subset
+        )
+        self.num_files = self.inner.num_files
+
+    def member_subset_of_file(self, file_id: int) -> Subset:
+        """The member-index subset of ``file_id`` (same in every group)."""
+        return self.inner.subset_of_file(file_id)
+
+    def files_of_node(self, node: int) -> List[int]:
+        """Files stored on ``node`` — ``b * C(g-1, r-1)`` of them."""
+        return self.inner.files_of_node(self.grouping.member_index(node))
+
+    def files_per_node(self) -> int:
+        """``b * C(g-1, r-1)``: each node stores ``r/g`` of the input."""
+        return self.inner.files_per_node()
+
+    def place(self, batch: RecordBatch) -> List[GroupedFileAssignment]:
+        """Split ``batch`` into files and attach per-group rank subsets."""
+        files = split_even(batch, self.num_files)
+        out = []
+        for f in range(self.num_files):
+            member_subset = self.member_subset_of_file(f)
+            out.append(
+                GroupedFileAssignment(
+                    file_id=f,
+                    member_subset=member_subset,
+                    global_subsets=[
+                        self.grouping.to_global(j, member_subset)
+                        for j in range(self.grouping.num_groups)
+                    ],
+                    data=files[f],
+                )
+            )
+        return out
+
+    def node_storage_bytes(self, total_bytes: int) -> float:
+        """Bytes stored per node: ``r / g`` of the input."""
+        return total_bytes * self.redundancy / self.grouping.group_size
+
+    def per_node_views(
+        self, assignments: List[GroupedFileAssignment]
+    ) -> List[Dict[int, RecordBatch]]:
+        """``views[rank] = {file_id: data}`` for every rank."""
+        views: List[Dict[int, RecordBatch]] = [
+            dict() for _ in range(self.grouping.num_nodes)
+        ]
+        for fa in assignments:
+            for subset in fa.global_subsets:
+                for rank in subset:
+                    views[rank][fa.file_id] = fa.data
+        return views

@@ -1,0 +1,303 @@
+"""Simulator support for grouped CodedTeraSort.
+
+The grouped node program mirrors :func:`repro.sim.stages.coded_terasort_node`
+with three structural changes:
+
+* compute volumes follow the grouped workload (Map hashes ``r/g`` of the
+  input per node; CodeGen sets up ``C(g, r+1)`` groups);
+* shuffles are *intra-group serial* — each group's members take turns on a
+  per-group barrier — while the ``G`` groups transmit concurrently on the
+  parallel fabric (they share no NICs, so MultiLock admits them together);
+* stage hand-offs still synchronize globally (the paper's synchronous
+  stage execution).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.kvpairs.records import RECORD_BYTES
+from repro.scalable.grouping import NodeGrouping
+from repro.sim.costmodel import EC2CostModel
+from repro.sim.des import Barrier, Environment, SimGenerator
+from repro.sim.network import NetworkModel
+from repro.sim.runner import PAPER_RECORDS, SimReport
+from repro.sim.stages import STAGE_ORDER_CODED, _StageTable
+from repro.utils.subsets import binomial
+from repro.utils.timer import StageTimes
+
+
+@dataclass(frozen=True)
+class GroupedWorkload:
+    """Balanced-workload quantities for the grouped scheme.
+
+    Structurally a :class:`~repro.sim.workload.CodedWorkload` on ``g``
+    nodes, except sizes divide by the *global* partition count ``K`` (each
+    group holds the whole dataset but only reduces its ``g`` partitions).
+    """
+
+    num_nodes: int
+    group_size: int
+    redundancy: int
+    n_records: int
+
+    def __post_init__(self) -> None:
+        if self.num_nodes % self.group_size != 0:
+            raise ValueError(
+                f"num_nodes ({self.num_nodes}) not a multiple of "
+                f"group_size ({self.group_size})"
+            )
+        if not 1 <= self.redundancy < self.group_size:
+            raise ValueError(
+                f"redundancy must be in [1, g-1], got {self.redundancy}"
+            )
+
+    @property
+    def num_groups_of_nodes(self) -> int:
+        return self.num_nodes // self.group_size
+
+    @property
+    def total_bytes(self) -> float:
+        return self.n_records * RECORD_BYTES
+
+    @property
+    def num_files(self) -> int:
+        return binomial(self.group_size, self.redundancy)
+
+    @property
+    def files_per_node(self) -> int:
+        return binomial(self.group_size - 1, self.redundancy - 1)
+
+    @property
+    def codegen_groups(self) -> int:
+        """Multicast subgroups per coding group: ``C(g, r+1)``."""
+        return binomial(self.group_size, self.redundancy + 1)
+
+    @property
+    def subgroups_per_node(self) -> int:
+        return binomial(self.group_size - 1, self.redundancy)
+
+    @property
+    def file_bytes(self) -> float:
+        return self.total_bytes / self.num_files
+
+    @property
+    def intermediate_bytes(self) -> float:
+        """One ``I^t_S``: a file's share of one of the K partitions."""
+        return self.file_bytes / self.num_nodes
+
+    @property
+    def packet_bytes(self) -> float:
+        return self.intermediate_bytes / self.redundancy
+
+    @property
+    def map_pairs_per_node(self) -> float:
+        """Each node hashes ``r/g`` of all records."""
+        return self.n_records * self.redundancy / self.group_size
+
+    @property
+    def encode_serialize_bytes_per_node(self) -> float:
+        """Retained-for-group-mates values: ``C(g-1,r-1)(g-r)`` of them."""
+        return (
+            self.files_per_node
+            * (self.group_size - self.redundancy)
+            * self.intermediate_bytes
+        )
+
+    @property
+    def encode_xor_bytes_per_node(self) -> float:
+        return self.subgroups_per_node * self.intermediate_bytes
+
+    @property
+    def total_multicasts(self) -> int:
+        return (
+            self.num_groups_of_nodes
+            * self.codegen_groups
+            * (self.redundancy + 1)
+        )
+
+    @property
+    def shuffle_payload_total(self) -> float:
+        """``(1/r)(1 - r/g) D`` — the grouped Eq. (2) load times D."""
+        return self.total_multicasts * self.packet_bytes
+
+    @property
+    def decode_recovered_bytes_per_node(self) -> float:
+        return self.subgroups_per_node * self.intermediate_bytes
+
+    @property
+    def decode_packets_per_node(self) -> int:
+        return self.subgroups_per_node * self.redundancy
+
+    @property
+    def reduce_pairs_per_node(self) -> float:
+        return self.n_records / self.num_nodes
+
+
+def grouped_coded_node(
+    env: Environment,
+    rank: int,
+    work: GroupedWorkload,
+    cost: EC2CostModel,
+    net: NetworkModel,
+    global_barrier: Barrier,
+    group_barrier: Barrier,
+    grouping: NodeGrouping,
+    table: _StageTable,
+    granularity: str = "transfer",
+) -> SimGenerator:
+    """One grouped-CodedTeraSort node process (six stages).
+
+    ``granularity="turn"`` batches a member's whole sending turn into one
+    fabric hold (byte-identical totals; required for large ``C(g-1, r)``
+    per-node packet counts).
+    """
+    g = work.group_size
+    r = work.redundancy
+    members = grouping.members(grouping.group_of(rank))
+
+    # CodeGen — per node, its own group's C(g, r+1) subgroup setups.
+    start = env.now
+    yield env.timeout(cost.codegen_time(work.codegen_groups))
+    table.record(rank, "codegen", env.now - start)
+    yield global_barrier.wait()
+
+    # Map
+    start = env.now
+    yield env.timeout(cost.map_time(work.map_pairs_per_node, r))
+    table.record(rank, "map", env.now - start)
+    yield global_barrier.wait()
+
+    # Encode
+    start = env.now
+    yield env.timeout(
+        cost.encode_time(
+            work.encode_serialize_bytes_per_node,
+            work.encode_xor_bytes_per_node,
+        )
+    )
+    table.record(rank, "encode", env.now - start)
+    yield global_barrier.wait()
+
+    # Shuffle: serial turns inside the group, groups concurrent.
+    start = env.now
+    for turn in range(g):
+        if members[turn] == rank:
+            if granularity == "turn":
+                duration = work.subgroups_per_node * cost.multicast_time(
+                    work.packet_bytes, r
+                )
+                yield from net.batched_hold(
+                    [rank],
+                    duration,
+                    payload=work.subgroups_per_node * work.packet_bytes,
+                    kind="multicast",
+                )
+            else:
+                for _ in range(work.subgroups_per_node):
+                    dsts = [m for m in members if m != rank][:r]
+                    yield from net.multicast(rank, dsts, work.packet_bytes)
+        yield group_barrier.wait()
+    table.record(rank, "shuffle", env.now - start)
+    yield global_barrier.wait()
+
+    # Decode
+    start = env.now
+    yield env.timeout(
+        cost.decode_time(
+            work.decode_recovered_bytes_per_node,
+            work.decode_packets_per_node,
+        )
+    )
+    table.record(rank, "decode", env.now - start)
+    yield global_barrier.wait()
+
+    # Reduce
+    start = env.now
+    yield env.timeout(cost.reduce_time(work.reduce_pairs_per_node, r))
+    table.record(rank, "reduce", env.now - start)
+    yield global_barrier.wait()
+
+
+def simulate_grouped_coded_terasort(
+    num_nodes: int,
+    group_size: int,
+    redundancy: int,
+    n_records: int = PAPER_RECORDS,
+    cost: Optional[EC2CostModel] = None,
+    granularity: str = "transfer",
+) -> SimReport:
+    """Simulate the grouped scheme at paper scale.
+
+    The fabric runs in parallel mode so the ``G`` group shuffles overlap;
+    the per-group serial turns reproduce the paper's intra-group schedule.
+    Note the multicast destinations within the simulator are a fixed
+    ``r``-subset of group-mates — transfer *sizes and counts* are what the
+    timing depends on, not which mates receive.
+
+    Args:
+        num_nodes: ``K``.
+        group_size: ``g`` (divides ``K``).
+        redundancy: within-group ``r``.
+        n_records: dataset size (default: the paper's 120 M records).
+        cost: cost model (default: the paper calibration).
+        granularity: ``"transfer"`` (event per multicast) or ``"turn"``
+            (one fabric hold per sending turn; use for large ``C(g-1, r)``).
+
+    Returns:
+        A :class:`~repro.sim.runner.SimReport` with the six-stage
+        breakdown.
+    """
+    if granularity not in ("transfer", "turn"):
+        raise ValueError(f"unknown event granularity {granularity!r}")
+    cost = cost or EC2CostModel.paper_calibrated()
+    work = GroupedWorkload(
+        num_nodes=num_nodes,
+        group_size=group_size,
+        redundancy=redundancy,
+        n_records=n_records,
+    )
+    grouping = NodeGrouping(num_nodes=num_nodes, group_size=group_size)
+    env = Environment()
+    net = NetworkModel(env, num_nodes, cost, serial=False)
+    global_barrier = Barrier(env, num_nodes)
+    group_barriers: Dict[int, Barrier] = {
+        j: Barrier(env, group_size) for j in range(grouping.num_groups)
+    }
+    table = _StageTable(num_nodes)
+    for rank in range(num_nodes):
+        env.process(
+            grouped_coded_node(
+                env,
+                rank,
+                work,
+                cost,
+                net,
+                global_barrier,
+                group_barriers[grouping.group_of(rank)],
+                grouping,
+                table,
+                granularity,
+            )
+        )
+    env.run()
+    stage_times = StageTimes.merge_max(STAGE_ORDER_CODED, table.per_node)
+    return SimReport(
+        algorithm="grouped_coded_terasort",
+        stage_times=stage_times,
+        num_nodes=num_nodes,
+        redundancy=redundancy,
+        n_records=n_records,
+        transfers=net.transfers,
+        shuffle_payload_bytes=net.multicast_payload,
+        meta={
+            "group_size": group_size,
+            "num_groups": grouping.num_groups,
+            "codegen_groups_per_group": work.codegen_groups,
+            "packet_bytes": work.packet_bytes,
+            "total_multicasts": work.total_multicasts,
+            "fabric_busy_time": net.busy_time,
+            "sim_end_time": env.now,
+        },
+    )

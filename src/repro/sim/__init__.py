@@ -1,0 +1,34 @@
+"""Discrete-event cluster simulator calibrated to the paper's EC2 testbed.
+
+The paper's evaluation ran on EC2 ``m3.large`` instances throttled to
+100 Mbps.  This package reproduces those experiments at full scale (12 GB,
+K = 16/20) without the cluster: a generator-based discrete-event engine
+(:mod:`repro.sim.des`) executes the *same serial communication schedules*
+(Fig. 9) transfer by transfer over a network model
+(:mod:`repro.sim.network`), with per-stage compute costs from a cost model
+calibrated against Tables I-III (:mod:`repro.sim.costmodel`).
+
+Entry points: :func:`repro.sim.runner.simulate_terasort` and
+:func:`repro.sim.runner.simulate_coded_terasort`.
+"""
+
+from repro.sim.costmodel import EC2CostModel
+from repro.sim.des import Environment, Process, Resource, SimError
+from repro.sim.network import NetworkModel
+from repro.sim.runner import (
+    SimReport,
+    simulate_coded_terasort,
+    simulate_terasort,
+)
+
+__all__ = [
+    "EC2CostModel",
+    "Environment",
+    "Process",
+    "Resource",
+    "SimError",
+    "NetworkModel",
+    "SimReport",
+    "simulate_terasort",
+    "simulate_coded_terasort",
+]

@@ -1,0 +1,163 @@
+"""Balanced-workload quantities for the simulator.
+
+For TeraGen's uniform keys the partitioner is balanced in expectation, so
+every per-node / per-transfer size follows in closed form from
+``(n_records, K, r)``.  These are *exact* expectations — the simulator uses
+them as transfer sizes and compute volumes, and the functional runtime's
+measured traffic converges to the same numbers (tested).
+
+All byte quantities use the 100-byte record size; fractional bytes are kept
+(the simulator is continuous-time, no need to round).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.kvpairs.records import RECORD_BYTES
+from repro.utils.subsets import binomial
+
+
+@dataclass(frozen=True)
+class UncodedWorkload:
+    """Per-node / per-transfer quantities for TeraSort at ``K`` nodes."""
+
+    num_nodes: int
+    n_records: int
+
+    @property
+    def total_bytes(self) -> float:
+        return self.n_records * RECORD_BYTES
+
+    @property
+    def pairs_per_node(self) -> float:
+        return self.n_records / self.num_nodes
+
+    @property
+    def unicast_bytes(self) -> float:
+        """One intermediate value ``I^k_{j}``: ``D / K^2``."""
+        return self.total_bytes / self.num_nodes**2
+
+    @property
+    def num_unicasts(self) -> int:
+        return self.num_nodes * (self.num_nodes - 1)
+
+    @property
+    def pack_bytes_per_node(self) -> float:
+        """Outgoing serialized bytes: ``(K-1)/K`` of the node's data."""
+        return (
+            self.total_bytes
+            * (self.num_nodes - 1)
+            / self.num_nodes**2
+        )
+
+    @property
+    def unpack_bytes_per_node(self) -> float:
+        """Received bytes: same as outgoing under balance."""
+        return self.pack_bytes_per_node
+
+    @property
+    def reduce_pairs_per_node(self) -> float:
+        return self.pairs_per_node
+
+
+@dataclass(frozen=True)
+class CodedWorkload:
+    """Per-node / per-transfer quantities for CodedTeraSort at ``(K, r)``."""
+
+    num_nodes: int
+    redundancy: int
+    n_records: int
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.redundancy < self.num_nodes:
+            raise ValueError(
+                f"redundancy must be in [1, K-1], got {self.redundancy}"
+            )
+
+    # -- structure -------------------------------------------------------------
+
+    @property
+    def total_bytes(self) -> float:
+        return self.n_records * RECORD_BYTES
+
+    @property
+    def num_files(self) -> int:
+        return binomial(self.num_nodes, self.redundancy)
+
+    @property
+    def files_per_node(self) -> int:
+        return binomial(self.num_nodes - 1, self.redundancy - 1)
+
+    @property
+    def num_groups(self) -> int:
+        return binomial(self.num_nodes, self.redundancy + 1)
+
+    @property
+    def groups_per_node(self) -> int:
+        """= packets encoded per node = files not containing the node."""
+        return binomial(self.num_nodes - 1, self.redundancy)
+
+    # -- sizes ---------------------------------------------------------------------
+
+    @property
+    def file_bytes(self) -> float:
+        return self.total_bytes / self.num_files
+
+    @property
+    def intermediate_bytes(self) -> float:
+        """One ``I^t_S``: a file's share of one partition, ``D/(N K)``."""
+        return self.file_bytes / self.num_nodes
+
+    @property
+    def packet_bytes(self) -> float:
+        """Coded packet payload: one ``1/r`` segment of an intermediate."""
+        return self.intermediate_bytes / self.redundancy
+
+    # -- per-stage volumes -----------------------------------------------------------
+
+    @property
+    def map_pairs_per_node(self) -> float:
+        """Each node hashes ``r/K`` of all records."""
+        return self.n_records * self.redundancy / self.num_nodes
+
+    @property
+    def encode_serialize_bytes_per_node(self) -> float:
+        """Retained-for-others intermediates: ``C(K-1,r-1) (K-r)`` values."""
+        return (
+            self.files_per_node
+            * (self.num_nodes - self.redundancy)
+            * self.intermediate_bytes
+        )
+
+    @property
+    def encode_xor_bytes_per_node(self) -> float:
+        """Segment bytes XORed: ``C(K-1,r)`` packets x r segments each."""
+        return self.groups_per_node * self.intermediate_bytes
+
+    @property
+    def total_multicasts(self) -> int:
+        return self.num_groups * (self.redundancy + 1)
+
+    @property
+    def multicasts_per_node(self) -> int:
+        return self.groups_per_node
+
+    @property
+    def shuffle_payload_total(self) -> float:
+        """Total multicast payload = ``D (K-r)/(K r)`` = Eq. (2) load x D."""
+        return self.total_multicasts * self.packet_bytes
+
+    @property
+    def decode_recovered_bytes_per_node(self) -> float:
+        """Recovered intermediates: one per group containing the node."""
+        return self.groups_per_node * self.intermediate_bytes
+
+    @property
+    def decode_packets_per_node(self) -> int:
+        """Received packets: ``r`` per group containing the node."""
+        return self.groups_per_node * self.redundancy
+
+    @property
+    def reduce_pairs_per_node(self) -> float:
+        return self.n_records / self.num_nodes

@@ -1,0 +1,153 @@
+"""The straggler latency model of Lee et al. [11].
+
+Each worker's time to finish a unit task is ``shift + Exp(rate)``: a
+deterministic service time plus an exponential straggling tail.  The model
+is analytically convenient — the expected time until the ``k``-th of ``n``
+workers finishes has the closed form
+
+    ``E[T_(k)] = shift + (H_n - H_{n-k}) / rate``
+
+(``H_m`` the m-th harmonic number), which is what makes the coded-versus-
+uncoded trade quantitative: waiting for all ``n`` costs ``H_n / rate`` of
+tail, waiting for any ``k`` only ``(H_n - H_{n-k}) / rate``.
+
+Task sizes scale the whole distribution: a worker given ``w`` units of
+work draws ``w * (shift + Exp(rate))``, i.e. both the service time and the
+straggling tail stretch with the workload, as in [11].
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+def harmonic(m: int) -> float:
+    """The m-th harmonic number ``H_m = sum_{i=1..m} 1/i`` (``H_0 = 0``)."""
+    if m < 0:
+        raise ValueError(f"harmonic number needs m >= 0, got {m}")
+    # Exact summation; m stays small (worker counts) so no asymptotics.
+    return float(np.sum(1.0 / np.arange(1, m + 1))) if m else 0.0
+
+
+@dataclass(frozen=True)
+class ShiftedExponential:
+    """Per-unit-work completion time ``shift + Exp(rate)``.
+
+    Attributes:
+        shift: deterministic service seconds per unit of work (> 0).
+        rate: straggling rate λ; the exponential tail has mean ``1/rate``.
+    """
+
+    shift: float = 1.0
+    rate: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.shift < 0:
+            raise ValueError(f"shift must be >= 0, got {self.shift}")
+        if self.rate <= 0:
+            raise ValueError(f"rate must be > 0, got {self.rate}")
+
+    def sample(
+        self, num_workers: int, rng: np.random.Generator, work: float = 1.0
+    ) -> np.ndarray:
+        """Draw one completion time per worker for ``work`` units each."""
+        if num_workers < 1:
+            raise ValueError(f"num_workers must be >= 1, got {num_workers}")
+        if work <= 0:
+            raise ValueError(f"work must be > 0, got {work}")
+        tail = rng.exponential(scale=1.0 / self.rate, size=num_workers)
+        return work * (self.shift + tail)
+
+    def mean(self, work: float = 1.0) -> float:
+        """Expected completion time of a single worker."""
+        return work * (self.shift + 1.0 / self.rate)
+
+    def expected_kth_of_n(self, k: int, n: int, work: float = 1.0) -> float:
+        """``E[T_(k)]``: expected time until ``k`` of ``n`` workers finish.
+
+        The k-th order statistic of n iid exponentials has expectation
+        ``(H_n - H_{n-k}) / rate``; the shift is common to all workers.
+        """
+        if not 1 <= k <= n:
+            raise ValueError(f"need 1 <= k <= n, got k={k}, n={n}")
+        return work * (self.shift + (harmonic(n) - harmonic(n - k)) / self.rate)
+
+    def expected_max_of_n(self, n: int, work: float = 1.0) -> float:
+        """Expected time until *all* ``n`` workers finish (uncoded wait)."""
+        return self.expected_kth_of_n(n, n, work=work)
+
+
+@dataclass(frozen=True)
+class HeterogeneousLatency:
+    """Per-worker speed factors over a shared shifted-exponential base.
+
+    [11] models identical machines; real fleets are heterogeneous (mixed
+    instance generations, noisy neighbours).  Worker ``i`` draws
+    ``speed[i] * work * (shift + Exp(rate))`` — a persistently slow
+    machine, not just an unlucky draw.  Coded schemes shine here: the
+    slow workers are *always* among the stragglers the code ignores,
+    while the uncoded scheme pays for the slowest machine every time.
+
+    Attributes:
+        speeds: per-worker time multipliers (1.0 = nominal; 2.0 = half
+            speed).  Length fixes the worker count.
+        base: the shared shifted-exponential component.
+    """
+
+    speeds: tuple
+    base: ShiftedExponential = ShiftedExponential()
+
+    def __post_init__(self) -> None:
+        if len(self.speeds) == 0:
+            raise ValueError("need at least one worker speed")
+        if any(s <= 0 for s in self.speeds):
+            raise ValueError(f"speeds must be positive, got {self.speeds}")
+
+    @property
+    def num_workers(self) -> int:
+        return len(self.speeds)
+
+    def sample(
+        self, num_workers: int, rng: np.random.Generator, work: float = 1.0
+    ) -> np.ndarray:
+        """Draw one completion time per worker for ``work`` units each."""
+        if num_workers != self.num_workers:
+            raise ValueError(
+                f"model has {self.num_workers} workers, asked for "
+                f"{num_workers}"
+            )
+        return np.asarray(self.speeds) * self.base.sample(
+            num_workers, rng, work=work
+        )
+
+    def mean(self, work: float = 1.0) -> float:
+        """Fleet-average expected single-worker time."""
+        return float(np.mean(self.speeds)) * self.base.mean(work=work)
+
+    def expected_kth_of_n(
+        self, k: int, n: int, work: float = 1.0, samples: int = 4000,
+        seed: int = 0,
+    ) -> float:
+        """Monte-Carlo ``E[T_(k)]`` (no closed form for mixed scales)."""
+        if not 1 <= k <= n or n != self.num_workers:
+            raise ValueError(
+                f"need 1 <= k <= n = num_workers, got k={k}, n={n}"
+            )
+        rng = np.random.default_rng(seed)
+        draws = np.sort(
+            np.stack(
+                [self.sample(n, rng, work=work) for _ in range(samples)]
+            ),
+            axis=1,
+        )
+        return float(draws[:, k - 1].mean())
+
+    def expected_max_of_n(
+        self, n: int, work: float = 1.0, samples: int = 4000, seed: int = 0
+    ) -> float:
+        """Monte-Carlo expected time until every worker finishes."""
+        return self.expected_kth_of_n(
+            n, n, work=work, samples=samples, seed=seed
+        )

@@ -1,0 +1,281 @@
+"""Coded distributed matrix-vector multiplication (Lee et al. [11]).
+
+The unit step of many learning algorithms is ``y = A @ x`` computed across
+``n`` workers.  Three schemes, all returning the exact product:
+
+* **uncoded** — split ``A`` into ``n`` row blocks, one per worker; the
+  master must wait for *all* workers (the straggler pays in full);
+* **replication** — ``n / r`` distinct row blocks, each computed by ``r``
+  workers; the master waits, per block, for the fastest replica;
+* **MDS-coded** — split ``A`` into ``k < n`` row blocks, hand worker ``i``
+  the coded block ``Ã_i = sum_j G_ij A_j``; any ``k`` finished workers
+  determine ``y`` by solving a k x k system per column group.
+
+Encoding happens once at setup time (it is amortized across the many
+iterations of an outer algorithm such as gradient descent); each
+``multiply`` call samples worker completion times from the latency model
+and reports both the exact product and the simulated wall-clock makespan.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.stragglers.latency import ShiftedExponential
+from repro.stragglers.mds import MDSCode, MDSError
+
+
+@dataclass
+class MatVecOutcome:
+    """One simulated distributed multiply.
+
+    Attributes:
+        y: the exact product ``A @ x``.
+        time: simulated completion time (when the master can proceed).
+        waited_for: worker indices whose results the master used.
+        worker_times: every worker's sampled completion time.
+    """
+
+    y: np.ndarray
+    time: float
+    waited_for: List[int]
+    worker_times: np.ndarray
+
+
+def _split_rows(num_rows: int, blocks: int) -> List[slice]:
+    """Even contiguous row split; first ``num_rows % blocks`` get one extra."""
+    base, extra = divmod(num_rows, blocks)
+    out, pos = [], 0
+    for i in range(blocks):
+        size = base + (1 if i < extra else 0)
+        out.append(slice(pos, pos + size))
+        pos += size
+    return out
+
+
+class _SchemeBase:
+    """Common plumbing: row splitting, latency sampling, work accounting."""
+
+    #: per-worker work as a fraction of A's rows (drives the latency model).
+    work_per_worker: float
+
+    def __init__(
+        self,
+        a_matrix: np.ndarray,
+        num_workers: int,
+        latency: Optional[ShiftedExponential] = None,
+    ) -> None:
+        a_matrix = np.asarray(a_matrix, dtype=np.float64)
+        if a_matrix.ndim != 2:
+            raise ValueError(f"A must be 2-D, got shape {a_matrix.shape}")
+        if num_workers < 1:
+            raise ValueError(f"num_workers must be >= 1, got {num_workers}")
+        if a_matrix.shape[0] < num_workers:
+            raise ValueError(
+                f"A has {a_matrix.shape[0]} rows < {num_workers} workers"
+            )
+        self.a_matrix = a_matrix
+        self.num_workers = num_workers
+        self.latency = latency or ShiftedExponential()
+
+    def _sample_times(self, rng: np.random.Generator) -> np.ndarray:
+        return self.latency.sample(
+            self.num_workers, rng, work=self.work_per_worker
+        )
+
+    def expected_time(self) -> float:
+        """Closed-form expected makespan (overridden per scheme)."""
+        raise NotImplementedError
+
+    def multiply(
+        self, x: np.ndarray, rng: np.random.Generator
+    ) -> MatVecOutcome:
+        """Compute ``A @ x`` under one sampled straggler pattern."""
+        raise NotImplementedError
+
+
+class UncodedMatVec(_SchemeBase):
+    """One row block per worker; the master waits for everyone."""
+
+    name = "uncoded"
+
+    def __init__(self, a_matrix, num_workers, latency=None) -> None:
+        super().__init__(a_matrix, num_workers, latency)
+        self.slices = _split_rows(self.a_matrix.shape[0], num_workers)
+        self.work_per_worker = 1.0 / num_workers
+
+    def expected_time(self) -> float:
+        return self.latency.expected_max_of_n(
+            self.num_workers, work=self.work_per_worker
+        )
+
+    def multiply(self, x, rng) -> MatVecOutcome:
+        times = self._sample_times(rng)
+        parts = [self.a_matrix[s] @ x for s in self.slices]
+        return MatVecOutcome(
+            y=np.concatenate(parts, axis=0),
+            time=float(times.max()),
+            waited_for=list(range(self.num_workers)),
+            worker_times=times,
+        )
+
+
+class ReplicatedMatVec(_SchemeBase):
+    """Each of ``n / r`` row blocks is computed by ``r`` workers.
+
+    The master waits, per block, for the fastest of its ``r`` replicas;
+    the makespan is the max over blocks of that min.
+    """
+
+    name = "replication"
+
+    def __init__(self, a_matrix, num_workers, replication=2, latency=None):
+        super().__init__(a_matrix, num_workers, latency)
+        if replication < 1:
+            raise ValueError(f"replication must be >= 1, got {replication}")
+        if num_workers % replication != 0:
+            raise ValueError(
+                f"num_workers ({num_workers}) must be divisible by "
+                f"replication ({replication})"
+            )
+        self.replication = replication
+        self.num_blocks = num_workers // replication
+        self.slices = _split_rows(self.a_matrix.shape[0], self.num_blocks)
+        # Worker i computes block i mod num_blocks.
+        self.block_of_worker = [i % self.num_blocks for i in range(num_workers)]
+        self.work_per_worker = 1.0 / self.num_blocks
+
+    def expected_time(self) -> float:
+        """Expected max-over-blocks of the fastest replica.
+
+        For the iid shifted-exponential the min of ``r`` replicas is
+        ``Exp(r * rate)`` over the common shift, and the max over blocks
+        adds ``H_b / (r * rate)`` — exact.  Heterogeneous models have no
+        closed form; fall back to Monte Carlo over the same semantics.
+        """
+        if not isinstance(self.latency, ShiftedExponential):
+            rng = np.random.default_rng(0)
+            totals = []
+            for _ in range(3000):
+                times = self._sample_times(rng)
+                per_block = [
+                    min(
+                        times[w]
+                        for w in range(self.num_workers)
+                        if self.block_of_worker[w] == b
+                    )
+                    for b in range(self.num_blocks)
+                ]
+                totals.append(max(per_block))
+            return float(np.mean(totals))
+        scaled = ShiftedExponential(
+            shift=self.latency.shift, rate=self.latency.rate * self.replication
+        )
+        return scaled.expected_max_of_n(
+            self.num_blocks, work=self.work_per_worker
+        )
+
+    def multiply(self, x, rng) -> MatVecOutcome:
+        times = self._sample_times(rng)
+        first_done: List[int] = []
+        for b in range(self.num_blocks):
+            replicas = [
+                w for w in range(self.num_workers)
+                if self.block_of_worker[w] == b
+            ]
+            first_done.append(min(replicas, key=lambda w: times[w]))
+        parts = [self.a_matrix[self.slices[b]] @ x for b in range(self.num_blocks)]
+        return MatVecOutcome(
+            y=np.concatenate(parts, axis=0),
+            time=float(max(times[w] for w in first_done)),
+            waited_for=first_done,
+            worker_times=times,
+        )
+
+
+class CodedMatVec(_SchemeBase):
+    """(n, k) MDS-coded multiplication: wait for the fastest k workers.
+
+    ``A`` splits into ``k`` row blocks; worker ``i`` holds the coded block
+    ``Ã_i`` and returns ``Ã_i @ x``.  Row blocks are padded to a common
+    height so encoding is a clean tensor contraction; padding rows are
+    zero and are dropped after decoding.
+    """
+
+    name = "coded"
+
+    def __init__(
+        self,
+        a_matrix,
+        num_workers,
+        recovery_threshold: Optional[int] = None,
+        latency=None,
+        code: Optional[MDSCode] = None,
+    ) -> None:
+        super().__init__(a_matrix, num_workers, latency)
+        k = recovery_threshold if recovery_threshold is not None else max(
+            1, (4 * num_workers) // 5
+        )
+        if not 1 <= k <= num_workers:
+            raise ValueError(
+                f"recovery threshold must be in [1, n={num_workers}], got {k}"
+            )
+        self.k = k
+        self.code = code or MDSCode(num_workers, k)
+        if (self.code.n, self.code.k) != (num_workers, k):
+            raise MDSError(
+                f"code is ({self.code.n}, {self.code.k}), expected "
+                f"({num_workers}, {k})"
+            )
+        rows = self.a_matrix.shape[0]
+        self.block_rows = -(-rows // k)  # ceil division
+        padded = np.zeros((k * self.block_rows, self.a_matrix.shape[1]))
+        padded[:rows] = self.a_matrix
+        blocks = padded.reshape(k, self.block_rows, -1)
+        self.coded_blocks = self.code.encode(blocks)  # (n, block_rows, d)
+        self.work_per_worker = 1.0 / k  # each block is 1/k of A's rows
+
+    def expected_time(self) -> float:
+        return self.latency.expected_kth_of_n(
+            self.k, self.num_workers, work=self.work_per_worker
+        )
+
+    def multiply(self, x, rng) -> MatVecOutcome:
+        times = self._sample_times(rng)
+        fastest = np.argsort(times, kind="stable")[: self.k]
+        waited = sorted(int(w) for w in fastest)
+        coded_results = np.stack(
+            [self.coded_blocks[w] @ x for w in waited], axis=0
+        )
+        decoded = self.code.decode(coded_results, waited)
+        y = decoded.reshape(self.k * self.block_rows, *decoded.shape[2:])
+        rows = self.a_matrix.shape[0]
+        return MatVecOutcome(
+            y=y[:rows],
+            time=float(times[fastest[-1]]),
+            waited_for=waited,
+            worker_times=times,
+        )
+
+
+def make_scheme(
+    name: str,
+    a_matrix: np.ndarray,
+    num_workers: int,
+    latency: Optional[ShiftedExponential] = None,
+    **kwargs,
+) -> _SchemeBase:
+    """Factory: ``"uncoded"``, ``"replication"``, or ``"coded"``."""
+    table = {
+        "uncoded": UncodedMatVec,
+        "replication": ReplicatedMatVec,
+        "coded": CodedMatVec,
+    }
+    if name not in table:
+        raise ValueError(
+            f"unknown scheme {name!r}; expected one of {sorted(table)}"
+        )
+    return table[name](a_matrix, num_workers, latency=latency, **kwargs)

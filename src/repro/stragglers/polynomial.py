@@ -1,0 +1,184 @@
+"""Polynomial codes: coded matrix *-matrix* multiplication.
+
+MDS-coding the rows of ``A`` (:mod:`repro.stragglers.matmul`) covers
+``A @ x``; for full products ``A @ B`` the optimal construction is the
+polynomial code of Yu, Maddah-Ali and Avestimehr (the same group as the
+paper): split ``A`` into ``m`` row blocks and ``B`` into ``n`` column
+blocks, give worker ``i`` the evaluations
+
+    ``Ã_i = sum_j A_j x_i^j``   and   ``B̃_i = sum_k B_k x_i^{j m}``
+
+so its product ``Ã_i @ B̃_i`` is the evaluation at ``x_i`` of a matrix
+polynomial of degree ``m n - 1`` whose coefficients are exactly the
+blocks ``A_j @ B_k``.  *Any* ``m n`` worker results interpolate the
+polynomial — the recovery threshold meets the information-theoretic
+optimum, against ``m n`` for uncoded (all workers) at the same per-worker
+work ``(1/m) x (1/n)`` of the product.
+
+Over the reals, interpolation is a Vandermonde solve.  The original
+construction works over finite fields where any distinct nodes are
+equivalent; in float64 the node choice decides everything — equispaced
+nodes blow past 1e14 condition already at degree 11, while Chebyshev
+points keep the solve well conditioned (~1e4 at degree 12, ~3e5 at 16),
+so workers are placed at Chebyshev points of the first kind.  Practical
+degree limit in float64 is ``m n`` up to roughly 20.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.stragglers.latency import ShiftedExponential
+from repro.stragglers.matmul import _split_rows
+
+
+class PolynomialCodeError(ValueError):
+    """Raised on invalid polynomial-code parameters or inputs."""
+
+
+@dataclass
+class PolyMatMulOutcome:
+    """One simulated coded matrix-matrix multiply.
+
+    Attributes:
+        c: the exact product ``A @ B``.
+        time: simulated completion time (k-th worker order statistic).
+        waited_for: the worker indices used for interpolation.
+        worker_times: all sampled completion times.
+    """
+
+    c: np.ndarray
+    time: float
+    waited_for: List[int]
+    worker_times: np.ndarray
+
+
+class PolynomialCodedMatMul:
+    """(n_workers; m, n) polynomial-coded ``A @ B``.
+
+    Args:
+        a_matrix: left operand, split into ``m`` row blocks.
+        b_matrix: right operand, split into ``n`` column blocks.
+        num_workers: total workers; must be >= ``m * n``.
+        m: row-block count for ``A``.
+        n: column-block count for ``B``.
+        latency: straggler model (default shift=1, rate=1).
+    """
+
+    def __init__(
+        self,
+        a_matrix: np.ndarray,
+        b_matrix: np.ndarray,
+        num_workers: int,
+        m: int = 2,
+        n: int = 2,
+        latency: Optional[ShiftedExponential] = None,
+    ) -> None:
+        a_matrix = np.asarray(a_matrix, dtype=np.float64)
+        b_matrix = np.asarray(b_matrix, dtype=np.float64)
+        if a_matrix.ndim != 2 or b_matrix.ndim != 2:
+            raise PolynomialCodeError("A and B must be 2-D")
+        if a_matrix.shape[1] != b_matrix.shape[0]:
+            raise PolynomialCodeError(
+                f"inner dimensions differ: {a_matrix.shape} @ "
+                f"{b_matrix.shape}"
+            )
+        if m < 1 or n < 1:
+            raise PolynomialCodeError(f"need m, n >= 1, got m={m}, n={n}")
+        self.recovery_threshold = m * n
+        if num_workers < self.recovery_threshold:
+            raise PolynomialCodeError(
+                f"need num_workers >= m*n = {self.recovery_threshold}, "
+                f"got {num_workers}"
+            )
+        if a_matrix.shape[0] < m:
+            raise PolynomialCodeError(
+                f"A has {a_matrix.shape[0]} rows < m={m}"
+            )
+        if b_matrix.shape[1] < n:
+            raise PolynomialCodeError(
+                f"B has {b_matrix.shape[1]} cols < n={n}"
+            )
+        self.a_matrix = a_matrix
+        self.b_matrix = b_matrix
+        self.num_workers = num_workers
+        self.m = m
+        self.n = n
+        self.latency = latency or ShiftedExponential()
+
+        # Pad blocks to uniform size so encoding is a tensor contraction.
+        rows, inner = a_matrix.shape
+        cols = b_matrix.shape[1]
+        self.block_rows = -(-rows // m)
+        self.block_cols = -(-cols // n)
+        a_pad = np.zeros((m * self.block_rows, inner))
+        a_pad[:rows] = a_matrix
+        b_pad = np.zeros((inner, n * self.block_cols))
+        b_pad[:, :cols] = b_matrix
+        a_blocks = a_pad.reshape(m, self.block_rows, inner)
+        b_blocks = b_pad.reshape(inner, n, self.block_cols).transpose(1, 0, 2)
+
+        # Chebyshev points of the first kind: distinct and, crucially,
+        # well-conditioned under Vandermonde interpolation (see module
+        # docstring).
+        self.nodes = np.cos(
+            (2 * np.arange(num_workers) + 1) * np.pi / (2 * num_workers)
+        )
+        # Worker i: A~(x_i) with powers x^j, B~(x_i) with powers x^(j m).
+        pow_a = self.nodes[:, None] ** np.arange(m)[None, :]  # (w, m)
+        pow_b = self.nodes[:, None] ** (
+            self.m * np.arange(n)[None, :]
+        )  # (w, n)
+        self.coded_a = np.einsum("wj,jri->wri", pow_a, a_blocks)
+        self.coded_b = np.einsum("wk,kic->wic", pow_b, b_blocks)
+        # Per-worker work: one block-product = (1/m)(1/n) of A @ B.
+        self.work_per_worker = 1.0 / self.recovery_threshold
+
+    def expected_time(self) -> float:
+        """Closed-form expected makespan (k-th of n order statistic)."""
+        return self.latency.expected_kth_of_n(
+            self.recovery_threshold, self.num_workers,
+            work=self.work_per_worker,
+        )
+
+    def multiply(self, rng: np.random.Generator) -> PolyMatMulOutcome:
+        """Compute ``A @ B`` under one sampled straggler pattern."""
+        times = self.latency.sample(
+            self.num_workers, rng, work=self.work_per_worker
+        )
+        k = self.recovery_threshold
+        fastest = np.argsort(times, kind="stable")[:k]
+        waited = sorted(int(w) for w in fastest)
+        # Worker products: evaluations of C(x) at the waited-for nodes.
+        evals = np.stack(
+            [self.coded_a[w] @ self.coded_b[w] for w in waited], axis=0
+        )
+        # Interpolate the degree-(mn-1) matrix polynomial: solve V c = e
+        # where V_ij = x_i^j over the chosen nodes.
+        vand = np.vander(self.nodes[waited], N=k, increasing=True)
+        flat = evals.reshape(k, -1)
+        coeffs = np.linalg.solve(vand, flat).reshape(
+            k, self.block_rows, self.block_cols
+        )
+        # Coefficient of x^(j + k m) is A_j @ B_k: reassemble the grid.
+        rows, cols = (
+            self.a_matrix.shape[0],
+            self.b_matrix.shape[1],
+        )
+        c = np.zeros((self.m * self.block_rows, self.n * self.block_cols))
+        for j in range(self.m):
+            for kk in range(self.n):
+                block = coeffs[j + kk * self.m]
+                c[
+                    j * self.block_rows : (j + 1) * self.block_rows,
+                    kk * self.block_cols : (kk + 1) * self.block_cols,
+                ] = block
+        return PolyMatMulOutcome(
+            c=c[:rows, :cols],
+            time=float(times[fastest[-1]]),
+            waited_for=waited,
+            worker_times=times,
+        )

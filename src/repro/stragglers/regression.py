@@ -1,0 +1,113 @@
+"""Coded distributed gradient descent for linear regression [11].
+
+The workload the paper's introduction cites: gradient descent for
+``min_x ||A x - b||^2`` where the per-iteration gradient
+
+    ``g_t = 2 A^T (A x_t - b)``
+
+is computed distributedly — one coded matvec for ``u = A x_t`` and one for
+``A^T u'``.  Stragglers hit every iteration, so the scheme's expected
+makespan compounds over iterations; [11] reports MDS coding cutting the
+average run time of exactly this loop by 31.3%–35.7%.
+
+All schemes compute the *exact* gradient (coding is lossless), so iterates
+are identical across schemes; only the simulated time differs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.stragglers.latency import ShiftedExponential
+from repro.stragglers.matmul import make_scheme
+
+
+@dataclass
+class GradientDescentRun:
+    """Outcome of one simulated distributed GD run.
+
+    Attributes:
+        x: the final iterate.
+        losses: ``||A x_t - b||^2`` per iteration (monitoring).
+        iteration_times: simulated seconds per iteration.
+        scheme: which distribution scheme produced the timings.
+    """
+
+    x: np.ndarray
+    losses: List[float] = field(default_factory=list)
+    iteration_times: List[float] = field(default_factory=list)
+    scheme: str = "uncoded"
+
+    @property
+    def total_time(self) -> float:
+        return float(sum(self.iteration_times))
+
+    @property
+    def mean_iteration_time(self) -> float:
+        return self.total_time / max(len(self.iteration_times), 1)
+
+
+def coded_least_squares(
+    a_matrix: np.ndarray,
+    b: np.ndarray,
+    num_workers: int,
+    scheme: str = "coded",
+    iterations: int = 50,
+    step: Optional[float] = None,
+    latency: Optional[ShiftedExponential] = None,
+    seed: int = 0,
+    **scheme_kwargs,
+) -> GradientDescentRun:
+    """Distributed GD for ``min ||A x - b||^2`` with simulated stragglers.
+
+    Both per-iteration products (``A x`` and ``A^T u``) run on the chosen
+    scheme; each draws a fresh straggler pattern.  The two operators are
+    encoded independently (as in [11], the encoding is a one-time setup
+    cost shared by all iterations).
+
+    Args:
+        a_matrix: design matrix (m x d).
+        b: targets (m,).
+        num_workers: workers per operator.
+        scheme: ``"uncoded"``, ``"replication"``, or ``"coded"``.
+        iterations: GD steps.
+        step: learning rate; default ``1 / (2 * sigma_max(A)^2)``, which
+            guarantees monotone convergence for this quadratic.
+        latency: straggler model (default shift=1, rate=1).
+        seed: RNG seed for latency sampling.
+        **scheme_kwargs: forwarded to the scheme constructor (e.g.
+            ``recovery_threshold`` or ``replication``).
+
+    Returns:
+        The run record (identical iterates for every scheme; timings vary).
+    """
+    a_matrix = np.asarray(a_matrix, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    if a_matrix.ndim != 2 or b.ndim != 1 or b.shape[0] != a_matrix.shape[0]:
+        raise ValueError(
+            f"shape mismatch: A {a_matrix.shape}, b {b.shape}"
+        )
+    if iterations < 1:
+        raise ValueError(f"iterations must be >= 1, got {iterations}")
+    fwd = make_scheme(scheme, a_matrix, num_workers, latency=latency, **scheme_kwargs)
+    bwd = make_scheme(scheme, a_matrix.T, num_workers, latency=latency, **scheme_kwargs)
+    if step is None:
+        smax = np.linalg.norm(a_matrix, ord=2)
+        step = 1.0 / (2.0 * smax * smax)
+    rng = np.random.default_rng(seed)
+
+    x = np.zeros(a_matrix.shape[1])
+    run = GradientDescentRun(x=x, scheme=scheme)
+    for _ in range(iterations):
+        out_fwd = fwd.multiply(x, rng)
+        residual = out_fwd.y - b
+        out_bwd = bwd.multiply(residual, rng)
+        gradient = 2.0 * out_bwd.y
+        x = x - step * gradient
+        run.losses.append(float(residual @ residual))
+        run.iteration_times.append(out_fwd.time + out_bwd.time)
+    run.x = x
+    return run

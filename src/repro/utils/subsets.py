@@ -1,0 +1,123 @@
+"""Combinatorics over node subsets.
+
+CodedTeraSort indexes input files by ``r``-subsets of the node set
+``{0, ..., K-1}`` and multicast groups by ``(r+1)``-subsets.  This module
+provides the subset enumeration, and a *combinadic* ranking/unranking pair so
+that subsets can be addressed by dense integer ids without materializing the
+full list (useful when ``C(K, r)`` is large, e.g. ``C(20, 5) = 15504``).
+
+All subsets are represented as strictly increasing tuples of ints, and the
+enumeration order is lexicographic, matching the serial schedules in the
+paper's Fig. 9.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from math import comb
+from typing import Iterator, Sequence, Tuple
+
+Subset = Tuple[int, ...]
+
+
+def binomial(n: int, k: int) -> int:
+    """Binomial coefficient ``C(n, k)`` (0 when out of range).
+
+    Thin wrapper over :func:`math.comb` that tolerates negative / oversized
+    ``k`` the way combinatorial identities expect.
+    """
+    if k < 0 or k > n or n < 0:
+        return 0
+    return comb(n, k)
+
+
+def k_subsets(n: int, k: int) -> Iterator[Subset]:
+    """Yield all ``k``-subsets of ``range(n)`` in lexicographic order.
+
+    >>> list(k_subsets(4, 2))
+    [(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]
+    """
+    if k < 0 or k > n:
+        return iter(())
+    return combinations(range(n), k)
+
+
+def subset_rank(subset: Sequence[int], n: int) -> int:
+    """Rank of ``subset`` among the ``C(n, k)`` lexicographic ``k``-subsets.
+
+    Uses the standard combinadic formula: for subset ``c_0 < c_1 < ... <
+    c_{k-1}`` the rank counts, position by position, how many subsets start
+    with a smaller element.
+
+    Raises:
+        ValueError: if the subset is not strictly increasing or out of range.
+    """
+    k = len(subset)
+    prev = -1
+    for c in subset:
+        if c <= prev:
+            raise ValueError(f"subset must be strictly increasing, got {subset!r}")
+        prev = c
+    if subset and (subset[0] < 0 or subset[-1] >= n):
+        raise ValueError(f"subset {subset!r} out of range for n={n}")
+
+    rank = 0
+    prev = -1
+    remaining = k
+    for i, c in enumerate(subset):
+        # Count subsets whose i-th element is in (prev, c): choosing any such
+        # element x leaves C(n - x - 1, k - i - 1) completions.
+        for x in range(prev + 1, c):
+            rank += binomial(n - x - 1, remaining - 1)
+        prev = c
+        remaining -= 1
+    return rank
+
+
+def subset_unrank(rank: int, n: int, k: int) -> Subset:
+    """Inverse of :func:`subset_rank`: the ``rank``-th lexicographic subset.
+
+    Raises:
+        ValueError: if ``rank`` is not in ``[0, C(n, k))``.
+    """
+    total = binomial(n, k)
+    if not 0 <= rank < total:
+        raise ValueError(f"rank {rank} out of range [0, {total}) for C({n},{k})")
+    out = []
+    x = 0
+    remaining = k
+    while remaining > 0:
+        count = binomial(n - x - 1, remaining - 1)
+        if rank < count:
+            out.append(x)
+            remaining -= 1
+        else:
+            rank -= count
+        x += 1
+    return tuple(out)
+
+
+def subsets_containing(n: int, k: int, element: int) -> Iterator[Subset]:
+    """Yield the ``k``-subsets of ``range(n)`` that contain ``element``.
+
+    There are ``C(n-1, k-1)`` of them; yielded in the same lexicographic
+    order they would appear within :func:`k_subsets`.
+    """
+    if not 0 <= element < n:
+        raise ValueError(f"element {element} out of range(n={n})")
+    others = [x for x in range(n) if x != element]
+    for rest in combinations(others, k - 1):
+        yield tuple(sorted(rest + (element,)))
+
+
+def complement(subset: Sequence[int], n: int) -> Subset:
+    """The elements of ``range(n)`` not in ``subset`` (sorted)."""
+    s = set(subset)
+    return tuple(x for x in range(n) if x not in s)
+
+
+def without(subset: Sequence[int], element: int) -> Subset:
+    """``subset`` with ``element`` removed (must be present)."""
+    if element not in subset:
+        raise ValueError(f"{element} not in subset {subset!r}")
+    return tuple(x for x in subset if x != element)

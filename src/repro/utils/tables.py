@@ -1,0 +1,66 @@
+"""Plain-text / markdown table rendering for experiment reports.
+
+The experiment harness renders every reproduced table both to the console
+(for ``pytest -s`` / CLI runs) and to markdown fragments that EXPERIMENTS.md
+is assembled from.  Numbers are formatted with a fixed number of decimals so
+paper-vs-measured rows line up.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Union
+
+Cell = Union[str, int, float, None]
+
+
+def _fmt(cell: Cell, decimals: int) -> str:
+    if cell is None:
+        return "-"
+    if isinstance(cell, bool):
+        return str(cell)
+    if isinstance(cell, float):
+        return f"{cell:.{decimals}f}"
+    return str(cell)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[Cell]],
+    decimals: int = 2,
+    markdown: bool = False,
+) -> str:
+    """Render a table as aligned text or GitHub markdown.
+
+    Args:
+        headers: column titles.
+        rows: row cells; floats formatted to ``decimals`` places.
+        decimals: float precision.
+        markdown: emit a pipe table instead of aligned plain text.
+
+    Returns:
+        The rendered table, newline-terminated.
+    """
+    str_rows: List[List[str]] = [[_fmt(c, decimals) for c in row] for row in rows]
+    cols = len(headers)
+    for row in str_rows:
+        if len(row) != cols:
+            raise ValueError(
+                f"row has {len(row)} cells, expected {cols}: {row!r}"
+            )
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        if markdown:
+            return "| " + " | ".join(c.ljust(w) for c, w in zip(cells, widths)) + " |"
+        return "  ".join(c.ljust(w) for c, w in zip(cells, widths)).rstrip()
+
+    out = [line(list(headers))]
+    if markdown:
+        out.append("|" + "|".join("-" * (w + 2) for w in widths) + "|")
+    else:
+        out.append("  ".join("-" * w for w in widths))
+    out.extend(line(r) for r in str_rows)
+    return "\n".join(out) + "\n"

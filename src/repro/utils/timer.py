@@ -1,0 +1,104 @@
+"""Per-stage wall-clock accounting.
+
+Both sort drivers report a per-stage breakdown in the style of the paper's
+Tables I-III (Map / Pack / Shuffle / Unpack / Reduce for TeraSort; CodeGen /
+Map / Encode / Shuffle / Decode / Reduce for CodedTeraSort).  Each node runs a
+:class:`Stopwatch`; the driver merges them into a :class:`StageTimes` with the
+barrier semantics the paper uses (a stage ends when the *slowest* node ends,
+so merged stage time is the max over nodes).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping
+
+
+class Stopwatch:
+    """Accumulates wall-clock time into named stages.
+
+    Usage::
+
+        sw = Stopwatch()
+        with sw.stage("map"):
+            ...
+        sw.times()["map"]
+    """
+
+    def __init__(self) -> None:
+        self._times: Dict[str, float] = {}
+
+    def stage(self, name: str) -> "_StageContext":
+        return _StageContext(self, name)
+
+    def add(self, name: str, seconds: float) -> None:
+        """Directly add ``seconds`` to stage ``name`` (used by simulators)."""
+        self._times[name] = self._times.get(name, 0.0) + float(seconds)
+
+    def times(self) -> Dict[str, float]:
+        return dict(self._times)
+
+
+class _StageContext:
+    __slots__ = ("_sw", "_name", "_start")
+
+    def __init__(self, sw: Stopwatch, name: str) -> None:
+        self._sw = sw
+        self._name = name
+        self._start = 0.0
+
+    def __enter__(self) -> "_StageContext":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self._sw.add(self._name, time.perf_counter() - self._start)
+
+
+@dataclass
+class StageTimes:
+    """A merged per-stage breakdown.
+
+    Attributes:
+        stages: ordered stage names.
+        seconds: stage name -> seconds (max over participating nodes).
+    """
+
+    stages: List[str]
+    seconds: Dict[str, float] = field(default_factory=dict)
+
+    @classmethod
+    def merge_max(
+        cls, stages: Iterable[str], per_node: Iterable[Mapping[str, float]]
+    ) -> "StageTimes":
+        """Merge per-node stopwatch dicts by taking the max per stage.
+
+        Stages missing on a node count as 0 there.
+        """
+        stages = list(stages)
+        merged: Dict[str, float] = {s: 0.0 for s in stages}
+        for times in per_node:
+            for s in stages:
+                v = float(times.get(s, 0.0))
+                if v > merged[s]:
+                    merged[s] = v
+        return cls(stages=stages, seconds=merged)
+
+    @property
+    def total(self) -> float:
+        return sum(self.seconds.get(s, 0.0) for s in self.stages)
+
+    def __getitem__(self, stage: str) -> float:
+        return self.seconds[stage]
+
+    def as_row(self) -> List[float]:
+        """Stage seconds in stage order, followed by the total."""
+        return [self.seconds.get(s, 0.0) for s in self.stages] + [self.total]
+
+    def scaled(self, factor: float) -> "StageTimes":
+        """A copy with every stage multiplied by ``factor``."""
+        return StageTimes(
+            stages=list(self.stages),
+            seconds={s: v * factor for s, v in self.seconds.items()},
+        )

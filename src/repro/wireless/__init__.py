@@ -1,0 +1,44 @@
+"""Wireless distributed computing — the paper's §VI mobile direction.
+
+The paper's conclusion singles out mobile applications (augmented
+reality, recommender systems) where shuffles cross *wireless* links, and
+points to the authors' theoretical treatments: a scalable framework for
+wireless distributed computing [24] and its edge-facilitated variant
+[25].  This subpackage builds that setting from scratch:
+
+* :mod:`repro.wireless.channel` — a TDMA shared broadcast medium: one
+  transmitter at a time, every addressed user hears a transmission once,
+  airtime is the resource being spent;
+* :mod:`repro.wireless.wdc` — map-shuffle-reduce for sorting over the
+  medium, with three shuffle protocols: uncoded relay through the access
+  point (every intermediate value crosses the air twice), coded
+  device-to-device broadcast (each coded packet crosses once and serves
+  ``r`` users), and the edge-facilitated coded relay of [25];
+* :mod:`repro.wireless.theory` — closed-form airtime loads, including
+  the grouped variant whose load is *independent of the user count* —
+  the scalability headline of [24].
+
+The wireless medium serializes all traffic by nature, which is exactly
+the regime where coded shuffling shines (cf. the scheduling ablation in
+``benchmarks/bench_ablation_schedules.py``).
+"""
+
+from repro.wireless.channel import AirtimeLog, WirelessChannel
+from repro.wireless.theory import (
+    wireless_coded_load,
+    wireless_edge_load,
+    wireless_grouped_load,
+    wireless_uncoded_load,
+)
+from repro.wireless.wdc import WirelessSortOutcome, run_wireless_sort
+
+__all__ = [
+    "WirelessChannel",
+    "AirtimeLog",
+    "run_wireless_sort",
+    "WirelessSortOutcome",
+    "wireless_uncoded_load",
+    "wireless_coded_load",
+    "wireless_edge_load",
+    "wireless_grouped_load",
+]

@@ -1,0 +1,52 @@
+"""Closed-form airtime loads for wireless shuffling ([24], [25]).
+
+Loads are normalized by the total input bytes ``D``, as in Eq. (2).  With
+``K`` users each storing an ``r``-redundant coded placement, a user needs
+``(1 - r/K) / K`` of the input from others; summed over users the
+*demand* is ``1 - r/K``.  What that demand costs in airtime depends on
+the protocol:
+
+* **uncoded relay** — every intermediate value flies twice (user ->
+  AP -> user): ``L = 2 (1 - r/K)``;
+* **coded D2D broadcast** — each coded packet flies once and serves
+  ``r`` users: ``L = (1/r)(1 - r/K)``, a ``2r``-fold saving;
+* **edge-facilitated coded** ([25]) — coded packets relayed through the
+  AP (users outside mutual radio range): twice the D2D load;
+* **grouped** ([24]) — coding inside groups of ``g`` with the dataset
+  replicated per group: ``L = (1/r)(1 - r/g)`` — *independent of K*, the
+  scalability property [24] proves: adding users (groups) adds compute
+  without adding airtime per byte sorted.
+"""
+
+from __future__ import annotations
+
+
+def _check(r: int, k: int) -> None:
+    if not 1 <= r <= k:
+        raise ValueError(f"need 1 <= r <= K, got r={r}, K={k}")
+
+
+def wireless_uncoded_load(redundancy: int, num_users: int) -> float:
+    """Uncoded relay through the AP: ``2 (1 - r/K)``."""
+    _check(redundancy, num_users)
+    return 2.0 * (1.0 - redundancy / num_users)
+
+
+def wireless_coded_load(redundancy: int, num_users: int) -> float:
+    """Coded device-to-device broadcast: ``(1/r)(1 - r/K)``."""
+    _check(redundancy, num_users)
+    return (1.0 / redundancy) * (1.0 - redundancy / num_users)
+
+
+def wireless_edge_load(redundancy: int, num_users: int) -> float:
+    """Edge-facilitated coded relay ([25]): ``(2/r)(1 - r/K)``."""
+    return 2.0 * wireless_coded_load(redundancy, num_users)
+
+
+def wireless_grouped_load(redundancy: int, group_size: int) -> float:
+    """Grouped D2D coding ([24]): ``(1/r)(1 - r/g)``, independent of K."""
+    if not 1 <= redundancy < group_size:
+        raise ValueError(
+            f"need 1 <= r < g, got r={redundancy}, g={group_size}"
+        )
+    return (1.0 / redundancy) * (1.0 - redundancy / group_size)

@@ -1,0 +1,90 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_sort_defaults(self):
+        args = build_parser().parse_args(["sort"])
+        assert args.algorithm == "coded"
+        assert args.nodes == 6 and args.redundancy == 2
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+
+class TestCommands:
+    def test_sort_coded(self, capsys):
+        rc = main(["sort", "-K", "4", "-r", "2", "-n", "2000"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "output valid" in out
+        assert "shuffle payload" in out
+
+    def test_sort_terasort(self, capsys):
+        rc = main(["sort", "--algorithm", "terasort", "-K", "3", "-n", "1500"])
+        assert rc == 0
+        assert "output valid" in capsys.readouterr().out
+
+    def test_simulate(self, capsys):
+        rc = main(["simulate", "-K", "8", "-r", "3", "-n", "1000000"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "codegen" in out and "total" in out
+
+    def test_simulate_terasort(self, capsys):
+        rc = main(["simulate", "--algorithm", "terasort", "-K", "8",
+                   "-n", "1000000"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "shuffle" in out
+
+    def test_theory(self, capsys):
+        rc = main(["theory", "-K", "8"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "L_CMR" in out
+
+    def test_theory_with_times(self, capsys):
+        rc = main([
+            "theory", "-K", "16", "--t-map", "1.86",
+            "--t-shuffle", "945.72", "--t-reduce", "10.47",
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "r* = 16" in out
+
+    def test_report_to_file(self, tmp_path, capsys):
+        target = tmp_path / "EXP.md"
+        rc = main(["report", "--fast", "-o", str(target)])
+        assert rc == 0
+        content = target.read_text()
+        assert "Table II" in content
+        assert "Fig. 2" in content
+
+    def test_stragglers(self, capsys):
+        rc = main(["stragglers", "-t", "10"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "coded" in out and "saving" in out
+
+    def test_scalable(self, capsys):
+        rc = main(["scalable", "-K", "8", "-g", "4", "-r", "2"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "Grouped g=4" in out and "CodeGen" in out
+
+    def test_wireless(self, capsys):
+        rc = main(["wireless", "-K", "4", "-r", "2", "-n", "3000"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "d2d" in out and "uncoded" in out

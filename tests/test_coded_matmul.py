@@ -1,0 +1,161 @@
+"""Tests for coded / replicated / uncoded distributed matvec."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.stragglers.latency import ShiftedExponential
+from repro.stragglers.matmul import (
+    CodedMatVec,
+    ReplicatedMatVec,
+    UncodedMatVec,
+    _split_rows,
+    make_scheme,
+)
+
+
+def problem(rows=60, cols=9, seed=0):
+    rng = np.random.default_rng(seed)
+    return rng.standard_normal((rows, cols)), rng.standard_normal(cols)
+
+
+class TestSplitRows:
+    def test_even(self):
+        assert _split_rows(10, 5) == [slice(i * 2, i * 2 + 2) for i in range(5)]
+
+    def test_uneven_front_loaded(self):
+        slices = _split_rows(11, 3)
+        sizes = [s.stop - s.start for s in slices]
+        assert sizes == [4, 4, 3]
+        assert slices[0].start == 0 and slices[-1].stop == 11
+
+    @given(rows=st.integers(1, 500), blocks=st.integers(1, 32))
+    def test_partition_property(self, rows, blocks):
+        if blocks > rows:
+            return
+        slices = _split_rows(rows, blocks)
+        sizes = [s.stop - s.start for s in slices]
+        assert sum(sizes) == rows
+        assert max(sizes) - min(sizes) <= 1
+        assert slices[0].start == 0
+        for a, b in zip(slices, slices[1:]):
+            assert a.stop == b.start
+
+
+class TestValidation:
+    def test_bad_inputs(self):
+        a, _ = problem()
+        with pytest.raises(ValueError):
+            UncodedMatVec(np.zeros(5), 2)  # 1-D A
+        with pytest.raises(ValueError):
+            UncodedMatVec(a, 0)
+        with pytest.raises(ValueError):
+            UncodedMatVec(a, 100)  # more workers than rows
+        with pytest.raises(ValueError):
+            ReplicatedMatVec(a, 10, replication=3)  # 3 does not divide 10
+        with pytest.raises(ValueError):
+            CodedMatVec(a, 10, recovery_threshold=11)
+        with pytest.raises(ValueError):
+            make_scheme("raid5", a, 4)
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize(
+        "name,kwargs",
+        [
+            ("uncoded", {}),
+            ("replication", {"replication": 2}),
+            ("coded", {"recovery_threshold": 6}),
+            ("coded", {"recovery_threshold": 10}),  # k = n edge case
+            ("coded", {"recovery_threshold": 1}),  # k = 1 edge case
+        ],
+    )
+    def test_exact_product(self, name, kwargs):
+        a, x = problem()
+        scheme = make_scheme(name, a, 10, **kwargs)
+        out = scheme.multiply(x, np.random.default_rng(1))
+        assert np.allclose(out.y, a @ x, atol=1e-8)
+
+    def test_rows_not_divisible_by_k(self):
+        """Padding path: 61 rows, k=7 -> ceil to 63, trim back to 61."""
+        a, x = problem(rows=61)
+        scheme = CodedMatVec(a, 10, recovery_threshold=7)
+        out = scheme.multiply(x, np.random.default_rng(2))
+        assert out.y.shape == (61,)
+        assert np.allclose(out.y, a @ x, atol=1e-8)
+
+    def test_matrix_rhs(self):
+        """x may be a matrix (A^T U in the GD backward pass)."""
+        a, _ = problem()
+        x = np.random.default_rng(3).standard_normal((9, 4))
+        scheme = CodedMatVec(a, 10, recovery_threshold=5)
+        out = scheme.multiply(x, np.random.default_rng(4))
+        assert out.y.shape == (60, 4)
+        assert np.allclose(out.y, a @ x, atol=1e-8)
+
+    @settings(max_examples=25, deadline=None)
+    @given(data=st.data())
+    def test_property_all_schemes_agree(self, data):
+        n = data.draw(st.integers(2, 8))
+        k = data.draw(st.integers(1, n))
+        rows = data.draw(st.integers(n, 50))
+        a, x = problem(rows=rows, seed=data.draw(st.integers(0, 99)))
+        seed = data.draw(st.integers(0, 99))
+        uncoded = UncodedMatVec(a, n).multiply(x, np.random.default_rng(seed))
+        coded = CodedMatVec(a, n, recovery_threshold=k).multiply(
+            x, np.random.default_rng(seed)
+        )
+        assert np.allclose(uncoded.y, coded.y, atol=1e-6)
+
+
+class TestTiming:
+    def test_uncoded_waits_for_everyone(self):
+        a, x = problem()
+        scheme = UncodedMatVec(a, 10)
+        out = scheme.multiply(x, np.random.default_rng(5))
+        assert out.time == pytest.approx(out.worker_times.max())
+        assert out.waited_for == list(range(10))
+
+    def test_coded_waits_for_kth(self):
+        a, x = problem()
+        scheme = CodedMatVec(a, 10, recovery_threshold=6)
+        out = scheme.multiply(x, np.random.default_rng(6))
+        assert len(out.waited_for) == 6
+        assert out.time == pytest.approx(
+            np.sort(out.worker_times)[5]
+        )
+        # Stragglers beyond the k-th are strictly ignored.
+        assert out.time <= out.worker_times.max()
+
+    def test_replication_uses_fastest_replica(self):
+        a, x = problem()
+        scheme = ReplicatedMatVec(a, 10, replication=5)
+        out = scheme.multiply(x, np.random.default_rng(7))
+        assert len(out.waited_for) == 2  # 10/5 blocks
+        blocks = {scheme.block_of_worker[w] for w in out.waited_for}
+        assert blocks == {0, 1}
+
+    def test_expected_time_orders_schemes(self):
+        """With a heavy tail, coded < replicated < uncoded in expectation."""
+        a, _ = problem(rows=100)
+        lat = ShiftedExponential(shift=1.0, rate=0.5)
+        uncoded = UncodedMatVec(a, 10, latency=lat).expected_time()
+        repl = ReplicatedMatVec(a, 10, replication=2, latency=lat).expected_time()
+        coded = CodedMatVec(a, 10, recovery_threshold=7, latency=lat).expected_time()
+        assert coded < repl < uncoded
+
+    def test_expected_time_matches_monte_carlo(self):
+        a, x = problem(rows=100)
+        scheme = CodedMatVec(a, 10, recovery_threshold=7)
+        rng = np.random.default_rng(8)
+        times = [scheme.multiply(x, rng).time for _ in range(3000)]
+        assert np.mean(times) == pytest.approx(scheme.expected_time(), rel=0.05)
+
+    def test_work_scales_with_scheme(self):
+        """Coded workers each do 1/k of A; uncoded do 1/n (< 1/k)."""
+        a, _ = problem(rows=100)
+        assert CodedMatVec(a, 10, recovery_threshold=5).work_per_worker == 0.2
+        assert UncodedMatVec(a, 10).work_per_worker == 0.1

@@ -1,0 +1,138 @@
+"""End-to-end CodedTeraSort tests: correctness, equivalence, and loads."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.coded_terasort import run_coded_terasort
+from repro.core.terasort import run_terasort
+from repro.core.theory import coded_shuffle_bytes
+from repro.kvpairs.teragen import teragen, teragen_skewed
+from repro.kvpairs.validation import validate_sorted_permutation
+
+
+class TestCodedCorrectness:
+    @pytest.mark.parametrize(
+        "k,r",
+        [(2, 1), (3, 1), (3, 2), (4, 2), (4, 3), (5, 2), (5, 4), (6, 3), (8, 2)],
+    )
+    def test_sorts_across_k_r_grid(self, k, r, thread_cluster_factory):
+        data = teragen(3000 + 97 * k + r, seed=k * 10 + r)
+        run = run_coded_terasort(thread_cluster_factory(k), data, redundancy=r)
+        validate_sorted_permutation(data, run.partitions)
+
+    def test_output_identical_to_terasort(self, thread_cluster_factory):
+        """Both algorithms must produce the exact same partitions."""
+        data = teragen(5000, seed=1)
+        plain = run_terasort(thread_cluster_factory(5), data)
+        coded = run_coded_terasort(thread_cluster_factory(5), data, redundancy=2)
+        assert len(plain.partitions) == len(coded.partitions)
+        for p, c in zip(plain.partitions, coded.partitions):
+            assert p == c
+
+    def test_batched_placement(self, thread_cluster_factory):
+        data = teragen(4000, seed=2)
+        run = run_coded_terasort(
+            thread_cluster_factory(4), data, redundancy=2, batches_per_subset=3
+        )
+        validate_sorted_permutation(data, run.partitions)
+        assert run.meta["num_files"] == 18  # 3 * C(4,2)
+
+    def test_empty_input(self, thread_cluster_factory):
+        run = run_coded_terasort(
+            thread_cluster_factory(4), teragen(0), redundancy=2
+        )
+        assert run.total_records == 0
+
+    def test_tiny_input_many_files(self, thread_cluster_factory):
+        """More files than records: most files empty, still correct."""
+        data = teragen(5, seed=3)
+        run = run_coded_terasort(thread_cluster_factory(5), data, redundancy=3)
+        validate_sorted_permutation(data, run.partitions)
+
+    def test_skewed_keys(self, thread_cluster_factory):
+        data = teragen_skewed(6000, seed=4, zipf_a=1.4)
+        run = run_coded_terasort(
+            thread_cluster_factory(4), data, redundancy=2,
+            sampled_partitioner=True,
+        )
+        validate_sorted_permutation(data, run.partitions)
+
+    def test_invalid_redundancy(self, thread_cluster_factory):
+        with pytest.raises(ValueError):
+            run_coded_terasort(
+                thread_cluster_factory(4), teragen(100), redundancy=4
+            )
+
+    # The factory fixture builds a fresh cluster per call, so reusing it
+    # across generated examples is safe.
+    @settings(
+        max_examples=8,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    @given(
+        k=st.integers(2, 6),
+        seed=st.integers(0, 100),
+        n=st.integers(0, 2000),
+        data_obj=st.data(),
+    )
+    def test_sort_property(self, k, seed, n, data_obj, thread_cluster_factory):
+        r = data_obj.draw(st.integers(1, k - 1))
+        data = teragen(n, seed=seed)
+        run = run_coded_terasort(thread_cluster_factory(k), data, redundancy=r)
+        validate_sorted_permutation(data, run.partitions)
+
+
+class TestCodedAccounting:
+    def test_multicast_count_matches_plan(self, thread_cluster_factory):
+        k, r = 5, 2
+        data = teragen(3000, seed=5)
+        run = run_coded_terasort(thread_cluster_factory(k), data, redundancy=r)
+        assert (
+            run.traffic.message_count("shuffle") == run.meta["total_multicasts"]
+        )
+
+    def test_shuffle_load_near_theory(self, thread_cluster_factory):
+        """Measured multicast payload converges to Eq. (2)'s load."""
+        k, r = 6, 2
+        n = 30000
+        data = teragen(n, seed=6)
+        run = run_coded_terasort(thread_cluster_factory(k), data, redundancy=r)
+        payload = run.traffic.load_bytes("shuffle")
+        ideal = coded_shuffle_bytes(n * 100, r, k)
+        # Headers + size imbalance put measured a few % above the ideal.
+        assert payload >= ideal
+        assert (payload - ideal) / ideal < 0.10
+
+    def test_coded_beats_uncoded_load(self, thread_cluster_factory):
+        """The headline claim at the traffic level: load cut by ~r."""
+        k, r = 6, 3
+        n = 30000
+        data = teragen(n, seed=7)
+        uncoded = run_terasort(thread_cluster_factory(k), data)
+        coded = run_coded_terasort(thread_cluster_factory(k), data, redundancy=r)
+        u = uncoded.traffic.load_bytes("shuffle")
+        c = coded.traffic.load_bytes("shuffle")
+        # Theoretical ratio is 2r/... precisely r vs (1-1/k)/((1/r)(1-r/k)).
+        expected_ratio = (1 - 1 / k) / ((1 / r) * (1 - r / k))
+        assert u / c == pytest.approx(expected_ratio, rel=0.10)
+
+    def test_meta_plan_statistics(self, thread_cluster_factory):
+        from repro.utils.subsets import binomial
+
+        k, r = 5, 2
+        run = run_coded_terasort(
+            thread_cluster_factory(k), teragen(500, seed=8), redundancy=r
+        )
+        assert run.meta["num_groups"] == binomial(k, r + 1)
+        assert run.meta["files_per_node"] == binomial(k - 1, r - 1)
+
+    def test_stage_breakdown_has_six_stages(self, thread_cluster_factory):
+        run = run_coded_terasort(
+            thread_cluster_factory(4), teragen(500, seed=9), redundancy=2
+        )
+        assert run.stage_times.stages == [
+            "codegen", "map", "encode", "shuffle", "decode", "reduce",
+        ]

@@ -1,0 +1,271 @@
+"""Tests for the discrete-event engine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.des import (
+    Barrier,
+    Environment,
+    Event,
+    Process,
+    Resource,
+    SimError,
+    Timeout,
+)
+
+
+class TestTimeAdvance:
+    def test_timeout_advances_clock(self):
+        env = Environment()
+
+        def proc():
+            yield env.timeout(5.0)
+            return env.now
+
+        assert env.run_process(proc()) == 5.0
+
+    def test_sequential_timeouts_accumulate(self):
+        env = Environment()
+
+        def proc():
+            yield env.timeout(1.0)
+            yield env.timeout(2.5)
+            return env.now
+
+        assert env.run_process(proc()) == 3.5
+
+    def test_negative_timeout_rejected(self):
+        env = Environment()
+        with pytest.raises(SimError):
+            env.timeout(-1)
+
+    def test_zero_timeout_ok(self):
+        env = Environment()
+
+        def proc():
+            yield env.timeout(0.0)
+            return env.now
+
+        assert env.run_process(proc()) == 0.0
+
+    def test_run_until_pauses_clock(self):
+        env = Environment()
+        log = []
+
+        def proc():
+            yield env.timeout(10.0)
+            log.append(env.now)
+
+        env.process(proc())
+        env.run(until=5.0)
+        assert env.now == 5.0 and log == []
+        env.run()
+        assert log == [10.0]
+
+
+class TestDeterminism:
+    def test_simultaneous_events_fire_in_schedule_order(self):
+        env = Environment()
+        order = []
+
+        def make(name):
+            def proc():
+                yield env.timeout(1.0)
+                order.append(name)
+
+            return proc
+
+        for name in ("a", "b", "c"):
+            env.process(make(name)())
+        env.run()
+        assert order == ["a", "b", "c"]
+
+    def test_two_runs_identical(self):
+        def build():
+            env = Environment()
+            log = []
+
+            def proc(i):
+                yield env.timeout(i % 3)
+                log.append((env.now, i))
+
+            for i in range(20):
+                env.process(proc(i))
+            env.run()
+            return log
+
+        assert build() == build()
+
+
+class TestEvents:
+    def test_event_value_passed_to_waiter(self):
+        env = Environment()
+        evt = env.event()
+        got = []
+
+        def waiter():
+            value = yield evt
+            got.append(value)
+
+        def firer():
+            yield env.timeout(2.0)
+            evt.succeed("payload")
+
+        env.process(waiter())
+        env.process(firer())
+        env.run()
+        assert got == ["payload"]
+
+    def test_wait_on_already_fired_event(self):
+        env = Environment()
+        evt = env.event()
+        evt.succeed(7)
+
+        def waiter():
+            value = yield evt
+            return value
+
+        assert env.run_process(waiter()) == 7
+
+    def test_double_trigger_rejected(self):
+        env = Environment()
+        evt = env.event()
+        evt.succeed()
+        with pytest.raises(SimError):
+            evt.succeed()
+
+    def test_process_join(self):
+        env = Environment()
+
+        def child():
+            yield env.timeout(3.0)
+            return "done"
+
+        def parent():
+            result = yield env.process(child())
+            return (env.now, result)
+
+        assert env.run_process(parent()) == (3.0, "done")
+
+    def test_yield_garbage_raises(self):
+        env = Environment()
+
+        def bad():
+            yield 42
+
+        env.process(bad())
+        with pytest.raises(SimError):
+            env.run()
+
+    def test_deadlock_detected_by_run_process(self):
+        env = Environment()
+
+        def stuck():
+            yield env.event()  # never fired
+
+        with pytest.raises(SimError, match="did not finish"):
+            env.run_process(stuck())
+
+
+class TestResource:
+    def test_serializes_holders(self):
+        env = Environment()
+        res = Resource(env, capacity=1)
+        spans = []
+
+        def worker(i):
+            yield res.request()
+            start = env.now
+            yield env.timeout(2.0)
+            res.release()
+            spans.append((start, env.now))
+
+        for i in range(3):
+            env.process(worker(i))
+        env.run()
+        assert spans == [(0.0, 2.0), (2.0, 4.0), (4.0, 6.0)]
+
+    def test_fifo_order(self):
+        env = Environment()
+        res = Resource(env, capacity=1)
+        order = []
+
+        def worker(i):
+            yield res.request()
+            order.append(i)
+            yield env.timeout(1.0)
+            res.release()
+
+        for i in range(5):
+            env.process(worker(i))
+        env.run()
+        assert order == [0, 1, 2, 3, 4]
+
+    def test_capacity_two_overlaps(self):
+        env = Environment()
+        res = Resource(env, capacity=2)
+        spans = []
+
+        def worker():
+            yield res.request()
+            start = env.now
+            yield env.timeout(2.0)
+            res.release()
+            spans.append((start, env.now))
+
+        for _ in range(4):
+            env.process(worker())
+        env.run()
+        assert spans == [(0.0, 2.0), (0.0, 2.0), (2.0, 4.0), (2.0, 4.0)]
+
+    def test_release_without_request(self):
+        env = Environment()
+        res = Resource(env, capacity=1)
+        with pytest.raises(SimError):
+            res.release()
+
+    def test_invalid_capacity(self):
+        with pytest.raises(SimError):
+            Resource(Environment(), 0)
+
+
+class TestBarrier:
+    def test_all_wait_for_slowest(self):
+        env = Environment()
+        barrier = Barrier(env, 3)
+        times = {}
+
+        def worker(i):
+            yield env.timeout(float(i))
+            yield barrier.wait()
+            times[i] = env.now
+
+        for i in range(3):
+            env.process(worker(i))
+        env.run()
+        assert times == {0: 2.0, 1: 2.0, 2: 2.0}
+
+    def test_reusable(self):
+        env = Environment()
+        barrier = Barrier(env, 2)
+        log = []
+
+        def worker(i):
+            for round_idx in range(3):
+                yield env.timeout(i + 1.0)
+                yield barrier.wait()
+                log.append((round_idx, i, env.now))
+
+        env.process(worker(0))
+        env.process(worker(1))
+        env.run()
+        # Both workers cross each round at the same time.
+        rounds = {}
+        for round_idx, _i, t in log:
+            rounds.setdefault(round_idx, set()).add(t)
+        assert all(len(ts) == 1 for ts in rounds.values())
+
+    def test_invalid_parties(self):
+        with pytest.raises(SimError):
+            Barrier(Environment(), 0)

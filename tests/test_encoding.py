@@ -1,0 +1,173 @@
+"""Tests for Algorithm 1 (segmentation, XOR, packet wire format)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.encoding import (
+    CodedPacket,
+    CodingError,
+    encode_packet,
+    segment_bounds,
+    segment_of,
+    xor_into,
+)
+
+
+class TestSegmentBounds:
+    def test_even_split(self):
+        assert segment_bounds(9, 3) == [(0, 3), (3, 6), (6, 9)]
+
+    def test_uneven_split_front_loaded(self):
+        assert segment_bounds(10, 3) == [(0, 4), (4, 7), (7, 10)]
+
+    def test_zero_length(self):
+        assert segment_bounds(0, 3) == [(0, 0), (0, 0), (0, 0)]
+
+    def test_single_segment(self):
+        assert segment_bounds(7, 1) == [(0, 7)]
+
+    def test_invalid_count(self):
+        with pytest.raises(CodingError):
+            segment_bounds(5, 0)
+
+    @given(st.integers(0, 1000), st.integers(1, 10))
+    def test_partition_property(self, n, parts):
+        bounds = segment_bounds(n, parts)
+        assert bounds[0][0] == 0 and bounds[-1][1] == n
+        sizes = [b - a for a, b in bounds]
+        assert sum(sizes) == n
+        assert max(sizes) - min(sizes) <= 1
+        for (_, stop), (start, _) in zip(bounds, bounds[1:]):
+            assert stop == start
+
+
+class TestSegmentOf:
+    def test_segments_reassemble(self):
+        data = bytes(range(20))
+        owners = (1, 4, 6)
+        segs = [segment_of(data, owners, o) for o in owners]
+        assert b"".join(segs) == data
+
+    def test_owner_not_in_owners(self):
+        with pytest.raises(CodingError):
+            segment_of(b"abc", (0, 1), 2)
+
+
+class TestXorInto:
+    def test_basic_xor(self):
+        acc = bytearray(b"\x0f\x0f")
+        xor_into(acc, b"\xf0\x00")
+        assert acc == bytearray(b"\xff\x0f")
+
+    def test_shorter_data_zero_padded(self):
+        acc = bytearray(b"\x01\x02\x03")
+        xor_into(acc, b"\x01")
+        assert acc == bytearray(b"\x00\x02\x03")
+
+    def test_longer_data_truncated(self):
+        acc = bytearray(b"\x01")
+        xor_into(acc, b"\x01\xff\xff")
+        assert acc == bytearray(b"\x00")
+
+    def test_empty_noop(self):
+        acc = bytearray(b"\xaa")
+        xor_into(acc, b"")
+        assert acc == bytearray(b"\xaa")
+
+    @given(st.binary(max_size=64), st.binary(max_size=64))
+    def test_involution(self, a, b):
+        acc = bytearray(a)
+        xor_into(acc, b)
+        xor_into(acc, b)
+        assert acc == bytearray(a)
+
+
+def make_store(group, payload_sizes):
+    """Global (subset, target) -> bytes store for one group."""
+    from repro.utils.subsets import without
+
+    store = {}
+    for i, t in enumerate(group):
+        subset = without(group, t)
+        size = payload_sizes[i % len(payload_sizes)]
+        store[(subset, t)] = bytes((j * 31 + t) % 256 for j in range(size))
+    return store
+
+
+class TestEncodePacket:
+    def test_packet_structure(self):
+        group = (0, 1, 2)
+        store = make_store(group, [12])
+        pkt = encode_packet(0, group, lambda s, t: store[(s, t)])
+        assert pkt.group == group and pkt.sender == 0
+        assert [t for t, _ in pkt.seg_lengths] == [1, 2]
+        # 12 bytes split among r=2 owners -> 6-byte segments.
+        assert all(length == 6 for _, length in pkt.seg_lengths)
+        assert len(pkt.payload) == 6
+
+    def test_payload_is_max_of_true_lengths(self):
+        group = (0, 1, 2)
+        store = make_store(group, [10, 21, 7])
+        pkt = encode_packet(1, group, lambda s, t: store[(s, t)])
+        assert len(pkt.payload) == max(l for _, l in pkt.seg_lengths)
+
+    def test_sender_not_in_group(self):
+        group = (0, 1, 2)
+        store = make_store(group, [6])
+        with pytest.raises(CodingError):
+            encode_packet(5, group, lambda s, t: store[(s, t)])
+
+    def test_unsorted_group_rejected(self):
+        with pytest.raises(CodingError):
+            encode_packet(1, (2, 1, 0), lambda s, t: b"")
+
+    def test_zero_length_values(self):
+        group = (0, 1, 2)
+        store = make_store(group, [0])
+        pkt = encode_packet(0, group, lambda s, t: store[(s, t)])
+        assert pkt.payload == b""
+        assert all(l == 0 for _, l in pkt.seg_lengths)
+
+    def test_length_for(self):
+        group = (0, 1, 3)
+        store = make_store(group, [9])
+        pkt = encode_packet(0, group, lambda s, t: store[(s, t)])
+        assert pkt.length_for(1) in (4, 5)
+        with pytest.raises(CodingError):
+            pkt.length_for(0)  # sender is not a target
+
+
+class TestPacketWireFormat:
+    def roundtrip(self, pkt):
+        return CodedPacket.from_bytes(pkt.to_bytes())
+
+    def test_roundtrip(self):
+        group = (1, 3, 4, 7)
+        store = make_store(group, [33, 5, 0, 17])
+        pkt = encode_packet(3, group, lambda s, t: store[(s, t)])
+        back = self.roundtrip(pkt)
+        assert back == pkt
+
+    def test_bad_magic(self):
+        group = (0, 1)
+        store = make_store(group, [4])
+        buf = bytearray(encode_packet(0, group, lambda s, t: store[(s, t)]).to_bytes())
+        buf[0] = 0
+        with pytest.raises(CodingError):
+            CodedPacket.from_bytes(bytes(buf))
+
+    def test_truncated(self):
+        group = (0, 1)
+        store = make_store(group, [4])
+        buf = encode_packet(0, group, lambda s, t: store[(s, t)]).to_bytes()
+        with pytest.raises(CodingError):
+            CodedPacket.from_bytes(buf[:-1])
+
+    def test_header_bytes_accounts_wire_size(self):
+        group = (0, 1, 2)
+        store = make_store(group, [10])
+        pkt = encode_packet(0, group, lambda s, t: store[(s, t)])
+        assert len(pkt.to_bytes()) == pkt.header_bytes + len(pkt.payload)

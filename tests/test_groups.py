@@ -1,0 +1,101 @@
+"""Tests for multicast group enumeration and the CodeGen plan."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.groups import (
+    build_coding_plan,
+    group_schedule_by_group,
+    verify_plan,
+)
+from repro.utils.subsets import binomial
+
+
+class TestPlanStructure:
+    def test_group_count(self):
+        plan = build_coding_plan(6, 2)
+        assert plan.num_groups == binomial(6, 3) == 20
+
+    def test_paper_scale_counts(self):
+        assert build_coding_plan(16, 3).num_groups == 1820
+        assert build_coding_plan(20, 5).num_groups == 38760
+
+    def test_packets_per_node(self):
+        plan = build_coding_plan(6, 2)
+        assert plan.packets_per_node == binomial(5, 2) == 10
+        for node, idxs in plan.groups_of_node.items():
+            assert len(idxs) == 10
+
+    def test_total_multicasts(self):
+        plan = build_coding_plan(5, 2)
+        assert plan.total_multicasts == binomial(5, 3) * 3
+        assert len(plan.schedule) == plan.total_multicasts
+
+    def test_invalid_redundancy(self):
+        with pytest.raises(ValueError):
+            build_coding_plan(4, 0)
+        with pytest.raises(ValueError):
+            build_coding_plan(4, 4)  # no groups of size 5 exist
+
+    def test_file_subset_for(self):
+        plan = build_coding_plan(5, 2)
+        idx = plan.groups.index((0, 2, 4))
+        assert plan.file_subset_for(idx, 2) == (0, 4)
+
+    @given(st.integers(2, 9), st.data())
+    def test_verify_plan_property(self, k, data):
+        r = data.draw(st.integers(1, k - 1))
+        verify_plan(build_coding_plan(k, r))
+
+
+class TestSchedule:
+    def test_fig9b_sender_order(self):
+        """Node 0 sends all its packets, then node 1, etc. (Fig. 9(b))."""
+        plan = build_coding_plan(4, 2)
+        senders = [s for _, s in plan.schedule]
+        assert senders == sorted(senders)
+
+    def test_schedule_covers_each_group_sender_pair_once(self):
+        plan = build_coding_plan(5, 3)
+        pairs = set()
+        for gidx, sender in plan.schedule:
+            assert sender in plan.groups[gidx]
+            pairs.add((gidx, sender))
+        assert len(pairs) == plan.total_multicasts
+
+    def test_by_group_schedule_same_pairs(self):
+        plan = build_coding_plan(5, 2)
+        a = set(plan.schedule)
+        b = set(group_schedule_by_group(plan))
+        assert a == b
+
+    def test_within_sender_lexicographic_groups(self):
+        plan = build_coding_plan(5, 2)
+        for sender in range(5):
+            groups = [plan.groups[g] for g, s in plan.schedule if s == sender]
+            assert groups == sorted(groups)
+
+
+class TestVerifyPlanCatchesCorruption:
+    def test_duplicate_schedule_entry(self):
+        plan = build_coding_plan(4, 2)
+        plan.schedule.append(plan.schedule[0])
+        with pytest.raises(AssertionError):
+            verify_plan(plan)
+
+    def test_wrong_membership(self):
+        plan = build_coding_plan(4, 2)
+        plan.groups_of_node[0].append(
+            next(i for i, g in enumerate(plan.groups) if 0 not in g)
+        )
+        with pytest.raises(AssertionError):
+            verify_plan(plan)
+
+    def test_missing_group(self):
+        plan = build_coding_plan(4, 2)
+        plan.groups.pop()
+        with pytest.raises(AssertionError):
+            verify_plan(plan)

@@ -1,0 +1,127 @@
+"""Tests for the threaded in-process backend."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.runtime.api import CommError
+from repro.runtime.inproc import ThreadCluster, _Mailbox
+from repro.runtime.program import NodeProgram
+
+
+class TestMailbox:
+    def test_fifo_per_key(self):
+        mb = _Mailbox()
+        mb.put(0, 1, b"a")
+        mb.put(0, 1, b"b")
+        assert mb.get(0, 1, timeout=1) == b"a"
+        assert mb.get(0, 1, timeout=1) == b"b"
+
+    def test_selective_receive(self):
+        mb = _Mailbox()
+        mb.put(0, 2, b"two")
+        mb.put(0, 1, b"one")
+        assert mb.get(0, 1, timeout=1) == b"one"
+        assert mb.get(0, 2, timeout=1) == b"two"
+
+    def test_timeout_raises(self):
+        mb = _Mailbox()
+        with pytest.raises(CommError, match="timeout"):
+            mb.get(0, 1, timeout=0.05)
+
+    def test_closed_raises(self):
+        mb = _Mailbox()
+        mb.close()
+        with pytest.raises(CommError, match="closed"):
+            mb.get(0, 1, timeout=1)
+        with pytest.raises(CommError, match="closed"):
+            mb.put(0, 1, b"x")
+
+
+class _PingPong(NodeProgram):
+    STAGES = ["play"]
+
+    def run(self):
+        with self.stage("play"):
+            other = 1 - self.rank
+            if self.rank == 0:
+                self.comm.send(other, 5, b"ping")
+                return self.comm.recv(other, 6)
+            msg = self.comm.recv(other, 5)
+            self.comm.send(other, 6, b"pong-" + msg)
+            return msg
+
+
+class _Failing(NodeProgram):
+    STAGES = ["boom"]
+
+    def run(self):
+        with self.stage("boom"):
+            if self.rank == 1:
+                raise ValueError("deliberate failure")
+            # Other nodes block on a message that never comes.
+            self.comm.recv(1, 7)
+
+
+class _BarrierCounter(NodeProgram):
+    STAGES = ["sync"]
+
+    def run(self):
+        import threading
+
+        with self.stage("sync"):
+            order = []
+            for i in range(3):
+                self.comm.barrier()
+                order.append(i)
+        return order
+
+
+class TestThreadCluster:
+    def test_ping_pong(self):
+        res = ThreadCluster(2, recv_timeout=10).run(_PingPong)
+        assert res.results[0] == b"pong-ping"
+        assert res.results[1] == b"ping"
+
+    def test_stage_times_collected(self):
+        res = ThreadCluster(2, recv_timeout=10).run(_PingPong)
+        assert res.stage_times.stages == ["play"]
+        assert res.stage_times["play"] >= 0
+
+    def test_traffic_collected(self):
+        res = ThreadCluster(2, recv_timeout=10).run(_PingPong)
+        assert res.traffic.message_count() == 2
+        assert res.traffic.load_bytes() == len(b"ping") + len(b"pong-ping")
+
+    def test_node_failure_propagates_with_rank(self):
+        with pytest.raises(RuntimeError, match="node 1 failed"):
+            ThreadCluster(3, recv_timeout=10).run(_Failing)
+
+    def test_failure_unblocks_peers_quickly(self):
+        """Peers blocked on recv must not wait out the full timeout."""
+        import time
+
+        start = time.monotonic()
+        with pytest.raises(RuntimeError):
+            ThreadCluster(4, recv_timeout=60).run(_Failing)
+        assert time.monotonic() - start < 10
+
+    def test_repeated_barriers(self):
+        res = ThreadCluster(4, recv_timeout=10).run(_BarrierCounter)
+        assert all(r == [0, 1, 2] for r in res.results)
+
+    def test_single_node_cluster(self):
+        class Solo(NodeProgram):
+            STAGES = ["s"]
+
+            def run(self):
+                with self.stage("s"):
+                    self.comm.barrier()
+                    return self.rank
+
+        res = ThreadCluster(1, recv_timeout=5).run(Solo)
+        assert res.results == [0]
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            ThreadCluster(0)

@@ -1,0 +1,95 @@
+"""Tests for the Map stage (hash-partitioning + retention rule)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.mapper import hash_file, map_node_coded, map_output_bytes
+from repro.core.partitioner import RangePartitioner
+from repro.kvpairs.records import RecordBatch
+from repro.kvpairs.teragen import teragen
+from repro.kvpairs.validation import validate_permutation
+
+
+class TestHashFile:
+    def test_partition_count(self, small_batch):
+        parts = hash_file(small_batch, RangePartitioner.uniform(8))
+        assert len(parts) == 8
+
+    def test_partition_is_permutation(self, small_batch):
+        parts = hash_file(small_batch, RangePartitioner.uniform(8))
+        validate_permutation(small_batch, parts)
+
+    def test_records_in_correct_partition(self, small_batch):
+        p = RangePartitioner.uniform(4)
+        parts = hash_file(small_batch, p)
+        for j, part in enumerate(parts):
+            if len(part):
+                assert (p.partition_indices(part) == j).all()
+
+    def test_empty_input(self):
+        parts = hash_file(RecordBatch.empty(), RangePartitioner.uniform(3))
+        assert all(len(p) == 0 for p in parts)
+
+    def test_stable_within_partition(self):
+        """Records keep input order inside each partition (stable grouping)."""
+        b = teragen(200, seed=6)
+        p = RangePartitioner.uniform(2)
+        parts = hash_file(b, p)
+        idx = p.partition_indices(b)
+        from repro.kvpairs.teragen import extract_row_ids
+
+        for j in (0, 1):
+            got = extract_row_ids(parts[j])
+            expected = extract_row_ids(b)[idx == j]
+            assert (got == expected).all()
+
+
+class TestCodedMap:
+    def _setup(self, k=5, r=2, n=500):
+        from repro.core.placement import CodedPlacement
+
+        b = teragen(n, seed=7)
+        placement = CodedPlacement(k, r)
+        assignments = placement.place(b)
+        node = 0
+        files = {
+            a.file_id: a.data for a in assignments if node in a.subset
+        }
+        subsets = {
+            a.file_id: a.subset for a in assignments if node in a.subset
+        }
+        return node, files, subsets, RangePartitioner.uniform(k)
+
+    def test_retention_rule(self):
+        node, files, subsets, part = self._setup()
+        kept = map_node_coded(node, files, subsets, part)
+        for file_id, per_target in kept.items():
+            subset = set(subsets[file_id])
+            targets = set(per_target)
+            # Keeps own partition plus all out-of-subset partitions.
+            expected = {node} | (set(range(part.num_partitions)) - subset)
+            assert targets == expected
+
+    def test_rejects_foreign_file(self):
+        node, files, subsets, part = self._setup()
+        bad_subsets = {f: (1, 2) for f in subsets}  # node 0 not in subset
+        with pytest.raises(ValueError):
+            map_node_coded(node, files, bad_subsets, part)
+
+    def test_retained_content_matches_hash(self):
+        node, files, subsets, part = self._setup()
+        kept = map_node_coded(node, files, subsets, part)
+        for file_id, data in files.items():
+            parts = hash_file(data, part)
+            for target, batch in kept[file_id].items():
+                assert batch == parts[target]
+
+    def test_map_output_bytes(self):
+        node, files, subsets, part = self._setup()
+        kept = map_node_coded(node, files, subsets, part)
+        total = map_output_bytes(kept)
+        manual = sum(
+            b.nbytes for pf in kept.values() for b in pf.values()
+        )
+        assert total == manual

@@ -1,0 +1,133 @@
+"""Tests for the real-valued MDS code (round trips, MDS property)."""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.stragglers.mds import MDSCode, MDSError
+
+
+class TestConstruction:
+    def test_invalid_params(self):
+        with pytest.raises(MDSError):
+            MDSCode(3, 0)
+        with pytest.raises(MDSError):
+            MDSCode(2, 3)
+        with pytest.raises(MDSError):
+            MDSCode(4, 2, construction="hamming")
+
+    def test_systematic_prefix_is_identity(self):
+        code = MDSCode(7, 4)
+        assert np.allclose(code.generator[:4], np.eye(4))
+        assert code.is_systematic
+
+    def test_vandermonde_shape(self):
+        code = MDSCode(6, 3, construction="vandermonde")
+        assert code.generator.shape == (6, 3)
+        assert not code.is_systematic
+
+    def test_n_equals_k_is_identity_map(self):
+        code = MDSCode(4, 4)
+        data = np.arange(12.0).reshape(4, 3)
+        assert np.allclose(code.encode(data), data)
+
+
+class TestEncodeDecode:
+    def test_systematic_blocks_pass_through(self):
+        code = MDSCode(6, 3)
+        data = np.random.default_rng(0).standard_normal((3, 5))
+        coded = code.encode(data)
+        assert np.allclose(coded[:3], data)
+
+    def test_encode_shape_validation(self):
+        code = MDSCode(5, 3)
+        with pytest.raises(MDSError):
+            code.encode(np.zeros((4, 2)))
+
+    def test_decode_validation(self):
+        code = MDSCode(5, 3)
+        coded = code.encode(np.ones((3, 2)))
+        with pytest.raises(MDSError):
+            code.decode(coded[:2], [0, 1])  # too few blocks/indices
+        with pytest.raises(MDSError):
+            code.decode(coded[:3], [0, 1, 1])  # duplicate index
+        with pytest.raises(MDSError):
+            code.decode(coded[:3], [0, 1, 9])  # out of range
+        with pytest.raises(MDSError):
+            code.decode(coded[:2], [0, 1, 2])  # row count != k
+
+    def test_all_erasure_patterns_small(self):
+        """Exhaustive MDS check: every 3-of-6 subset decodes."""
+        code = MDSCode(6, 3)
+        rng = np.random.default_rng(1)
+        data = rng.standard_normal((3, 4))
+        coded = code.encode(data)
+        for subset in itertools.combinations(range(6), 3):
+            got = code.decode(coded[list(subset)], list(subset))
+            assert np.allclose(got, data, atol=1e-8), subset
+
+    def test_all_erasure_patterns_vandermonde(self):
+        code = MDSCode(6, 3, construction="vandermonde")
+        rng = np.random.default_rng(2)
+        data = rng.standard_normal((3, 4))
+        coded = code.encode(data)
+        for subset in itertools.combinations(range(6), 3):
+            got = code.decode(coded[list(subset)], list(subset))
+            assert np.allclose(got, data, atol=1e-6), subset
+
+    def test_multidimensional_blocks(self):
+        """Blocks can be matrices (the coded-matmul use case)."""
+        code = MDSCode(8, 5)
+        rng = np.random.default_rng(3)
+        data = rng.standard_normal((5, 6, 7))
+        coded = code.encode(data)
+        idx = [7, 0, 3, 5, 2]
+        got = code.decode(coded[sorted(idx)], sorted(idx))
+        assert got.shape == data.shape
+        assert np.allclose(got, data, atol=1e-8)
+
+    def test_decoding_matrix_matches_decode(self):
+        code = MDSCode(7, 4)
+        rng = np.random.default_rng(4)
+        data = rng.standard_normal((4, 3))
+        coded = code.encode(data)
+        idx = [1, 2, 4, 6]
+        dec_mat = code.decoding_matrix(idx)
+        via_matrix = dec_mat @ coded[idx]
+        assert np.allclose(via_matrix, data, atol=1e-8)
+
+    def test_decoding_matrix_validation(self):
+        code = MDSCode(5, 3)
+        with pytest.raises(MDSError):
+            code.decoding_matrix([0, 1])
+
+    @settings(max_examples=40, deadline=None)
+    @given(data=st.data(), n=st.integers(2, 10))
+    def test_random_subset_roundtrip(self, data, n):
+        k = data.draw(st.integers(1, n))
+        cols = data.draw(st.integers(1, 6))
+        subset = data.draw(
+            st.lists(
+                st.integers(0, n - 1), min_size=k, max_size=k, unique=True
+            )
+        )
+        code = MDSCode(n, k)
+        rng = np.random.default_rng(17)
+        blocks = rng.standard_normal((k, cols))
+        coded = code.encode(blocks)
+        got = code.decode(coded[subset], subset)
+        assert np.allclose(got, blocks, atol=1e-6)
+
+    def test_linearity_of_encoding(self):
+        """enc(aX + bY) = a enc(X) + b enc(Y) — needed for matvec coding."""
+        code = MDSCode(6, 4)
+        rng = np.random.default_rng(5)
+        x, y = rng.standard_normal((2, 4, 3))
+        lhs = code.encode(2.0 * x - 0.5 * y)
+        rhs = 2.0 * code.encode(x) - 0.5 * code.encode(y)
+        assert np.allclose(lhs, rhs)

@@ -1,0 +1,101 @@
+"""Tests for key-domain partitioning."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.partitioner import RangePartitioner
+from repro.kvpairs.teragen import teragen, teragen_skewed
+
+
+class TestUniform:
+    def test_boundary_count_and_order(self):
+        p = RangePartitioner.uniform(8)
+        assert len(p.boundaries) == 7
+        assert (np.diff(p.boundaries.astype(object)) > 0).all()
+
+    def test_single_partition(self):
+        p = RangePartitioner.uniform(1)
+        assert p.num_partitions == 1
+        b = teragen(100, seed=0)
+        assert (p.partition_indices(b) == 0).all()
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            RangePartitioner.uniform(0)
+
+    def test_indices_in_range(self, small_batch):
+        p = RangePartitioner.uniform(16)
+        idx = p.partition_indices(small_batch)
+        assert idx.min() >= 0 and idx.max() < 16
+
+    def test_uniform_keys_balanced(self, small_batch):
+        p = RangePartitioner.uniform(4)
+        assert p.imbalance(small_batch) < 1.2
+
+    def test_partition_respects_key_order(self, small_batch):
+        """Records in partition i all precede records in partition j > i."""
+        p = RangePartitioner.uniform(5)
+        idx = p.partition_indices(small_batch)
+        hi = small_batch.key_prefix_u64()
+        for i in range(4):
+            left = hi[idx == i]
+            right = hi[idx > i]
+            if len(left) and len(right):
+                assert left.max() <= right.min() or left.max() < right.min() + 1
+
+    def test_partition_of_prefix_consistent(self, small_batch):
+        p = RangePartitioner.uniform(7)
+        idx = p.partition_indices(small_batch)
+        hi = small_batch.key_prefix_u64()
+        for i in (0, 17, 533):
+            assert p.partition_of_prefix(int(hi[i])) == idx[i]
+
+
+class TestValidation:
+    def test_wrong_boundary_count(self):
+        with pytest.raises(ValueError):
+            RangePartitioner([1, 2], 4)
+
+    def test_decreasing_boundaries_rejected(self):
+        with pytest.raises(ValueError):
+            RangePartitioner([5, 3], 3)
+
+    def test_equality(self):
+        assert RangePartitioner.uniform(4) == RangePartitioner.uniform(4)
+        assert RangePartitioner.uniform(4) != RangePartitioner.uniform(5)
+
+
+class TestSampled:
+    def test_balances_skewed_keys(self):
+        skewed = teragen_skewed(30000, seed=1, zipf_a=1.3)
+        uniform_p = RangePartitioner.uniform(8)
+        sampled_p = RangePartitioner.from_sample(
+            skewed.take(np.arange(0, 30000, 7)), 8
+        )
+        # Sampling must beat the uniform splitter substantially on skew.
+        assert sampled_p.imbalance(skewed) < uniform_p.imbalance(skewed) / 1.5
+
+    def test_uniform_sample_close_to_uniform(self, small_batch):
+        p = RangePartitioner.from_sample(small_batch, 4)
+        assert p.imbalance(small_batch) < 1.25
+
+    def test_empty_sample_falls_back(self):
+        from repro.kvpairs.records import RecordBatch
+
+        p = RangePartitioner.from_sample(RecordBatch.empty(), 4)
+        assert p == RangePartitioner.uniform(4)
+
+    def test_total_coverage(self, small_batch):
+        p = RangePartitioner.from_sample(small_batch.slice(0, 100), 6)
+        idx = p.partition_indices(small_batch)
+        assert idx.min() >= 0 and idx.max() < 6
+
+    @given(st.integers(1, 12))
+    def test_counts_sum_to_n(self, k):
+        b = teragen(997, seed=k)
+        p = RangePartitioner.uniform(k)
+        assert p.partition_counts(b).sum() == 997

@@ -1,0 +1,139 @@
+"""Tests for file placement (uncoded and structured redundant)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.placement import CodedPlacement, UncodedPlacement, split_even
+from repro.kvpairs.records import RecordBatch
+from repro.kvpairs.teragen import teragen
+from repro.utils.subsets import binomial, k_subsets
+
+
+class TestSplitEven:
+    def test_sizes_differ_by_at_most_one(self):
+        b = teragen(103, seed=0)
+        parts = split_even(b, 5)
+        sizes = [len(p) for p in parts]
+        assert sum(sizes) == 103
+        assert max(sizes) - min(sizes) <= 1
+        assert sizes == sorted(sizes, reverse=True)
+
+    def test_concat_restores_input(self):
+        b = teragen(100, seed=1)
+        assert RecordBatch.concat(split_even(b, 7)) == b
+
+    def test_more_parts_than_records(self):
+        b = teragen(3, seed=2)
+        parts = split_even(b, 10)
+        assert len(parts) == 10
+        assert sum(len(p) for p in parts) == 3
+
+    def test_invalid_parts(self):
+        with pytest.raises(ValueError):
+            split_even(teragen(5), 0)
+
+
+class TestUncodedPlacement:
+    def test_one_file_per_node(self):
+        p = UncodedPlacement(4)
+        assert p.num_files == 4
+        assert p.files_of_node(2) == [2]
+        assert p.subsets() == [(0,), (1,), (2,), (3,)]
+
+    def test_place_disjoint_cover(self):
+        b = teragen(100, seed=3)
+        assignments = UncodedPlacement(4).place(b)
+        assert RecordBatch.concat([a.data for a in assignments]) == b
+        for a in assignments:
+            assert a.subset == (a.file_id,)
+
+    def test_bad_node(self):
+        with pytest.raises(ValueError):
+            UncodedPlacement(3).files_of_node(3)
+
+
+class TestCodedPlacementStructure:
+    def test_file_count(self):
+        p = CodedPlacement(6, 3)
+        assert p.num_files == binomial(6, 3) == 20
+
+    def test_files_per_node(self):
+        p = CodedPlacement(6, 3)
+        for node in range(6):
+            files = p.files_of_node(node)
+            assert len(files) == binomial(5, 2) == p.files_per_node()
+            for f in files:
+                assert node in p.subset_of_file(f)
+
+    def test_every_r_subset_has_unique_common_file(self):
+        """The key structural property (§IV-A)."""
+        k, r = 6, 2
+        p = CodedPlacement(k, r)
+        for subset in k_subsets(k, r):
+            common = set(p.files_of_node(subset[0]))
+            for node in subset[1:]:
+                common &= set(p.files_of_node(node))
+            # Exactly the files whose subset contains all of `subset`:
+            # for |subset| = r that is the single file F_subset.
+            assert common == {p.file_id(subset)}
+
+    def test_subset_file_id_roundtrip(self):
+        p = CodedPlacement(7, 3)
+        for f in range(p.num_files):
+            assert p.file_id(p.subset_of_file(f), p.batch_of_file(f)) == f
+
+    def test_r_equals_k(self):
+        p = CodedPlacement(4, 4)
+        assert p.num_files == 1
+        assert p.subset_of_file(0) == (0, 1, 2, 3)
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            CodedPlacement(4, 0)
+        with pytest.raises(ValueError):
+            CodedPlacement(4, 5)
+        with pytest.raises(ValueError):
+            CodedPlacement(4, 2, 0)
+
+    def test_batching(self):
+        p = CodedPlacement(4, 2, batches_per_subset=3)
+        assert p.num_files == 3 * 6
+        assert p.batch_of_file(7) == 1
+        assert p.subset_of_file(1) == p.subset_of_file(7) == p.subset_of_file(13)
+        assert len(p.files_of_node(0)) == 3 * binomial(3, 1)
+
+    @given(st.integers(2, 8), st.data())
+    def test_placement_invariants_property(self, k, data):
+        r = data.draw(st.integers(1, k))
+        p = CodedPlacement(k, r)
+        # Each file on exactly r nodes; each node holds C(k-1, r-1) files.
+        for f in range(p.num_files):
+            assert len(p.subset_of_file(f)) == r
+        total_replicas = sum(len(p.files_of_node(n)) for n in range(k))
+        assert total_replicas == p.num_files * r
+
+
+class TestCodedPlacementData:
+    def test_place_covers_input_disjointly(self):
+        b = teragen(210, seed=4)
+        p = CodedPlacement(5, 2)
+        assignments = p.place(b)
+        assert RecordBatch.concat([a.data for a in assignments]) == b
+        sizes = [len(a.data) for a in assignments]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_node_storage_grows_with_r(self):
+        b = teragen(1000, seed=5)
+        for r in (1, 2, 3):
+            p = CodedPlacement(5, r)
+            stored = sum(
+                len(a.data) for a in p.place(b) for _ in a.subset
+            )
+            assert abs(stored - 1000 * r) <= r  # rounding slack
+
+    def test_node_storage_bytes_formula(self):
+        p = CodedPlacement(8, 3)
+        assert p.node_storage_bytes(8000) == pytest.approx(3000)

@@ -1,0 +1,129 @@
+"""Tests for polynomial-coded matrix-matrix multiplication."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.stragglers.latency import ShiftedExponential
+from repro.stragglers.polynomial import (
+    PolynomialCodedMatMul,
+    PolynomialCodeError,
+)
+
+
+def problem(rows=30, inner=9, cols=14, seed=0):
+    rng = np.random.default_rng(seed)
+    return rng.standard_normal((rows, inner)), rng.standard_normal(
+        (inner, cols)
+    )
+
+
+class TestValidation:
+    def test_dimension_mismatch(self):
+        with pytest.raises(PolynomialCodeError):
+            PolynomialCodedMatMul(np.zeros((4, 3)), np.zeros((4, 3)), 6)
+
+    def test_one_dimensional_rejected(self):
+        with pytest.raises(PolynomialCodeError):
+            PolynomialCodedMatMul(np.zeros(4), np.zeros((4, 3)), 6)
+
+    def test_too_few_workers(self):
+        a, b = problem()
+        with pytest.raises(PolynomialCodeError):
+            PolynomialCodedMatMul(a, b, num_workers=3, m=2, n=2)
+
+    def test_bad_block_counts(self):
+        a, b = problem()
+        with pytest.raises(PolynomialCodeError):
+            PolynomialCodedMatMul(a, b, 6, m=0, n=2)
+        with pytest.raises(PolynomialCodeError):
+            PolynomialCodedMatMul(a, b, 200, m=40, n=2)  # m > rows
+
+
+class TestCorrectness:
+    def test_exact_product(self):
+        a, b = problem()
+        pm = PolynomialCodedMatMul(a, b, num_workers=8, m=2, n=3)
+        out = pm.multiply(np.random.default_rng(1))
+        assert out.c.shape == (30, 14)
+        assert np.allclose(out.c, a @ b, atol=1e-8)
+
+    def test_recovery_threshold_is_mn(self):
+        a, b = problem()
+        pm = PolynomialCodedMatMul(a, b, num_workers=10, m=3, n=2)
+        assert pm.recovery_threshold == 6
+        out = pm.multiply(np.random.default_rng(2))
+        assert len(out.waited_for) == 6
+
+    def test_unpadded_dimensions(self):
+        """Rows/cols not divisible by m/n exercise the padding path."""
+        a, b = problem(rows=31, cols=13)
+        pm = PolynomialCodedMatMul(a, b, num_workers=14, m=4, n=3)
+        out = pm.multiply(np.random.default_rng(3))
+        assert np.allclose(out.c, a @ b, atol=1e-7)
+
+    def test_m_equals_n_equals_one(self):
+        """Degenerate 1x1 split: plain replication, any 1 worker decodes."""
+        a, b = problem()
+        pm = PolynomialCodedMatMul(a, b, num_workers=4, m=1, n=1)
+        out = pm.multiply(np.random.default_rng(4))
+        assert len(out.waited_for) == 1
+        assert np.allclose(out.c, a @ b, atol=1e-10)
+
+    def test_every_worker_subset_decodes(self):
+        """The MDS property: whichever mn workers finish first, the
+        product is exact (forced by adversarial latency orderings)."""
+        a, b = problem(rows=12, inner=5, cols=8)
+        pm = PolynomialCodedMatMul(a, b, num_workers=6, m=2, n=2)
+        for seed in range(20):
+            out = pm.multiply(np.random.default_rng(seed))
+            assert np.allclose(out.c, a @ b, atol=1e-7), seed
+
+    @settings(max_examples=20, deadline=None)
+    @given(data=st.data())
+    def test_property_exact(self, data):
+        m = data.draw(st.integers(1, 3))
+        n = data.draw(st.integers(1, 3))
+        extra = data.draw(st.integers(0, 3))
+        rows = data.draw(st.integers(m, 20))
+        cols = data.draw(st.integers(n, 20))
+        inner = data.draw(st.integers(1, 10))
+        a, b = problem(rows=rows, inner=inner, cols=cols,
+                       seed=data.draw(st.integers(0, 99)))
+        pm = PolynomialCodedMatMul(a, b, m * n + extra, m=m, n=n)
+        out = pm.multiply(np.random.default_rng(data.draw(st.integers(0, 99))))
+        assert np.allclose(out.c, a @ b, atol=1e-6)
+
+
+class TestTiming:
+    def test_time_is_kth_order_statistic(self):
+        a, b = problem()
+        pm = PolynomialCodedMatMul(a, b, num_workers=8, m=2, n=2)
+        out = pm.multiply(np.random.default_rng(5))
+        assert out.time == pytest.approx(np.sort(out.worker_times)[3])
+
+    def test_expected_time_matches_monte_carlo(self):
+        a, b = problem()
+        pm = PolynomialCodedMatMul(
+            a, b, num_workers=8, m=2, n=2,
+            latency=ShiftedExponential(1.0, 0.8),
+        )
+        rng = np.random.default_rng(6)
+        times = [pm.multiply(rng).time for _ in range(2500)]
+        assert np.mean(times) == pytest.approx(pm.expected_time(), rel=0.05)
+
+    def test_more_workers_reduce_expected_time(self):
+        """Extra workers are pure straggler slack at fixed (m, n)."""
+        a, b = problem()
+        lat = ShiftedExponential(1.0, 0.5)
+        few = PolynomialCodedMatMul(a, b, 4, m=2, n=2, latency=lat)
+        many = PolynomialCodedMatMul(a, b, 10, m=2, n=2, latency=lat)
+        assert many.expected_time() < few.expected_time()
+
+    def test_work_per_worker(self):
+        a, b = problem()
+        pm = PolynomialCodedMatMul(a, b, num_workers=9, m=2, n=3)
+        assert pm.work_per_worker == pytest.approx(1 / 6)

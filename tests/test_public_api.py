@@ -1,0 +1,42 @@
+"""The top-level package surface: everything advertised must work."""
+
+from __future__ import annotations
+
+import repro
+
+
+def test_all_exports_resolve():
+    missing = [name for name in repro.__all__ if not hasattr(repro, name)]
+    assert missing == []
+
+
+def test_version():
+    assert repro.__version__ == "1.0.0"
+
+
+def test_quickstart_surface():
+    """The README quickstart, miniaturized."""
+    data = repro.teragen(3000, seed=1)
+    base = repro.run_terasort(repro.ThreadCluster(4), data)
+    coded = repro.run_coded_terasort(
+        repro.ThreadCluster(4), data, redundancy=2
+    )
+    repro.validate_sorted_permutation(data, base.partitions)
+    repro.validate_sorted_permutation(data, coded.partitions)
+    assert coded.traffic.load_bytes("shuffle") < base.traffic.load_bytes(
+        "shuffle"
+    )
+
+
+def test_extension_entry_points():
+    data = repro.teragen(2000, seed=2)
+    grouped = repro.run_grouped_coded_terasort(
+        repro.ThreadCluster(4), data, redundancy=1, group_size=2
+    )
+    repro.validate_sorted_permutation(data, grouped.partitions)
+    wireless = repro.run_wireless_sort(data, 4, 2, protocol="d2d")
+    repro.validate_sorted_permutation(data, wireless.partitions)
+    results = repro.straggler_comparison(iterations=5)
+    assert {r.scheme for r in results} == {
+        "uncoded", "replication", "coded",
+    }

@@ -1,0 +1,86 @@
+"""Tests for the token-bucket pacer (uses a fake clock — no sleeping)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.runtime.ratelimit import TokenBucket
+
+
+class FakeClock:
+    def __init__(self):
+        self.t = 0.0
+
+    def __call__(self):
+        return self.t
+
+    def sleep(self, dt):
+        assert dt >= 0
+        self.t += dt
+
+
+def make_bucket(rate=1000.0, burst=100):
+    clock = FakeClock()
+    bucket = TokenBucket(rate, burst_bytes=burst, clock=clock, sleep=clock.sleep)
+    return bucket, clock
+
+
+class TestTokenBucket:
+    def test_burst_passes_instantly(self):
+        bucket, clock = make_bucket()
+        bucket.consume(100)
+        assert clock.t == 0.0
+
+    def test_sustained_rate(self):
+        bucket, clock = make_bucket(rate=1000.0, burst=100)
+        bucket.consume(1100)  # 100 from burst + 1000 at 1000 B/s
+        assert clock.t == pytest.approx(1.0, rel=0.01)
+
+    def test_refill_after_idle(self):
+        bucket, clock = make_bucket(rate=1000.0, burst=100)
+        bucket.consume(100)
+        clock.t += 10.0  # long idle: bucket refills to burst only
+        bucket.consume(100)
+        assert clock.t == pytest.approx(10.0)
+
+    def test_large_message_paced_smoothly(self):
+        bucket, clock = make_bucket(rate=500.0, burst=50)
+        bucket.consume(5000)
+        # 50 free + 4950 at 500 B/s = 9.9 s
+        assert clock.t == pytest.approx(9.9, rel=0.01)
+
+    def test_zero_consume_free(self):
+        bucket, clock = make_bucket()
+        bucket.consume(0)
+        assert clock.t == 0.0
+
+    def test_negative_rejected(self):
+        bucket, _ = make_bucket()
+        with pytest.raises(ValueError):
+            bucket.consume(-1)
+
+    def test_try_consume(self):
+        bucket, clock = make_bucket(rate=1000.0, burst=100)
+        assert bucket.try_consume(60)
+        assert not bucket.try_consume(60)  # only 40 left
+        clock.t += 0.1  # +100 tokens -> capped at 100... 40+100 -> 100
+        assert bucket.try_consume(60)
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            TokenBucket(0)
+        with pytest.raises(ValueError):
+            TokenBucket(100, burst_bytes=-5)
+
+    def test_default_burst_positive(self):
+        assert TokenBucket(5.0).burst >= 1
+
+    def test_real_clock_smoke(self):
+        """With the real clock, pacing 30 KB at 1 MB/s takes ~0.02-0.2 s."""
+        import time
+
+        bucket = TokenBucket(1e6, burst_bytes=10_000)
+        start = time.monotonic()
+        bucket.consume(30_000)
+        elapsed = time.monotonic() - start
+        assert elapsed >= 0.015

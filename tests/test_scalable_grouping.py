@@ -1,0 +1,125 @@
+"""Tests for node grouping and grouped placement."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kvpairs.teragen import teragen
+from repro.scalable.grouping import NodeGrouping
+from repro.scalable.placement import GroupedCodedPlacement
+from repro.utils.subsets import binomial
+
+
+class TestNodeGrouping:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            NodeGrouping(num_nodes=8, group_size=1)
+        with pytest.raises(ValueError):
+            NodeGrouping(num_nodes=2, group_size=4)
+        with pytest.raises(ValueError):
+            NodeGrouping(num_nodes=10, group_size=4)  # 4 does not divide 10
+
+    def test_basic_structure(self):
+        grouping = NodeGrouping(num_nodes=12, group_size=4)
+        assert grouping.num_groups == 3
+        assert grouping.members(0) == (0, 1, 2, 3)
+        assert grouping.members(2) == (8, 9, 10, 11)
+        assert grouping.group_of(5) == 1
+        assert grouping.member_index(5) == 1
+        assert grouping.groupmates(5) == [4, 5, 6, 7]
+
+    def test_to_global(self):
+        grouping = NodeGrouping(num_nodes=8, group_size=4)
+        assert grouping.to_global(1, (0, 2)) == (4, 6)
+        with pytest.raises(ValueError):
+            grouping.to_global(1, (0, 4))  # member index out of range
+        with pytest.raises(ValueError):
+            grouping.members(2)
+
+    def test_node_range_checks(self):
+        grouping = NodeGrouping(num_nodes=6, group_size=3)
+        with pytest.raises(ValueError):
+            grouping.group_of(6)
+        with pytest.raises(ValueError):
+            grouping.member_index(-1)
+
+    @settings(max_examples=40)
+    @given(g=st.integers(2, 8), num_groups=st.integers(1, 6))
+    def test_partition_property(self, g, num_groups):
+        """Groups tile the rank space exactly."""
+        grouping = NodeGrouping(num_nodes=g * num_groups, group_size=g)
+        seen = []
+        for j in range(grouping.num_groups):
+            seen.extend(grouping.members(j))
+        assert seen == list(range(g * num_groups))
+        for node in range(g * num_groups):
+            assert node in grouping.members(grouping.group_of(node))
+            m = grouping.member_index(node)
+            assert grouping.members(grouping.group_of(node))[m] == node
+
+
+class TestGroupedPlacement:
+    def test_validation(self):
+        grouping = NodeGrouping(num_nodes=8, group_size=4)
+        with pytest.raises(ValueError):
+            GroupedCodedPlacement(grouping, redundancy=0)
+        with pytest.raises(ValueError):
+            GroupedCodedPlacement(grouping, redundancy=4)  # r = g invalid
+
+    def test_file_count_and_storage(self):
+        grouping = NodeGrouping(num_nodes=12, group_size=4)
+        placement = GroupedCodedPlacement(grouping, redundancy=2)
+        assert placement.num_files == binomial(4, 2)
+        assert placement.files_per_node() == binomial(3, 1)
+        assert placement.node_storage_bytes(1000) == pytest.approx(500.0)
+
+    def test_every_group_stores_every_file(self):
+        grouping = NodeGrouping(num_nodes=8, group_size=4)
+        placement = GroupedCodedPlacement(grouping, redundancy=2)
+        data = teragen(600, seed=0)
+        assignments = placement.place(data)
+        for fa in assignments:
+            assert len(fa.global_subsets) == 2
+            for j, subset in enumerate(fa.global_subsets):
+                assert all(grouping.group_of(n) == j for n in subset)
+                assert len(subset) == 2
+
+    def test_views_cover_input_once_per_group(self):
+        grouping = NodeGrouping(num_nodes=8, group_size=4)
+        placement = GroupedCodedPlacement(grouping, redundancy=2)
+        data = teragen(600, seed=1)
+        assignments = placement.place(data)
+        views = placement.per_node_views(assignments)
+        # Within one group, each file appears on exactly r nodes.
+        for fa in assignments:
+            holders = [n for n in range(8) if fa.file_id in views[n]]
+            assert len(holders) == 2 * 2  # r per group x G groups
+        # Every node stores files_per_node files.
+        for node in range(8):
+            assert len(views[node]) == placement.files_per_node()
+
+    def test_placement_covers_all_records(self):
+        grouping = NodeGrouping(num_nodes=6, group_size=3)
+        placement = GroupedCodedPlacement(grouping, redundancy=2)
+        data = teragen(100, seed=2)
+        assignments = placement.place(data)
+        total = sum(len(fa.data) for fa in assignments)
+        assert total == 100
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        g=st.integers(2, 6),
+        num_groups=st.integers(1, 3),
+        data_obj=st.data(),
+    )
+    def test_subset_structure_property(self, g, num_groups, data_obj):
+        r = data_obj.draw(st.integers(1, g - 1))
+        grouping = NodeGrouping(num_nodes=g * num_groups, group_size=g)
+        placement = GroupedCodedPlacement(grouping, redundancy=r)
+        assert placement.num_files == binomial(g, r)
+        for f in range(placement.num_files):
+            subset = placement.member_subset_of_file(f)
+            assert len(subset) == r
+            assert all(0 <= m < g for m in subset)

@@ -1,0 +1,254 @@
+"""End-to-end tests for grouped CodedTeraSort (functional + simulated)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.kvpairs.records import RecordBatch
+from repro.kvpairs.teragen import teragen, teragen_skewed
+from repro.kvpairs.validation import validate_sorted_permutation
+from repro.runtime.inproc import ThreadCluster
+from repro.scalable.program import run_grouped_coded_terasort
+from repro.scalable.sim import GroupedWorkload, simulate_grouped_coded_terasort
+from repro.scalable.theory import (
+    grouped_codegen_groups,
+    grouped_comm_load,
+    grouped_storage_fraction,
+    grouped_vs_full,
+)
+from repro.sim.runner import simulate_coded_terasort, simulate_terasort
+
+
+def cluster(k):
+    return ThreadCluster(k, recv_timeout=60.0)
+
+
+class TestFunctionalCorrectness:
+    @pytest.mark.parametrize(
+        "k,g,r",
+        [(4, 2, 1), (6, 3, 2), (8, 4, 2), (8, 4, 3), (9, 3, 2), (6, 6, 2)],
+    )
+    def test_sorts_correctly(self, k, g, r):
+        data = teragen(4000, seed=k * 10 + r)
+        run = run_grouped_coded_terasort(
+            cluster(k), data, redundancy=r, group_size=g
+        )
+        validate_sorted_permutation(data, run.partitions)
+
+    def test_skewed_keys(self):
+        data = teragen_skewed(5000, seed=1)
+        run = run_grouped_coded_terasort(
+            cluster(6), data, redundancy=2, group_size=3
+        )
+        validate_sorted_permutation(data, run.partitions)
+
+    def test_empty_input(self):
+        data = teragen(0)
+        run = run_grouped_coded_terasort(
+            cluster(4), data, redundancy=1, group_size=2
+        )
+        assert sum(len(p) for p in run.partitions) == 0
+
+    def test_single_group_equals_plain_coded_load(self):
+        """G=1 degenerates to plain CodedTeraSort structure."""
+        data = teragen(6000, seed=4)
+        run = run_grouped_coded_terasort(
+            cluster(5), data, redundancy=2, group_size=5
+        )
+        validate_sorted_permutation(data, run.partitions)
+        assert run.meta["num_groups"] == 1
+
+    def test_invalid_params(self):
+        data = teragen(100)
+        with pytest.raises(ValueError):
+            run_grouped_coded_terasort(
+                cluster(6), data, redundancy=2, group_size=4
+            )  # 4 does not divide 6
+        with pytest.raises(ValueError):
+            run_grouped_coded_terasort(
+                cluster(6), data, redundancy=3, group_size=3
+            )  # r = g
+
+    def test_batched_subsets(self):
+        data = teragen(4800, seed=5)
+        run = run_grouped_coded_terasort(
+            cluster(6), data, redundancy=2, group_size=3,
+            batches_per_subset=2,
+        )
+        validate_sorted_permutation(data, run.partitions)
+        assert run.meta["num_files"] == 6  # 2 * C(3,2)
+
+    @settings(
+        max_examples=6,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    @given(
+        num_groups=st.integers(1, 3),
+        g=st.integers(2, 4),
+        seed=st.integers(0, 50),
+        n=st.integers(0, 1500),
+        data_obj=st.data(),
+    )
+    def test_sort_property(self, num_groups, g, seed, n, data_obj):
+        r = data_obj.draw(st.integers(1, g - 1))
+        data = teragen(n, seed=seed)
+        run = run_grouped_coded_terasort(
+            cluster(num_groups * g), data, redundancy=r, group_size=g
+        )
+        validate_sorted_permutation(data, run.partitions)
+
+
+class TestLoadAccounting:
+    def test_load_matches_grouped_theory(self):
+        k, g, r, n = 8, 4, 2, 40_000
+        data = teragen(n, seed=6)
+        run = run_grouped_coded_terasort(
+            cluster(k), data, redundancy=r, group_size=g
+        )
+        payload = run.traffic.load_bytes("shuffle")
+        ideal = grouped_comm_load(r, g) * n * 100
+        assert payload >= ideal
+        assert (payload - ideal) / ideal < 0.10
+
+    def test_grouped_load_above_full_coded_equal_storage(self):
+        """At equal per-node storage, grouping pays K/g more load.
+
+        Grouped (g=4, r=2) stores r/g = 1/2 per node, as does plain coded
+        r=4 on K=8; the loads are (1/2)(1-1/2) = 0.25 vs (1/4)(1-1/2) =
+        0.125 — grouping trades exactly a K/g = 2x load factor for its
+        CodeGen/concurrency wins.
+        """
+        from repro.core.coded_terasort import run_coded_terasort
+
+        n = 30_000
+        data = teragen(n, seed=7)
+        grouped = run_grouped_coded_terasort(
+            cluster(8), data, redundancy=2, group_size=4
+        )
+        full = run_coded_terasort(cluster(8), data, redundancy=4)
+        ratio = grouped.traffic.load_bytes("shuffle") / full.traffic.load_bytes(
+            "shuffle"
+        )
+        assert 1.7 < ratio < 2.3  # theory: exactly 2, headers smear it
+
+    def test_multicast_count(self):
+        data = teragen(3000, seed=8)
+        run = run_grouped_coded_terasort(
+            cluster(8), data, redundancy=2, group_size=4
+        )
+        assert (
+            run.traffic.message_count("shuffle")
+            == run.meta["total_multicasts"]
+        )
+
+
+class TestTheory:
+    def test_load_formula(self):
+        assert grouped_comm_load(2, 4) == pytest.approx(0.25)
+        assert grouped_comm_load(5, 10) == pytest.approx(0.1)
+        with pytest.raises(ValueError):
+            grouped_comm_load(4, 4)
+
+    def test_codegen_groups(self):
+        assert grouped_codegen_groups(20, 10, 5) == 2 * 210  # 2 * C(10,6)
+        assert grouped_codegen_groups(8, 4, 2) == 2 * 4
+        with pytest.raises(ValueError):
+            grouped_codegen_groups(10, 4, 2)
+
+    def test_storage_fraction(self):
+        assert grouped_storage_fraction(5, 10) == pytest.approx(0.5)
+
+    def test_comparison_equal_storage_default(self):
+        cmp = grouped_vs_full(20, 10, 5)
+        assert cmp.full_redundancy == 10  # equal storage r K / g
+        assert cmp.storage_grouped == pytest.approx(cmp.storage_full)
+        assert cmp.load_ratio >= 1.0
+        assert cmp.codegen_ratio > 100
+
+    def test_comparison_explicit_r(self):
+        cmp = grouped_vs_full(20, 10, 5, full_redundancy=5)
+        assert cmp.load_grouped == pytest.approx(0.1)
+        assert cmp.load_full == pytest.approx(0.15)
+        assert cmp.codegen_full == 38760
+
+
+class TestSimulator:
+    def test_workload_validation(self):
+        with pytest.raises(ValueError):
+            GroupedWorkload(10, 4, 2, 1000)  # 4 does not divide 10
+        with pytest.raises(ValueError):
+            GroupedWorkload(8, 4, 4, 1000)  # r = g
+
+    def test_workload_payload_matches_theory(self):
+        work = GroupedWorkload(20, 10, 5, 120_000_000)
+        assert work.shuffle_payload_total == pytest.approx(
+            grouped_comm_load(5, 10) * work.total_bytes
+        )
+
+    def test_sim_payload_equals_workload(self):
+        rep = simulate_grouped_coded_terasort(8, 4, 2, n_records=1_000_000)
+        work = GroupedWorkload(8, 4, 2, 1_000_000)
+        assert rep.shuffle_payload_bytes == pytest.approx(
+            work.shuffle_payload_total
+        )
+
+    def test_groups_shuffle_concurrently(self):
+        """Doubling the group count must not slow the shuffle stage."""
+        one = simulate_grouped_coded_terasort(8, 8, 3, n_records=4_000_000)
+        # Same total data, two concurrent groups, same g is impossible;
+        # compare per-group payloads instead: 2 groups of 8 on 16 nodes
+        # move half the data each, concurrently -> shuffle halves.
+        two = simulate_grouped_coded_terasort(16, 8, 3, n_records=4_000_000)
+        assert two.stage_times["shuffle"] == pytest.approx(
+            one.stage_times["shuffle"] / 2, rel=0.05
+        )
+
+    def test_beats_full_coded_at_k20_r5(self):
+        """The §VI scalability claim, quantified at the paper's config."""
+        grouped = simulate_grouped_coded_terasort(20, 10, 5)
+        full = simulate_coded_terasort(20, 5, granularity="turn")
+        base = simulate_terasort(20, granularity="turn")
+        assert grouped.total_time < full.total_time
+        assert grouped.stage_times["codegen"] < 0.05 * (
+            full.stage_times["codegen"]
+        )
+        # End-to-end speedup over TeraSort well above the paper's 2.2x.
+        assert base.total_time / grouped.total_time > 4.0
+
+    def test_map_cost_is_the_price(self):
+        """Grouped Map does K/g times more hashing per node."""
+        grouped = simulate_grouped_coded_terasort(20, 10, 5)
+        full = simulate_coded_terasort(20, 5, granularity="turn")
+        assert grouped.stage_times["map"] == pytest.approx(
+            2 * full.stage_times["map"], rel=0.01
+        )
+
+
+class TestFunctionalSimCrossCheck:
+    """The functional engine and the simulator must agree on bytes."""
+
+    def test_measured_payload_matches_workload_model(self):
+        k, g, r, n = 8, 4, 2, 40_000
+        data = teragen(n, seed=11)
+        run = run_grouped_coded_terasort(
+            cluster(k), data, redundancy=r, group_size=g
+        )
+        work = GroupedWorkload(k, g, r, n)
+        measured = run.traffic.load_bytes("shuffle")
+        # Functional payload sits within header overhead of the model.
+        assert measured >= work.shuffle_payload_total
+        assert measured < work.shuffle_payload_total * 1.10
+
+    def test_multicast_counts_agree(self):
+        k, g, r = 9, 3, 2
+        data = teragen(9000, seed=12)
+        run = run_grouped_coded_terasort(
+            cluster(k), data, redundancy=r, group_size=g
+        )
+        work = GroupedWorkload(k, g, r, 9000)
+        assert run.traffic.message_count("shuffle") == work.total_multicasts
+        sim = simulate_grouped_coded_terasort(k, g, r, n_records=9000)
+        assert sim.transfers >= work.total_multicasts  # + barrier-free holds

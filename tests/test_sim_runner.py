@@ -1,0 +1,157 @@
+"""Tests for the full simulator runs: closed-form checks and paper targets."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.theory import (
+    coded_multicast_count,
+    coded_shuffle_bytes,
+    uncoded_shuffle_bytes,
+    uncoded_shuffle_messages,
+)
+from repro.sim.costmodel import EC2CostModel
+from repro.sim.runner import simulate_coded_terasort, simulate_terasort
+
+SMALL = 1_000_000  # records; keeps per-test sims fast
+
+
+class TestTeraSortSim:
+    def test_stage_order(self):
+        rep = simulate_terasort(8, n_records=SMALL)
+        assert rep.stage_times.stages == ["map", "pack", "shuffle", "unpack", "reduce"]
+
+    def test_shuffle_matches_closed_form(self):
+        """The DES result equals the analytic serial-shuffle sum exactly."""
+        k = 8
+        cost = EC2CostModel.paper_calibrated()
+        rep = simulate_terasort(k, n_records=SMALL, cost=cost)
+        per = cost.unicast_time(SMALL * 100 / k**2)
+        expected = uncoded_shuffle_messages(k) * per
+        assert rep.stage_times["shuffle"] == pytest.approx(expected, rel=1e-9)
+
+    def test_payload_telemetry(self):
+        k = 8
+        rep = simulate_terasort(k, n_records=SMALL)
+        assert rep.shuffle_payload_bytes == pytest.approx(
+            uncoded_shuffle_bytes(SMALL * 100, k)
+        )
+
+    def test_transfer_count(self):
+        k = 6
+        rep = simulate_terasort(k, n_records=SMALL)
+        assert rep.transfers == uncoded_shuffle_messages(k)
+
+    def test_granularities_agree(self):
+        fine = simulate_terasort(8, n_records=SMALL, granularity="transfer")
+        coarse = simulate_terasort(8, n_records=SMALL, granularity="turn")
+        assert fine.total_time == pytest.approx(coarse.total_time, rel=1e-9)
+        assert fine.shuffle_payload_bytes == pytest.approx(
+            coarse.shuffle_payload_bytes
+        )
+
+    def test_invalid_granularity(self):
+        with pytest.raises(ValueError):
+            simulate_terasort(4, n_records=SMALL, granularity="weird")
+
+
+class TestCodedSim:
+    def test_stage_order(self):
+        rep = simulate_coded_terasort(8, 3, n_records=SMALL)
+        assert rep.stage_times.stages == [
+            "codegen", "map", "encode", "shuffle", "decode", "reduce",
+        ]
+
+    def test_shuffle_matches_closed_form(self):
+        k, r = 8, 3
+        cost = EC2CostModel.paper_calibrated()
+        rep = simulate_coded_terasort(k, r, n_records=SMALL, cost=cost)
+        from repro.sim.workload import CodedWorkload
+
+        w = CodedWorkload(num_nodes=k, redundancy=r, n_records=SMALL)
+        expected = w.total_multicasts * cost.multicast_time(w.packet_bytes, r)
+        assert rep.stage_times["shuffle"] == pytest.approx(expected, rel=1e-9)
+
+    def test_payload_matches_eq2(self):
+        k, r = 8, 3
+        rep = simulate_coded_terasort(k, r, n_records=SMALL)
+        assert rep.shuffle_payload_bytes == pytest.approx(
+            coded_shuffle_bytes(SMALL * 100, r, k)
+        )
+
+    def test_transfer_count(self):
+        k, r = 7, 2
+        rep = simulate_coded_terasort(k, r, n_records=SMALL)
+        assert rep.transfers == coded_multicast_count(r, k)
+
+    def test_granularities_agree(self):
+        fine = simulate_coded_terasort(8, 3, n_records=SMALL)
+        coarse = simulate_coded_terasort(8, 3, n_records=SMALL, granularity="turn")
+        assert fine.total_time == pytest.approx(coarse.total_time, rel=1e-9)
+
+    def test_parallel_shuffle_faster(self):
+        serial = simulate_coded_terasort(8, 2, n_records=SMALL, serial=True)
+        parallel = simulate_coded_terasort(8, 2, n_records=SMALL, serial=False)
+        assert (
+            parallel.stage_times["shuffle"] < serial.stage_times["shuffle"]
+        )
+
+
+class TestPaperTargets:
+    """The headline reproduction: stage cells within 10%, speedups in band."""
+
+    @pytest.fixture(scope="class")
+    def k16(self):
+        ts = simulate_terasort(16, granularity="turn")
+        r3 = simulate_coded_terasort(16, 3, granularity="turn")
+        r5 = simulate_coded_terasort(16, 5, granularity="turn")
+        return ts, r3, r5
+
+    def test_table1_cells(self, k16):
+        ts, _, _ = k16
+        paper = {"map": 1.86, "pack": 2.35, "shuffle": 945.72,
+                 "unpack": 0.85, "reduce": 10.47}
+        for stage, val in paper.items():
+            assert ts.stage_times[stage] == pytest.approx(val, rel=0.10), stage
+        assert ts.total_time == pytest.approx(961.25, rel=0.02)
+
+    def test_table2_speedups_in_band(self, k16):
+        ts, r3, r5 = k16
+        s3 = ts.total_time / r3.total_time
+        s5 = ts.total_time / r5.total_time
+        assert s3 == pytest.approx(2.16, abs=0.25)
+        assert s5 == pytest.approx(3.39, abs=0.45)
+        assert s5 > s3  # r=5 wins at K=16, as in the paper
+
+    def test_table2_shuffle_gain_below_r(self, k16):
+        """§V-C: measured shuffle gain is slightly below r."""
+        ts, r3, r5 = k16
+        gain3 = ts.stage_times["shuffle"] / r3.stage_times["shuffle"]
+        gain5 = ts.stage_times["shuffle"] / r5.stage_times["shuffle"]
+        assert 1.8 < gain3 < 3.0
+        assert 3.0 < gain5 < 5.0
+
+    def test_table3_k20(self):
+        ts = simulate_terasort(20, granularity="turn")
+        r5 = simulate_coded_terasort(20, 5, granularity="turn")
+        assert ts.total_time == pytest.approx(972.45, rel=0.02)
+        assert ts.total_time / r5.total_time == pytest.approx(2.20, abs=0.25)
+
+    def test_codegen_grows_with_groups(self):
+        r3 = simulate_coded_terasort(20, 3, n_records=SMALL, granularity="turn")
+        r5 = simulate_coded_terasort(20, 5, n_records=SMALL, granularity="turn")
+        # C(20,6)/C(20,4) = 8x more groups -> ~8x more CodeGen time.
+        ratio = r5.stage_times["codegen"] / r3.stage_times["codegen"]
+        assert 5.0 < ratio < 9.0
+
+    def test_map_ratio_matches_paper(self):
+        """Paper: coded Map is ~3.2x (r=3) and ~5.8x (r=5) the uncoded."""
+        ts = simulate_terasort(16, n_records=SMALL, granularity="turn")
+        r3 = simulate_coded_terasort(16, 3, n_records=SMALL, granularity="turn")
+        r5 = simulate_coded_terasort(16, 5, n_records=SMALL, granularity="turn")
+        assert r3.stage_times["map"] / ts.stage_times["map"] == pytest.approx(
+            3.2, abs=0.3
+        )
+        assert r5.stage_times["map"] / ts.stage_times["map"] == pytest.approx(
+            5.8, abs=0.4
+        )

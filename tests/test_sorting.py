@@ -1,0 +1,91 @@
+"""Tests for local sorting and merging."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.kvpairs.records import KEY_BYTES, VALUE_BYTES, RecordBatch
+from repro.kvpairs.sorting import is_sorted, merge_sorted, sort_batch
+from repro.kvpairs.teragen import teragen
+
+
+def batch_from_keys(key_rows):
+    n = len(key_rows)
+    keys = np.array(key_rows, dtype=np.uint8).reshape(n, KEY_BYTES)
+    values = np.zeros((n, VALUE_BYTES), dtype=np.uint8)
+    return RecordBatch.from_arrays(keys, values)
+
+
+class TestSortBatch:
+    def test_sorts_random_data(self, small_batch):
+        out = sort_batch(small_batch)
+        assert is_sorted(out)
+        assert len(out) == len(small_batch)
+
+    def test_matches_python_sorted(self):
+        b = teragen(300, seed=4)
+        out = sort_batch(b)
+        expected = sorted(bytes(k) for k in b.keys)
+        assert [bytes(k) for k in out.keys] == expected
+
+    def test_tie_break_on_last_two_bytes(self):
+        # Same 8-byte prefix, different 2-byte suffix.
+        rows = [[1] * 8 + [0, 2], [1] * 8 + [0, 1], [1] * 8 + [0, 3]]
+        out = sort_batch(batch_from_keys(rows))
+        suffixes = [bytes(k)[-1] for k in out.keys]
+        assert suffixes == [1, 2, 3]
+
+    def test_stability_preserves_value_order_for_equal_keys(self):
+        keys = np.zeros((3, KEY_BYTES), dtype=np.uint8)
+        values = np.zeros((3, VALUE_BYTES), dtype=np.uint8)
+        values[:, 0] = [10, 20, 30]
+        b = RecordBatch.from_arrays(keys, values)
+        out = sort_batch(b)
+        assert list(out.raw_view()[:, KEY_BYTES]) == [10, 20, 30]
+
+    def test_empty_and_singleton(self):
+        assert len(sort_batch(RecordBatch.empty())) == 0
+        one = teragen(1, seed=0)
+        assert sort_batch(one) == one
+
+    @given(st.integers(0, 400))
+    def test_sort_property(self, n):
+        b = teragen(n, seed=n + 1)
+        out = sort_batch(b)
+        assert is_sorted(out)
+        # Permutation: sorted key multisets match.
+        assert sorted(bytes(k) for k in b.keys) == [bytes(k) for k in out.keys]
+
+
+class TestIsSorted:
+    def test_detects_unsorted(self):
+        rows = [[2] + [0] * 9, [1] + [0] * 9]
+        assert not is_sorted(batch_from_keys(rows))
+
+    def test_equal_keys_are_sorted(self):
+        rows = [[1] * 10, [1] * 10]
+        assert is_sorted(batch_from_keys(rows))
+
+    def test_suffix_violation_detected(self):
+        rows = [[1] * 8 + [0, 2], [1] * 8 + [0, 1]]
+        assert not is_sorted(batch_from_keys(rows))
+
+
+class TestMergeSorted:
+    def test_merge_equals_global_sort(self):
+        b = teragen(600, seed=8)
+        runs = [sort_batch(b.slice(0, 200)), sort_batch(b.slice(200, 450)),
+                sort_batch(b.slice(450, 600))]
+        merged = merge_sorted(runs)
+        assert merged == sort_batch(b)
+
+    def test_merge_rejects_unsorted_run(self):
+        b = teragen(100, seed=9)
+        with pytest.raises(ValueError):
+            merge_sorted([b])
+
+    def test_merge_empty_runs(self):
+        assert len(merge_sorted([RecordBatch.empty(), RecordBatch.empty()])) == 0

@@ -1,0 +1,218 @@
+"""Tests for the shifted-exponential straggler model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.stragglers.latency import ShiftedExponential, harmonic
+
+
+class TestHarmonic:
+    def test_base_cases(self):
+        assert harmonic(0) == 0.0
+        assert harmonic(1) == 1.0
+        assert harmonic(2) == pytest.approx(1.5)
+
+    def test_h10(self):
+        assert harmonic(10) == pytest.approx(2.9289682539682538)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            harmonic(-1)
+
+    @given(st.integers(1, 200))
+    def test_strictly_increasing(self, m):
+        assert harmonic(m) > harmonic(m - 1)
+
+    @given(st.integers(1, 200))
+    def test_recurrence(self, m):
+        assert harmonic(m) == pytest.approx(harmonic(m - 1) + 1.0 / m)
+
+
+class TestShiftedExponential:
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            ShiftedExponential(shift=-0.1)
+        with pytest.raises(ValueError):
+            ShiftedExponential(rate=0)
+
+    def test_mean(self):
+        model = ShiftedExponential(shift=2.0, rate=0.5)
+        assert model.mean() == pytest.approx(4.0)
+        assert model.mean(work=0.5) == pytest.approx(2.0)
+
+    def test_sample_bounds_and_shape(self):
+        model = ShiftedExponential(shift=1.0, rate=1.0)
+        times = model.sample(1000, np.random.default_rng(0))
+        assert times.shape == (1000,)
+        assert (times >= 1.0).all()  # shift is a hard lower bound
+
+    def test_sample_scales_with_work(self):
+        model = ShiftedExponential(shift=1.0, rate=1.0)
+        small = model.sample(5000, np.random.default_rng(1), work=0.5)
+        assert (small >= 0.5).all()
+        # Mean of work*[shift + Exp(1)] is work*2.
+        assert small.mean() == pytest.approx(1.0, rel=0.1)
+
+    def test_sample_validation(self):
+        model = ShiftedExponential()
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            model.sample(0, rng)
+        with pytest.raises(ValueError):
+            model.sample(3, rng, work=0.0)
+
+    def test_order_statistic_validation(self):
+        model = ShiftedExponential()
+        with pytest.raises(ValueError):
+            model.expected_kth_of_n(0, 5)
+        with pytest.raises(ValueError):
+            model.expected_kth_of_n(6, 5)
+
+    def test_expected_max_is_full_harmonic(self):
+        model = ShiftedExponential(shift=1.0, rate=1.0)
+        assert model.expected_max_of_n(10) == pytest.approx(1 + harmonic(10))
+
+    def test_expected_kth_monotone_in_k(self):
+        model = ShiftedExponential(shift=0.3, rate=2.0)
+        vals = [model.expected_kth_of_n(k, 12) for k in range(1, 13)]
+        assert vals == sorted(vals)
+        assert all(v > 0.3 for v in vals)
+
+    def test_order_statistic_matches_simulation(self):
+        """Closed form vs Monte Carlo for the 7th of 10."""
+        model = ShiftedExponential(shift=1.0, rate=0.5)
+        rng = np.random.default_rng(42)
+        draws = np.sort(
+            np.stack([model.sample(10, rng) for _ in range(4000)]), axis=1
+        )
+        empirical = draws[:, 6].mean()  # 7th order statistic
+        assert empirical == pytest.approx(
+            model.expected_kth_of_n(7, 10), rel=0.03
+        )
+
+    @settings(max_examples=30)
+    @given(
+        k=st.integers(1, 12),
+        n=st.integers(1, 12),
+        work=st.floats(0.1, 4.0),
+    )
+    def test_work_scales_expectation_linearly(self, k, n, work):
+        if k > n:
+            return
+        model = ShiftedExponential(shift=0.7, rate=1.3)
+        assert model.expected_kth_of_n(k, n, work=work) == pytest.approx(
+            work * model.expected_kth_of_n(k, n)
+        )
+
+
+class TestHeterogeneousLatency:
+    def make(self):
+        from repro.stragglers.latency import HeterogeneousLatency
+
+        # 8 nominal machines and 2 persistently 3x-slow ones.
+        return HeterogeneousLatency(
+            speeds=(1.0,) * 8 + (3.0, 3.0),
+            base=ShiftedExponential(shift=1.0, rate=1.0),
+        )
+
+    def test_validation(self):
+        from repro.stragglers.latency import HeterogeneousLatency
+
+        with pytest.raises(ValueError):
+            HeterogeneousLatency(speeds=())
+        with pytest.raises(ValueError):
+            HeterogeneousLatency(speeds=(1.0, 0.0))
+
+    def test_sample_shape_and_worker_count(self):
+        model = self.make()
+        times = model.sample(10, np.random.default_rng(0))
+        assert times.shape == (10,)
+        with pytest.raises(ValueError):
+            model.sample(4, np.random.default_rng(0))
+
+    def test_slow_workers_are_slower(self):
+        model = self.make()
+        rng = np.random.default_rng(1)
+        draws = np.stack([model.sample(10, rng) for _ in range(2000)])
+        fast_mean = draws[:, :8].mean()
+        slow_mean = draws[:, 8:].mean()
+        assert slow_mean == pytest.approx(3 * fast_mean, rel=0.1)
+
+    def test_fleet_mean(self):
+        model = self.make()
+        # mean speed factor = (8*1 + 2*3)/10 = 1.4; base mean = 2.
+        assert model.mean() == pytest.approx(2.8)
+
+    def test_order_statistic_ignores_slow_tail(self):
+        """Waiting for 8 of 10 costs far less than waiting for all."""
+        model = self.make()
+        k8 = model.expected_kth_of_n(8, 10)
+        k10 = model.expected_max_of_n(10)
+        assert k10 > 2.0 * k8  # the two 3x machines dominate the max
+
+    def test_validation_of_order_statistic(self):
+        model = self.make()
+        with pytest.raises(ValueError):
+            model.expected_kth_of_n(0, 10)
+        with pytest.raises(ValueError):
+            model.expected_kth_of_n(3, 4)  # n != num_workers
+
+
+class TestHeterogeneousSchemes:
+    def test_coded_ignores_persistent_stragglers(self):
+        """With 2 of 10 machines 3x slow, a (10, 8) code's advantage over
+        uncoded far exceeds the homogeneous case."""
+        from repro.stragglers.latency import HeterogeneousLatency
+        from repro.stragglers.matmul import CodedMatVec, UncodedMatVec
+
+        rng = np.random.default_rng(2)
+        a = rng.standard_normal((100, 6))
+        hetero = HeterogeneousLatency(
+            speeds=(1.0,) * 8 + (3.0, 3.0),
+            base=ShiftedExponential(shift=1.0, rate=1.0),
+        )
+        uncoded = UncodedMatVec(a, 10, latency=hetero)
+        coded = CodedMatVec(a, 10, recovery_threshold=8, latency=hetero)
+        saving = 1 - coded.expected_time() / uncoded.expected_time()
+        homo = ShiftedExponential(shift=1.0, rate=1.0)
+        homo_saving = 1 - (
+            CodedMatVec(a, 10, recovery_threshold=8, latency=homo).expected_time()
+            / UncodedMatVec(a, 10, latency=homo).expected_time()
+        )
+        assert saving > homo_saving + 0.1
+
+    def test_replication_monte_carlo_fallback(self):
+        from repro.stragglers.latency import HeterogeneousLatency
+        from repro.stragglers.matmul import ReplicatedMatVec
+
+        rng = np.random.default_rng(3)
+        a = rng.standard_normal((60, 5))
+        hetero = HeterogeneousLatency(speeds=(1.0, 1.0, 2.0, 2.0))
+        scheme = ReplicatedMatVec(a, 4, replication=2, latency=hetero)
+        expected = scheme.expected_time()
+        times = [
+            scheme.multiply(np.ones(5), np.random.default_rng(s)).time
+            for s in range(2000)
+        ]
+        assert expected == pytest.approx(np.mean(times), rel=0.06)
+
+    def test_correctness_unaffected(self):
+        from repro.stragglers.latency import HeterogeneousLatency
+        from repro.stragglers.matmul import make_scheme
+
+        rng = np.random.default_rng(4)
+        a = rng.standard_normal((50, 7))
+        x = rng.standard_normal(7)
+        hetero = HeterogeneousLatency(speeds=(1.0, 5.0, 1.0, 1.0, 2.0, 1.0))
+        for name, kw in (
+            ("uncoded", {}),
+            ("replication", {"replication": 2}),
+            ("coded", {"recovery_threshold": 4}),
+        ):
+            scheme = make_scheme(name, a, 6, latency=hetero, **kw)
+            out = scheme.multiply(x, np.random.default_rng(5))
+            assert np.allclose(out.y, a @ x, atol=1e-8), name

@@ -1,0 +1,75 @@
+"""Tests for the TeraGen-style data generator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.kvpairs.records import KEY_BYTES, VALUE_BYTES
+from repro.kvpairs.teragen import extract_row_ids, teragen, teragen_skewed
+
+
+class TestTeragen:
+    def test_shape_and_size(self):
+        b = teragen(1234, seed=0)
+        assert len(b) == 1234
+        assert b.nbytes == 1234 * 100
+
+    def test_deterministic_by_seed(self):
+        assert teragen(100, seed=5) == teragen(100, seed=5)
+        assert teragen(100, seed=5) != teragen(100, seed=6)
+
+    def test_zero_records(self):
+        assert len(teragen(0)) == 0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            teragen(-1)
+
+    def test_row_ids_embedded(self):
+        b = teragen(50, seed=1, start_row=1000)
+        assert (extract_row_ids(b) == np.arange(1000, 1050)).all()
+
+    def test_keys_roughly_uniform(self):
+        b = teragen(20000, seed=2)
+        hi = b.key_prefix_u64()
+        # First byte should hit most of [0, 256) and be roughly flat.
+        first = (hi >> np.uint64(56)).astype(np.int64)
+        counts = np.bincount(first, minlength=256)
+        assert counts.min() > 0
+        assert counts.max() < 4 * counts.mean()
+
+    def test_extract_row_ids_rejects_foreign_values(self):
+        import numpy as np
+
+        from repro.kvpairs.records import RecordBatch
+
+        keys = np.zeros((2, KEY_BYTES), dtype=np.uint8)
+        values = np.full((2, VALUE_BYTES), 0xFF, dtype=np.uint8)
+        with pytest.raises(ValueError):
+            extract_row_ids(RecordBatch.from_arrays(keys, values))
+
+
+class TestTeragenSkewed:
+    def test_shape(self):
+        b = teragen_skewed(500, seed=0)
+        assert len(b) == 500
+
+    def test_skew_is_visible(self):
+        b = teragen_skewed(20000, seed=3, zipf_a=1.2)
+        hi = b.key_prefix_u64()
+        first2 = (hi >> np.uint64(48)).astype(np.int64)
+        counts = np.bincount(first2, minlength=65536)
+        # Zipf: the hottest prefix should dwarf the mean occupancy.
+        assert counts.max() > 20 * max(1.0, counts.mean())
+
+    def test_row_ids_still_embedded(self):
+        b = teragen_skewed(100, seed=1, start_row=7)
+        assert (extract_row_ids(b) == np.arange(7, 107)).all()
+
+    def test_bad_zipf_a(self):
+        with pytest.raises(ValueError):
+            teragen_skewed(10, zipf_a=1.0)
+
+    def test_deterministic(self):
+        assert teragen_skewed(200, seed=9) == teragen_skewed(200, seed=9)

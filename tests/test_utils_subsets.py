@@ -1,0 +1,119 @@
+"""Unit + property tests for the combinatorics substrate."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.utils.subsets import (
+    binomial,
+    complement,
+    k_subsets,
+    subset_rank,
+    subset_unrank,
+    subsets_containing,
+    without,
+)
+
+
+class TestBinomial:
+    def test_small_values(self):
+        assert binomial(4, 2) == 6
+        assert binomial(16, 4) == 1820
+        assert binomial(20, 6) == 38760
+
+    def test_edges(self):
+        assert binomial(5, 0) == 1
+        assert binomial(5, 5) == 1
+        assert binomial(5, 6) == 0
+        assert binomial(5, -1) == 0
+        assert binomial(-1, 0) == 0
+
+    @given(st.integers(0, 25), st.integers(0, 25))
+    def test_pascal_identity(self, n, k):
+        if n >= 1:
+            assert binomial(n, k) == binomial(n - 1, k) + binomial(n - 1, k - 1)
+
+
+class TestEnumeration:
+    def test_lexicographic_order(self):
+        subs = list(k_subsets(5, 3))
+        assert subs == sorted(subs)
+        assert len(subs) == binomial(5, 3)
+
+    def test_matches_itertools(self):
+        assert list(k_subsets(7, 4)) == list(itertools.combinations(range(7), 4))
+
+    def test_empty_cases(self):
+        assert list(k_subsets(3, 0)) == [()]
+        assert list(k_subsets(3, 4)) == []
+        assert list(k_subsets(0, 0)) == [()]
+
+    def test_subsets_containing_count(self):
+        subs = list(subsets_containing(6, 3, 2))
+        assert len(subs) == binomial(5, 2)
+        assert all(2 in s for s in subs)
+        assert all(len(s) == 3 for s in subs)
+        assert subs == sorted(subs)
+
+    def test_subsets_containing_bad_element(self):
+        with pytest.raises(ValueError):
+            list(subsets_containing(4, 2, 4))
+
+
+class TestRanking:
+    @given(st.integers(1, 12), st.data())
+    def test_rank_unrank_roundtrip(self, n, data):
+        k = data.draw(st.integers(0, n))
+        total = binomial(n, k)
+        rank = data.draw(st.integers(0, total - 1))
+        subset = subset_unrank(rank, n, k)
+        assert subset_rank(subset, n) == rank
+
+    def test_rank_is_enumeration_index(self):
+        for i, s in enumerate(k_subsets(8, 3)):
+            assert subset_rank(s, 8) == i
+            assert subset_unrank(i, 8, 3) == s
+
+    def test_rank_rejects_unsorted(self):
+        with pytest.raises(ValueError):
+            subset_rank((2, 1), 4)
+        with pytest.raises(ValueError):
+            subset_rank((1, 1), 4)
+
+    def test_rank_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            subset_rank((0, 5), 5)
+        with pytest.raises(ValueError):
+            subset_rank((-1, 2), 5)
+
+    def test_unrank_rejects_bad_rank(self):
+        with pytest.raises(ValueError):
+            subset_unrank(binomial(6, 2), 6, 2)
+        with pytest.raises(ValueError):
+            subset_unrank(-1, 6, 2)
+
+
+class TestSetOps:
+    def test_complement(self):
+        assert complement((1, 3), 5) == (0, 2, 4)
+        assert complement((), 3) == (0, 1, 2)
+        assert complement((0, 1, 2), 3) == ()
+
+    def test_without(self):
+        assert without((1, 3, 5), 3) == (1, 5)
+
+    def test_without_missing_raises(self):
+        with pytest.raises(ValueError):
+            without((1, 3), 2)
+
+    @given(st.integers(1, 10), st.data())
+    def test_complement_partitions(self, n, data):
+        k = data.draw(st.integers(0, n))
+        idx = data.draw(st.integers(0, binomial(n, k) - 1))
+        s = subset_unrank(idx, n, k)
+        c = complement(s, n)
+        assert sorted(s + c) == list(range(n))

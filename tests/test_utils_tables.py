@@ -1,0 +1,46 @@
+"""Tests for text/markdown table rendering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.utils.tables import format_table
+
+
+class TestFormatTable:
+    def test_plain_alignment(self):
+        out = format_table(["name", "value"], [["a", 1], ["long-name", 2.5]])
+        lines = out.splitlines()
+        assert lines[0].startswith("name")
+        assert "long-name" in lines[3]
+        # Columns align: 'value' header starts at same offset in all rows.
+        col = lines[0].index("value")
+        assert lines[2][col] in "0123456789"
+
+    def test_float_decimals(self):
+        out = format_table(["x"], [[1.23456]], decimals=3)
+        assert "1.235" in out
+
+    def test_none_renders_dash(self):
+        out = format_table(["x"], [[None]])
+        assert "-" in out
+
+    def test_markdown_pipes_and_separator(self):
+        out = format_table(["a", "b"], [[1, 2]], markdown=True)
+        lines = out.splitlines()
+        assert lines[0].startswith("| a")
+        assert set(lines[1]) <= {"|", "-"}
+        assert lines[2].startswith("| 1")
+
+    def test_row_width_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+    def test_int_not_formatted_as_float(self):
+        out = format_table(["x"], [[7]])
+        assert "7.00" not in out
+        assert "7" in out
+
+    def test_empty_rows_ok(self):
+        out = format_table(["a"], [])
+        assert out.splitlines()[0] == "a"

@@ -1,0 +1,62 @@
+"""Tests for the stage stopwatch and breakdown merging."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.utils.timer import StageTimes, Stopwatch
+
+
+class TestStopwatch:
+    def test_stage_accumulates_time(self):
+        sw = Stopwatch()
+        with sw.stage("work"):
+            pass
+        assert sw.times()["work"] >= 0.0
+
+    def test_multiple_entries_accumulate(self):
+        sw = Stopwatch()
+        sw.add("a", 1.0)
+        sw.add("a", 2.0)
+        sw.add("b", 0.5)
+        assert sw.times() == {"a": 3.0, "b": 0.5}
+
+    def test_times_returns_copy(self):
+        sw = Stopwatch()
+        sw.add("a", 1.0)
+        t = sw.times()
+        t["a"] = 99.0
+        assert sw.times()["a"] == 1.0
+
+
+class TestStageTimes:
+    def test_merge_max_takes_slowest_node(self):
+        merged = StageTimes.merge_max(
+            ["map", "shuffle"],
+            [{"map": 1.0, "shuffle": 5.0}, {"map": 2.0, "shuffle": 3.0}],
+        )
+        assert merged["map"] == 2.0
+        assert merged["shuffle"] == 5.0
+
+    def test_missing_stage_counts_as_zero(self):
+        merged = StageTimes.merge_max(["map", "reduce"], [{"map": 1.0}])
+        assert merged["reduce"] == 0.0
+
+    def test_total_sums_stage_order(self):
+        merged = StageTimes.merge_max(
+            ["a", "b"], [{"a": 1.0, "b": 2.0, "ignored": 50.0}]
+        )
+        assert merged.total == 3.0
+
+    def test_as_row_appends_total(self):
+        merged = StageTimes.merge_max(["a", "b"], [{"a": 1.0, "b": 2.0}])
+        assert merged.as_row() == [1.0, 2.0, 3.0]
+
+    def test_scaled(self):
+        merged = StageTimes.merge_max(["a"], [{"a": 2.0}])
+        assert merged.scaled(2.5)["a"] == 5.0
+
+    def test_getitem_unknown_stage_raises(self):
+        merged = StageTimes.merge_max(["a"], [{"a": 1.0}])
+        with pytest.raises(KeyError):
+            merged["nope"]

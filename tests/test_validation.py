@@ -1,0 +1,82 @@
+"""Tests for output validation (TeraValidate equivalent)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.kvpairs.records import RecordBatch
+from repro.kvpairs.sorting import sort_batch
+from repro.kvpairs.teragen import teragen
+from repro.kvpairs.validation import (
+    batch_checksum,
+    validate_permutation,
+    validate_sorted,
+    validate_sorted_permutation,
+)
+
+
+class TestChecksum:
+    def test_order_independent(self, tiny_batch):
+        shuffled = tiny_batch.take(
+            np.random.default_rng(0).permutation(len(tiny_batch))
+        )
+        assert batch_checksum(tiny_batch) == batch_checksum(shuffled)
+
+    def test_detects_corruption(self, tiny_batch):
+        corrupted = tiny_batch.copy()
+        raw = corrupted.raw_view()
+        raw[0, 50] ^= 0xFF
+        assert batch_checksum(tiny_batch) != batch_checksum(corrupted)
+
+    def test_empty_is_zero(self):
+        assert batch_checksum(RecordBatch.empty()) == 0
+
+    def test_additive_over_splits(self, tiny_batch):
+        a = tiny_batch.slice(0, 200)
+        b = tiny_batch.slice(200, 500)
+        mod = 1 << 128
+        assert (batch_checksum(a) + batch_checksum(b)) % mod == batch_checksum(
+            tiny_batch
+        )
+
+
+class TestPermutation:
+    def test_accepts_true_permutation(self, tiny_batch):
+        parts = [tiny_batch.slice(100, 500), tiny_batch.slice(0, 100)]
+        validate_permutation(tiny_batch, parts)
+
+    def test_rejects_count_mismatch(self, tiny_batch):
+        with pytest.raises(AssertionError, match="count"):
+            validate_permutation(tiny_batch, [tiny_batch.slice(0, 499)])
+
+    def test_rejects_content_mismatch(self, tiny_batch):
+        other = teragen(500, seed=999)
+        with pytest.raises(AssertionError, match="permutation"):
+            validate_permutation(tiny_batch, [other])
+
+
+class TestSorted:
+    def test_accepts_sorted_parts(self, tiny_batch):
+        s = sort_batch(tiny_batch)
+        parts = [s.slice(0, 250), s.slice(250, 500)]
+        validate_sorted(parts)
+
+    def test_rejects_locally_unsorted(self, tiny_batch):
+        with pytest.raises(AssertionError, match="locally"):
+            validate_sorted([tiny_batch])
+
+    def test_rejects_boundary_violation(self, tiny_batch):
+        s = sort_batch(tiny_batch)
+        # Swap the two halves: each sorted, boundary broken.
+        parts = [s.slice(250, 500), s.slice(0, 250)]
+        with pytest.raises(AssertionError, match="boundary"):
+            validate_sorted(parts)
+
+    def test_empty_parts_skipped(self, tiny_batch):
+        s = sort_batch(tiny_batch)
+        validate_sorted([RecordBatch.empty(), s, RecordBatch.empty()])
+
+    def test_full_validation(self, tiny_batch):
+        s = sort_batch(tiny_batch)
+        validate_sorted_permutation(tiny_batch, [s.slice(0, 100), s.slice(100, 500)])

@@ -1,0 +1,92 @@
+"""Tests for the TDMA wireless channel and its accounting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.wireless.channel import AirtimeLog, WirelessChannel
+
+
+class TestValidation:
+    def test_bad_construction(self):
+        with pytest.raises(ValueError):
+            WirelessChannel(0)
+        with pytest.raises(ValueError):
+            WirelessChannel(4, rate_bytes_per_s=0)
+        with pytest.raises(ValueError):
+            WirelessChannel(4, per_tx_overhead_s=-1)
+
+    def test_bad_parties(self):
+        ch = WirelessChannel(4)
+        with pytest.raises(ValueError):
+            ch.transmit(7, [0], b"x")
+        with pytest.raises(ValueError):
+            ch.transmit(0, [9], b"x")
+        with pytest.raises(ValueError):
+            ch.transmit(0, [], b"x")
+        with pytest.raises(ValueError):
+            ch.transmit(0, [0], b"x")  # self-address
+
+
+class TestDirectionInference:
+    def test_uplink(self):
+        ch = WirelessChannel(4)
+        ch.transmit(2, [WirelessChannel.AP], b"abc")
+        assert ch.log.transmissions == {"uplink": 1}
+
+    def test_downlink(self):
+        ch = WirelessChannel(4)
+        ch.transmit(WirelessChannel.AP, [0, 1, 2], b"abc")
+        assert ch.log.transmissions == {"downlink": 1}
+
+    def test_d2d(self):
+        ch = WirelessChannel(4)
+        ch.transmit(0, [1, 3], b"abc")
+        assert ch.log.transmissions == {"d2d": 1}
+
+    def test_mixed_receivers_count_as_d2d(self):
+        """Addressing users (with or without the AP listening) is D2D."""
+        ch = WirelessChannel(4)
+        ch.transmit(0, [1, WirelessChannel.AP], b"abc")
+        assert ch.log.transmissions == {"d2d": 1}
+
+
+class TestAirtimeAccounting:
+    def test_broadcast_charged_once(self):
+        """The defining property: receivers don't multiply airtime."""
+        one = WirelessChannel(8, per_tx_overhead_s=0.0)
+        many = WirelessChannel(8, per_tx_overhead_s=0.0)
+        one.transmit(0, [1], b"x" * 1000)
+        many.transmit(0, [1, 2, 3, 4, 5, 6, 7], b"x" * 1000)
+        assert one.log.total_airtime == many.log.total_airtime
+        assert one.log.total_bytes == many.log.total_bytes
+
+    def test_airtime_formula(self):
+        ch = WirelessChannel(2, rate_bytes_per_s=1000.0, per_tx_overhead_s=0.5)
+        secs = ch.transmit(0, [1], b"x" * 250)
+        assert secs == pytest.approx(0.5 + 0.25)
+        assert ch.log.airtime_s["d2d"] == pytest.approx(0.75)
+
+    def test_totals_accumulate(self):
+        ch = WirelessChannel(3)
+        ch.transmit(0, [WirelessChannel.AP], b"a" * 10)
+        ch.transmit(WirelessChannel.AP, [1], b"a" * 10)
+        ch.transmit(1, [0, 2], b"a" * 20)
+        assert ch.log.total_transmissions == 3
+        assert ch.log.total_bytes == 40
+        assert set(ch.log.transmissions) == {"uplink", "downlink", "d2d"}
+
+    def test_trace_records_chronology(self):
+        ch = WirelessChannel(3)
+        ch.transmit(0, [1], b"ab")
+        ch.transmit(1, [WirelessChannel.AP], b"cde")
+        assert ch.trace == [
+            (0, (1,), "d2d", 2),
+            (1, (WirelessChannel.AP,), "uplink", 3),
+        ]
+
+    def test_empty_log(self):
+        log = AirtimeLog()
+        assert log.total_bytes == 0.0
+        assert log.total_airtime == 0.0
+        assert log.total_transmissions == 0
