@@ -38,12 +38,19 @@ def _cmd_sort(args: argparse.Namespace) -> int:
     else:
         cluster = ThreadCluster(args.nodes)
     if args.algorithm == "coded":
-        run = run_coded_terasort(cluster, data, redundancy=args.redundancy)
+        run = run_coded_terasort(
+            cluster, data, redundancy=args.redundancy, schedule=args.schedule
+        )
     else:
         run = run_terasort(cluster, data)
     validate_sorted_permutation(data, run.partitions)
+    sched = f", schedule={args.schedule}" if args.algorithm == "coded" else ""
     print(f"sorted {args.records} records on {args.nodes} nodes "
-          f"({args.algorithm}, backend={args.backend}) — output valid")
+          f"({args.algorithm}, backend={args.backend}{sched}) — output valid")
+    if args.algorithm == "coded" and args.schedule == "parallel":
+        print(f"parallel schedule: {run.meta['schedule_turns']} turns packed "
+              f"into {run.meta['schedule_rounds']} rounds "
+              f"({run.meta['parallel_speedup']:.2f}x theoretical)")
     stages = run.stage_times
     print(format_table(
         ["stage", "seconds"],
@@ -250,6 +257,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--backend", choices=["thread", "process"], default="thread")
     p.add_argument("--rate-mbps", type=float, default=None,
                    help="per-node egress throttle (process backend)")
+    p.add_argument("--schedule", choices=["serial", "parallel"],
+                   default="serial",
+                   help="coded shuffle schedule: serial Fig. 9(b) turns "
+                        "(paper) or pipelined conflict-free rounds")
     p.set_defaults(func=_cmd_sort)
 
     p = sub.add_parser("simulate", help="simulate one run at paper scale")

@@ -33,10 +33,18 @@ from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.core.decoding import recover_intermediate
 from repro.core.encoding import CodedPacket, encode_packet
-from repro.core.groups import build_coding_plan
+from repro.core.groups import (
+    build_coding_plan,
+    check_schedule,
+    parallel_schedule_meta,
+)
 from repro.core.placement import CodedPlacement
 from repro.runtime.api import Comm
-from repro.runtime.program import ClusterResult, NodeProgram
+from repro.runtime.program import (
+    ClusterResult,
+    NodeProgram,
+    execute_multicast_shuffle,
+)
 from repro.runtime.traffic import TrafficLog
 from repro.utils.subsets import Subset, k_subsets, without
 from repro.utils.timer import StageTimes
@@ -239,9 +247,33 @@ class UncodedCMRProgram(_CMRProgramBase):
 
 
 class CodedCMRProgram(_CMRProgramBase):
-    """Coded shuffle (Fig. 1(b) right): Algorithm 1/2 over generic payloads."""
+    """Coded shuffle (Fig. 1(b) right): Algorithm 1/2 over generic payloads.
+
+    Supports both shuffle schedules (see
+    :mod:`repro.core.coded_terasort`): ``"serial"`` walks the Fig. 9(b)
+    turns with a barrier handing the fabric from turn to turn, while
+    ``"parallel"`` runs the non-blocking pipelined engine over
+    conflict-free rounds, overlapping Encode / Shuffle / Decode.  Outputs
+    are identical either way (reduction merges in deterministic file-id
+    order).
+    """
 
     STAGES = ["codegen", "map", "encode", "shuffle", "decode", "reduce"]
+
+    def __init__(
+        self,
+        comm: Comm,
+        job: MapReduceJob,
+        files: Dict[int, Any],
+        subsets: Dict[int, Subset],
+        redundancy: int,
+        schedule: str = "serial",
+    ) -> None:
+        super().__init__(comm, job, files, subsets, redundancy)
+        check_schedule(schedule)
+        self.schedule = schedule
+        #: Telemetry from the pipelined engine (parallel schedule only).
+        self.shuffle_telemetry: Dict[str, float] = {}
 
     def run(self) -> Dict[int, Any]:
         rank = self.rank
@@ -249,6 +281,11 @@ class CodedCMRProgram(_CMRProgramBase):
         with self.stage("codegen"):
             plan = build_coding_plan(self.size, self.redundancy)
             my_groups = plan.groups_of_node[rank]
+            rounds = (
+                plan.rounds_for("parallel")
+                if self.schedule == "parallel"
+                else None
+            )
 
         with self.stage("map"):
             by_subset = self._map_all()
@@ -256,39 +293,34 @@ class CodedCMRProgram(_CMRProgramBase):
         with self.stage("encode"):
             store = self._serialized_store(by_subset)
 
-            def lookup(subset: Subset, target: int) -> bytes:
-                return store[(subset, target)]
+        def lookup(subset: Subset, target: int) -> bytes:
+            return store[(subset, target)]
 
-            packets_out = {
-                gidx: encode_packet(rank, plan.groups[gidx], lookup).to_bytes()
-                for gidx in my_groups
+        def encode_for(gidx: int) -> bytes:
+            return encode_packet(rank, plan.groups[gidx], lookup).to_bytes()
+
+        def recover_group(gidx: int, raw_packets: Dict[int, bytes]) -> bytes:
+            packets = {
+                s: CodedPacket.from_bytes(raw) for s, raw in raw_packets.items()
             }
+            return recover_intermediate(
+                rank, plan.groups[gidx], packets, lookup
+            )
 
-        with self.stage("shuffle"):
-            received_raw: Dict[int, Dict[int, bytes]] = {g: {} for g in my_groups}
-            for gidx, sender in plan.schedule:
-                group = plan.groups[gidx]
-                if rank not in group:
-                    continue
-                tag = MULTICAST_TAG_BASE + gidx
-                if sender == rank:
-                    self.comm.bcast(group, rank, tag, packets_out[gidx])
-                else:
-                    received_raw[gidx][sender] = self.comm.bcast(group, sender, tag)
-
-        with self.stage("decode"):
-            received: List[bytes] = []
-            for gidx in my_groups:
-                group = plan.groups[gidx]
-                packets = {
-                    s: CodedPacket.from_bytes(raw)
-                    for s, raw in received_raw[gidx].items()
-                }
-                received.append(
-                    recover_intermediate(rank, group, packets, lookup)
-                )
+        recovered, self.shuffle_telemetry = execute_multicast_shuffle(
+            self,
+            plan.groups,
+            my_groups,
+            self.schedule,
+            plan.schedule,
+            rounds,
+            MULTICAST_TAG_BASE,
+            encode_for,
+            recover_group,
+        )
 
         with self.stage("reduce"):
+            received = [recovered[gidx] for gidx in my_groups]
             return self._reduce(store, received)
 
 
@@ -298,6 +330,7 @@ def run_mapreduce(
     file_payloads: Sequence[Any],
     redundancy: int = 1,
     coded: bool = False,
+    schedule: str = "serial",
 ) -> CMRRun:
     """Run ``job`` over ``file_payloads`` on ``cluster``.
 
@@ -310,10 +343,14 @@ def run_mapreduce(
             MapReduce.
         coded: use the coded shuffle (requires ``r >= 1``; at ``r = 1``
             groups have two members and coding degenerates to unicast).
+        schedule: coded-shuffle schedule, ``"serial"`` (Fig. 9(b) turns) or
+            ``"parallel"`` (pipelined conflict-free rounds); identical
+            outputs.  Only meaningful with ``coded=True``.
 
     Returns:
         A :class:`CMRRun` with the merged ``{q -> result}`` outputs.
     """
+    check_schedule(schedule)
     k = cluster.size
     n = len(file_payloads)
     placement = _make_placement(k, redundancy, n)
@@ -325,10 +362,17 @@ def run_mapreduce(
             per_node_files[node][file_id] = file_payloads[file_id]
             per_node_subsets[node][file_id] = subset
 
-    program_cls = CodedCMRProgram if coded else UncodedCMRProgram
-
     def factory(comm: Comm) -> NodeProgram:
-        return program_cls(
+        if coded:
+            return CodedCMRProgram(
+                comm,
+                job,
+                per_node_files[comm.rank],
+                per_node_subsets[comm.rank],
+                redundancy,
+                schedule=schedule,
+            )
+        return UncodedCMRProgram(
             comm,
             job,
             per_node_files[comm.rank],
@@ -343,17 +387,22 @@ def run_mapreduce(
         if overlap:
             raise RuntimeError(f"functions reduced twice: {sorted(overlap)}")
         outputs.update(node_outputs)
+    meta: Dict[str, object] = {
+        "job": job.name,
+        "num_nodes": k,
+        "num_files": n,
+        "redundancy": redundancy,
+        "coded": coded,
+        "schedule": schedule if coded else "serial",
+    }
+    if coded and schedule == "parallel":
+        plan = build_coding_plan(k, redundancy)
+        meta.update(parallel_schedule_meta(plan, result.per_node_times))
     return CMRRun(
         outputs=outputs,
         stage_times=result.stage_times,
         traffic=result.traffic,
-        meta={
-            "job": job.name,
-            "num_nodes": k,
-            "num_files": n,
-            "redundancy": redundancy,
-            "coded": coded,
-        },
+        meta=meta,
     )
 
 

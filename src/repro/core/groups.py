@@ -17,9 +17,42 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.utils.subsets import Subset, binomial, k_subsets, without
+
+#: Valid shuffle-schedule modes for the real execution engine.
+SCHEDULE_MODES = ("serial", "parallel")
+
+#: Default first-fit window of the greedy round scheduler.
+DEFAULT_ROUND_WINDOW = 64
+
+
+def check_schedule(schedule: str) -> None:
+    """Raise ``ValueError`` unless ``schedule`` is a known mode."""
+    if schedule not in SCHEDULE_MODES:
+        raise ValueError(
+            f"unknown schedule {schedule!r}; expected one of {SCHEDULE_MODES}"
+        )
+
+
+def parallel_schedule_meta(
+    plan: "CodingPlan", per_node_times: Sequence[Dict[str, float]]
+) -> Dict[str, object]:
+    """Driver-side metadata for a parallel-schedule run.
+
+    Shared by the CodedTeraSort and CMR drivers so both report the same
+    telemetry: turn/round counts, the theoretical turn-level speedup, and
+    the slowest node's overlapped shuffle span (the ``shuffle_span``
+    pseudo-stage emitted by the pipelined engine's callers).
+    """
+    spans = [t.get("shuffle_span", 0.0) for t in per_node_times]
+    return {
+        "schedule_turns": len(plan.schedule),
+        "schedule_rounds": plan.num_rounds,
+        "parallel_speedup": plan.parallel_speedup,
+        "shuffle_span_seconds": max(spans, default=0.0),
+    }
 
 
 @dataclass
@@ -40,6 +73,9 @@ class CodingPlan:
     groups: List[Subset]
     groups_of_node: Dict[int, List[int]] = field(default_factory=dict)
     schedule: List[Tuple[int, int]] = field(default_factory=list)
+    _parallel_rounds: Optional[List[List[Tuple[int, int]]]] = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     @property
     def num_groups(self) -> int:
@@ -58,6 +94,49 @@ class CodingPlan:
     def file_subset_for(self, group_idx: int, receiver: int) -> Subset:
         """The file subset ``M\\{receiver}`` a receiver decodes in a group."""
         return without(self.groups[group_idx], receiver)
+
+    # -- parallel (round) scheduling ------------------------------------------
+
+    def parallel_rounds(
+        self, window: int = DEFAULT_ROUND_WINDOW
+    ) -> List[List[Tuple[int, int]]]:
+        """The conflict-free round coloring of the multicast schedule.
+
+        Greedily packs the ``(group, sender)`` turns into rounds of
+        pairwise node-disjoint groups (see :func:`round_schedule`); cached
+        after the first call (the default ``window`` only).
+        """
+        if window != DEFAULT_ROUND_WINDOW:
+            return round_schedule(self, window)
+        if self._parallel_rounds is None:
+            self._parallel_rounds = round_schedule(self)
+        return self._parallel_rounds
+
+    @property
+    def num_rounds(self) -> int:
+        """Rounds needed by the parallel schedule (<= serial turn count)."""
+        return len(self.parallel_rounds())
+
+    @property
+    def parallel_speedup(self) -> float:
+        """Theoretical turn-level shuffle speedup of the parallel schedule.
+
+        Serial turns divided by parallel rounds — the factor by which the
+        shuffle's critical path shortens when node-disjoint multicasts run
+        concurrently (capped at ``floor(K / (r+1))``).
+        """
+        return len(self.schedule) / max(1, self.num_rounds)
+
+    def rounds_for(self, schedule: str) -> List[List[Tuple[int, int]]]:
+        """The transmission schedule as rounds, for either mode.
+
+        ``"serial"`` wraps each Fig. 9(b) turn in its own singleton round;
+        ``"parallel"`` returns the conflict-free coloring.
+        """
+        check_schedule(schedule)
+        if schedule == "serial":
+            return [[turn] for turn in self.schedule]
+        return self.parallel_rounds()
 
 
 def build_coding_plan(num_nodes: int, redundancy: int) -> CodingPlan:
@@ -111,7 +190,7 @@ def group_schedule_by_group(plan: CodingPlan) -> List[Tuple[int, int]]:
 
 
 def round_schedule(
-    plan: CodingPlan, window: int = 64
+    plan: CodingPlan, window: int = DEFAULT_ROUND_WINDOW
 ) -> List[List[Tuple[int, int]]]:
     """Pack the multicast schedule into conflict-free concurrent rounds.
 

@@ -4,8 +4,9 @@ The paper implements both algorithms in C++ over Open MPI (``MPI_Send``,
 ``MPI_Bcast``, ``MPI_Comm_split``).  This package provides the equivalent
 communication layer for the reproduction:
 
-* :mod:`repro.runtime.api` — the :class:`Comm` interface (send / recv /
-  bcast / barrier) that node programs are written against;
+* :mod:`repro.runtime.api` — the :class:`Comm` interface (blocking send /
+  recv / bcast / barrier plus non-blocking isend / irecv / ibcast with
+  :class:`Request` handles) that node programs are written against;
 * :mod:`repro.runtime.inproc` — a threaded in-process backend used for
   functional tests and byte accounting;
 * :mod:`repro.runtime.process` — a multiprocessing backend over an AF_UNIX
@@ -16,9 +17,13 @@ communication layer for the reproduction:
   also tracking raw wire bytes.
 """
 
-from repro.runtime.api import Comm, CommError, MulticastMode
+from repro.runtime.api import Comm, CommError, MulticastMode, Request, wait_all
 from repro.runtime.traffic import TrafficLog, TrafficRecord
-from repro.runtime.program import NodeProgram, ClusterResult
+from repro.runtime.program import (
+    ClusterResult,
+    NodeProgram,
+    pipelined_multicast_shuffle,
+)
 from repro.runtime.inproc import ThreadCluster
 from repro.runtime.process import ProcessCluster
 
@@ -26,10 +31,13 @@ __all__ = [
     "Comm",
     "CommError",
     "MulticastMode",
+    "Request",
+    "wait_all",
     "TrafficLog",
     "TrafficRecord",
     "NodeProgram",
     "ClusterResult",
+    "pipelined_multicast_shuffle",
     "ThreadCluster",
     "ProcessCluster",
 ]

@@ -1,26 +1,66 @@
 """The communication interface node programs are written against.
 
-Mirrors the subset of MPI the paper uses:
+Mirrors the subset of MPI the paper uses, plus the non-blocking extensions
+the pipelined shuffle engine is built on:
 
 * ``send`` / ``recv`` — blocking point-to-point with integer tags
   (``MPI_Send`` / ``MPI_Recv``);
-* ``bcast`` — application-layer multicast within an explicit member group
-  (``MPI_Bcast`` on a communicator built by ``MPI_Comm_split``); supports a
-  *linear* root-sends-to-all mode and a *binomial tree* mode matching Open
-  MPI's broadcast algorithm — the tree is what gives the logarithmic
-  multicast penalty the paper measures (§V-C);
+* ``isend`` / ``irecv`` — their non-blocking counterparts
+  (``MPI_Isend`` / ``MPI_Irecv``): both return a :class:`Request` handle
+  with ``wait`` / ``test``; :func:`wait_all` completes a batch
+  (``MPI_Waitall``);
+* ``bcast`` / ``ibcast`` — application-layer multicast within an explicit
+  member group (``MPI_Bcast`` / ``MPI_Ibcast`` on a communicator built by
+  ``MPI_Comm_split``); supports a *linear* root-sends-to-all mode and a
+  *binomial tree* mode matching Open MPI's broadcast algorithm — the tree
+  is what gives the logarithmic multicast penalty the paper measures
+  (§V-C);
 * ``barrier`` — full synchronization, used between the serial turns of the
   Fig. 9 schedules.
 
-Backends implement the three ``_raw`` primitives; the group algorithms and
-traffic accounting live here so every backend behaves identically.
+Non-blocking semantics: ``isend`` hands the payload to the backend's
+asynchronous sender and returns immediately; ``irecv`` and a receiving
+``ibcast`` return a lazily-completing request that consumes frames as they
+arrive (``test`` never blocks, ``wait`` blocks for the remainder).  A
+receiving ``ibcast`` in TREE mode at an *interior* tree node forwards to
+its children from a background relay thread so the broadcast keeps flowing
+even while the local program is busy; leaf receives stay threadless.
+Requests must eventually be waited (or tested to completion): an abandoned
+receiving request strands its message, and in TREE mode an abandoned
+interior relay stalls that subtree.
+
+Every user-level payload travels as a small framing header plus one or more
+chunks of at most ``chunk_bytes`` each, so a large transfer never occupies
+a backend channel atomically and rate pacing / progress interleaving work
+at chunk granularity.  Chunking is invisible to callers and to traffic
+accounting (a message is logged once with its logical payload size).
+
+Traffic accounting distinguishes *logical* transfers (one record per
+unicast or multicast — the paper's load convention) from *physical* hops:
+with ``record_relays=True`` every per-link hop a broadcast takes (root to
+member in LINEAR mode; every parent-to-child edge in TREE mode, including
+the root's own sends) is additionally logged with kind ``"relay"``, so the
+two multicast modes can be compared byte-for-byte per link.  Relay records
+are excluded from the default load/wire summaries.
+
+Backends implement the raw primitives (``_send_raw`` / ``_recv_raw`` /
+``_poll_raw`` / ``_barrier_raw`` and the async dispatch hooks); the group
+algorithms, chunked framing, and traffic accounting live here so every
+backend behaves identically.
+
+Internal tags live in namespaces disjoint from user tags *and* from each
+other (broadcast, barrier), so long runs can never alias a barrier frame
+onto a broadcast tag.
 """
 
 from __future__ import annotations
 
 import enum
+import struct
+import threading
+import time
 from abc import ABC, abstractmethod
-from typing import Optional, Sequence, Tuple
+from typing import Callable, List, Optional, Sequence, Tuple
 
 from repro.runtime.traffic import TrafficLog
 
@@ -28,8 +68,19 @@ from repro.runtime.traffic import TrafficLog
 #: (broadcast trees, barriers).  User programs must stay below it.
 RESERVED_TAG_BASE = 1 << 48
 
-_BCAST_TAG = RESERVED_TAG_BASE + 1
-_BARRIER_TAG = RESERVED_TAG_BASE + 2
+#: Broadcast inner tags: ``_BCAST_NS | user_tag`` — occupies [2^48, 2^49).
+_BCAST_NS = 1 << 48
+#: Barrier tags: ``_BARRIER_NS + sequence`` — occupies [2^49, 2^50).
+_BARRIER_NS = 1 << 49
+
+#: Default maximum chunk size for one raw frame of a user payload.
+DEFAULT_CHUNK_BYTES = 1 << 20
+
+#: Frame header: number of following chunk frames (0 = payload inline).
+_FRAME_PREFIX = struct.Struct("<I")
+
+#: Sentinel: use the backend's configured receive timeout.
+BACKEND_TIMEOUT = object()
 
 
 class CommError(RuntimeError):
@@ -49,12 +100,174 @@ class MulticastMode(enum.Enum):
     TREE = "tree"
 
 
+# ---------------------------------------------------------------------------
+# Requests — waitable handles for non-blocking operations.
+# ---------------------------------------------------------------------------
+
+
+class Request(ABC):
+    """Handle for an in-flight non-blocking operation.
+
+    ``wait`` blocks until completion and returns the operation's payload:
+    the received bytes for ``irecv``, the broadcast payload for ``ibcast``
+    (at every member, matching ``bcast``'s return contract), and ``None``
+    for ``isend``.  ``test`` polls without blocking and reports
+    completion.  Errors raised by the underlying transfer re-raise on
+    ``wait`` (and on the ``test`` that observes them).  ``wait(timeout)``
+    bounds the wait (``None`` = the backend's configured receive
+    timeout); expiry raises :class:`CommError`.
+    """
+
+    @abstractmethod
+    def wait(self, timeout: Optional[float] = None) -> Optional[bytes]:
+        """Block until the operation completes; return its payload."""
+
+    @abstractmethod
+    def test(self) -> bool:
+        """Non-blocking completion poll; True once ``wait`` would not block."""
+
+
+def wait_all(
+    requests: Sequence[Request], timeout: Optional[float] = None
+) -> List[Optional[bytes]]:
+    """Complete every request (``MPI_Waitall``); returns their payloads.
+
+    ``timeout`` is one overall deadline for the whole batch, not a
+    per-request allowance.
+    """
+    if timeout is None:
+        return [req.wait() for req in requests]
+    deadline = time.monotonic() + timeout
+    return [
+        req.wait(max(0.0, deadline - time.monotonic())) for req in requests
+    ]
+
+
+class _CompletedRequest(Request):
+    """A request that finished (or failed) at creation time."""
+
+    __slots__ = ("_value",)
+
+    def __init__(self, value: Optional[bytes]) -> None:
+        self._value = value
+
+    def wait(self, timeout: Optional[float] = None) -> Optional[bytes]:
+        return self._value
+
+    def test(self) -> bool:
+        return True
+
+
+class _FutureRequest(Request):
+    """A request completed by a background worker (async send / tree relay).
+
+    ``default_timeout`` bounds ``wait(None)``: send futures get the
+    backend's receive timeout (a wedged peer surfaces as an error instead
+    of an unbounded hang), while tree-relay futures pass ``None`` — their
+    packet may legitimately be a long while away, and peer failure
+    completes them with an error through the relay closure instead.
+    """
+
+    def __init__(self, default_timeout: Optional[float] = None) -> None:
+        self._event = threading.Event()
+        self._value: Optional[bytes] = None
+        self._error: Optional[BaseException] = None
+        self._default_timeout = default_timeout
+
+    def _set(self, value: Optional[bytes]) -> None:
+        self._value = value
+        self._event.set()
+
+    def _fail(self, exc: BaseException) -> None:
+        self._error = exc
+        self._event.set()
+
+    def wait(self, timeout: Optional[float] = None) -> Optional[bytes]:
+        if timeout is None:
+            timeout = self._default_timeout
+        if not self._event.wait(timeout):
+            raise CommError("request wait timed out")
+        if self._error is not None:
+            raise CommError(f"async operation failed: {self._error}") from self._error
+        return self._value
+
+    def test(self) -> bool:
+        if not self._event.is_set():
+            return False
+        if self._error is not None:
+            raise CommError(f"async operation failed: {self._error}") from self._error
+        return True
+
+
+class _RecvRequest(Request):
+    """Lazily-completing receive: consumes frames as they become available.
+
+    No thread is involved: ``test`` pops whatever frames have already
+    arrived via the backend's non-blocking ``_poll_raw``; ``wait`` blocks
+    via ``_recv_raw`` for the remainder.  Must only be driven from the
+    owning program's thread (like an MPI request).
+    """
+
+    def __init__(self, comm: "Comm", src: int, tag: int) -> None:
+        self._comm = comm
+        self._src = src
+        self._tag = tag
+        self._expected: Optional[int] = None  # chunk frames still to come
+        self._parts: List[bytes] = []
+        self._value: Optional[bytes] = None
+        self._done = False
+
+    def _consume(self, frame: bytes) -> None:
+        if self._expected is None:
+            (nchunks,) = _FRAME_PREFIX.unpack_from(frame)
+            if nchunks == 0:
+                self._value = bytes(frame[_FRAME_PREFIX.size:])
+                self._done = True
+                return
+            self._expected = nchunks
+            return
+        self._parts.append(frame)
+        self._expected -= 1
+        if self._expected == 0:
+            self._value = b"".join(bytes(p) for p in self._parts)
+            self._parts = []
+            self._done = True
+
+    def test(self) -> bool:
+        # _poll_raw raises CommError once the source is closed and no
+        # buffered frame remains, so polling callers observe peer death.
+        while not self._done:
+            frame = self._comm._poll_raw(self._src, self._tag)
+            if frame is None:
+                return False
+            self._consume(frame)
+        return True
+
+    def wait(self, timeout: Optional[float] = None) -> Optional[bytes]:
+        if timeout is None:
+            while not self._done:
+                self._consume(self._comm._recv_raw(self._src, self._tag))
+            return self._value
+        deadline = time.monotonic() + timeout
+        while not self._done:
+            remaining = max(0.0, deadline - time.monotonic())
+            self._consume(
+                self._comm._recv_raw(self._src, self._tag, timeout=remaining)
+            )
+        return self._value
+
+
 class Comm(ABC):
     """Per-node communication endpoint.
 
     Attributes:
         rank: this node's id in ``range(size)``.
         size: total number of nodes (the paper's ``K``).
+        chunk_bytes: maximum raw-frame payload; larger user messages are
+            split into chunks transparently.
+        record_relays: when True, every physical broadcast hop is logged
+            to the traffic log with kind ``"relay"`` in addition to the
+            one logical multicast record.
     """
 
     def __init__(
@@ -63,14 +276,24 @@ class Comm(ABC):
         size: int,
         traffic: Optional[TrafficLog] = None,
         multicast_mode: MulticastMode = MulticastMode.LINEAR,
+        chunk_bytes: int = DEFAULT_CHUNK_BYTES,
+        record_relays: bool = False,
     ) -> None:
         if not 0 <= rank < size:
             raise CommError(f"rank {rank} out of range(size={size})")
+        if chunk_bytes < 1:
+            raise CommError(f"chunk_bytes must be >= 1, got {chunk_bytes}")
         self.rank = rank
         self.size = size
         self.traffic = traffic
         self.multicast_mode = multicast_mode
+        self.chunk_bytes = chunk_bytes
+        self.record_relays = record_relays
         self._stage = "init"
+        # Set once the async sender path has been used; from then on
+        # blocking sends route through it too, preserving per-channel FIFO
+        # with any still-queued closures.
+        self._async_dispatch_used = False
 
     # -- stage attribution ----------------------------------------------------
 
@@ -86,31 +309,133 @@ class Comm(ABC):
 
     @abstractmethod
     def _send_raw(self, dst: int, tag: int, payload: bytes) -> None:
-        """Deliver ``payload`` to ``dst`` under ``tag`` (blocking ok)."""
+        """Deliver one raw frame to ``dst`` under ``tag`` (blocking ok).
+
+        Must be safe to call from multiple threads for *different* tags on
+        the same destination (frames of one tag are never sent from two
+        threads at once by this layer).
+        """
 
     @abstractmethod
-    def _recv_raw(self, src: int, tag: int) -> bytes:
-        """Block until a message from ``src`` with ``tag`` arrives."""
+    def _recv_raw(self, src: int, tag: int, timeout=BACKEND_TIMEOUT) -> bytes:
+        """Block until a raw frame from ``src`` with ``tag`` arrives.
+
+        ``timeout``: seconds to wait, ``None`` for unbounded, or the
+        :data:`BACKEND_TIMEOUT` sentinel for the backend's configured
+        default.  Expiry raises :class:`CommError`.
+        """
 
     @abstractmethod
     def _barrier_raw(self) -> None:
         """Block until all ``size`` nodes have entered the barrier."""
 
+    def _poll_raw(self, src: int, tag: int) -> Optional[bytes]:
+        """Non-blocking: pop a buffered raw frame or return None.
+
+        Must raise :class:`CommError` (after draining buffered frames) if
+        the source can never deliver — that is how ``Request.test``
+        observes peer death.  Backends that cannot probe may leave the
+        default, which degrades ``Request.test`` to always-False
+        (``wait`` still works).
+        """
+        return None
+
+    def _dispatch_send(self, fn: Callable[[], Optional[bytes]]) -> Request:
+        """Run a send closure asynchronously; default executes inline.
+
+        Backends whose raw sends can block for long (socket backpressure)
+        override this with a sender-thread dispatch.  Closures for one
+        destination+tag must execute in dispatch order.
+        """
+        return _CompletedRequest(fn())
+
+    def _spawn(self, fn: Callable[[], Optional[bytes]]) -> Request:
+        """Run ``fn`` on a fresh daemon thread (tree-relay ibcasts)."""
+        req = _FutureRequest()
+
+        def runner() -> None:
+            try:
+                req._set(fn())
+            except BaseException as exc:  # noqa: BLE001 - delivered via wait
+                req._fail(exc)
+
+        threading.Thread(
+            target=runner, daemon=True, name=f"relay-{self.rank}"
+        ).start()
+        return req
+
+    def _close_async(self) -> None:
+        """Stop backend async helpers; called once the node program ends."""
+
+    # -- chunked framing --------------------------------------------------------
+
+    def _send_framed(self, dst: int, tag: int, payload: bytes) -> None:
+        """Send one logical payload as a header frame plus chunk frames."""
+        if len(payload) <= self.chunk_bytes:
+            self._send_raw(dst, tag, _FRAME_PREFIX.pack(0) + bytes(payload))
+            return
+        view = memoryview(payload)
+        chunk = self.chunk_bytes
+        nchunks = (len(view) + chunk - 1) // chunk
+        self._send_raw(dst, tag, _FRAME_PREFIX.pack(nchunks))
+        for start in range(0, len(view), chunk):
+            self._send_raw(dst, tag, view[start:start + chunk])
+
+    def _recv_framed(self, src: int, tag: int, timeout=BACKEND_TIMEOUT) -> bytes:
+        """Receive one logical payload (header frame plus chunk frames)."""
+        head = self._recv_raw(src, tag, timeout=timeout)
+        (nchunks,) = _FRAME_PREFIX.unpack_from(head)
+        if nchunks == 0:
+            return bytes(head[_FRAME_PREFIX.size:])
+        return b"".join(
+            bytes(self._recv_raw(src, tag, timeout=timeout))
+            for _ in range(nchunks)
+        )
+
     # -- public API -------------------------------------------------------------
 
     def send(self, dst: int, tag: int, payload: bytes) -> None:
-        """Blocking tagged unicast (logged as one unicast transfer)."""
+        """Blocking tagged unicast (logged as one unicast transfer).
+
+        Runs inline (no sender-thread handoff) until the first non-blocking
+        send is posted; after that it rides the async sender so messages on
+        one channel can never overtake queued closures.
+        """
         self._check_peer(dst)
         self._check_tag(tag)
         if self.traffic is not None:
             self.traffic.record(self._stage, "unicast", self.rank, (dst,), len(payload))
-        self._send_raw(dst, tag, payload)
+        if self._async_dispatch_used:
+            self._dispatch_send(
+                lambda: self._send_framed(dst, tag, payload)
+            ).wait()
+        else:
+            self._send_framed(dst, tag, payload)
+
+    def isend(self, dst: int, tag: int, payload: bytes) -> Request:
+        """Non-blocking tagged unicast; returns a waitable :class:`Request`.
+
+        The payload is logged (one unicast record) at post time, in the
+        stage active when ``isend`` was called.
+        """
+        self._check_peer(dst)
+        self._check_tag(tag)
+        if self.traffic is not None:
+            self.traffic.record(self._stage, "unicast", self.rank, (dst,), len(payload))
+        self._async_dispatch_used = True
+        return self._dispatch_send(lambda: self._send_framed(dst, tag, payload))
 
     def recv(self, src: int, tag: int) -> bytes:
         """Blocking tagged receive from a specific source."""
         self._check_peer(src)
         self._check_tag(tag)
-        return self._recv_raw(src, tag)
+        return self._recv_framed(src, tag)
+
+    def irecv(self, src: int, tag: int) -> Request:
+        """Non-blocking tagged receive; ``wait()`` returns the payload."""
+        self._check_peer(src)
+        self._check_tag(tag)
+        return _RecvRequest(self, src, tag)
 
     def bcast(
         self,
@@ -132,6 +457,81 @@ class Comm(ABC):
         Returns:
             The payload, at every member (including the root).
         """
+        group = self._bcast_preflight(members, root, tag, payload)
+        if len(group) == 1:
+            assert payload is not None
+            return payload
+        inner_tag = _BCAST_NS | tag
+        if self.multicast_mode is MulticastMode.TREE:
+            return self._bcast_tree(group, root, inner_tag, payload, self._stage)
+        return self._bcast_linear(group, root, inner_tag, payload, self._stage)
+
+    def ibcast(
+        self,
+        members: Sequence[int],
+        root: int,
+        tag: int,
+        payload: Optional[bytes] = None,
+    ) -> Request:
+        """Non-blocking multicast; ``wait()`` returns the payload everywhere.
+
+        The root's sends run on the backend's async sender.  A LINEAR (or
+        TREE-leaf) receiver gets a threadless lazy request; a TREE interior
+        receiver relays to its children from a background thread as soon as
+        its copy arrives.  At most one in-flight broadcast may use a given
+        ``(group, tag)`` pair at a time (same as ``bcast``).
+
+        Scaling note: each in-flight TREE interior receive costs one
+        (mostly idle) relay thread until its packet arrives, so a program
+        that posts an entire shuffle's receives up front holds up to
+        ``~C(K-1, r) / (r+1)`` relay threads per node.  Fine at this
+        repo's scales (tens of threads at K <= 16); a shared relay
+        dispatcher is the upgrade path if group counts grow far beyond
+        that.
+        """
+        group = self._bcast_preflight(members, root, tag, payload)
+        if len(group) == 1:
+            return _CompletedRequest(payload)
+        inner_tag = _BCAST_NS | tag
+        stage = self._stage
+        if self.rank == root:
+            self._async_dispatch_used = True
+            if self.multicast_mode is MulticastMode.TREE:
+                return self._dispatch_send(
+                    lambda: self._bcast_tree(group, root, inner_tag, payload, stage)
+                )
+            return self._dispatch_send(
+                lambda: self._bcast_linear(group, root, inner_tag, payload, stage)
+            )
+        if self.multicast_mode is MulticastMode.LINEAR:
+            return _RecvRequest(self, root, inner_tag)
+        parent, children = self._tree_links(group, root, self.rank)
+        assert parent is not None
+        if not children:
+            return _RecvRequest(self, parent, inner_tag)
+        # The relay may legitimately sit idle for many rounds before its
+        # packet is due, so its receive is exempt from the per-receive
+        # timeout (peer failure still unblocks it via channel closure).
+        return self._spawn(
+            lambda: self._bcast_tree(
+                group, root, inner_tag, None, stage, recv_timeout=None
+            )
+        )
+
+    def barrier(self) -> None:
+        """Block until every rank has reached the barrier."""
+        self._barrier_raw()
+
+    # -- broadcast algorithms -----------------------------------------------------
+
+    def _bcast_preflight(
+        self,
+        members: Sequence[int],
+        root: int,
+        tag: int,
+        payload: Optional[bytes],
+    ) -> Tuple[int, ...]:
+        """Validate a broadcast call; log the logical multicast at the root."""
         group = tuple(sorted(members))
         if len(set(group)) != len(group):
             raise CommError(f"duplicate members in bcast group {members!r}")
@@ -149,69 +549,84 @@ class Comm(ABC):
                     self.traffic.record(
                         self._stage, "multicast", root, dsts, len(payload)
                     )
-        if len(group) == 1:
-            assert payload is not None
-            return payload
-        inner_tag = _BCAST_TAG + tag
-        if self.multicast_mode is MulticastMode.TREE:
-            return self._bcast_tree(group, root, inner_tag, payload)
-        return self._bcast_linear(group, root, inner_tag, payload)
+        return group
 
-    def barrier(self) -> None:
-        """Block until every rank has reached the barrier."""
-        self._barrier_raw()
-
-    # -- broadcast algorithms -----------------------------------------------------
+    def _record_hop(self, stage: str, dst: int, nbytes: int) -> None:
+        """Log one physical broadcast hop (kind ``"relay"``) if enabled."""
+        if self.record_relays and self.traffic is not None:
+            self.traffic.record(stage, "relay", self.rank, (dst,), nbytes)
 
     def _bcast_linear(
-        self, group: Tuple[int, ...], root: int, tag: int, payload: Optional[bytes]
+        self,
+        group: Tuple[int, ...],
+        root: int,
+        tag: int,
+        payload: Optional[bytes],
+        stage: str,
     ) -> bytes:
         if self.rank == root:
             assert payload is not None
             for m in group:
                 if m != root:
-                    self._send_raw(m, tag, payload)
+                    self._send_framed(m, tag, payload)
+                    self._record_hop(stage, m, len(payload))
             return payload
-        return self._recv_raw(root, tag)
+        return self._recv_framed(root, tag)
 
-    def _bcast_tree(
-        self, group: Tuple[int, ...], root: int, tag: int, payload: Optional[bytes]
-    ) -> bytes:
-        """Binomial-tree broadcast (MPICH/Open MPI algorithm).
+    @staticmethod
+    def _tree_links(
+        group: Tuple[int, ...], root: int, rank: int
+    ) -> Tuple[Optional[int], List[int]]:
+        """``rank``'s parent and children in the binomial broadcast tree.
 
         Members are renumbered relative to the root; in round ``i`` every
         current holder forwards to the member ``2^i`` positions ahead.
-        Every non-root receives exactly once, so wire bytes equal the linear
-        mode; only the critical path shortens to ``ceil(log2(g))`` rounds.
+        Scanning masks upward, the first set bit of the relative index
+        names the round in which a member is reached; its parent is the
+        index with that bit cleared, and its children are the indices
+        reached by setting each lower bit (in descending round order).
+        The root (relative index 0) has no parent.
         """
         g = len(group)
-        idx = group.index(self.rank)
         root_idx = group.index(root)
-        rel = (idx - root_idx) % g
-
-        data = payload
-        # Phase 1 — receive once (non-roots).  Scanning masks upward, the
-        # first set bit of ``rel`` names the round in which this member is
-        # reached; its parent is ``rel`` with that bit cleared.  The root
-        # (rel == 0) never breaks and exits with mask = 2^ceil(log2(g)).
+        rel = (group.index(rank) - root_idx) % g
+        parent: Optional[int] = None
         mask = 1
         while mask < g:
             if rel & mask:
-                src_rel = rel - mask
-                src = group[(src_rel + root_idx) % g]
-                data = self._recv_raw(src, tag)
+                parent = group[((rel - mask) + root_idx) % g]
                 break
             mask <<= 1
-        # Phase 2 — forward to children: all members rel + m for m below the
-        # mask at which we obtained the data.
         mask >>= 1
+        children: List[int] = []
         while mask > 0:
             if rel + mask < g:
-                dst = group[(rel + mask + root_idx) % g]
-                assert data is not None
-                self._send_raw(dst, tag, data)
+                children.append(group[(rel + mask + root_idx) % g])
             mask >>= 1
+        return parent, children
+
+    def _bcast_tree(
+        self,
+        group: Tuple[int, ...],
+        root: int,
+        tag: int,
+        payload: Optional[bytes],
+        stage: str,
+        recv_timeout=BACKEND_TIMEOUT,
+    ) -> bytes:
+        """Binomial-tree broadcast (MPICH/Open MPI algorithm).
+
+        Every non-root receives exactly once, so wire bytes equal the linear
+        mode; only the critical path shortens to ``ceil(log2(g))`` rounds.
+        """
+        parent, children = self._tree_links(group, root, self.rank)
+        data = payload
+        if parent is not None:
+            data = self._recv_framed(parent, tag, timeout=recv_timeout)
         assert data is not None
+        for child in children:
+            self._send_framed(child, tag, data)
+            self._record_hop(stage, child, len(data))
         return data
 
     # -- checks ----------------------------------------------------------------
@@ -232,4 +647,4 @@ class Comm(ABC):
 
 def barrier_tag(round_idx: int) -> int:
     """Internal tag for dissemination-barrier round ``round_idx``."""
-    return _BARRIER_TAG + round_idx
+    return _BARRIER_NS + round_idx

@@ -6,57 +6,28 @@ end-to-end correctness tests, deterministic byte accounting, and the Fig. 1 /
 Fig. 2 load measurements — not wall-clock performance (the GIL serializes
 compute).  Real parallel timing comes from
 :class:`repro.runtime.process.ProcessCluster` and the simulator.
+
+Non-blocking primitives are cheap here: mailbox puts never block, so
+``isend`` completes inline, and ``irecv`` / ``ibcast`` receives are lazy
+mailbox pops (no helper threads; only TREE-mode interior relays spawn one).
 """
 
 from __future__ import annotations
 
 import threading
-from collections import deque
-from typing import Any, Deque, Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
-from repro.runtime.api import Comm, CommError, MulticastMode
+from repro.runtime.api import (
+    BACKEND_TIMEOUT,
+    Comm,
+    CommError,
+    DEFAULT_CHUNK_BYTES,
+    MulticastMode,
+)
+from repro.runtime.mailbox import Mailbox, MailboxClosed
 from repro.runtime.program import ClusterResult, NodeProgram, ProgramFactory
 from repro.runtime.traffic import TrafficLog
 from repro.utils.timer import StageTimes
-
-_MailKey = Tuple[int, int]  # (src, tag)
-
-
-class _Mailbox:
-    """Per-node tagged mailbox with blocking selective receive."""
-
-    def __init__(self) -> None:
-        self._cond = threading.Condition()
-        self._queues: Dict[_MailKey, Deque[bytes]] = {}
-        self._closed = False
-
-    def put(self, src: int, tag: int, payload: bytes) -> None:
-        with self._cond:
-            if self._closed:
-                raise CommError("mailbox closed (peer died?)")
-            self._queues.setdefault((src, tag), deque()).append(payload)
-            self._cond.notify_all()
-
-    def get(self, src: int, tag: int, timeout: Optional[float]) -> bytes:
-        key = (src, tag)
-        with self._cond:
-            while True:
-                q = self._queues.get(key)
-                if q:
-                    return q.popleft()
-                if self._closed:
-                    raise CommError(
-                        f"mailbox closed while waiting for (src={src}, tag={tag})"
-                    )
-                if not self._cond.wait(timeout=timeout):
-                    raise CommError(
-                        f"recv timeout waiting for (src={src}, tag={tag})"
-                    )
-
-    def close(self) -> None:
-        with self._cond:
-            self._closed = True
-            self._cond.notify_all()
 
 
 class _ThreadComm(Comm):
@@ -66,22 +37,45 @@ class _ThreadComm(Comm):
         self,
         rank: int,
         size: int,
-        mailboxes: List[_Mailbox],
+        mailboxes: List[Mailbox],
         barrier: threading.Barrier,
         traffic: TrafficLog,
         multicast_mode: MulticastMode,
         recv_timeout: Optional[float],
+        chunk_bytes: int,
+        record_relays: bool,
     ) -> None:
-        super().__init__(rank, size, traffic=traffic, multicast_mode=multicast_mode)
+        super().__init__(
+            rank,
+            size,
+            traffic=traffic,
+            multicast_mode=multicast_mode,
+            chunk_bytes=chunk_bytes,
+            record_relays=record_relays,
+        )
         self._mailboxes = mailboxes
         self._barrier = barrier
         self._recv_timeout = recv_timeout
 
     def _send_raw(self, dst: int, tag: int, payload: bytes) -> None:
-        self._mailboxes[dst].put(self.rank, tag, payload)
+        try:
+            self._mailboxes[dst].put(self.rank, tag, payload)
+        except MailboxClosed as exc:
+            raise CommError(str(exc)) from exc
 
-    def _recv_raw(self, src: int, tag: int) -> bytes:
-        return self._mailboxes[self.rank].get(src, tag, self._recv_timeout)
+    def _recv_raw(self, src: int, tag: int, timeout=BACKEND_TIMEOUT) -> bytes:
+        if timeout is BACKEND_TIMEOUT:
+            timeout = self._recv_timeout
+        try:
+            return self._mailboxes[self.rank].get(src, tag, timeout)
+        except (MailboxClosed, TimeoutError) as exc:
+            raise CommError(str(exc)) from exc
+
+    def _poll_raw(self, src: int, tag: int) -> Optional[bytes]:
+        try:
+            return self._mailboxes[self.rank].poll(src, tag)
+        except MailboxClosed as exc:
+            raise CommError(str(exc)) from exc
 
     def _barrier_raw(self) -> None:
         try:
@@ -99,6 +93,9 @@ class ThreadCluster:
         recv_timeout: per-receive timeout in seconds; ``None`` disables it.
             Tests use a finite timeout so protocol bugs fail fast instead of
             deadlocking the suite.
+        chunk_bytes: maximum raw-frame size for one user payload chunk.
+        record_relays: additionally log every physical broadcast hop (kind
+            ``"relay"``) to the traffic log.
     """
 
     def __init__(
@@ -106,12 +103,16 @@ class ThreadCluster:
         size: int,
         multicast_mode: MulticastMode = MulticastMode.LINEAR,
         recv_timeout: Optional[float] = 60.0,
+        chunk_bytes: int = DEFAULT_CHUNK_BYTES,
+        record_relays: bool = False,
     ) -> None:
         if size < 1:
             raise ValueError(f"cluster size must be >= 1, got {size}")
         self.size = size
         self.multicast_mode = multicast_mode
         self.recv_timeout = recv_timeout
+        self.chunk_bytes = chunk_bytes
+        self.record_relays = record_relays
 
     def run(self, factory: ProgramFactory) -> ClusterResult:
         """Run one program instance per node; gather results and timings.
@@ -120,7 +121,7 @@ class ThreadCluster:
         first one chronologically), after closing all mailboxes so the
         remaining threads unblock and exit.
         """
-        mailboxes = [_Mailbox() for _ in range(self.size)]
+        mailboxes = [Mailbox() for _ in range(self.size)]
         barrier = threading.Barrier(self.size)
         traffic = TrafficLog()
 
@@ -131,16 +132,19 @@ class ThreadCluster:
         programs: List[Optional[NodeProgram]] = [None] * self.size
 
         def worker(rank: int) -> None:
-            comm = _ThreadComm(
-                rank,
-                self.size,
-                mailboxes,
-                barrier,
-                traffic,
-                self.multicast_mode,
-                self.recv_timeout,
-            )
+            comm: Optional[_ThreadComm] = None
             try:
+                comm = _ThreadComm(
+                    rank,
+                    self.size,
+                    mailboxes,
+                    barrier,
+                    traffic,
+                    self.multicast_mode,
+                    self.recv_timeout,
+                    self.chunk_bytes,
+                    self.record_relays,
+                )
                 program = factory(comm)
                 programs[rank] = program
                 results[rank] = program.run()
@@ -151,6 +155,9 @@ class ThreadCluster:
                 barrier.abort()
                 for mb in mailboxes:
                     mb.close()
+            finally:
+                if comm is not None:
+                    comm._close_async()
 
         threads = [
             threading.Thread(target=worker, args=(rank,), name=f"node-{rank}")

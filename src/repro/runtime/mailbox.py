@@ -1,0 +1,122 @@
+"""Tagged mailbox shared by the threaded and multiprocessing backends.
+
+A :class:`Mailbox` is one node's inbound message store: frames are keyed by
+``(src, tag)`` and delivered FIFO per key.  It supports the three access
+patterns the runtime needs:
+
+* ``get`` — blocking selective receive (the classic MPI-style matching);
+* ``poll`` — non-blocking probe-and-pop, backing ``Request.test()`` of the
+  non-blocking API;
+* per-source closure — when a peer's channel dies, only receives matching
+  that source fail; traffic from healthy peers keeps flowing (the
+  multiprocessing backend's per-peer reader threads close their source on
+  EOF while the rest of the mesh stays up).
+
+``close()`` (global) additionally fails *all* pending receives — used by the
+threaded backend when any node thread dies so the rest unblock promptly.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Deque, Dict, Optional, Tuple
+
+_MailKey = Tuple[int, int]  # (src, tag)
+
+
+class MailboxClosed(Exception):
+    """Raised by ``get`` when the mailbox (or the awaited source) is closed."""
+
+
+class Mailbox:
+    """Per-node tagged mailbox with blocking and non-blocking receive."""
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition()
+        self._queues: Dict[_MailKey, Deque[bytes]] = {}
+        self._closed = False
+        self._closed_sources: Dict[int, str] = {}
+
+    def put(self, src: int, tag: int, payload: bytes) -> None:
+        with self._cond:
+            if self._closed:
+                raise MailboxClosed("mailbox closed (peer died?)")
+            self._queues.setdefault((src, tag), deque()).append(payload)
+            self._cond.notify_all()
+
+    def get(self, src: int, tag: int, timeout: Optional[float]) -> bytes:
+        """Pop the next frame for ``(src, tag)``, blocking until one arrives.
+
+        Raises:
+            MailboxClosed: the mailbox or the awaited source was closed and
+                no matching frame remains buffered.
+            TimeoutError: no frame arrived within ``timeout`` seconds.
+        """
+        key = (src, tag)
+        # One absolute deadline for the whole call: wakeups for *other*
+        # keys (notify_all fires on every put) must not restart the clock,
+        # or a stuck receive would never time out while unrelated traffic
+        # keeps flowing.
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._cond:
+            while True:
+                q = self._queues.get(key)
+                if q:
+                    return q.popleft()
+                if self._closed:
+                    raise MailboxClosed(
+                        f"mailbox closed while waiting for (src={src}, tag={tag})"
+                    )
+                if src in self._closed_sources:
+                    raise MailboxClosed(
+                        f"source {src} closed while waiting for tag {tag}: "
+                        f"{self._closed_sources[src]}"
+                    )
+                remaining = (
+                    None if deadline is None else deadline - time.monotonic()
+                )
+                if remaining is not None and remaining <= 0:
+                    raise TimeoutError(
+                        f"recv timeout waiting for (src={src}, tag={tag})"
+                    )
+                self._cond.wait(timeout=remaining)
+
+    def poll(self, src: int, tag: int) -> Optional[bytes]:
+        """Pop the next frame for ``(src, tag)`` if one is buffered, else None.
+
+        Buffered frames drain first; once the mailbox (or the polled
+        source) is closed and nothing matching remains, the poll raises so
+        a ``test()``-polling caller observes peer death instead of
+        spinning forever.
+
+        Raises:
+            MailboxClosed: the source can never deliver a matching frame.
+        """
+        with self._cond:
+            q = self._queues.get((src, tag))
+            if q:
+                return q.popleft()
+            if self._closed:
+                raise MailboxClosed(
+                    f"mailbox closed while polling (src={src}, tag={tag})"
+                )
+            if src in self._closed_sources:
+                raise MailboxClosed(
+                    f"source {src} closed while polling tag {tag}: "
+                    f"{self._closed_sources[src]}"
+                )
+            return None
+
+    def close_source(self, src: int, reason: str) -> None:
+        """Fail future receives from ``src`` (already-buffered frames drain)."""
+        with self._cond:
+            self._closed_sources.setdefault(src, reason)
+            self._cond.notify_all()
+
+    def close(self) -> None:
+        """Fail all pending and future receives."""
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()

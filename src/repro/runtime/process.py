@@ -13,6 +13,17 @@ Architecture (the paper's Fig. 8, coordinator + K workers):
 * barriers are dissemination barriers over the same mesh (O(K log K) empty
   frames), so no central coordinator round-trip sits on the timed path.
 
+Each worker runs one *reader thread per peer socket* that demultiplexes
+inbound frames into a tagged mailbox.  That is what makes the non-blocking
+API deadlock-free: sockets are always drained regardless of which receives
+the program has posted or waited, so a peer's send can never stall forever
+on a full kernel buffer.  Blocking receives, lazy ``irecv`` requests, and
+barrier frames all pop from the same mailbox.  ``isend`` / root-side
+``ibcast`` closures run on a single per-worker sender thread (preserving
+per-channel FIFO order); a per-destination lock keeps frames from
+interleaving when the program thread (barriers, blocking broadcasts) sends
+concurrently with the sender thread.
+
 Workers inherit the program factory through ``fork``, so factories may close
 over arbitrary in-memory state (e.g. pre-generated input files) without
 pickling.
@@ -22,15 +33,27 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import queue
 import socket
+import struct
+import threading
 import traceback
-from collections import deque
-from typing import Any, Deque, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
-from repro.runtime.api import Comm, CommError, MulticastMode, barrier_tag
+from repro.runtime.api import (
+    BACKEND_TIMEOUT,
+    Comm,
+    CommError,
+    DEFAULT_CHUNK_BYTES,
+    MulticastMode,
+    Request,
+    _FutureRequest,
+    barrier_tag,
+)
+from repro.runtime.mailbox import Mailbox, MailboxClosed
 from repro.runtime.program import ClusterResult, NodeProgram, ProgramFactory
 from repro.runtime.ratelimit import TokenBucket
-from repro.runtime.traffic import TrafficLog, TrafficRecord
+from repro.runtime.traffic import TrafficLog
 from repro.runtime.transport import TransportError, recv_frame, send_frame
 from repro.utils.timer import StageTimes
 
@@ -45,36 +68,79 @@ class _SocketComm(Comm):
         conns: Dict[int, socket.socket],
         multicast_mode: MulticastMode,
         pacer: Optional[TokenBucket],
+        recv_timeout: Optional[float],
+        chunk_bytes: int,
+        record_relays: bool,
     ) -> None:
         super().__init__(
-            rank, size, traffic=TrafficLog(), multicast_mode=multicast_mode
+            rank,
+            size,
+            traffic=TrafficLog(),
+            multicast_mode=multicast_mode,
+            chunk_bytes=chunk_bytes,
+            record_relays=record_relays,
         )
         self._conns = conns
         self._pacer = pacer
-        # Out-of-order frames buffered per (peer, tag).
-        self._pending: Dict[int, Dict[int, Deque[bytes]]] = {
-            peer: {} for peer in conns
+        self._recv_timeout = recv_timeout
+        self._mailbox = Mailbox()
+        self._send_locks: Dict[int, threading.Lock] = {
+            peer: threading.Lock() for peer in conns
         }
+        self._readers: List[threading.Thread] = []
+        self._send_queue: Optional["queue.Queue"] = None
+        self._sender_thread: Optional[threading.Thread] = None
+        self._sender_lock = threading.Lock()
         self._barrier_epoch = 0
+
+    # -- inbound demultiplexing -------------------------------------------------
+
+    def _start_readers(self) -> None:
+        """Spawn one reader thread per peer socket (call in the worker)."""
+        for peer, sock in self._conns.items():
+            t = threading.Thread(
+                target=self._reader_loop,
+                args=(peer, sock),
+                daemon=True,
+                name=f"reader-{self.rank}<-{peer}",
+            )
+            t.start()
+            self._readers.append(t)
+
+    def _reader_loop(self, peer: int, sock: socket.socket) -> None:
+        while True:
+            try:
+                tag, payload = recv_frame(sock)
+            except (OSError, TransportError) as exc:
+                self._mailbox.close_source(peer, str(exc))
+                return
+            try:
+                self._mailbox.put(peer, tag, payload)
+            except MailboxClosed:
+                return
+
+    # -- raw primitives ---------------------------------------------------------
 
     def _send_raw(self, dst: int, tag: int, payload: bytes) -> None:
         try:
-            send_frame(self._conns[dst], tag, payload, pacer=self._pacer)
+            with self._send_locks[dst]:
+                send_frame(self._conns[dst], tag, payload, pacer=self._pacer)
         except (OSError, TransportError) as exc:
             raise CommError(f"send to {dst} failed: {exc}") from exc
 
-    def _recv_raw(self, src: int, tag: int) -> bytes:
-        buf = self._pending[src].get(tag)
-        if buf:
-            return buf.popleft()
-        while True:
-            try:
-                got_tag, payload = recv_frame(self._conns[src])
-            except (OSError, TransportError) as exc:
-                raise CommError(f"recv from {src} failed: {exc}") from exc
-            if got_tag == tag:
-                return payload
-            self._pending[src].setdefault(got_tag, deque()).append(payload)
+    def _recv_raw(self, src: int, tag: int, timeout=BACKEND_TIMEOUT) -> bytes:
+        if timeout is BACKEND_TIMEOUT:
+            timeout = self._recv_timeout
+        try:
+            return self._mailbox.get(src, tag, timeout)
+        except (MailboxClosed, TimeoutError) as exc:
+            raise CommError(f"recv from {src} failed: {exc}") from exc
+
+    def _poll_raw(self, src: int, tag: int) -> Optional[bytes]:
+        try:
+            return self._mailbox.poll(src, tag)
+        except MailboxClosed as exc:
+            raise CommError(f"recv from {src} failed: {exc}") from exc
 
     def _barrier_raw(self) -> None:
         """Dissemination barrier: log2(K) rounds of shifted token passing."""
@@ -94,25 +160,93 @@ class _SocketComm(Comm):
             dist <<= 1
             round_idx += 1
 
+    # -- async dispatch ----------------------------------------------------------
+
+    def _dispatch_send(self, fn: Callable[[], Optional[bytes]]) -> Request:
+        """Run a send closure on the per-worker sender thread, in order."""
+        with self._sender_lock:
+            if self._send_queue is None:
+                self._send_queue = queue.Queue()
+                self._sender_thread = threading.Thread(
+                    target=self._sender_loop,
+                    daemon=True,
+                    name=f"sender-{self.rank}",
+                )
+                self._sender_thread.start()
+        # A send future's plain wait() is bounded like a receive, so a
+        # wedged peer (full buffer, nothing draining) surfaces as an error.
+        req = _FutureRequest(default_timeout=self._recv_timeout)
+        self._send_queue.put((fn, req))
+        return req
+
+    def _sender_loop(self) -> None:
+        assert self._send_queue is not None
+        while True:
+            item = self._send_queue.get()
+            if item is None:
+                return
+            fn, req = item
+            try:
+                req._set(fn())
+            except BaseException as exc:  # noqa: BLE001 - delivered via wait
+                req._fail(exc)
+
+    def _close_async(self) -> None:
+        if self._send_queue is not None:
+            self._send_queue.put(None)
+            assert self._sender_thread is not None
+            self._sender_thread.join(timeout=10.0)
+
 
 def _worker_main(
     rank: int,
     size: int,
     conns: Dict[int, socket.socket],
+    extra_close: List,
     factory: ProgramFactory,
     multicast_mode: MulticastMode,
     rate_bytes_per_s: Optional[float],
     result_conn,
     socket_timeout: float,
+    chunk_bytes: int,
+    record_relays: bool,
 ) -> None:
     """Worker entry point (runs in the forked child)."""
+    # Drop inherited duplicates of other endpoints' fds.  Without this a
+    # dead peer's channel never reaches EOF (our own inherited copy of its
+    # socket end keeps it open), so failures would only surface via the
+    # receive timeout instead of an immediate reader-thread EOF.
+    for obj in extra_close:
+        try:
+            obj.close()
+        except OSError:  # pragma: no cover - best-effort cleanup
+            pass
+    # Bound sends at the kernel (SO_SNDTIMEO) so a wedged peer — full
+    # buffer, nothing draining — raises in the blocked worker with a
+    # traceback naming the stuck send.  SO_SNDTIMEO (unlike settimeout)
+    # leaves the reader threads' blocking recv untouched: an idle receive
+    # direction is normal; a send that cannot drain for this long is not.
+    sndtimeo = struct.pack(
+        "ll", int(socket_timeout), int((socket_timeout % 1) * 1e6)
+    )
+    for s in conns.values():
+        s.setsockopt(socket.SOL_SOCKET, socket.SO_SNDTIMEO, sndtimeo)
+    comm: Optional[_SocketComm] = None
     try:
-        for s in conns.values():
-            s.settimeout(socket_timeout)
         pacer = (
             TokenBucket(rate_bytes_per_s) if rate_bytes_per_s is not None else None
         )
-        comm = _SocketComm(rank, size, conns, multicast_mode, pacer)
+        comm = _SocketComm(
+            rank,
+            size,
+            conns,
+            multicast_mode,
+            pacer,
+            socket_timeout,
+            chunk_bytes,
+            record_relays,
+        )
+        comm._start_readers()
         program = factory(comm)
         result = program.run()
         assert comm.traffic is not None
@@ -129,6 +263,8 @@ def _worker_main(
     except BaseException:  # noqa: BLE001 - reported to the parent
         result_conn.send(("error", rank, traceback.format_exc(), None, None, None))
     finally:
+        if comm is not None:
+            comm._close_async()
         result_conn.close()
         for s in conns.values():
             try:
@@ -145,7 +281,11 @@ class ProcessCluster:
         multicast_mode: linear or binomial-tree application multicast.
         rate_bytes_per_s: per-worker egress throttle; ``12.5e6`` reproduces
             the paper's 100 Mbps setting. ``None`` disables pacing.
-        timeout: overall run timeout in seconds (workers are killed past it).
+        timeout: overall run timeout in seconds (workers are killed past it);
+            also bounds how long any single receive may wait.
+        chunk_bytes: maximum raw-frame size for one user payload chunk.
+        record_relays: additionally log every physical broadcast hop (kind
+            ``"relay"``) to the traffic log.
     """
 
     def __init__(
@@ -154,6 +294,8 @@ class ProcessCluster:
         multicast_mode: MulticastMode = MulticastMode.TREE,
         rate_bytes_per_s: Optional[float] = None,
         timeout: float = 300.0,
+        chunk_bytes: int = DEFAULT_CHUNK_BYTES,
+        record_relays: bool = False,
     ) -> None:
         if size < 1:
             raise ValueError(f"cluster size must be >= 1, got {size}")
@@ -163,6 +305,8 @@ class ProcessCluster:
         self.multicast_mode = multicast_mode
         self.rate_bytes_per_s = rate_bytes_per_s
         self.timeout = timeout
+        self.chunk_bytes = chunk_bytes
+        self.record_relays = record_relays
 
     def run(self, factory: ProgramFactory) -> ClusterResult:
         """Fork workers, run the program, gather results and traffic.
@@ -185,23 +329,35 @@ class ProcessCluster:
         try:
             for rank in range(k):
                 conns: Dict[int, socket.socket] = {}
+                extra_close: List = []
                 for (i, j), (si, sj) in pairs.items():
                     if rank == i:
                         conns[j] = si
+                        extra_close.append(sj)
                     elif rank == j:
                         conns[i] = sj
+                        extra_close.append(si)
+                    else:
+                        extra_close.extend((si, sj))
+                # Result-pipe read ends (earlier workers' and this one's
+                # own) are inherited too; the child drops those copies.
+                extra_close.extend(parent_conns)
                 recv_conn, send_conn = ctx.Pipe(duplex=False)
+                extra_close.append(recv_conn)
                 proc = ctx.Process(
                     target=_worker_main,
                     args=(
                         rank,
                         k,
                         conns,
+                        extra_close,
                         factory,
                         self.multicast_mode,
                         self.rate_bytes_per_s,
                         send_conn,
                         self.timeout,
+                        self.chunk_bytes,
+                        self.record_relays,
                     ),
                     name=f"worker-{rank}",
                 )

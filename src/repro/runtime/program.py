@@ -1,4 +1,4 @@
-"""Node programs and the cluster-result container.
+"""Node programs, the cluster-result container, and the pipelined shuffle.
 
 A :class:`NodeProgram` is the unit both sort algorithms are written as: a
 class instantiated once per node with a :class:`~repro.runtime.api.Comm`
@@ -6,15 +6,40 @@ endpoint, whose :meth:`run` method walks the algorithm's stages.  The same
 program runs unmodified on the threaded backend (functional tests, byte
 accounting) and the multiprocessing backend (real parallel execution) —
 mirroring how the paper's single MPI program runs on any cluster size.
+
+:func:`pipelined_multicast_shuffle` is the shared non-blocking shuffle
+engine (the §VI "asynchronous execution" future work made concrete): it
+posts every receive up front via ``ibcast``, walks a round schedule posting
+sends (encoding each packet lazily, right before its first send), and
+decodes every multicast group as soon as its packets arrive — overlapping
+the Encode / Shuffle / Decode stages instead of barrier-separating them.
+The rounds *order* transmissions (node-disjoint groups are posted
+adjacently, which keeps concurrent transfers largely conflict-free) but
+are deliberately not synchronized at runtime: there is no inter-round
+barrier, so a fast node may run ahead — that asynchrony is the point.
+The strictly round-synchronized execution model (a barrier after every
+round) lives in the simulator (``schedule="rounds"``) and in
+:meth:`~repro.sim.costmodel.EC2CostModel.parallel_multicast_shuffle_time`,
+which serve as its idealized upper- and lower-envelope predictions.
+
+Stage attribution under overlap: encode and decode work performed inside
+the shuffle loop is still charged to the ``encode`` / ``decode`` stages
+(compute attribution), and the ``shuffle`` stage is charged the *remaining*
+span — communication plus waiting.  The per-stage numbers therefore stay
+exclusive (they sum to wall-clock time, like the serial tables), while the
+engine additionally reports the full overlapped shuffle span so the
+pipelining gain stays visible (``span`` = exclusive shuffle time plus the
+encode/decode work performed inside the loop).
 """
 
 from __future__ import annotations
 
+import time
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
-from repro.runtime.api import Comm
+from repro.runtime.api import Comm, Request, wait_all
 from repro.runtime.traffic import TrafficLog
 from repro.utils.timer import StageTimes, Stopwatch
 
@@ -35,18 +60,252 @@ class NodeProgram(ABC):
         self.size = comm.size
         self.stopwatch = Stopwatch()
 
-    def stage(self, name: str):
-        """Enter stage ``name``: times it and attributes traffic to it."""
-        self.comm.set_stage(name)
-        return self.stopwatch.stage(name)
+    def stage(self, name: str) -> "_StageScope":
+        """Enter stage ``name``: times it and attributes traffic to it.
+
+        Scopes nest: on exit the previous traffic-attribution stage is
+        restored, so a pipelined engine can charge a slice of work inside
+        one stage's span to another stage (overlapped execution).
+        """
+        return _StageScope(self, name)
 
     @abstractmethod
     def run(self) -> Any:
         """Execute the node's share of the computation; return its result."""
 
 
+class _StageScope:
+    """Times a stage and restores the previous traffic stage on exit."""
+
+    __slots__ = ("_program", "_name", "_prev", "_start")
+
+    def __init__(self, program: NodeProgram, name: str) -> None:
+        self._program = program
+        self._name = name
+        self._prev = ""
+        self._start = 0.0
+
+    def __enter__(self) -> "_StageScope":
+        self._prev = self._program.comm.stage
+        self._program.comm.set_stage(self._name)
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self._program.stopwatch.add(
+            self._name, time.perf_counter() - self._start
+        )
+        self._program.comm.set_stage(self._prev)
+
+
 #: A factory building the program for one node given its Comm endpoint.
 ProgramFactory = Callable[[Comm], NodeProgram]
+
+
+def execute_multicast_shuffle(
+    program: NodeProgram,
+    groups: Sequence[Sequence[int]],
+    my_groups: Sequence[int],
+    schedule: str,
+    turns: Sequence[Tuple[int, int]],
+    rounds: Optional[Sequence[Sequence[Tuple[int, int]]]],
+    tag_base: int,
+    encode: Callable[[int], bytes],
+    recover: Callable[[int, Dict[int, bytes]], Any],
+) -> Tuple[Dict[int, Any], Dict[str, float]]:
+    """Run the Encode / Shuffle / Decode block under either schedule.
+
+    The one place both coded programs (CodedTeraSort, Coded MapReduce)
+    share their schedule plumbing: ``"serial"`` encodes every packet up
+    front, walks :func:`serial_multicast_shuffle`, then decodes; while
+    ``"parallel"`` hands the same ``encode`` / ``recover`` callbacks to
+    :func:`pipelined_multicast_shuffle` (which overlaps the three stages)
+    and records the overlapped span as the ``shuffle_span`` pseudo-stage.
+
+    Args:
+        schedule: ``"serial"`` or ``"parallel"`` (validated by callers).
+        turns: the serial Fig. 9(b) turn list (``CodingPlan.schedule``).
+        rounds: the parallel round schedule; required iff ``schedule ==
+            "parallel"``.
+        encode / recover: packet producer / group consumer, charged to the
+            ``encode`` / ``decode`` stages by both paths.
+
+    Returns:
+        ``(decoded, telemetry)``: ``group_idx -> recover(...)`` result for
+        every group of this rank, plus the pipelined engine's span
+        telemetry (empty dict for the serial path).
+    """
+    decoded: Dict[int, Any] = {}
+    if schedule == "serial":
+        with program.stage("encode"):
+            packets_out = {gidx: encode(gidx) for gidx in my_groups}
+        with program.stage("shuffle"):
+            received = serial_multicast_shuffle(
+                program, groups, my_groups, turns, tag_base, packets_out
+            )
+        with program.stage("decode"):
+            for gidx in my_groups:
+                decoded[gidx] = recover(gidx, received[gidx])
+        return decoded, {}
+    assert rounds is not None
+
+    def consume(gidx: int, payloads: Dict[int, bytes]) -> None:
+        decoded[gidx] = recover(gidx, payloads)
+
+    telemetry = pipelined_multicast_shuffle(
+        program, groups, my_groups, rounds, tag_base, encode, consume
+    )
+    # Pseudo-stage (not in STAGES): carries the overlapped span to the
+    # driver without touching the merged stage table.
+    program.stopwatch.add("shuffle_span", telemetry["span"])
+    return decoded, telemetry
+
+
+def serial_multicast_shuffle(
+    program: NodeProgram,
+    groups: Sequence[Sequence[int]],
+    my_groups: Sequence[int],
+    schedule: Sequence[Tuple[int, int]],
+    tag_base: int,
+    packets_out: Dict[int, bytes],
+) -> Dict[int, Dict[int, bytes]]:
+    """Run the paper's serial multicast shuffle (Fig. 9(b)).
+
+    One ``(group, sender)`` turn at a time: the cluster barrier after each
+    turn hands the fabric from turn to turn, so no two multicasts ever
+    overlap — the serialized regime whose wall-clock the paper's tables
+    report.  Callers wrap this in their ``shuffle`` stage.
+
+    Returns:
+        ``group_idx -> {sender: raw packet}`` for every inbound packet.
+    """
+    rank = program.rank
+    received: Dict[int, Dict[int, bytes]] = {g: {} for g in my_groups}
+    for gidx, sender in schedule:
+        group = groups[gidx]
+        if rank in group:
+            tag = tag_base + gidx
+            if sender == rank:
+                program.comm.bcast(group, rank, tag, packets_out[gidx])
+            else:
+                received[gidx][sender] = program.comm.bcast(
+                    group, sender, tag
+                )
+        program.comm.barrier()
+    return received
+
+
+def pipelined_multicast_shuffle(
+    program: NodeProgram,
+    groups: Sequence[Sequence[int]],
+    my_groups: Sequence[int],
+    rounds: Sequence[Sequence[Tuple[int, int]]],
+    tag_base: int,
+    encode: Callable[[int], bytes],
+    decode: Callable[[int, Dict[int, bytes]], None],
+) -> Dict[str, float]:
+    """Run the multicast shuffle as a non-blocking pipeline.
+
+    Args:
+        program: the calling node program (supplies comm + stopwatch).
+        groups: all multicast groups (``CodingPlan.groups``).
+        my_groups: group indices this rank belongs to.
+        rounds: the transmission schedule as rounds of ``(group_idx,
+            sender)`` turns (``CodingPlan.rounds_for(...)``); each turn must
+            appear exactly once across all rounds.  Rounds fix the posting
+            order only — no barrier separates them at runtime.
+        tag_base: user tag base; each ``(group, sender)`` turn gets the
+            distinct tag ``tag_base + group_idx * size + sender`` (all
+            turns are in flight concurrently, and concurrent broadcasts
+            must not share a ``(group, tag)`` pair).
+        encode: ``group_idx -> wire payload`` for packets this rank sends;
+            invoked lazily, right before the packet's send is posted, and
+            charged to the ``encode`` stage.
+        decode: ``(group_idx, {sender: payload})`` consumer; invoked as
+            soon as all of a group's packets have arrived (eagerly between
+            rounds, deterministically ordered during the final drain) and
+            charged to the ``decode`` stage.
+
+    Returns:
+        Span telemetry: ``{"span": full shuffle-loop wall seconds,
+        "encode_overlapped": .., "decode_overlapped": ..}``.  The
+        stopwatch's ``shuffle`` entry receives ``span`` minus the nested
+        encode/decode work, keeping per-stage times exclusive.
+    """
+    comm = program.comm
+    rank = program.rank
+    before = program.stopwatch.times()
+    outer_stage = comm.stage
+    t0 = time.perf_counter()
+    comm.set_stage("shuffle")
+
+    def turn_tag(gidx: int, sender: int) -> int:
+        return tag_base + gidx * comm.size + sender
+
+    try:
+        # Post every receive up front (one ibcast per inbound packet).
+        recv_reqs: Dict[int, Dict[int, Request]] = {g: {} for g in my_groups}
+        for rnd in rounds:
+            for gidx, sender in rnd:
+                group = groups[gidx]
+                if sender == rank or rank not in group:
+                    continue
+                recv_reqs[gidx][sender] = comm.ibcast(
+                    group, sender, turn_tag(gidx, sender)
+                )
+
+        send_reqs: List[Request] = []
+        undecoded = set(g for g in my_groups if recv_reqs[g])
+
+        def sweep() -> None:
+            """Decode every group whose packets have all arrived."""
+            for gidx in sorted(undecoded):
+                reqs = recv_reqs[gidx]
+                if not all(req.test() for req in reqs.values()):
+                    continue
+                payloads = {s: req.wait() for s, req in reqs.items()}
+                with program.stage("decode"):
+                    decode(gidx, payloads)
+                undecoded.discard(gidx)
+
+        # Walk the rounds: lazy-encode, post sends, decode what has landed.
+        for rnd in rounds:
+            for gidx, sender in rnd:
+                if sender != rank:
+                    continue
+                with program.stage("encode"):
+                    packet = encode(gidx)
+                send_reqs.append(
+                    comm.ibcast(
+                        groups[gidx], rank, turn_tag(gidx, rank), packet
+                    )
+                )
+            sweep()
+
+        # Drain: complete the stragglers in deterministic group order.
+        for gidx in sorted(undecoded):
+            payloads = {
+                s: req.wait() for s, req in recv_reqs[gidx].items()
+            }
+            with program.stage("decode"):
+                decode(gidx, payloads)
+        undecoded.clear()
+        wait_all(send_reqs)
+    finally:
+        comm.set_stage(outer_stage)
+    span = time.perf_counter() - t0
+    times = program.stopwatch.times()
+    encode_in_loop = times.get("encode", 0.0) - before.get("encode", 0.0)
+    decode_in_loop = times.get("decode", 0.0) - before.get("decode", 0.0)
+    # Exclusive shuffle time: the loop span minus work charged elsewhere.
+    program.stopwatch.add(
+        "shuffle", max(0.0, span - encode_in_loop - decode_in_loop)
+    )
+    return {
+        "span": span,
+        "encode_overlapped": encode_in_loop,
+        "decode_overlapped": decode_in_loop,
+    }
 
 
 @dataclass

@@ -9,6 +9,7 @@ as the paper's cluster.
 
 from __future__ import annotations
 
+import threading
 import time
 from typing import Callable, Optional
 
@@ -20,6 +21,12 @@ class TokenBucket:
     requested number of tokens is available; requests larger than the burst
     are drawn down in burst-sized installments, which yields smooth pacing
     for arbitrarily large messages.
+
+    Thread-safe: the bucket is shared by every thread that sends on a
+    worker (program thread, async sender, tree relays), and the internal
+    lock is held across the pacing sleep — concurrent senders serialize,
+    which is exactly the single-egress-NIC semantics the paper's ``tc``
+    throttle has.
     """
 
     def __init__(
@@ -39,6 +46,7 @@ class TokenBucket:
         self._sleep = sleep
         self._tokens = float(self.burst)
         self._last = clock()
+        self._lock = threading.Lock()
 
     def _refill(self) -> None:
         now = self._clock()
@@ -51,28 +59,31 @@ class TokenBucket:
         """Block until ``nbytes`` tokens have been consumed."""
         if nbytes < 0:
             raise ValueError(f"nbytes must be >= 0, got {nbytes}")
-        remaining = nbytes
-        while remaining > 0:
-            self._refill()
-            take = min(remaining, self.burst)
-            if self._tokens >= take:
-                self._tokens -= take
-                remaining -= take
-                continue
-            deficit = take - self._tokens
-            self._sleep(deficit / self.rate)
-            # We slept for exactly the deficit, so the bucket has earned it;
-            # the clock may not show the full amount (sub-resolution sleeps
-            # round to nothing, which would starve the refill loop), so top
-            # the balance up to ``take`` if quantization left it short.
-            self._refill()
-            if self._tokens < take:
-                self._tokens = float(take)
+        with self._lock:
+            remaining = nbytes
+            while remaining > 0:
+                self._refill()
+                take = min(remaining, self.burst)
+                if self._tokens >= take:
+                    self._tokens -= take
+                    remaining -= take
+                    continue
+                deficit = take - self._tokens
+                self._sleep(deficit / self.rate)
+                # We slept for exactly the deficit, so the bucket has earned
+                # it; the clock may not show the full amount (sub-resolution
+                # sleeps round to nothing, which would starve the refill
+                # loop), so top the balance up to ``take`` if quantization
+                # left it short.
+                self._refill()
+                if self._tokens < take:
+                    self._tokens = float(take)
 
     def try_consume(self, nbytes: int) -> bool:
-        """Non-blocking variant: consume all-or-nothing."""
-        self._refill()
-        if self._tokens >= nbytes:
-            self._tokens -= nbytes
-            return True
-        return False
+        """All-or-nothing variant (may briefly wait on a pacing sender)."""
+        with self._lock:
+            self._refill()
+            if self._tokens >= nbytes:
+                self._tokens -= nbytes
+                return True
+            return False

@@ -14,6 +14,15 @@ member receives the payload exactly once).
 
 Records carry the stage name active when they were emitted, so per-stage
 summaries (e.g. "Shuffle only") can be extracted.
+
+A third record kind, ``"relay"``, logs one *physical hop* of an
+application-layer multicast (root-to-member in LINEAR mode, every
+parent-to-child tree edge in TREE mode) when a backend is created with
+``record_relays=True``.  Relay records are supplementary detail: they are
+excluded from the logical load/wire/message summaries (the one multicast
+record already accounts for them) and surfaced through
+:meth:`TrafficLog.relay_bytes` / :meth:`TrafficLog.link_bytes`, which let
+tree and linear multicast be compared byte-for-byte per link.
 """
 
 from __future__ import annotations
@@ -25,10 +34,10 @@ from typing import Dict, Iterable, List, Optional, Tuple
 
 @dataclass(frozen=True)
 class TrafficRecord:
-    """One logical transfer (a unicast or one multicast packet)."""
+    """One logical transfer (unicast / multicast) or one physical relay hop."""
 
     stage: str
-    kind: str  # "unicast" | "multicast"
+    kind: str  # "unicast" | "multicast" | "relay"
     src: int
     dsts: Tuple[int, ...]
     payload_bytes: int
@@ -57,7 +66,7 @@ class TrafficLog:
         dsts: Iterable[int],
         payload_bytes: int,
     ) -> None:
-        if kind not in ("unicast", "multicast"):
+        if kind not in ("unicast", "multicast", "relay"):
             raise ValueError(f"unknown traffic kind {kind!r}")
         rec = TrafficRecord(
             stage=stage,
@@ -80,40 +89,67 @@ class TrafficLog:
 
     # -- summaries -----------------------------------------------------------
 
+    def _logical(self, stage: Optional[str]) -> Iterable[TrafficRecord]:
+        """Logical transfers only (relay hops excluded), stage-filtered."""
+        return (
+            r
+            for r in self.records
+            if r.kind != "relay" and (stage is None or r.stage == stage)
+        )
+
     def load_bytes(self, stage: Optional[str] = None) -> int:
         """Total load bytes, optionally restricted to one stage."""
-        return sum(
-            r.load_bytes
-            for r in self.records
-            if stage is None or r.stage == stage
-        )
+        return sum(r.load_bytes for r in self._logical(stage))
 
     def wire_bytes(self, stage: Optional[str] = None) -> int:
-        return sum(
-            r.wire_bytes
-            for r in self.records
-            if stage is None or r.stage == stage
-        )
+        return sum(r.wire_bytes for r in self._logical(stage))
 
     def message_count(self, stage: Optional[str] = None) -> int:
-        return sum(
-            1 for r in self.records if stage is None or r.stage == stage
-        )
+        return sum(1 for _ in self._logical(stage))
 
     def by_stage(self) -> Dict[str, int]:
         """Stage name -> load bytes."""
         out: Dict[str, int] = {}
-        for r in self.records:
+        for r in self._logical(None):
             out[r.stage] = out.get(r.stage, 0) + r.load_bytes
         return out
 
     def by_sender(self, stage: Optional[str] = None) -> Dict[int, int]:
         """Sender rank -> load bytes (for balance checks)."""
         out: Dict[int, int] = {}
-        for r in self.records:
-            if stage is not None and r.stage != stage:
-                continue
+        for r in self._logical(stage):
             out[r.src] = out.get(r.src, 0) + r.load_bytes
+        return out
+
+    # -- physical (per-hop) summaries ----------------------------------------
+
+    def relay_records(self, stage: Optional[str] = None) -> List[TrafficRecord]:
+        """All relay-hop records (requires a ``record_relays=True`` backend)."""
+        return [
+            r
+            for r in self.records
+            if r.kind == "relay" and (stage is None or r.stage == stage)
+        ]
+
+    def relay_bytes(self, stage: Optional[str] = None) -> int:
+        """Total physical broadcast-hop bytes (one count per link crossed)."""
+        return sum(r.payload_bytes for r in self.relay_records(stage))
+
+    def link_bytes(
+        self, stage: Optional[str] = None
+    ) -> Dict[Tuple[int, int], int]:
+        """``(src, dst) -> physical bytes`` over relay hops.
+
+        With ``record_relays=True`` this is the per-link traffic matrix of
+        the application-layer multicast, letting LINEAR and TREE modes be
+        compared byte-for-byte (totals match the logical ``wire_bytes``;
+        the *distribution* over links differs).
+        """
+        out: Dict[Tuple[int, int], int] = {}
+        for r in self.relay_records(stage):
+            for dst in r.dsts:
+                key = (r.src, dst)
+                out[key] = out.get(key, 0) + r.payload_bytes
         return out
 
     def normalized_load(self, total_intermediate_bytes: int, stage: str) -> float:

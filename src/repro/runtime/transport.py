@@ -42,7 +42,12 @@ def send_frame(
     header = FRAME_HEADER.pack(tag, len(payload))
     if pacer is None:
         sock.sendall(header)
-        sock.sendall(payload)
+        # An empty frame is complete once its header is out; skipping the
+        # zero-byte sendall matters for correctness, not just speed: the
+        # receiver may legitimately consume the frame and exit between the
+        # two calls, and a trailing no-op send would then raise EPIPE.
+        if payload:
+            sock.sendall(payload)
         return
     pacer.consume(len(header))
     sock.sendall(header)

@@ -52,6 +52,9 @@ class EC2CostModel:
             7.5 M pairs -> 7.2e5).
         reduce_slowdown: relative Reduce slowdown per extra redundancy unit
             (memory pressure; §V-C).
+        round_sync_overhead: per-round synchronization cost of the
+            round-parallel shuffle (the barrier that separates two
+            conflict-free rounds; a dissemination barrier of empty frames).
     """
 
     net_rate: float = 12.5e6
@@ -71,6 +74,7 @@ class EC2CostModel:
     decode_packet_overhead: float = 2.0e-5
     reduce_rate: float = 7.2e5
     reduce_slowdown: float = 0.12
+    round_sync_overhead: float = 5.0e-4
 
     @classmethod
     def paper_calibrated(cls) -> "EC2CostModel":
@@ -99,6 +103,42 @@ class EC2CostModel:
             raise ValueError(f"receivers must be >= 1, got {receivers}")
         penalty = 1.0 + self.multicast_gamma * math.log2(receivers + 1)
         return self.multicast_setup + nbytes * penalty / self.net_rate
+
+    # -- shuffle schedules ----------------------------------------------------
+
+    def serial_multicast_shuffle_time(
+        self, turns: int, packet_bytes: float, receivers: int
+    ) -> float:
+        """Wall time of the serial Fig. 9(b) shuffle.
+
+        Every ``(group, sender)`` turn holds the fabric exclusively, so the
+        shuffle is the straight sum of its ``C(K, r+1) * (r+1)`` multicasts.
+        """
+        if turns < 0:
+            raise ValueError(f"turns must be >= 0, got {turns}")
+        return turns * self.multicast_time(packet_bytes, receivers)
+
+    def parallel_multicast_shuffle_time(
+        self, num_rounds: int, packet_bytes: float, receivers: int
+    ) -> float:
+        """Wall time of the round-*synchronized* parallel shuffle model.
+
+        Node-disjoint multicasts of a round transmit concurrently, each
+        round costing one multicast plus an inter-round barrier; with
+        greedy packing ``num_rounds`` approaches
+        ``turns / floor(K / (r+1))`` (see
+        :meth:`repro.core.groups.CodingPlan.parallel_rounds`).  The real
+        pipelined engine runs the same rounds *without* barriers, so its
+        measured wall-clock can land below this model (no sync cost) or
+        above it (NIC contention when nodes drift across rounds).
+        """
+        if num_rounds < 0:
+            raise ValueError(f"num_rounds must be >= 0, got {num_rounds}")
+        per_round = (
+            self.multicast_time(packet_bytes, receivers)
+            + self.round_sync_overhead
+        )
+        return num_rounds * per_round
 
     # -- compute stages -------------------------------------------------------
 

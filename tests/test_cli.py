@@ -16,6 +16,13 @@ class TestParser:
         args = build_parser().parse_args(["sort"])
         assert args.algorithm == "coded"
         assert args.nodes == 6 and args.redundancy == 2
+        assert args.schedule == "serial"
+
+    def test_sort_schedule_choices(self):
+        args = build_parser().parse_args(["sort", "--schedule", "parallel"])
+        assert args.schedule == "parallel"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sort", "--schedule", "warp"])
 
     def test_unknown_command(self):
         with pytest.raises(SystemExit):
@@ -34,6 +41,14 @@ class TestCommands:
         rc = main(["sort", "--algorithm", "terasort", "-K", "3", "-n", "1500"])
         assert rc == 0
         assert "output valid" in capsys.readouterr().out
+
+    def test_sort_coded_parallel_schedule(self, capsys):
+        rc = main(["sort", "-K", "4", "-r", "2", "-n", "2000",
+                   "--schedule", "parallel"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "output valid" in out
+        assert "rounds" in out  # turns-into-rounds summary line
 
     def test_simulate(self, capsys):
         rc = main(["simulate", "-K", "8", "-r", "3", "-n", "1000000"])

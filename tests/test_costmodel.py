@@ -101,3 +101,43 @@ class TestOverrides:
     def test_frozen(self, cost):
         with pytest.raises(Exception):
             cost.net_rate = 1.0  # type: ignore[misc]
+
+
+class TestScheduleShuffleModels:
+    """Closed forms for the serial vs round-parallel shuffle (§VI)."""
+
+    def test_serial_is_sum_of_turns(self, cost):
+        one = cost.multicast_time(1e6, 3)
+        assert cost.serial_multicast_shuffle_time(280, 1e6, 3) == pytest.approx(
+            280 * one
+        )
+
+    def test_parallel_charges_rounds_plus_sync(self, cost):
+        one = cost.multicast_time(1e6, 3)
+        t = cost.parallel_multicast_shuffle_time(140, 1e6, 3)
+        assert t == pytest.approx(140 * (one + cost.round_sync_overhead))
+
+    def test_parallel_beats_serial_at_plan_round_counts(self, cost):
+        """At every grid point the packed rounds give a real speedup."""
+        from repro.core.groups import build_coding_plan
+
+        for k, r in ((4, 1), (6, 2), (8, 3), (16, 3)):
+            plan = build_coding_plan(k, r)
+            packet = 1e6
+            serial = cost.serial_multicast_shuffle_time(
+                len(plan.schedule), packet, r
+            )
+            parallel = cost.parallel_multicast_shuffle_time(
+                plan.num_rounds, packet, r
+            )
+            assert parallel < serial
+            # The model's gain tracks the plan's theoretical speedup.
+            assert serial / parallel == pytest.approx(
+                plan.parallel_speedup, rel=0.05
+            )
+
+    def test_validation(self, cost):
+        with pytest.raises(ValueError):
+            cost.serial_multicast_shuffle_time(-1, 1e6, 3)
+        with pytest.raises(ValueError):
+            cost.parallel_multicast_shuffle_time(-1, 1e6, 3)

@@ -4,38 +4,57 @@ from __future__ import annotations
 
 import pytest
 
-from repro.runtime.api import CommError
-from repro.runtime.inproc import ThreadCluster, _Mailbox
+from repro.runtime.inproc import ThreadCluster
+from repro.runtime.mailbox import Mailbox, MailboxClosed
 from repro.runtime.program import NodeProgram
 
 
 class TestMailbox:
     def test_fifo_per_key(self):
-        mb = _Mailbox()
+        mb = Mailbox()
         mb.put(0, 1, b"a")
         mb.put(0, 1, b"b")
         assert mb.get(0, 1, timeout=1) == b"a"
         assert mb.get(0, 1, timeout=1) == b"b"
 
     def test_selective_receive(self):
-        mb = _Mailbox()
+        mb = Mailbox()
         mb.put(0, 2, b"two")
         mb.put(0, 1, b"one")
         assert mb.get(0, 1, timeout=1) == b"one"
         assert mb.get(0, 2, timeout=1) == b"two"
 
     def test_timeout_raises(self):
-        mb = _Mailbox()
-        with pytest.raises(CommError, match="timeout"):
+        mb = Mailbox()
+        with pytest.raises(TimeoutError, match="timeout"):
             mb.get(0, 1, timeout=0.05)
 
     def test_closed_raises(self):
-        mb = _Mailbox()
+        mb = Mailbox()
         mb.close()
-        with pytest.raises(CommError, match="closed"):
+        with pytest.raises(MailboxClosed, match="closed"):
             mb.get(0, 1, timeout=1)
-        with pytest.raises(CommError, match="closed"):
+        with pytest.raises(MailboxClosed, match="closed"):
             mb.put(0, 1, b"x")
+
+    def test_poll_is_nonblocking(self):
+        mb = Mailbox()
+        assert mb.poll(0, 1) is None
+        mb.put(0, 1, b"a")
+        assert mb.poll(0, 1) == b"a"
+        assert mb.poll(0, 1) is None
+
+    def test_source_closure_is_selective(self):
+        mb = Mailbox()
+        mb.put(2, 1, b"buffered")
+        mb.close_source(2, "eof")
+        # Buffered frames drain before closure surfaces.
+        assert mb.get(2, 1, timeout=1) == b"buffered"
+        with pytest.raises(MailboxClosed, match="source 2"):
+            mb.get(2, 1, timeout=1)
+        # Other sources are unaffected.
+        mb.put(3, 1, b"alive")
+        assert mb.get(3, 1, timeout=1) == b"alive"
 
 
 class _PingPong(NodeProgram):

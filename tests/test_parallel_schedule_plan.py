@@ -1,0 +1,82 @@
+"""Tests for the parallel scheduler exposed on :class:`CodingPlan`."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.groups import SCHEDULE_MODES, build_coding_plan
+
+#: The (K, r) grid the satellite task asks to cover.
+GRID = [
+    (3, 1), (4, 1), (4, 2), (5, 2), (6, 1), (6, 2), (6, 3),
+    (8, 2), (8, 3), (10, 3), (12, 4),
+]
+
+
+class TestParallelRoundsOnPlan:
+    @pytest.mark.parametrize("k,r", GRID)
+    def test_every_turn_exactly_once(self, k, r):
+        plan = build_coding_plan(k, r)
+        flat = [turn for rnd in plan.parallel_rounds() for turn in rnd]
+        assert sorted(flat) == sorted(plan.schedule)
+        assert len(flat) == len(set(flat)) == plan.total_multicasts
+
+    @pytest.mark.parametrize("k,r", GRID)
+    def test_no_two_groups_in_a_round_share_a_node(self, k, r):
+        plan = build_coding_plan(k, r)
+        for rnd in plan.parallel_rounds():
+            occupied = set()
+            for gidx, sender in rnd:
+                members = set(plan.groups[gidx])
+                assert sender in members
+                assert not (occupied & members)
+                occupied |= members
+
+    @pytest.mark.parametrize("k,r", GRID)
+    def test_round_count_at_most_serial_turn_count(self, k, r):
+        plan = build_coding_plan(k, r)
+        assert 1 <= plan.num_rounds <= len(plan.schedule)
+
+    @pytest.mark.parametrize("k,r", GRID)
+    def test_speedup_bounded_by_concurrency_cap(self, k, r):
+        plan = build_coding_plan(k, r)
+        assert 1.0 <= plan.parallel_speedup <= k // (r + 1) + 1e-9
+
+    def test_rounds_cached(self):
+        plan = build_coding_plan(8, 2)
+        assert plan.parallel_rounds() is plan.parallel_rounds()
+
+    def test_nondefault_window_not_cached(self):
+        plan = build_coding_plan(8, 2)
+        rounds = plan.parallel_rounds(window=2)
+        assert rounds is not plan.parallel_rounds(window=2)
+        flat = [turn for rnd in rounds for turn in rnd]
+        assert sorted(flat) == sorted(plan.schedule)
+
+    def test_nondefault_window_honored_after_default_cached(self):
+        """A cached default-window schedule must not shadow other windows."""
+        plan = build_coding_plan(8, 3)
+        narrow_fresh = plan.parallel_rounds(window=1)
+        plan.parallel_rounds()  # populate the default-window cache
+        narrow_after = plan.parallel_rounds(window=1)
+        assert len(narrow_after) == len(narrow_fresh)
+        assert len(narrow_after) > plan.num_rounds  # window=1 packs worse
+
+
+class TestRoundsFor:
+    def test_serial_is_singleton_rounds(self):
+        plan = build_coding_plan(6, 2)
+        rounds = plan.rounds_for("serial")
+        assert rounds == [[turn] for turn in plan.schedule]
+
+    def test_parallel_is_parallel_rounds(self):
+        plan = build_coding_plan(6, 2)
+        assert plan.rounds_for("parallel") == plan.parallel_rounds()
+
+    def test_unknown_schedule_rejected(self):
+        plan = build_coding_plan(4, 1)
+        with pytest.raises(ValueError, match="quantum"):
+            plan.rounds_for("quantum")
+
+    def test_mode_list_is_consistent(self):
+        assert set(SCHEDULE_MODES) == {"serial", "parallel"}
