@@ -1,0 +1,294 @@
+"""End-to-end data-plane throughput: pack → send → recv → unpack (→ decode).
+
+Measures the zero-copy shuffle data plane against the pre-zero-copy
+("copy") semantics, on the real multiprocessing backend (real sockets,
+real processes, unpaced):
+
+* **roundtrip lane** (2 nodes): rank 0 packs a batch sequence and ships it
+  to rank 1, which unpacks and acks every repetition.
+  - ``copy`` lane: joined ``pack_batches`` buffer, owned-``bytes``
+    receive, copying ``unpack_batches`` — the seed's semantics through
+    the compat APIs (the seed itself copied ~6×: pack join, framing
+    concat, parts-list join, prefix strip, ``from_bytes`` copy, plus
+    per-segment slices on the coded path; the compat path already folds
+    several of those into one).
+  - ``zerocopy`` lane: ``pack_batches_parts`` gather list → vectored
+    ``sendmsg`` → ``recv_into`` arena → ``copy=False`` view →
+    ``from_buffer`` batches.  The payload is materialized once at the
+    producer and lands once in the receive arena.
+* **coded lane** (3 nodes, r = 2): every node XOR-encodes a packet over
+  its serialized intermediate values, serially multicasts it, parses the
+  two inbound packets, and decodes its missing intermediate value —
+  ``encode → shuffle → decode`` with arenas on the zerocopy lane, joined
+  buffers on the copy lane.
+
+Every lane runs under :mod:`repro.utils.copytrack`, so the report carries
+a *bytes-copied counter*: user-space payload copies per payload byte
+(the receive-arena fill — the transfer itself — is not counted).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_datapath.py [--quick] \
+        [--records N] [--reps R] [--out results/datapath.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+import time
+from typing import Dict
+
+from repro.core.decoding import recover_intermediate
+from repro.core.encoding import CodedPacket, encode_packet
+from repro.kvpairs.records import RecordBatch
+from repro.kvpairs.serialization import (
+    pack_batches,
+    pack_batches_parts,
+    packed_size,
+    unpack_batches,
+)
+from repro.kvpairs.teragen import teragen
+from repro.runtime.process import ProcessCluster
+from repro.runtime.program import NodeProgram
+from repro.utils import copytrack
+from repro.utils.subsets import without
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
+
+DATA_TAG = 100
+ACK_TAG = 101
+CODED_TAG_BASE = 200
+
+#: Large single frames: keeps the measurement about copies, not chunking.
+BENCH_CHUNK_BYTES = 1 << 26
+
+
+class _RoundtripProgram(NodeProgram):
+    """Rank 0: pack + send; rank 1: recv + unpack + ack.  Per-rep timing."""
+
+    STAGES = ["datapath"]
+
+    def __init__(self, comm, mode: str, records: int, reps: int) -> None:
+        super().__init__(comm)
+        self.mode = mode
+        self.records = records
+        self.reps = reps
+
+    def _xfer(self, batch, rep: int) -> Dict:
+        zero = self.mode == "zerocopy"
+        if self.rank == 0:
+            if zero:
+                payload = pack_batches_parts([(rep, batch)])
+            else:
+                payload = pack_batches([(rep, batch)])
+            self.comm.send(1, DATA_TAG, payload)
+            ack = self.comm.recv(1, ACK_TAG, copy=False)
+            n = int.from_bytes(bytes(ack), "little")
+            if n != self.records:
+                raise RuntimeError(f"ack mismatch: {n} != {self.records}")
+            return {}
+        buf = self.comm.recv(0, DATA_TAG, copy=not zero)
+        items = unpack_batches(buf, copy=not zero)
+        (tag, got) = items[0]
+        if tag != rep or len(got) != self.records:
+            raise RuntimeError(f"unpack mismatch at rep {rep}")
+        # Touch the records (checksum one column) so lazily-viewed batches
+        # are actually read, like a reducer would.
+        first_keys = int(got.raw_view()[:, 0].sum())
+        self.comm.send(0, ACK_TAG, len(got).to_bytes(8, "little"))
+        return {"key_sum": first_keys}
+
+    def run(self):
+        batch = teragen(self.records, seed=7) if self.rank == 0 else None
+        with self.stage("datapath"):
+            self._xfer(batch, 0)  # warmup (untimed copies discarded below)
+            self.comm.barrier()
+            with copytrack.track() as copies:
+                t0 = time.perf_counter()
+                sums = [self._xfer(batch, rep) for rep in range(self.reps)]
+                elapsed = time.perf_counter() - t0
+            self.comm.barrier()
+        return {
+            "seconds": elapsed,
+            "copies": dict(copies),
+            "key_sums": [s.get("key_sum") for s in sums if s],
+        }
+
+
+class _CodedLaneProgram(NodeProgram):
+    """K=3, r=2 coded shuffle: encode → serial multicast → parse → decode."""
+
+    STAGES = ["datapath"]
+
+    def __init__(self, comm, mode: str, records: int, reps: int) -> None:
+        super().__init__(comm)
+        self.mode = mode
+        self.records = records
+        self.reps = reps
+
+    def run(self):
+        group = tuple(range(self.size))
+        # Deterministic store every member rebuilds identically: the
+        # intermediate value destined to t (for file subset M\{t}).
+        store = {
+            (without(group, t), t): teragen(self.records, seed=t).to_bytes()
+            for t in group
+        }
+
+        def lookup(subset, target):
+            return store[(subset, target)]
+
+        zero = self.mode == "zerocopy"
+        expected = store[(without(group, self.rank), self.rank)]
+
+        def one_rep(rep: int) -> None:
+            pkt = encode_packet(self.rank, group, lookup)
+            payload = pkt.to_parts() if zero else pkt.to_bytes()
+            packets = {}
+            for sender in group:
+                tag = CODED_TAG_BASE + rep * self.size + sender
+                if sender == self.rank:
+                    self.comm.bcast(group, self.rank, tag, payload)
+                else:
+                    raw = self.comm.bcast(group, sender, tag, copy=not zero)
+                    packets[sender] = CodedPacket.from_bytes(raw)
+            recovered = recover_intermediate(self.rank, group, packets, lookup)
+            if zero:
+                batch = RecordBatch.from_buffer(recovered)
+            else:
+                batch = RecordBatch.from_bytes(recovered)
+            if len(batch) != self.records or recovered != expected:
+                raise RuntimeError(f"decode mismatch at rep {rep}")
+
+        with self.stage("datapath"):
+            one_rep(0)  # warmup
+            self.comm.barrier()
+            with copytrack.track() as copies:
+                t0 = time.perf_counter()
+                for rep in range(1, self.reps + 1):
+                    one_rep(rep)
+                elapsed = time.perf_counter() - t0
+            self.comm.barrier()
+        return {"seconds": elapsed, "copies": dict(copies)}
+
+
+def _merge_copies(results) -> Dict[str, int]:
+    merged: Dict[str, int] = {}
+    for res in results:
+        for site, nbytes in res["copies"].items():
+            merged[site] = merged.get(site, 0) + nbytes
+    return merged
+
+
+def bench_roundtrip(mode: str, records: int, reps: int) -> Dict:
+    cluster = ProcessCluster(2, timeout=300.0, chunk_bytes=BENCH_CHUNK_BYTES)
+    res = cluster.run(
+        lambda comm: _RoundtripProgram(comm, mode, records, reps)
+    )
+    payload = packed_size(records)
+    seconds = max(r["seconds"] for r in res.results)
+    moved = payload * reps
+    copies = _merge_copies(res.results)
+    return {
+        "mode": mode,
+        "records": records,
+        "reps": reps,
+        "payload_bytes": payload,
+        "seconds": seconds,
+        "gbps": moved / seconds / 1e9,
+        "copied_bytes": sum(copies.values()),
+        "copies_per_payload_byte": sum(copies.values()) / moved,
+        "copy_sites": copies,
+    }
+
+
+def bench_coded(mode: str, records: int, reps: int) -> Dict:
+    cluster = ProcessCluster(3, timeout=300.0, chunk_bytes=BENCH_CHUNK_BYTES)
+    res = cluster.run(
+        lambda comm: _CodedLaneProgram(comm, mode, records, reps)
+    )
+    # Each node decodes one intermediate value (records * 100 bytes) per
+    # rep; three nodes do so concurrently.
+    decoded = 3 * records * 100 * reps
+    seconds = max(r["seconds"] for r in res.results)
+    copies = _merge_copies(res.results)
+    return {
+        "mode": mode,
+        "records": records,
+        "reps": reps,
+        "seconds": seconds,
+        "decoded_gbps": decoded / seconds / 1e9,
+        "copied_bytes": sum(copies.values()),
+        "copy_sites": copies,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="small sizes for CI smoke (seconds, not minutes)",
+    )
+    parser.add_argument("--records", type=int, default=None,
+                        help="records per roundtrip payload (100 B each)")
+    parser.add_argument("--reps", type=int, default=None)
+    parser.add_argument("--out", type=pathlib.Path,
+                        default=RESULTS_DIR / "datapath.json")
+    args = parser.parse_args(argv)
+
+    if args.quick:
+        records = args.records or 20_000
+        reps = args.reps or 2
+        coded_records = 6_000
+        coded_reps = 1
+    else:
+        records = args.records or 300_000
+        reps = args.reps or 6
+        coded_records = 80_000
+        coded_reps = 4
+
+    report = {
+        "config": {
+            "records": records,
+            "reps": reps,
+            "coded_records": coded_records,
+            "coded_reps": coded_reps,
+            "chunk_bytes": BENCH_CHUNK_BYTES,
+            "quick": bool(args.quick),
+        },
+        "roundtrip": {},
+        "coded": {},
+    }
+    for mode in ("copy", "zerocopy"):
+        report["roundtrip"][mode] = bench_roundtrip(mode, records, reps)
+        report["coded"][mode] = bench_coded(mode, coded_records, coded_reps)
+
+    rt = report["roundtrip"]
+    cd = report["coded"]
+    rt["speedup"] = rt["zerocopy"]["gbps"] / rt["copy"]["gbps"]
+    cd["speedup"] = cd["zerocopy"]["decoded_gbps"] / cd["copy"]["decoded_gbps"]
+
+    args.out.parent.mkdir(parents=True, exist_ok=True)
+    args.out.write_text(json.dumps(report, indent=2, sort_keys=True))
+
+    print(f"roundtrip ({records} records x {reps} reps, "
+          f"{rt['copy']['payload_bytes'] / 1e6:.1f} MB/payload)")
+    for mode in ("copy", "zerocopy"):
+        row = rt[mode]
+        print(f"  {mode:9s} {row['gbps']:6.2f} GB/s   "
+              f"{row['copies_per_payload_byte']:.2f} copies/payload-byte")
+    print(f"  speedup   {rt['speedup']:.2f}x")
+    print(f"coded K=3 r=2 ({coded_records} records x {coded_reps} reps)")
+    for mode in ("copy", "zerocopy"):
+        row = cd[mode]
+        print(f"  {mode:9s} {row['decoded_gbps']:6.2f} GB/s decoded")
+    print(f"  speedup   {cd['speedup']:.2f}x")
+    print(f"[results] wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

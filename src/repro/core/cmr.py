@@ -89,6 +89,13 @@ class MapReduceJob(ABC):
         return pickle.dumps(obj, protocol=4)
 
     def deserialize(self, buf: bytes) -> Any:
+        """Inverse of :meth:`serialize`.
+
+        ``buf`` may be any bytes-like object — the shuffle hands received
+        intermediate values over as zero-copy arena views, so overriding
+        jobs must not assume ``bytes`` (slice through ``bytes(...)`` or a
+        ``memoryview`` as needed; ``pickle.loads`` takes buffers as-is).
+        """
         return pickle.loads(buf)
 
 
@@ -237,7 +244,11 @@ class UncodedCMRProgram(_CMRProgramBase):
                             target, UNICAST_TAG, store[(subset, target)]
                         )
                     elif self.rank == target:
-                        received_raw.append(self.comm.recv(sender, UNICAST_TAG))
+                        # Zero-copy views; deserialization reads them in
+                        # place during Unpack/Reduce.
+                        received_raw.append(
+                            self.comm.recv(sender, UNICAST_TAG, copy=False)
+                        )
 
         with self.stage("unpack"):
             received = list(received_raw)
@@ -296,8 +307,8 @@ class CodedCMRProgram(_CMRProgramBase):
         def lookup(subset: Subset, target: int) -> bytes:
             return store[(subset, target)]
 
-        def encode_for(gidx: int) -> bytes:
-            return encode_packet(rank, plan.groups[gidx], lookup).to_bytes()
+        def encode_for(gidx: int):
+            return encode_packet(rank, plan.groups[gidx], lookup).to_parts()
 
         def recover_group(gidx: int, raw_packets: Dict[int, bytes]) -> bytes:
             packets = {

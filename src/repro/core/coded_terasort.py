@@ -141,8 +141,10 @@ class CodedTeraSortProgram(NodeProgram):
                 (key, batch.to_bytes()) for key, batch in store.items()
             )
 
-        def encode_for(gidx: int) -> bytes:
-            return encode_packet(rank, plan.groups[gidx], lookup).to_bytes()
+        def encode_for(gidx: int):
+            # Gather-list wire form: the XOR arena travels as a payload
+            # part next to the header, never joined into one buffer.
+            return encode_packet(rank, plan.groups[gidx], lookup).to_parts()
 
         def recover(gidx: int, payloads: Dict[int, bytes]) -> RecordBatch:
             return self._recover_group(plan, gidx, payloads, lookup)
@@ -176,7 +178,14 @@ class CodedTeraSortProgram(NodeProgram):
         raw_packets: Dict[int, bytes],
         lookup,
     ) -> RecordBatch:
-        """Algorithm 2 for one group: raw packets -> recovered record batch."""
+        """Algorithm 2 for one group: raw packets -> recovered record batch.
+
+        Zero-copy end to end: parsed packets keep their payloads as views
+        into the receive arenas, ``recover_intermediate`` decodes every
+        segment into one preallocated output buffer, and the batch wraps
+        that buffer read-only without copying (the Reduce-stage sort copies
+        into its own output anyway).
+        """
         packets = {
             sender: CodedPacket.from_bytes(raw)
             for sender, raw in raw_packets.items()
@@ -184,7 +193,7 @@ class CodedTeraSortProgram(NodeProgram):
         raw_value = recover_intermediate(
             self.rank, plan.groups[gidx], packets, lookup
         )
-        return RecordBatch.from_bytes(raw_value)
+        return RecordBatch.from_buffer(raw_value)
 
 
 def run_coded_terasort(

@@ -11,13 +11,22 @@ segments out of the payload leaves ``I^k_{M\\{k}, u}`` — the ``u``-indexed
 segment of the intermediate value node ``k`` is missing.  Collecting the
 segments from all ``u ∈ M\\{k}`` and concatenating them in ascending ``u``
 (the same order the encoder split in) reconstructs ``I^k_{M\\{k}}`` exactly.
+
+Zero-copy data plane: :func:`recover_intermediate` sizes the full output
+from the packet headers up front, allocates it once, and has
+:func:`decode_segment_into` decode each sender's segment *directly into
+its slice* of that arena — there is no per-segment ``bytes`` and no final
+``b"".join``.  The arena (a fresh ``bytearray`` owned by the caller) is
+returned as-is, so downstream consumers (``RecordBatch.from_buffer``,
+``pickle.loads``) can wrap it without another copy.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Mapping
+from typing import Dict, Mapping
 
 from repro.core.encoding import (
+    BufferLike,
     CodedPacket,
     CodingError,
     IntermediateLookup,
@@ -27,19 +36,25 @@ from repro.core.encoding import (
 from repro.utils.subsets import Subset, without
 
 
-def decode_segment(
-    receiver: int, packet: CodedPacket, lookup: IntermediateLookup
-) -> bytes:
-    """Recover ``I^receiver_{M\\{receiver}, sender}`` from one packet.
+def decode_segment_into(
+    receiver: int,
+    packet: CodedPacket,
+    lookup: IntermediateLookup,
+    out: memoryview,
+) -> None:
+    """Decode ``I^receiver_{M\\{receiver}, sender}`` directly into ``out``.
+
+    ``out`` must be a writable view of exactly the segment's true length
+    (``packet.length_for(receiver)``).  The payload prefix is copied in
+    once and every locally-known segment is XORed out in place; segments
+    longer than the true length only influence bytes past the prefix, so
+    truncating the XOR to ``len(out)`` is exact.
 
     Args:
         receiver: the decoding node ``k``; must be addressed by the packet.
         packet: ``E_{M, u}`` from some ``u ∈ M\\{k}``.
         lookup: the receiver's locally known intermediate values, called as
             ``lookup(M\\{t}, t)`` for ``t ∈ M\\{u, k}``.
-
-    Returns:
-        The true-length (unpadded) segment destined to the receiver.
     """
     group = packet.group
     sender = packet.sender
@@ -47,7 +62,17 @@ def decode_segment(
         raise CodingError("a node cannot decode its own packet")
     if receiver not in group:
         raise CodingError(f"receiver {receiver} not in group {group}")
-    acc = bytearray(packet.payload)
+    true_len = packet.length_for(receiver)
+    if true_len > len(packet.payload):
+        raise CodingError(
+            f"header claims {true_len} bytes but payload is "
+            f"{len(packet.payload)}"
+        )
+    if len(out) != true_len:
+        raise CodingError(
+            f"output slice is {len(out)} bytes, segment needs {true_len}"
+        )
+    out[:] = memoryview(packet.payload)[:true_len]
     for t in group:
         if t == sender or t == receiver:
             continue
@@ -60,13 +85,26 @@ def decode_segment(
                 f"segment length mismatch for target {t}: local {len(seg)} "
                 f"vs packet header {expected} (inconsistent map outputs?)"
             )
-        xor_into(acc, seg)
-    true_len = packet.length_for(receiver)
-    if true_len > len(acc):
+        xor_into(out, seg)
+
+
+def decode_segment(
+    receiver: int, packet: CodedPacket, lookup: IntermediateLookup
+) -> bytearray:
+    """Recover ``I^receiver_{M\\{receiver}, sender}`` from one packet.
+
+    Convenience wrapper over :func:`decode_segment_into` returning an
+    owned buffer with the true-length (unpadded) segment.
+    """
+    if receiver == packet.sender:
+        raise CodingError("a node cannot decode its own packet")
+    if receiver not in packet.group:
         raise CodingError(
-            f"header claims {true_len} bytes but payload is {len(acc)}"
+            f"receiver {receiver} not in group {packet.group}"
         )
-    return bytes(acc[:true_len])
+    out = bytearray(packet.length_for(receiver))
+    decode_segment_into(receiver, packet, lookup, memoryview(out))
+    return out
 
 
 def recover_intermediate(
@@ -74,8 +112,12 @@ def recover_intermediate(
     group: Subset,
     packets: Mapping[int, CodedPacket],
     lookup: IntermediateLookup,
-) -> bytes:
+) -> bytearray:
     """Reassemble ``I^receiver_{M\\{receiver}}`` from a group's packets.
+
+    The output buffer is preallocated from the packet headers and each
+    sender's segment is decoded straight into its slice — no per-segment
+    buffers, no join.
 
     Args:
         receiver: node ``k ∈ M``.
@@ -86,10 +128,11 @@ def recover_intermediate(
     Returns:
         The full serialized intermediate value of file ``M\\{k}`` destined
         to the receiver (segments concatenated in ascending sender order,
-        matching :func:`repro.core.encoding.segment_bounds`).
+        matching :func:`repro.core.encoding.segment_bounds`), as a freshly
+        allocated buffer the caller owns.
     """
     file_subset = without(group, receiver)
-    parts = []
+    lengths = []
     for u in file_subset:  # ascending sender order == segment order
         if u not in packets:
             raise CodingError(f"missing packet from sender {u} in group {group}")
@@ -100,15 +143,23 @@ def recover_intermediate(
             )
         if pkt.sender != u:
             raise CodingError(f"packet sender {pkt.sender} filed under {u}")
-        parts.append(decode_segment(receiver, pkt, lookup))
-    return b"".join(parts)
+        lengths.append(pkt.length_for(receiver))
+    out = bytearray(sum(lengths))
+    view = memoryview(out)
+    pos = 0
+    for u, seg_len in zip(file_subset, lengths):
+        decode_segment_into(
+            receiver, packets[u], lookup, view[pos : pos + seg_len]
+        )
+        pos += seg_len
+    return out
 
 
 def decode_all_groups(
     receiver: int,
     packets_by_group: Mapping[Subset, Mapping[int, CodedPacket]],
     lookup: IntermediateLookup,
-) -> Dict[Subset, bytes]:
+) -> Dict[Subset, BufferLike]:
     """Run Algorithm 2 over every group the receiver belongs to.
 
     Returns:
@@ -116,7 +167,7 @@ def decode_all_groups(
         i.e. exactly the intermediate values ``{I^k_S : k ∉ S}`` the node
         was missing after the Map stage.
     """
-    out: Dict[Subset, bytes] = {}
+    out: Dict[Subset, BufferLike] = {}
     for group, packets in packets_by_group.items():
         file_subset = without(group, receiver)
         out[file_subset] = recover_intermediate(receiver, group, packets, lookup)

@@ -17,29 +17,52 @@ XOR of the zero-padded segments.  This mirrors what a real implementation
 must transmit and is counted in the measured communication load.
 
 The encoder is payload-agnostic: it sees serialized intermediate values as
-``bytes`` through a ``lookup(subset, target) -> bytes`` callable, so the same
-machinery serves CodedTeraSort (record batches) and generic Coded MapReduce
-jobs (pickled values).
+buffers through a ``lookup(subset, target) -> bytes-like`` callable, so the
+same machinery serves CodedTeraSort (record batches) and generic Coded
+MapReduce jobs (pickled values).
+
+Zero-copy data plane: :func:`segment_of` returns memoryview slices of the
+serialized values (no per-segment ``bytes``), :func:`encode_packet` XORs
+them into a single arena — a staging-free vectorized ``np.bitwise_xor``
+reduction in the uniform-length case TeraSort always hits — and the wire form
+separates into ``to_parts()`` (header blob + payload view) so the runtime's
+gather send ships the payload without ever joining it to the header.
+Parsing (:meth:`CodedPacket.from_bytes`) reads the whole header with
+one-shot ``np.frombuffer`` views and keeps the payload as a slice of the
+receive buffer.
 """
 
 from __future__ import annotations
 
 import struct
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Sequence, Tuple
+from typing import Callable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from repro.utils import copytrack
 from repro.utils.subsets import Subset, without
 
+#: Anything exporting the buffer protocol (serialized values, arena views).
+BufferLike = Union[bytes, bytearray, memoryview]
+
 #: lookup(subset S, target t) -> serialized I^t_S
-IntermediateLookup = Callable[[Subset, int], bytes]
+IntermediateLookup = Callable[[Subset, int], BufferLike]
 
 _PACKET_HEADER = struct.Struct("<4sHI")  # magic, group size, sender
 _SEG_ENTRY = struct.Struct("<IQ")  # target node, true segment length
 _MEMBER = struct.Struct("<I")
 _PAYLOAD_LEN = struct.Struct("<Q")
 PACKET_MAGIC = b"CTP1"
+
+# One-shot NumPy mirrors of the struct formats (packed little-endian, so
+# the itemsizes line up with the structs byte-for-byte).
+_HEADER_DTYPE = np.dtype(
+    [("magic", "S4"), ("gsize", "<u2"), ("sender", "<u4")]
+)
+_SEG_DTYPE = np.dtype([("target", "<u4"), ("length", "<u8")])
+assert _HEADER_DTYPE.itemsize == _PACKET_HEADER.size
+assert _SEG_DTYPE.itemsize == _SEG_ENTRY.size
 
 
 class CodingError(ValueError):
@@ -65,8 +88,8 @@ def segment_bounds(total_len: int, num_segments: int) -> List[Tuple[int, int]]:
     return bounds
 
 
-def segment_of(data: bytes, owners: Subset, owner: int) -> bytes:
-    """The segment of ``data`` assigned to ``owner``.
+def segment_of(data: BufferLike, owners: Subset, owner: int) -> memoryview:
+    """The segment of ``data`` assigned to ``owner`` (a zero-copy view).
 
     ``owners`` (the file's node subset, ascending) indexes the ``r``
     segments in sorted-node order; both sender and receiver derive identical
@@ -74,23 +97,26 @@ def segment_of(data: bytes, owners: Subset, owner: int) -> bytes:
     """
     if owner not in owners:
         raise CodingError(f"owner {owner} not in {owners}")
+    view = memoryview(data)
     idx = owners.index(owner)
-    start, stop = segment_bounds(len(data), len(owners))[idx]
-    return data[start:stop]
+    start, stop = segment_bounds(len(view), len(owners))[idx]
+    return view[start:stop]
 
 
-def xor_into(acc: bytearray, data: bytes) -> None:
+def xor_into(acc: Union[bytearray, memoryview], data: BufferLike) -> None:
     """``acc ^= data`` with ``data`` zero-padded/truncated to ``len(acc)``.
 
-    Vectorized through NumPy; zero-padding means bytes of ``acc`` beyond
-    ``len(data)`` are left untouched.
+    Vectorized in place through a single writable ``np.frombuffer`` view of
+    ``acc``; zero-padding means bytes of ``acc`` beyond ``len(data)`` are
+    left untouched.  ``acc`` must be a writable buffer (``bytearray`` or a
+    writable memoryview, e.g. an arena slice).
     """
     n = min(len(acc), len(data))
     if n == 0:
         return
     a = np.frombuffer(acc, dtype=np.uint8, count=n)
     b = np.frombuffer(data, dtype=np.uint8, count=n)
-    np.bitwise_xor(a, b, out=np.frombuffer(memoryview(acc)[:n], dtype=np.uint8))
+    np.bitwise_xor(a, b, out=a)
 
 
 @dataclass(frozen=True)
@@ -102,13 +128,16 @@ class CodedPacket:
         sender: the encoding node ``k ∈ M``.
         seg_lengths: ``(target t, true length of I^t_{M\\{t}, sender})`` for
             every ``t ∈ M\\{sender}``, in ascending ``t``.
-        payload: XOR of the zero-padded segments (length = max true length).
+        payload: XOR of the zero-padded segments (length = max true
+            length).  A bytes-like buffer; packets parsed with
+            :meth:`from_bytes` keep it as a zero-copy view into the
+            receive buffer.
     """
 
     group: Subset
     sender: int
     seg_lengths: Tuple[Tuple[int, int], ...]
-    payload: bytes
+    payload: BufferLike
 
     @property
     def header_bytes(self) -> int:
@@ -129,52 +158,98 @@ class CodedPacket:
 
     # -- wire form -------------------------------------------------------------
 
+    def _header_blob(self) -> bytes:
+        """The full wire header as one owned buffer."""
+        buf = bytearray(self.header_bytes)
+        _PACKET_HEADER.pack_into(
+            buf, 0, PACKET_MAGIC, len(self.group), self.sender
+        )
+        pos = _PACKET_HEADER.size
+        members = np.frombuffer(
+            buf, dtype="<u4", count=len(self.group), offset=pos
+        )
+        members[:] = self.group
+        pos += _MEMBER.size * len(self.group)
+        if self.seg_lengths:
+            segs = np.frombuffer(
+                buf, dtype=_SEG_DTYPE, count=len(self.seg_lengths), offset=pos
+            )
+            segs["target"] = [t for t, _ in self.seg_lengths]
+            segs["length"] = [length for _, length in self.seg_lengths]
+        pos += _SEG_ENTRY.size * len(self.seg_lengths)
+        _PAYLOAD_LEN.pack_into(buf, pos, len(self.payload))
+        return bytes(buf)
+
+    def to_parts(self) -> List[BufferLike]:
+        """Wire form as a ``[header, payload-view]`` gather list (zero-copy)."""
+        return [self._header_blob(), memoryview(self.payload)]
+
     def to_bytes(self) -> bytes:
-        parts = [_PACKET_HEADER.pack(PACKET_MAGIC, len(self.group), self.sender)]
-        for m in self.group:
-            parts.append(_MEMBER.pack(m))
-        for t, length in self.seg_lengths:
-            parts.append(_SEG_ENTRY.pack(t, length))
-        parts.append(_PAYLOAD_LEN.pack(len(self.payload)))
-        parts.append(self.payload)
-        return b"".join(parts)
+        """Wire form as one owned buffer (joins header and payload: one copy)."""
+        copytrack.count_copy(len(self.payload), "encoding.packet_join")
+        return b"".join(self.to_parts())
 
     @classmethod
-    def from_bytes(cls, buf: bytes) -> "CodedPacket":
-        try:
-            magic, gsize, sender = _PACKET_HEADER.unpack_from(buf, 0)
-        except struct.error as exc:
-            raise CodingError(f"truncated packet header: {exc}") from exc
-        if magic != PACKET_MAGIC:
-            raise CodingError(f"bad packet magic {magic!r}")
+    def from_bytes(cls, buf: BufferLike) -> "CodedPacket":
+        """Parse a packet; the payload stays a zero-copy view of ``buf``.
+
+        The header is read with one-shot ``np.frombuffer`` views (one per
+        header section) instead of per-member ``struct.unpack_from`` loops.
+        """
+        view = memoryview(buf)
+        if view.ndim != 1 or view.format not in ("B", "b", "c"):
+            view = view.cast("B")
+        if len(view) < _PACKET_HEADER.size:
+            raise CodingError(
+                f"truncated packet header: {len(view)} bytes"
+            )
+        head = np.frombuffer(view, dtype=_HEADER_DTYPE, count=1)[0]
+        if head["magic"] != PACKET_MAGIC:
+            raise CodingError(f"bad packet magic {bytes(head['magic'])!r}")
+        gsize = int(head["gsize"])
+        sender = int(head["sender"])
+        if gsize < 1:
+            raise CodingError(f"invalid group size {gsize}")
         pos = _PACKET_HEADER.size
-        group = []
-        for _ in range(gsize):
-            (m,) = _MEMBER.unpack_from(buf, pos)
-            group.append(m)
-            pos += _MEMBER.size
-        seg_lengths = []
-        for _ in range(gsize - 1):
-            t, length = _SEG_ENTRY.unpack_from(buf, pos)
-            seg_lengths.append((t, length))
-            pos += _SEG_ENTRY.size
-        (plen,) = _PAYLOAD_LEN.unpack_from(buf, pos)
+        fixed = (
+            pos
+            + _MEMBER.size * gsize
+            + _SEG_ENTRY.size * (gsize - 1)
+            + _PAYLOAD_LEN.size
+        )
+        if len(view) < fixed:
+            raise CodingError(
+                f"truncated packet: need {fixed} header bytes, have {len(view)}"
+            )
+        members = np.frombuffer(view, dtype="<u4", count=gsize, offset=pos)
+        group = tuple(int(m) for m in members)
+        pos += _MEMBER.size * gsize
+        segs = np.frombuffer(view, dtype=_SEG_DTYPE, count=gsize - 1, offset=pos)
+        seg_lengths = tuple(
+            (int(t), int(length))
+            for t, length in zip(segs["target"], segs["length"])
+        )
+        pos += _SEG_ENTRY.size * (gsize - 1)
+        (plen,) = np.frombuffer(view, dtype="<u8", count=1, offset=pos)
         pos += _PAYLOAD_LEN.size
-        payload = bytes(buf[pos : pos + plen])
+        payload = view[pos : pos + int(plen)]
         if len(payload) != plen:
             raise CodingError(
                 f"truncated payload: header says {plen}, got {len(payload)}"
             )
         return cls(
-            group=tuple(group),
+            group=group,
             sender=sender,
-            seg_lengths=tuple(seg_lengths),
+            seg_lengths=seg_lengths,
             payload=payload,
         )
 
 
 def encode_packet(
-    sender: int, group: Subset, lookup: IntermediateLookup
+    sender: int,
+    group: Subset,
+    lookup: IntermediateLookup,
+    out: Optional[Union[bytearray, memoryview]] = None,
 ) -> CodedPacket:
     """Build ``E_{group, sender}`` per Algorithm 1.
 
@@ -185,9 +260,14 @@ def encode_packet(
             called as ``lookup(M\\{t}, t)`` for every ``t ∈ M\\{sender}`` —
             all of which node ``k`` mapped (``k ∈ M\\{t}``) and retained
             (``t ∉ M\\{t}``).
+        out: optional caller-provided arena the payload is XORed into (at
+            least max-segment-length bytes).  The returned packet's payload
+            *aliases* the arena — do not reuse it until the packet has been
+            sent.  ``None`` allocates a fresh arena per packet.
 
     Returns:
-        The coded packet with per-target true segment lengths.
+        The coded packet with per-target true segment lengths; its payload
+        is a view of the arena (no joining copy).
     """
     group = tuple(group)
     if sender not in group:
@@ -195,18 +275,44 @@ def encode_packet(
     if list(group) != sorted(set(group)):
         raise CodingError(f"group must be sorted and duplicate-free: {group}")
     targets = [t for t in group if t != sender]
-    segments: List[Tuple[int, bytes]] = []
+    segments: List[Tuple[int, memoryview]] = []
     for t in targets:
         file_subset = without(group, t)  # F = M \ {t}; sender ∈ F
         value = lookup(file_subset, t)  # I^t_F, known at the sender
         segments.append((t, segment_of(value, file_subset, sender)))
     max_len = max((len(s) for _, s in segments), default=0)
-    acc = bytearray(max_len)
-    for _, seg in segments:
-        xor_into(acc, seg)
+    if out is None:
+        arena = memoryview(bytearray(max_len))
+    else:
+        if len(out) < max_len:
+            raise CodingError(
+                f"arena too small: {len(out)} < max segment {max_len}"
+            )
+        arena = memoryview(out)[:max_len]
+    if max_len:
+        acc = np.frombuffer(arena, dtype=np.uint8)
+        rows = [
+            np.frombuffer(s, dtype=np.uint8)
+            for _, s in segments
+            if len(s) == max_len
+        ]
+        if len(rows) == len(segments):
+            # Uniform segment lengths (the common TeraSort case): a
+            # vectorized XOR reduction straight into the arena.  A 2-D
+            # np.bitwise_xor.reduce over a stacked matrix would be
+            # equivalent but has to stage a full (r, max_len) copy of
+            # every segment first; this in-place chain reads each segment
+            # exactly once and stages nothing.
+            np.copyto(acc, rows[0])
+            for row in rows[1:]:
+                np.bitwise_xor(acc, row, out=acc)
+        else:
+            acc.fill(0)
+            for _, seg in segments:
+                xor_into(arena, seg)
     return CodedPacket(
         group=group,
         sender=sender,
         seg_lengths=tuple((t, len(seg)) for t, seg in segments),
-        payload=bytes(acc),
+        payload=arena,
     )

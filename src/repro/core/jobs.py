@@ -186,8 +186,9 @@ class FixedSizeProbeJob(MapReduceJob):
 
     def deserialize(self, buf: bytes) -> Any:
         out = []
+        # buf may be a zero-copy arena view (bytes-like, not bytes).
         for i in range(0, len(buf), PROBE_UNIT):
-            cell = buf[i : i + PROBE_UNIT].rstrip(b"\x00").decode()
+            cell = bytes(buf[i : i + PROBE_UNIT]).rstrip(b"\x00").decode()
             file_id, q, value = cell.split("|")
             out.append((int(file_id), int(q), value))
         return out

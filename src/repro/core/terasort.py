@@ -26,7 +26,7 @@ from repro.core.mapper import hash_file
 from repro.core.partitioner import RangePartitioner
 from repro.core.placement import UncodedPlacement
 from repro.kvpairs.records import RecordBatch
-from repro.kvpairs.serialization import pack_batch, unpack_batch
+from repro.kvpairs.serialization import pack_batch_parts, unpack_batch
 from repro.kvpairs.sorting import sort_batch
 from repro.runtime.api import Comm
 from repro.runtime.program import ClusterResult, NodeProgram
@@ -69,8 +69,10 @@ class TeraSortProgram(NodeProgram):
             parts = hash_file(self.file_data, self.partitioner)
 
         with self.stage("pack"):
-            outgoing: Dict[int, bytes] = {
-                dst: pack_batch(parts[dst], tag=rank)
+            # Gather lists [frame header, records-view]: the mapper's
+            # partition bytes are never copied between Map and the socket.
+            outgoing = {
+                dst: pack_batch_parts(parts[dst], tag=rank)
                 for dst in range(k)
                 if dst != rank
             }
@@ -85,12 +87,14 @@ class TeraSortProgram(NodeProgram):
                         if dst != rank:
                             self.comm.send(dst, SHUFFLE_TAG, outgoing[dst])
                 else:
-                    received[sender] = self.comm.recv(sender, SHUFFLE_TAG)
+                    received[sender] = self.comm.recv(
+                        sender, SHUFFLE_TAG, copy=False
+                    )
 
         with self.stage("unpack"):
             incoming: List[RecordBatch] = []
             for sender in sorted(received):
-                tag, batch = unpack_batch(received[sender])
+                tag, batch = unpack_batch(received[sender], copy=False)
                 if tag != sender:
                     raise RuntimeError(
                         f"shuffle frame tag {tag} does not match sender {sender}"

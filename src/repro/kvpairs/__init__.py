@@ -16,8 +16,10 @@ from repro.kvpairs.records import (
 from repro.kvpairs.teragen import teragen, teragen_skewed
 from repro.kvpairs.serialization import (
     pack_batch,
+    pack_batch_parts,
     unpack_batch,
     pack_batches,
+    pack_batches_parts,
     unpack_batches,
 )
 from repro.kvpairs.sorting import sort_batch, merge_sorted, is_sorted
@@ -36,8 +38,10 @@ __all__ = [
     "teragen",
     "teragen_skewed",
     "pack_batch",
+    "pack_batch_parts",
     "unpack_batch",
     "pack_batches",
+    "pack_batches_parts",
     "unpack_batches",
     "sort_batch",
     "merge_sorted",

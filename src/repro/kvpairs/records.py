@@ -17,9 +17,14 @@ preserved).
 
 from __future__ import annotations
 
-from typing import Iterable, List, Sequence, Tuple
+from typing import Iterable, List, Sequence, Tuple, Union
 
 import numpy as np
+
+from repro.utils import copytrack
+
+#: Anything exporting the buffer protocol that a batch can wrap or emit.
+BufferLike = Union[bytes, bytearray, memoryview]
 
 KEY_BYTES = 10
 VALUE_BYTES = 90
@@ -177,22 +182,64 @@ class RecordBatch:
     # -- raw bytes -----------------------------------------------------------
 
     def to_bytes(self) -> bytes:
-        """Raw little-overhead wire form: the packed 100-byte records."""
+        """Raw little-overhead wire form: the packed 100-byte records (copies)."""
+        copytrack.count_copy(self.nbytes, "records.to_bytes")
         return self._arr.tobytes()
 
+    def as_memoryview(self) -> memoryview:
+        """Flat byte view of the packed records (zero-copy when contiguous).
+
+        The view aliases this batch's memory — use it as a gather-send
+        part or an encoder input, not as something to mutate.  Batches
+        built from non-contiguous slices are compacted first (one copy).
+        """
+        arr = self._arr
+        if not arr.flags["C_CONTIGUOUS"]:
+            copytrack.count_copy(self.nbytes, "records.compact")
+            arr = np.ascontiguousarray(arr)
+        return memoryview(arr.view(np.uint8).reshape(-1))
+
     @classmethod
-    def from_bytes(cls, buf: bytes) -> "RecordBatch":
-        """Inverse of :meth:`to_bytes`.
+    def from_bytes(cls, buf: BufferLike) -> "RecordBatch":
+        """Inverse of :meth:`to_bytes`; copies into an owned array.
 
         Raises:
             ValueError: if ``len(buf)`` is not a multiple of 100.
         """
-        if len(buf) % RECORD_BYTES != 0:
-            raise ValueError(
-                f"buffer length {len(buf)} not a multiple of {RECORD_BYTES}"
-            )
-        arr = np.frombuffer(buf, dtype=RECORD_DTYPE).copy()
+        view = _record_view(buf)
+        copytrack.count_copy(view.size * RECORD_BYTES, "records.from_bytes")
+        return cls(view.copy())
+
+    @classmethod
+    def from_buffer(cls, buf: BufferLike) -> "RecordBatch":
+        """Zero-copy *read-only* batch over a received buffer.
+
+        The array aliases ``buf`` (NumPy keeps the buffer alive, so the
+        batch may outlive the name the caller held it by) and is marked
+        non-writeable — but the aliasing runs both ways: if the *owner* of
+        ``buf`` mutates it later, this batch sees the change.  Use it for
+        decode-then-discard paths; any transform that must survive later
+        buffer reuse (``sort_batch``, ``take``, ``concat``) already copies
+        into fresh memory.
+
+        Raises:
+            ValueError: if ``len(buf)`` is not a multiple of 100.
+        """
+        arr = _record_view(buf)
+        arr.flags.writeable = False
         return cls(arr)
+
+
+def _record_view(buf: BufferLike) -> np.ndarray:
+    """View ``buf`` as a 1-D :data:`RECORD_DTYPE` array (no copy)."""
+    view = memoryview(buf)
+    if view.ndim != 1 or view.format not in ("B", "b", "c"):
+        view = view.cast("B")
+    if len(view) % RECORD_BYTES != 0:
+        raise ValueError(
+            f"buffer length {len(view)} not a multiple of {RECORD_BYTES}"
+        )
+    return np.frombuffer(view, dtype=RECORD_DTYPE)
 
 
 def _as_bytes_col(a: np.ndarray, width: int, what: str) -> np.ndarray:

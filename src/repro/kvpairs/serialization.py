@@ -10,6 +10,18 @@ with a small framed binary format:
   batches in a single buffer (used when a node ships several intermediate
   values to the same destination).
 
+The pack side is zero-copy: ``pack_batch_parts`` / ``pack_batches_parts``
+return a gather list of ``[header, records-view, header, records-view,
+...]`` parts that feeds straight into the runtime's vectored send, so the
+record bytes are never re-copied between the mapper's structured array and
+the socket.  The joined-``bytes`` forms (``pack_batch`` / ``pack_batches``)
+remain for callers that genuinely need one owned buffer.
+
+The unpack side takes ``copy=False`` to return batches that are zero-copy
+read-only views into the received buffer (``RecordBatch.from_buffer``);
+the views keep the parent buffer alive, so they may safely outlive the
+caller's reference to it.
+
 Frame layout (little-endian):
 
 ========  =====  =========================================
@@ -25,9 +37,10 @@ offset    size   field
 from __future__ import annotations
 
 import struct
-from typing import Dict, Iterable, List, Sequence, Tuple
+from typing import Dict, Iterable, List, Tuple
 
-from repro.kvpairs.records import RECORD_BYTES, RecordBatch
+from repro.kvpairs.records import RECORD_BYTES, BufferLike, RecordBatch
+from repro.utils import copytrack
 
 MAGIC = b"CTS1"
 _HEADER = struct.Struct("<4sQQ")
@@ -38,14 +51,26 @@ class SerializationError(ValueError):
     """Raised when a buffer does not parse as a valid frame sequence."""
 
 
+def pack_batch_parts(batch: RecordBatch, tag: int = 0) -> List[BufferLike]:
+    """One batch as a ``[header, records-view]`` gather list (zero-copy)."""
+    payload = batch.as_memoryview()
+    return [_HEADER.pack(MAGIC, tag, len(payload)), payload]
+
+
 def pack_batch(batch: RecordBatch, tag: int = 0) -> bytes:
-    """Serialize one batch into a single framed buffer."""
-    payload = batch.to_bytes()
-    return _HEADER.pack(MAGIC, tag, len(payload)) + payload
+    """Serialize one batch into a single owned framed buffer (one copy)."""
+    parts = pack_batch_parts(batch, tag)
+    copytrack.count_copy(batch.nbytes, "serialization.pack_join")
+    return b"".join(parts)
 
 
-def unpack_batch(buf: bytes) -> Tuple[int, RecordBatch]:
+def unpack_batch(buf: BufferLike, copy: bool = True) -> Tuple[int, RecordBatch]:
     """Parse a buffer holding exactly one frame.
+
+    Args:
+        buf: the framed buffer (any bytes-like object).
+        copy: ``False`` returns a zero-copy read-only batch viewing
+            ``buf``; ``True`` (default) copies into an owned batch.
 
     Returns:
         ``(tag, batch)``.
@@ -53,44 +78,70 @@ def unpack_batch(buf: bytes) -> Tuple[int, RecordBatch]:
     Raises:
         SerializationError: on bad magic, truncation, or trailing bytes.
     """
-    tag, batch, end = _read_frame(buf, 0)
-    if end != len(buf):
+    view = memoryview(buf)
+    tag, batch, end = _read_frame(view, 0, copy)
+    if end != len(view):
         raise SerializationError(
-            f"{len(buf) - end} trailing bytes after single frame"
+            f"{len(view) - end} trailing bytes after single frame"
         )
     return tag, batch
 
 
+def pack_batches_parts(
+    batches: Iterable[Tuple[int, RecordBatch]]
+) -> List[BufferLike]:
+    """An ordered ``(tag, batch)`` sequence as one flat gather list.
+
+    The returned parts alternate ``header, records-view, ...`` and form
+    exactly the buffer :func:`pack_batches` would produce — without
+    materializing it.
+    """
+    parts: List[BufferLike] = []
+    for tag, batch in batches:
+        parts.extend(pack_batch_parts(batch, tag))
+    return parts
+
+
 def pack_batches(batches: Iterable[Tuple[int, RecordBatch]]) -> bytes:
     """Serialize an ordered sequence of ``(tag, batch)`` into one buffer."""
-    parts: List[bytes] = []
-    for tag, batch in batches:
-        parts.append(pack_batch(batch, tag))
+    parts = pack_batches_parts(batches)
+    copytrack.count_copy(
+        sum(len(p) for p in parts), "serialization.pack_join"
+    )
     return b"".join(parts)
 
 
-def unpack_batches(buf: bytes) -> List[Tuple[int, RecordBatch]]:
+def unpack_batches(
+    buf: BufferLike, copy: bool = True
+) -> List[Tuple[int, RecordBatch]]:
     """Parse a concatenation of frames, preserving order.
+
+    With ``copy=False`` every batch is a zero-copy read-only view into
+    ``buf``; the views keep the underlying buffer alive even after the
+    caller drops its own reference.
 
     Raises:
         SerializationError: if any frame is malformed.
     """
+    view = memoryview(buf)
     out: List[Tuple[int, RecordBatch]] = []
     pos = 0
-    while pos < len(buf):
-        tag, batch, pos = _read_frame(buf, pos)
+    while pos < len(view):
+        tag, batch, pos = _read_frame(view, pos, copy)
         out.append((tag, batch))
     return out
 
 
-def unpack_batches_dict(buf: bytes) -> Dict[int, RecordBatch]:
+def unpack_batches_dict(
+    buf: BufferLike, copy: bool = True
+) -> Dict[int, RecordBatch]:
     """Like :func:`unpack_batches` but keyed by tag.
 
     Raises:
         SerializationError: on duplicate tags.
     """
     out: Dict[int, RecordBatch] = {}
-    for tag, batch in unpack_batches(buf):
+    for tag, batch in unpack_batches(buf, copy=copy):
         if tag in out:
             raise SerializationError(f"duplicate tag {tag} in frame sequence")
         out[tag] = batch
@@ -102,24 +153,27 @@ def packed_size(n_records: int) -> int:
     return HEADER_BYTES + n_records * RECORD_BYTES
 
 
-def _read_frame(buf: bytes, pos: int) -> Tuple[int, RecordBatch, int]:
-    if len(buf) - pos < HEADER_BYTES:
+def _read_frame(
+    view: memoryview, pos: int, copy: bool
+) -> Tuple[int, RecordBatch, int]:
+    if len(view) - pos < HEADER_BYTES:
         raise SerializationError(
-            f"truncated header at offset {pos} ({len(buf) - pos} bytes left)"
+            f"truncated header at offset {pos} ({len(view) - pos} bytes left)"
         )
-    magic, tag, length = _HEADER.unpack_from(buf, pos)
+    magic, tag, length = _HEADER.unpack_from(view, pos)
     if magic != MAGIC:
         raise SerializationError(f"bad magic {magic!r} at offset {pos}")
     start = pos + HEADER_BYTES
     end = start + length
-    if end > len(buf):
+    if end > len(view):
         raise SerializationError(
             f"truncated payload at offset {start}: need {length}, "
-            f"have {len(buf) - start}"
+            f"have {len(view) - start}"
         )
     if length % RECORD_BYTES != 0:
         raise SerializationError(
             f"payload length {length} not a multiple of {RECORD_BYTES}"
         )
-    batch = RecordBatch.from_bytes(buf[start:end])
+    body = view[start:end]
+    batch = RecordBatch.from_bytes(body) if copy else RecordBatch.from_buffer(body)
     return tag, batch, end

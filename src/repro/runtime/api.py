@@ -35,6 +35,22 @@ a backend channel atomically and rate pacing / progress interleaving work
 at chunk granularity.  Chunking is invisible to callers and to traffic
 accounting (a message is logged once with its logical payload size).
 
+The data plane is buffer-protocol end-to-end (zero-copy):
+
+* **sending** — ``send`` / ``isend`` / ``bcast`` / ``ibcast`` accept either
+  one buffer (``bytes`` / ``bytearray`` / ``memoryview``) or an ordered
+  *gather list* of buffer parts; the framing prefix and chunk slices are
+  prepended/cut as views, so the payload is never re-copied between the
+  caller and the backend's wire primitive (the multiprocessing backend
+  pushes the gather list straight into ``sendmsg``);
+* **receiving** — ``recv`` / ``irecv`` / ``bcast`` / ``ibcast`` take a
+  ``copy`` flag.  ``copy=True`` (default) returns owned ``bytes`` as
+  before.  ``copy=False`` returns a zero-copy ``memoryview`` into the
+  backend's receive arena; the view is *read-only by contract* — mutating
+  it corrupts nothing downstream only if the caller has not shared it —
+  and it keeps the arena alive for as long as the view (or anything
+  borrowing from it, e.g. ``np.frombuffer``) is referenced.
+
 Traffic accounting distinguishes *logical* transfers (one record per
 unicast or multicast — the paper's load convention) from *physical* hops:
 with ``record_relays=True`` every per-link hop a broadcast takes (root to
@@ -60,9 +76,10 @@ import struct
 import threading
 import time
 from abc import ABC, abstractmethod
-from typing import Callable, List, Optional, Sequence, Tuple
+from typing import Callable, List, Optional, Sequence, Tuple, Union
 
 from repro.runtime.traffic import TrafficLog
+from repro.utils import copytrack
 
 #: Tags at or above this value are reserved for internal protocols
 #: (broadcast trees, barriers).  User programs must stay below it.
@@ -78,9 +95,57 @@ DEFAULT_CHUNK_BYTES = 1 << 20
 
 #: Frame header: number of following chunk frames (0 = payload inline).
 _FRAME_PREFIX = struct.Struct("<I")
+#: Precomputed inline-payload prefix (the overwhelmingly common case).
+_PREFIX_INLINE = _FRAME_PREFIX.pack(0)
 
 #: Sentinel: use the backend's configured receive timeout.
 BACKEND_TIMEOUT = object()
+
+#: A single payload buffer (anything exporting the buffer protocol we use).
+Buffer = Union[bytes, bytearray, memoryview]
+#: One buffer or an ordered gather list of buffers forming one payload.
+BufferParts = Union[Buffer, Sequence[Buffer]]
+#: What a receive returns: owned bytes (``copy=True``) or an arena view.
+ReceivedPayload = Union[bytes, memoryview]
+
+
+def as_views(payload: BufferParts) -> List[memoryview]:
+    """Normalize a payload (buffer or part sequence) to non-empty byte views."""
+    if isinstance(payload, (bytes, bytearray, memoryview)):
+        payload = (payload,)
+    return [memoryview(p).cast("B") for p in payload if len(p)]
+
+
+def payload_nbytes(payload: BufferParts) -> int:
+    """Total byte length of a payload in either form."""
+    if isinstance(payload, memoryview):
+        return payload.nbytes
+    if isinstance(payload, (bytes, bytearray)):
+        return len(payload)
+    return sum(payload_nbytes(p) for p in payload)
+
+
+def chunk_views(views: Sequence[memoryview], chunk: int):
+    """Regroup ``views`` into gather lists of at most ``chunk`` bytes each.
+
+    Slices across part boundaries without copying; every yielded list but
+    the last totals exactly ``chunk`` bytes.  Shared by the API's chunked
+    framing and the socket transport's paced writes.
+    """
+    cur: List[memoryview] = []
+    cur_len = 0
+    for v in views:
+        pos = 0
+        while pos < len(v):
+            take = min(chunk - cur_len, len(v) - pos)
+            cur.append(v[pos : pos + take])
+            cur_len += take
+            pos += take
+            if cur_len == chunk:
+                yield cur
+                cur, cur_len = [], 0
+    if cur:
+        yield cur
 
 
 class CommError(RuntimeError):
@@ -109,7 +174,8 @@ class Request(ABC):
     """Handle for an in-flight non-blocking operation.
 
     ``wait`` blocks until completion and returns the operation's payload:
-    the received bytes for ``irecv``, the broadcast payload for ``ibcast``
+    the received bytes (or zero-copy arena view, when posted with
+    ``copy=False``) for ``irecv``, the broadcast payload for ``ibcast``
     (at every member, matching ``bcast``'s return contract), and ``None``
     for ``isend``.  ``test`` polls without blocking and reports
     completion.  Errors raised by the underlying transfer re-raise on
@@ -208,20 +274,28 @@ class _RecvRequest(Request):
     owning program's thread (like an MPI request).
     """
 
-    def __init__(self, comm: "Comm", src: int, tag: int) -> None:
+    def __init__(
+        self, comm: "Comm", src: int, tag: int, copy: bool = True
+    ) -> None:
         self._comm = comm
         self._src = src
         self._tag = tag
+        self._copy = copy
         self._expected: Optional[int] = None  # chunk frames still to come
-        self._parts: List[bytes] = []
-        self._value: Optional[bytes] = None
+        self._parts: List[Buffer] = []
+        self._value: Optional[ReceivedPayload] = None
         self._done = False
 
-    def _consume(self, frame: bytes) -> None:
+    def _consume(self, frame: Buffer) -> None:
         if self._expected is None:
             (nchunks,) = _FRAME_PREFIX.unpack_from(frame)
             if nchunks == 0:
-                self._value = bytes(frame[_FRAME_PREFIX.size:])
+                body = memoryview(frame)[_FRAME_PREFIX.size:]
+                if self._copy:
+                    copytrack.count_copy(len(body), "api.recv.materialize")
+                    self._value = bytes(body)
+                else:
+                    self._value = body
                 self._done = True
                 return
             self._expected = nchunks
@@ -229,7 +303,18 @@ class _RecvRequest(Request):
         self._parts.append(frame)
         self._expected -= 1
         if self._expected == 0:
-            self._value = b"".join(bytes(p) for p in self._parts)
+            total = sum(len(p) for p in self._parts)
+            copytrack.count_copy(total, "api.recv.assemble_chunks")
+            if self._copy:
+                self._value = b"".join(self._parts)
+            else:
+                arena = bytearray(total)
+                view = memoryview(arena)
+                pos = 0
+                for p in self._parts:
+                    view[pos : pos + len(p)] = p
+                    pos += len(p)
+                self._value = view
             self._parts = []
             self._done = True
 
@@ -308,8 +393,12 @@ class Comm(ABC):
     # -- backend primitives ----------------------------------------------------
 
     @abstractmethod
-    def _send_raw(self, dst: int, tag: int, payload: bytes) -> None:
+    def _send_raw(self, dst: int, tag: int, payload: BufferParts) -> None:
         """Deliver one raw frame to ``dst`` under ``tag`` (blocking ok).
+
+        ``payload`` is a buffer or a gather list of buffer parts forming
+        one frame; backends must treat the parts as a single atomic frame
+        (the multiprocessing backend hands them to vectored ``sendmsg``).
 
         Must be safe to call from multiple threads for *different* tags on
         the same destination (frames of one tag are never sent from two
@@ -317,7 +406,7 @@ class Comm(ABC):
         """
 
     @abstractmethod
-    def _recv_raw(self, src: int, tag: int, timeout=BACKEND_TIMEOUT) -> bytes:
+    def _recv_raw(self, src: int, tag: int, timeout=BACKEND_TIMEOUT) -> Buffer:
         """Block until a raw frame from ``src`` with ``tag`` arrives.
 
         ``timeout``: seconds to wait, ``None`` for unbounded, or the
@@ -369,33 +458,63 @@ class Comm(ABC):
 
     # -- chunked framing --------------------------------------------------------
 
-    def _send_framed(self, dst: int, tag: int, payload: bytes) -> None:
-        """Send one logical payload as a header frame plus chunk frames."""
-        if len(payload) <= self.chunk_bytes:
-            self._send_raw(dst, tag, _FRAME_PREFIX.pack(0) + bytes(payload))
-            return
-        view = memoryview(payload)
-        chunk = self.chunk_bytes
-        nchunks = (len(view) + chunk - 1) // chunk
-        self._send_raw(dst, tag, _FRAME_PREFIX.pack(nchunks))
-        for start in range(0, len(view), chunk):
-            self._send_raw(dst, tag, view[start:start + chunk])
+    def _send_framed(self, dst: int, tag: int, payload: BufferParts) -> None:
+        """Send one logical payload as a header frame plus chunk frames.
 
-    def _recv_framed(self, src: int, tag: int, timeout=BACKEND_TIMEOUT) -> bytes:
-        """Receive one logical payload (header frame plus chunk frames)."""
+        The framing prefix travels as an extra gather-list part and chunks
+        are memoryview slices, so the payload bytes are never copied here.
+        """
+        views = as_views(payload)
+        total = sum(len(v) for v in views)
+        if total <= self.chunk_bytes:
+            self._send_raw(dst, tag, [_PREFIX_INLINE, *views])
+            return
+        chunk = self.chunk_bytes
+        nchunks = (total + chunk - 1) // chunk
+        self._send_raw(dst, tag, [_FRAME_PREFIX.pack(nchunks)])
+        for piece in chunk_views(views, chunk):
+            self._send_raw(dst, tag, piece)
+
+    def _recv_framed(
+        self, src: int, tag: int, timeout=BACKEND_TIMEOUT, copy: bool = True
+    ) -> ReceivedPayload:
+        """Receive one logical payload (header frame plus chunk frames).
+
+        ``copy=False`` returns a memoryview into the backend's receive
+        arena (zero-copy for unchunked payloads; chunked payloads are
+        assembled once into a fresh arena).  ``copy=True`` returns owned
+        ``bytes`` (one copy).
+        """
         head = self._recv_raw(src, tag, timeout=timeout)
         (nchunks,) = _FRAME_PREFIX.unpack_from(head)
         if nchunks == 0:
-            return bytes(head[_FRAME_PREFIX.size:])
-        return b"".join(
-            bytes(self._recv_raw(src, tag, timeout=timeout))
-            for _ in range(nchunks)
-        )
+            body = memoryview(head)[_FRAME_PREFIX.size:]
+            if not copy:
+                return body
+            copytrack.count_copy(len(body), "api.recv.materialize")
+            return bytes(body)
+        chunks = [
+            self._recv_raw(src, tag, timeout=timeout) for _ in range(nchunks)
+        ]
+        total = sum(len(c) for c in chunks)
+        copytrack.count_copy(total, "api.recv.assemble_chunks")
+        if copy:
+            return b"".join(chunks)
+        arena = bytearray(total)
+        view = memoryview(arena)
+        pos = 0
+        for c in chunks:
+            view[pos : pos + len(c)] = c
+            pos += len(c)
+        return view
 
     # -- public API -------------------------------------------------------------
 
-    def send(self, dst: int, tag: int, payload: bytes) -> None:
+    def send(self, dst: int, tag: int, payload: BufferParts) -> None:
         """Blocking tagged unicast (logged as one unicast transfer).
+
+        ``payload`` may be one buffer or a gather list of buffer parts
+        (sent as one logical message, zero-copy).
 
         Runs inline (no sender-thread handoff) until the first non-blocking
         send is posted; after that it rides the async sender so messages on
@@ -404,7 +523,9 @@ class Comm(ABC):
         self._check_peer(dst)
         self._check_tag(tag)
         if self.traffic is not None:
-            self.traffic.record(self._stage, "unicast", self.rank, (dst,), len(payload))
+            self.traffic.record(
+                self._stage, "unicast", self.rank, (dst,), payload_nbytes(payload)
+            )
         if self._async_dispatch_used:
             self._dispatch_send(
                 lambda: self._send_framed(dst, tag, payload)
@@ -412,38 +533,51 @@ class Comm(ABC):
         else:
             self._send_framed(dst, tag, payload)
 
-    def isend(self, dst: int, tag: int, payload: bytes) -> Request:
+    def isend(self, dst: int, tag: int, payload: BufferParts) -> Request:
         """Non-blocking tagged unicast; returns a waitable :class:`Request`.
 
-        The payload is logged (one unicast record) at post time, in the
-        stage active when ``isend`` was called.
+        ``payload`` may be one buffer or a gather list of parts; the caller
+        must not mutate any part until the request completes.  The payload
+        is logged (one unicast record) at post time, in the stage active
+        when ``isend`` was called.
         """
         self._check_peer(dst)
         self._check_tag(tag)
         if self.traffic is not None:
-            self.traffic.record(self._stage, "unicast", self.rank, (dst,), len(payload))
+            self.traffic.record(
+                self._stage, "unicast", self.rank, (dst,), payload_nbytes(payload)
+            )
         self._async_dispatch_used = True
         return self._dispatch_send(lambda: self._send_framed(dst, tag, payload))
 
-    def recv(self, src: int, tag: int) -> bytes:
-        """Blocking tagged receive from a specific source."""
-        self._check_peer(src)
-        self._check_tag(tag)
-        return self._recv_framed(src, tag)
+    def recv(self, src: int, tag: int, copy: bool = True) -> ReceivedPayload:
+        """Blocking tagged receive from a specific source.
 
-    def irecv(self, src: int, tag: int) -> Request:
-        """Non-blocking tagged receive; ``wait()`` returns the payload."""
+        ``copy=False`` returns a zero-copy ``memoryview`` into the receive
+        arena (read-only by contract) instead of owned ``bytes``.
+        """
         self._check_peer(src)
         self._check_tag(tag)
-        return _RecvRequest(self, src, tag)
+        return self._recv_framed(src, tag, copy=copy)
+
+    def irecv(self, src: int, tag: int, copy: bool = True) -> Request:
+        """Non-blocking tagged receive; ``wait()`` returns the payload.
+
+        ``copy=False`` makes ``wait()`` return a zero-copy arena view,
+        with the same read-only contract as :meth:`recv`.
+        """
+        self._check_peer(src)
+        self._check_tag(tag)
+        return _RecvRequest(self, src, tag, copy=copy)
 
     def bcast(
         self,
         members: Sequence[int],
         root: int,
         tag: int,
-        payload: Optional[bytes] = None,
-    ) -> bytes:
+        payload: Optional[BufferParts] = None,
+        copy: bool = True,
+    ) -> BufferParts:
         """Multicast within ``members``; every member must call this.
 
         Args:
@@ -452,10 +586,14 @@ class Comm(ABC):
                 (in any order) and tag.
             root: the sending rank.
             tag: user tag (also namespaces concurrent broadcasts).
-            payload: required at the root, ignored elsewhere.
+            payload: required at the root (one buffer or a gather list of
+                parts), ignored elsewhere.
+            copy: receivers only — ``False`` returns a zero-copy arena view
+                instead of owned bytes (read-only contract).
 
         Returns:
-            The payload, at every member (including the root).
+            The payload at every member: the root gets its own payload back
+            verbatim (parts stay parts); receivers get bytes or a view.
         """
         group = self._bcast_preflight(members, root, tag, payload)
         if len(group) == 1:
@@ -463,15 +601,20 @@ class Comm(ABC):
             return payload
         inner_tag = _BCAST_NS | tag
         if self.multicast_mode is MulticastMode.TREE:
-            return self._bcast_tree(group, root, inner_tag, payload, self._stage)
-        return self._bcast_linear(group, root, inner_tag, payload, self._stage)
+            return self._bcast_tree(
+                group, root, inner_tag, payload, self._stage, copy=copy
+            )
+        return self._bcast_linear(
+            group, root, inner_tag, payload, self._stage, copy=copy
+        )
 
     def ibcast(
         self,
         members: Sequence[int],
         root: int,
         tag: int,
-        payload: Optional[bytes] = None,
+        payload: Optional[BufferParts] = None,
+        copy: bool = True,
     ) -> Request:
         """Non-blocking multicast; ``wait()`` returns the payload everywhere.
 
@@ -504,17 +647,18 @@ class Comm(ABC):
                 lambda: self._bcast_linear(group, root, inner_tag, payload, stage)
             )
         if self.multicast_mode is MulticastMode.LINEAR:
-            return _RecvRequest(self, root, inner_tag)
+            return _RecvRequest(self, root, inner_tag, copy=copy)
         parent, children = self._tree_links(group, root, self.rank)
         assert parent is not None
         if not children:
-            return _RecvRequest(self, parent, inner_tag)
+            return _RecvRequest(self, parent, inner_tag, copy=copy)
         # The relay may legitimately sit idle for many rounds before its
         # packet is due, so its receive is exempt from the per-receive
         # timeout (peer failure still unblocks it via channel closure).
         return self._spawn(
             lambda: self._bcast_tree(
-                group, root, inner_tag, None, stage, recv_timeout=None
+                group, root, inner_tag, None, stage, recv_timeout=None,
+                copy=copy,
             )
         )
 
@@ -529,7 +673,7 @@ class Comm(ABC):
         members: Sequence[int],
         root: int,
         tag: int,
-        payload: Optional[bytes],
+        payload: Optional[BufferParts],
     ) -> Tuple[int, ...]:
         """Validate a broadcast call; log the logical multicast at the root."""
         group = tuple(sorted(members))
@@ -547,7 +691,8 @@ class Comm(ABC):
                 dsts = tuple(m for m in group if m != root)
                 if dsts:
                     self.traffic.record(
-                        self._stage, "multicast", root, dsts, len(payload)
+                        self._stage, "multicast", root, dsts,
+                        payload_nbytes(payload),
                     )
         return group
 
@@ -561,17 +706,19 @@ class Comm(ABC):
         group: Tuple[int, ...],
         root: int,
         tag: int,
-        payload: Optional[bytes],
+        payload: Optional[BufferParts],
         stage: str,
-    ) -> bytes:
+        copy: bool = True,
+    ) -> BufferParts:
         if self.rank == root:
             assert payload is not None
+            nbytes = payload_nbytes(payload)
             for m in group:
                 if m != root:
                     self._send_framed(m, tag, payload)
-                    self._record_hop(stage, m, len(payload))
+                    self._record_hop(stage, m, nbytes)
             return payload
-        return self._recv_framed(root, tag)
+        return self._recv_framed(root, tag, copy=copy)
 
     @staticmethod
     def _tree_links(
@@ -610,23 +757,32 @@ class Comm(ABC):
         group: Tuple[int, ...],
         root: int,
         tag: int,
-        payload: Optional[bytes],
+        payload: Optional[BufferParts],
         stage: str,
         recv_timeout=BACKEND_TIMEOUT,
-    ) -> bytes:
+        copy: bool = True,
+    ) -> BufferParts:
         """Binomial-tree broadcast (MPICH/Open MPI algorithm).
 
         Every non-root receives exactly once, so wire bytes equal the linear
         mode; only the critical path shortens to ``ceil(log2(g))`` rounds.
+        Interior nodes forward their received arena view to children
+        without copying, regardless of ``copy``.
         """
         parent, children = self._tree_links(group, root, self.rank)
         data = payload
         if parent is not None:
-            data = self._recv_framed(parent, tag, timeout=recv_timeout)
+            data = self._recv_framed(
+                parent, tag, timeout=recv_timeout, copy=copy and not children
+            )
         assert data is not None
+        nbytes = payload_nbytes(data)
         for child in children:
             self._send_framed(child, tag, data)
-            self._record_hop(stage, child, len(data))
+            self._record_hop(stage, child, nbytes)
+        if parent is not None and copy and children:
+            copytrack.count_copy(nbytes, "api.recv.materialize")
+            return bytes(data) if not isinstance(data, bytes) else data
         return data
 
     # -- checks ----------------------------------------------------------------

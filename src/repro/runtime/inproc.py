@@ -19,6 +19,8 @@ from typing import Any, Dict, List, Optional, Tuple
 
 from repro.runtime.api import (
     BACKEND_TIMEOUT,
+    Buffer,
+    BufferParts,
     Comm,
     CommError,
     DEFAULT_CHUNK_BYTES,
@@ -27,6 +29,7 @@ from repro.runtime.api import (
 from repro.runtime.mailbox import Mailbox, MailboxClosed
 from repro.runtime.program import ClusterResult, NodeProgram, ProgramFactory
 from repro.runtime.traffic import TrafficLog
+from repro.utils import copytrack
 from repro.utils.timer import StageTimes
 
 
@@ -57,13 +60,32 @@ class _ThreadComm(Comm):
         self._barrier = barrier
         self._recv_timeout = recv_timeout
 
-    def _send_raw(self, dst: int, tag: int, payload: bytes) -> None:
+    def _send_raw(self, dst: int, tag: int, payload: BufferParts) -> None:
+        # Mailboxes hold one buffer per frame.  Immutable single parts are
+        # shared by reference (true zero-copy between threads); multi-part
+        # frames are materialized once here — the producer-side copy this
+        # backend charges instead of a kernel crossing.  *Mutable* buffers
+        # (bytearrays, writable views such as an encoder's XOR arena) are
+        # copied too: a completed blocking send must not alias caller
+        # memory, because the caller is free to reuse its arena afterwards.
+        if not isinstance(payload, (bytes, bytearray, memoryview)):
+            parts = [p for p in payload if len(p)]
+            if len(parts) == 1:
+                payload = parts[0]
+            else:
+                payload = b"".join(parts)
+                copytrack.count_copy(len(payload), "inproc.send.join")
+        if isinstance(payload, bytearray) or (
+            isinstance(payload, memoryview) and not payload.readonly
+        ):
+            copytrack.count_copy(len(payload), "inproc.send.own")
+            payload = bytes(payload)
         try:
             self._mailboxes[dst].put(self.rank, tag, payload)
         except MailboxClosed as exc:
             raise CommError(str(exc)) from exc
 
-    def _recv_raw(self, src: int, tag: int, timeout=BACKEND_TIMEOUT) -> bytes:
+    def _recv_raw(self, src: int, tag: int, timeout=BACKEND_TIMEOUT) -> Buffer:
         if timeout is BACKEND_TIMEOUT:
             timeout = self._recv_timeout
         try:

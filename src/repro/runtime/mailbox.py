@@ -14,6 +14,13 @@ patterns the runtime needs:
 
 ``close()`` (global) additionally fails *all* pending receives — used by the
 threaded backend when any node thread dies so the rest unblock promptly.
+
+Frames are opaque buffers (``bytes`` / ``bytearray`` / ``memoryview``) and
+are handed to the consumer *by reference* — the zero-copy ``copy=False``
+receive path slices views straight off whatever the producer enqueued (a
+receive arena in the multiprocessing backend, possibly the sender's own
+memory in the threaded backend).  Consumers must treat popped frames as
+read-only.
 """
 
 from __future__ import annotations
@@ -21,9 +28,10 @@ from __future__ import annotations
 import threading
 import time
 from collections import deque
-from typing import Deque, Dict, Optional, Tuple
+from typing import Deque, Dict, Optional, Tuple, Union
 
 _MailKey = Tuple[int, int]  # (src, tag)
+_Frame = Union[bytes, bytearray, memoryview]
 
 
 class MailboxClosed(Exception):
@@ -35,18 +43,18 @@ class Mailbox:
 
     def __init__(self) -> None:
         self._cond = threading.Condition()
-        self._queues: Dict[_MailKey, Deque[bytes]] = {}
+        self._queues: Dict[_MailKey, Deque[_Frame]] = {}
         self._closed = False
         self._closed_sources: Dict[int, str] = {}
 
-    def put(self, src: int, tag: int, payload: bytes) -> None:
+    def put(self, src: int, tag: int, payload: _Frame) -> None:
         with self._cond:
             if self._closed:
                 raise MailboxClosed("mailbox closed (peer died?)")
             self._queues.setdefault((src, tag), deque()).append(payload)
             self._cond.notify_all()
 
-    def get(self, src: int, tag: int, timeout: Optional[float]) -> bytes:
+    def get(self, src: int, tag: int, timeout: Optional[float]) -> _Frame:
         """Pop the next frame for ``(src, tag)``, blocking until one arrives.
 
         Raises:
@@ -83,7 +91,7 @@ class Mailbox:
                     )
                 self._cond.wait(timeout=remaining)
 
-    def poll(self, src: int, tag: int) -> Optional[bytes]:
+    def poll(self, src: int, tag: int) -> Optional[_Frame]:
         """Pop the next frame for ``(src, tag)`` if one is buffered, else None.
 
         Buffered frames drain first; once the mailbox (or the polled

@@ -13,6 +13,12 @@ Architecture (the paper's Fig. 8, coordinator + K workers):
 * barriers are dissemination barriers over the same mesh (O(K log K) empty
   frames), so no central coordinator round-trip sits on the timed path.
 
+The data plane is zero-copy on both sides of every socket: sends hand the
+framing header plus the caller's buffer parts to vectored ``sendmsg``
+(no concatenation), and each inbound frame lands in one freshly-allocated
+``bytearray`` arena via ``recv_into`` — receives with ``copy=False``
+return memoryview slices of that arena all the way up to the program.
+
 Each worker runs one *reader thread per peer socket* that demultiplexes
 inbound frames into a tagged mailbox.  That is what makes the non-blocking
 API deadlock-free: sockets are always drained regardless of which receives
@@ -42,6 +48,7 @@ from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.runtime.api import (
     BACKEND_TIMEOUT,
+    BufferParts,
     Comm,
     CommError,
     DEFAULT_CHUNK_BYTES,
@@ -121,14 +128,15 @@ class _SocketComm(Comm):
 
     # -- raw primitives ---------------------------------------------------------
 
-    def _send_raw(self, dst: int, tag: int, payload: bytes) -> None:
+    def _send_raw(self, dst: int, tag: int, payload: BufferParts) -> None:
+        """Vectored frame write: header + parts go out in one ``sendmsg``."""
         try:
             with self._send_locks[dst]:
                 send_frame(self._conns[dst], tag, payload, pacer=self._pacer)
         except (OSError, TransportError) as exc:
             raise CommError(f"send to {dst} failed: {exc}") from exc
 
-    def _recv_raw(self, src: int, tag: int, timeout=BACKEND_TIMEOUT) -> bytes:
+    def _recv_raw(self, src: int, tag: int, timeout=BACKEND_TIMEOUT) -> bytearray:
         if timeout is BACKEND_TIMEOUT:
             timeout = self._recv_timeout
         try:

@@ -39,7 +39,7 @@ from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
-from repro.runtime.api import Comm, Request, wait_all
+from repro.runtime.api import BufferParts, Comm, Request, wait_all
 from repro.runtime.traffic import TrafficLog
 from repro.utils.timer import StageTimes, Stopwatch
 
@@ -110,7 +110,7 @@ def execute_multicast_shuffle(
     turns: Sequence[Tuple[int, int]],
     rounds: Optional[Sequence[Sequence[Tuple[int, int]]]],
     tag_base: int,
-    encode: Callable[[int], bytes],
+    encode: Callable[[int], BufferParts],
     recover: Callable[[int, Dict[int, bytes]], Any],
 ) -> Tuple[Dict[int, Any], Dict[str, float]]:
     """Run the Encode / Shuffle / Decode block under either schedule.
@@ -128,7 +128,10 @@ def execute_multicast_shuffle(
         rounds: the parallel round schedule; required iff ``schedule ==
             "parallel"``.
         encode / recover: packet producer / group consumer, charged to the
-            ``encode`` / ``decode`` stages by both paths.
+            ``encode`` / ``decode`` stages by both paths.  ``encode`` may
+            return one buffer or a gather list of buffer parts (sent
+            zero-copy); ``recover`` receives raw packets as zero-copy
+            arena views and must not retain them past the call.
 
     Returns:
         ``(decoded, telemetry)``: ``group_idx -> recover(...)`` result for
@@ -188,8 +191,10 @@ def serial_multicast_shuffle(
             if sender == rank:
                 program.comm.bcast(group, rank, tag, packets_out[gidx])
             else:
+                # copy=False: the raw packet stays a view into the receive
+                # arena; decoding reads it without ever materializing bytes.
                 received[gidx][sender] = program.comm.bcast(
-                    group, sender, tag
+                    group, sender, tag, copy=False
                 )
         program.comm.barrier()
     return received
@@ -201,7 +206,7 @@ def pipelined_multicast_shuffle(
     my_groups: Sequence[int],
     rounds: Sequence[Sequence[Tuple[int, int]]],
     tag_base: int,
-    encode: Callable[[int], bytes],
+    encode: Callable[[int], BufferParts],
     decode: Callable[[int, Dict[int, bytes]], None],
 ) -> Dict[str, float]:
     """Run the multicast shuffle as a non-blocking pipeline.
@@ -251,7 +256,7 @@ def pipelined_multicast_shuffle(
                 if sender == rank or rank not in group:
                     continue
                 recv_reqs[gidx][sender] = comm.ibcast(
-                    group, sender, turn_tag(gidx, sender)
+                    group, sender, turn_tag(gidx, sender), copy=False
                 )
 
         send_reqs: List[Request] = []

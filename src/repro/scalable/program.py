@@ -122,10 +122,11 @@ class GroupedCodedTeraSortProgram(NodeProgram):
             def lookup(subset: Subset, target: int) -> bytes:
                 return serialized[(subset, target)]
 
-            packets_out: Dict[int, bytes] = {
+            # Gather-list wire form: header + XOR-arena view, never joined.
+            packets_out = {
                 gidx: encode_packet(
                     rank, global_groups[gidx], lookup
-                ).to_bytes()
+                ).to_parts()
                 for gidx in my_subgroups
             }
 
@@ -149,7 +150,7 @@ class GroupedCodedTeraSortProgram(NodeProgram):
                         )
                     else:
                         received_raw[gidx][sender] = self.comm.bcast(
-                            group_ranks, sender, tag
+                            group_ranks, sender, tag, copy=False
                         )
 
         with self.stage("decode"):
@@ -162,7 +163,7 @@ class GroupedCodedTeraSortProgram(NodeProgram):
                 raw_value = recover_intermediate(
                     rank, global_groups[gidx], packets, lookup
                 )
-                decoded.append(RecordBatch.from_bytes(raw_value))
+                decoded.append(RecordBatch.from_buffer(raw_value))
 
         with self.stage("reduce"):
             own = [
