@@ -3,15 +3,18 @@
 
 The paper's conclusion (Section VI) points at applying the coding idea to
 other shuffle-bound applications — "e.g., Grep, SelfJoin" — built on the
-same generic Coded MapReduce engine (Section II).  This example runs three
-text-analytics jobs over a synthetic corpus under three shuffle schemes:
+same generic Coded MapReduce engine (Section II).  This example opens one
+:class:`repro.Session` (a standing worker pool) and submits nine
+:class:`repro.MapReduceSpec` jobs to it — three text-analytics jobs over
+a synthetic corpus, each under three shuffle schemes:
 
-* uncoded, r=1 — plain MapReduce (every file mapped once);
-* uncoded, r   — redundant placement, but unicast shuffle;
-* coded,   r   — redundant placement + XOR multicast (Algorithm 1/2);
+* scheme="uncoded", r=1 — plain MapReduce (every file mapped once);
+* scheme="uncoded", r   — redundant placement, but unicast shuffle;
+* scheme="coded",   r   — redundant placement + XOR multicast (Alg. 1/2);
 
-and reports, per job, the measured shuffle payload bytes of each scheme.
-Outputs are asserted identical across schemes: coding is transparent.
+and reports, per job, the measured shuffle payload bytes of each scheme
+(traffic logs are isolated per job id on the shared session).  Outputs
+are asserted identical across schemes: coding is transparent.
 
 Usage::
 
@@ -22,9 +25,8 @@ from __future__ import annotations
 
 import argparse
 
-from repro.core.cmr import run_mapreduce
+from repro import MapReduceSpec, Session, ThreadCluster
 from repro.core.jobs import GrepJob, InvertedIndexJob, WordCountJob
-from repro.runtime.inproc import ThreadCluster
 from repro.utils.subsets import binomial
 from repro.utils.tables import format_table
 
@@ -79,36 +81,48 @@ def main() -> int:
         ("InvertedIndex", InvertedIndexJob()),
     ]
     schemes = [
-        ("uncoded r=1", 1, False),
-        (f"uncoded r={r}", r, False),
-        (f"coded   r={r}", r, True),
+        ("uncoded r=1", 1, "uncoded"),
+        (f"uncoded r={r}", r, "uncoded"),
+        (f"coded   r={r}", r, "coded"),
     ]
 
-    for job_name, job in jobs:
-        rows = []
-        reference = None
-        for label, rr, coded in schemes:
-            run = run_mapreduce(
-                ThreadCluster(k, recv_timeout=60.0), job, corpus,
-                redundancy=rr, coded=coded,
-            )
-            if reference is None:
-                reference = run.outputs
-            elif run.outputs != reference:
-                raise AssertionError(
-                    f"{job_name}: scheme {label} changed the job output"
+    # One standing worker pool serves all nine jobs; submissions are
+    # futures, so the whole grid is queued up front and collected after.
+    with Session(ThreadCluster(k, recv_timeout=60.0)) as session:
+        handles = {
+            (job_name, label): session.submit(
+                MapReduceSpec(
+                    job=job, files=corpus, redundancy=rr, scheme=scheme
                 )
-            shuffle = run.traffic.load_bytes("shuffle")
-            rows.append([label, shuffle, run.traffic.message_count("shuffle")])
-        base_bytes = rows[0][1]
-        for row in rows:
-            row.append(base_bytes / row[1] if row[1] else float("inf"))
-        print(f"== {job_name}: outputs identical under all schemes ==")
-        print(format_table(
-            ["scheme", "shuffle payload B", "messages", "reduction vs r=1"],
-            rows, decimals=2,
-        ))
-        print()
+            )
+            for job_name, job in jobs
+            for label, rr, scheme in schemes
+        }
+
+        for job_name, _ in jobs:
+            rows = []
+            reference = None
+            for label, rr, scheme in schemes:
+                run = handles[(job_name, label)].result()
+                if reference is None:
+                    reference = run.outputs
+                elif run.outputs != reference:
+                    raise AssertionError(
+                        f"{job_name}: scheme {label} changed the job output"
+                    )
+                shuffle = run.traffic.load_bytes("shuffle")
+                rows.append(
+                    [label, shuffle, run.traffic.message_count("shuffle")]
+                )
+            base_bytes = rows[0][1]
+            for row in rows:
+                row.append(base_bytes / row[1] if row[1] else float("inf"))
+            print(f"== {job_name}: outputs identical under all schemes ==")
+            print(format_table(
+                ["scheme", "shuffle payload B", "messages", "reduction vs r=1"],
+                rows, decimals=2,
+            ))
+            print()
 
     print("The coded scheme multicasts XOR packets that serve r nodes at")
     print("once; with payload-dominated intermediate values its shuffle")

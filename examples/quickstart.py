@@ -1,9 +1,12 @@
 #!/usr/bin/env python
-"""Quickstart: sort synthetic TeraGen data with TeraSort and CodedTeraSort.
+"""Quickstart: one Session, two sort jobs (TeraSort and CodedTeraSort).
 
-Runs both algorithms on a small in-process cluster, validates that each
-output is a sorted permutation of the input, and compares the measured
-shuffle communication load against the paper's closed forms (Eq. (2)):
+Opens a :class:`repro.Session` over a small in-process cluster and
+submits both algorithms as declarative job specs — the cluster is set up
+once and every ``submit`` returns a :class:`repro.JobHandle` future.
+Each output is validated as a sorted permutation of the input, and the
+measured shuffle communication load is compared against the paper's
+closed forms (Eq. (2)):
 
     uncoded:  L(r) = 1 - r/K
     coded:    L(r) = (1/r) * (1 - r/K)
@@ -17,12 +20,15 @@ from __future__ import annotations
 
 import argparse
 
-from repro.core.coded_terasort import run_coded_terasort
-from repro.core.terasort import run_terasort
+from repro import (
+    CodedTeraSortSpec,
+    Session,
+    TeraSortSpec,
+    ThreadCluster,
+    teragen,
+    validate_sorted_permutation,
+)
 from repro.core.theory import coded_comm_load, uncoded_comm_load
-from repro.kvpairs.teragen import teragen
-from repro.kvpairs.validation import validate_sorted_permutation
-from repro.runtime.inproc import ThreadCluster
 from repro.utils.tables import format_table
 
 
@@ -45,18 +51,20 @@ def main() -> int:
           f"({args.records * 100 / 1e6:.1f} MB)...")
     data = teragen(args.records, seed=args.seed)
 
-    # -- TeraSort (uncoded baseline, Section III) -------------------------
-    print(f"\nTeraSort on K={k} nodes (serial unicast shuffle)...")
-    base = run_terasort(ThreadCluster(k), data)
-    validate_sorted_permutation(data, base.partitions)
-    print("  output valid: sorted and a permutation of the input")
+    # One session = one standing worker pool; both sorts are jobs on it.
+    with Session(ThreadCluster(k)) as session:
+        print(f"\nSubmitting TeraSort and CodedTeraSort (r={r}) to one "
+              f"K={k} session...")
+        base_job = session.submit(TeraSortSpec(data=data))
+        coded_job = session.submit(
+            CodedTeraSortSpec(data=data, redundancy=r)
+        )
+        base = base_job.result()
+        coded = coded_job.result()
 
-    # -- CodedTeraSort (Section IV) ----------------------------------------
-    print(f"\nCodedTeraSort on K={k} nodes, r={r} "
-          f"(each file mapped on {r} nodes)...")
-    coded = run_coded_terasort(ThreadCluster(k), data, redundancy=r)
+    validate_sorted_permutation(data, base.partitions)
     validate_sorted_permutation(data, coded.partitions)
-    print("  output valid: sorted and a permutation of the input")
+    print("  output valid: both sorted and a permutation of the input")
     print(f"  coding plan: {coded.meta['num_files']} files, "
           f"{coded.meta['num_groups']} multicast groups, "
           f"{coded.meta['total_multicasts']} multicast packets")

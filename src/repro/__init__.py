@@ -9,6 +9,11 @@ provides:
   programs running on real communication backends (threads or processes
   over sockets, with optional 100 Mbps pacing), plus the general Coded
   MapReduce engine with WordCount / Grep / SelfJoin / InvertedIndex jobs;
+* a session API: a :class:`Session` owns a persistent worker pool (the
+  fork + socket-mesh setup is paid once, as on the paper's standing EC2
+  cluster) and runs many declarative jobs — :class:`TeraSortSpec`,
+  :class:`CodedTeraSortSpec`, :class:`MapReduceSpec` — each submission
+  returning a :class:`JobHandle` future with per-job times and traffic;
 * a discrete-event cluster simulator calibrated to the paper's EC2 testbed
   that regenerates every table and figure at full 12 GB scale;
 * the closed-form theory (Eq. (2)-(5)) and an experiment harness producing
@@ -16,14 +21,20 @@ provides:
 
 Quickstart::
 
-    from repro import teragen, ThreadCluster, run_coded_terasort
-    data = teragen(100_000, seed=1)
-    run = run_coded_terasort(ThreadCluster(6), data, redundancy=2)
-    # run.partitions are the globally sorted output shards
-    # run.traffic.load_bytes("shuffle") shows the coded shuffle load
+    from repro import Session, ThreadCluster, TeraSortSpec, CodedTeraSortSpec, teragen
 
-See README.md for the architecture overview and EXPERIMENTS.md for the
-reproduction results.
+    data = teragen(100_000, seed=1)
+    with Session(ThreadCluster(6)) as session:
+        base = session.submit(TeraSortSpec(data=data))
+        coded = session.submit(CodedTeraSortSpec(data=data, redundancy=2))
+        # JobHandle.result() -> SortRun; partitions are the sorted shards
+        ratio = (base.result().traffic.load_bytes("shuffle")
+                 / coded.result().traffic.load_bytes("shuffle"))
+
+The legacy one-shot entry points (:func:`run_terasort`,
+:func:`run_coded_terasort`, :func:`run_mapreduce`) remain as thin
+single-job session shims.  See README.md for the architecture overview
+and EXPERIMENTS.md for the reproduction results.
 """
 
 from repro.core.coded_terasort import CodedTeraSortProgram, run_coded_terasort
@@ -45,6 +56,14 @@ from repro.runtime.inproc import ThreadCluster
 from repro.runtime.process import ProcessCluster
 from repro.scalable.program import run_grouped_coded_terasort
 from repro.scalable.sim import simulate_grouped_coded_terasort
+from repro.session import (
+    CodedTeraSortSpec,
+    JobHandle,
+    JobSpec,
+    MapReduceSpec,
+    Session,
+    TeraSortSpec,
+)
 from repro.sim.costmodel import EC2CostModel
 from repro.sim.runner import simulate_coded_terasort, simulate_terasort
 from repro.stragglers.runner import straggler_comparison
@@ -53,6 +72,12 @@ from repro.wireless.wdc import run_wireless_sort
 __version__ = "1.0.0"
 
 __all__ = [
+    "Session",
+    "JobSpec",
+    "JobHandle",
+    "TeraSortSpec",
+    "CodedTeraSortSpec",
+    "MapReduceSpec",
     "CodedTeraSortProgram",
     "run_coded_terasort",
     "MapReduceJob",

@@ -43,6 +43,7 @@ from repro.runtime.api import Comm
 from repro.runtime.program import (
     ClusterResult,
     NodeProgram,
+    PreparedJob,
     execute_multicast_shuffle,
 )
 from repro.runtime.traffic import TrafficLog
@@ -335,6 +336,87 @@ class CodedCMRProgram(_CMRProgramBase):
             return self._reduce(store, received)
 
 
+def _cmr_program(comm: Comm, payload: Tuple) -> NodeProgram:
+    """Pool builder (module-level for pickling): payload -> node program."""
+    job, files, subsets, redundancy, coded, schedule = payload
+    if coded:
+        return CodedCMRProgram(
+            comm, job, files, subsets, redundancy, schedule=schedule
+        )
+    return UncodedCMRProgram(comm, job, files, subsets, redundancy)
+
+
+def prepare_mapreduce(
+    size: int,
+    job: MapReduceJob,
+    file_payloads: Sequence[Any],
+    redundancy: int = 1,
+    coded: bool = False,
+    schedule: str = "serial",
+) -> PreparedJob:
+    """Compile one MapReduce run over ``size`` nodes into a pool job.
+
+    Each rank's payload carries the job object plus its placed files and
+    their subsets; on the process backend these are pickled to the
+    workers, so ``job`` must be a module-level class (the bundled jobs in
+    :mod:`repro.core.jobs` all are).  ``finalize`` merges the per-node
+    function outputs into one :class:`CMRRun`.
+    """
+    check_schedule(schedule)
+    n = len(file_payloads)
+    placement = _make_placement(size, redundancy, n)
+    per_node_files: List[Dict[int, Any]] = [dict() for _ in range(size)]
+    per_node_subsets: List[Dict[int, Subset]] = [dict() for _ in range(size)]
+    for file_id in range(n):
+        subset = placement.subset_of_file(file_id)
+        for node in subset:
+            per_node_files[node][file_id] = file_payloads[file_id]
+            per_node_subsets[node][file_id] = subset
+
+    payloads: List[Any] = [
+        (
+            job,
+            per_node_files[rank],
+            per_node_subsets[rank],
+            redundancy,
+            coded,
+            schedule,
+        )
+        for rank in range(size)
+    ]
+
+    def finalize(result: ClusterResult) -> CMRRun:
+        outputs: Dict[int, Any] = {}
+        for node_outputs in result.results:
+            overlap = set(outputs) & set(node_outputs)
+            if overlap:
+                raise RuntimeError(
+                    f"functions reduced twice: {sorted(overlap)}"
+                )
+            outputs.update(node_outputs)
+        meta: Dict[str, object] = {
+            "job": job.name,
+            "num_nodes": size,
+            "num_files": n,
+            "redundancy": redundancy,
+            "coded": coded,
+            "schedule": schedule if coded else "serial",
+        }
+        if coded and schedule == "parallel":
+            plan = build_coding_plan(size, redundancy)
+            meta.update(parallel_schedule_meta(plan, result.per_node_times))
+        return CMRRun(
+            outputs=outputs,
+            stage_times=result.stage_times,
+            traffic=result.traffic,
+            meta=meta,
+        )
+
+    return PreparedJob(
+        builder=_cmr_program, payloads=payloads, finalize=finalize
+    )
+
+
 def run_mapreduce(
     cluster,
     job: MapReduceJob,
@@ -343,10 +425,15 @@ def run_mapreduce(
     coded: bool = False,
     schedule: str = "serial",
 ) -> CMRRun:
-    """Run ``job`` over ``file_payloads`` on ``cluster``.
+    """Run ``job`` over ``file_payloads`` on ``cluster`` (one-shot shim).
+
+    Equivalent to submitting a :class:`repro.session.MapReduceSpec` to a
+    fresh one-job :class:`repro.session.Session`; amortize the cluster
+    setup across many jobs by holding a session open instead.
 
     Args:
-        cluster: a runtime backend with ``size`` and ``run(factory)``.
+        cluster: a :class:`~repro.runtime.inproc.ThreadCluster` or
+            :class:`~repro.runtime.process.ProcessCluster`.
         job: the map/reduce job.
         file_payloads: the ``N`` input files; for redundancy ``r``, ``N``
             must be a multiple of ``C(K, r)`` (the batched placement).
@@ -361,60 +448,18 @@ def run_mapreduce(
     Returns:
         A :class:`CMRRun` with the merged ``{q -> result}`` outputs.
     """
-    check_schedule(schedule)
-    k = cluster.size
-    n = len(file_payloads)
-    placement = _make_placement(k, redundancy, n)
-    per_node_files: List[Dict[int, Any]] = [dict() for _ in range(k)]
-    per_node_subsets: List[Dict[int, Subset]] = [dict() for _ in range(k)]
-    for file_id in range(n):
-        subset = placement.subset_of_file(file_id)
-        for node in subset:
-            per_node_files[node][file_id] = file_payloads[file_id]
-            per_node_subsets[node][file_id] = subset
+    from repro.session import MapReduceSpec, Session
 
-    def factory(comm: Comm) -> NodeProgram:
-        if coded:
-            return CodedCMRProgram(
-                comm,
-                job,
-                per_node_files[comm.rank],
-                per_node_subsets[comm.rank],
-                redundancy,
+    with Session(cluster) as session:
+        return session.submit(
+            MapReduceSpec(
+                job=job,
+                files=list(file_payloads),
+                redundancy=redundancy,
+                scheme="coded" if coded else "uncoded",
                 schedule=schedule,
             )
-        return UncodedCMRProgram(
-            comm,
-            job,
-            per_node_files[comm.rank],
-            per_node_subsets[comm.rank],
-            redundancy,
-        )
-
-    result: ClusterResult = cluster.run(factory)
-    outputs: Dict[int, Any] = {}
-    for node_outputs in result.results:
-        overlap = set(outputs) & set(node_outputs)
-        if overlap:
-            raise RuntimeError(f"functions reduced twice: {sorted(overlap)}")
-        outputs.update(node_outputs)
-    meta: Dict[str, object] = {
-        "job": job.name,
-        "num_nodes": k,
-        "num_files": n,
-        "redundancy": redundancy,
-        "coded": coded,
-        "schedule": schedule if coded else "serial",
-    }
-    if coded and schedule == "parallel":
-        plan = build_coding_plan(k, redundancy)
-        meta.update(parallel_schedule_meta(plan, result.per_node_times))
-    return CMRRun(
-        outputs=outputs,
-        stage_times=result.stage_times,
-        traffic=result.traffic,
-        meta=meta,
-    )
+        ).result()
 
 
 def _make_placement(k: int, redundancy: int, n_files: int) -> CodedPlacement:

@@ -44,7 +44,7 @@ encoding, as in the batched CMR scheme of [9]).
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import Any, Dict, List, Tuple
 
 from repro.core.coded_common import group_store_by_subset
 from repro.core.decoding import recover_intermediate
@@ -65,6 +65,7 @@ from repro.runtime.api import Comm
 from repro.runtime.program import (
     ClusterResult,
     NodeProgram,
+    PreparedJob,
     execute_multicast_shuffle,
 )
 from repro.utils.subsets import Subset
@@ -196,6 +197,103 @@ class CodedTeraSortProgram(NodeProgram):
         return RecordBatch.from_buffer(raw_value)
 
 
+def _coded_terasort_program(comm: Comm, payload: Tuple) -> CodedTeraSortProgram:
+    """Pool builder (module-level for pickling): payload -> node program."""
+    files, subsets, partitioner, redundancy, schedule = payload
+    return CodedTeraSortProgram(
+        comm, files, subsets, partitioner, redundancy, schedule=schedule
+    )
+
+
+def check_coded_params(size: int, redundancy: int, schedule: str) -> None:
+    """Validate ``(K, r, schedule)``; raises :class:`ValueError` early.
+
+    CodedPlacement itself allows r = K (one file everywhere), but the
+    coded shuffle needs multicast groups of r+1 <= K nodes; rejecting
+    before any cluster work keeps the error free of job-failure wrapping.
+    """
+    if not 1 <= redundancy <= size - 1:
+        raise ValueError(
+            f"redundancy must be in [1, K-1] = [1, {size - 1}], "
+            f"got {redundancy}"
+        )
+    check_schedule(schedule)
+
+
+def prepare_coded_terasort(
+    size: int,
+    data: RecordBatch,
+    redundancy: int,
+    batches_per_subset: int = 1,
+    sampled_partitioner: bool = False,
+    sample_size: int = 10000,
+    sample_seed: int = 7,
+    schedule: str = "serial",
+) -> PreparedJob:
+    """Compile one CodedTeraSort over ``size`` nodes into a pool job.
+
+    Coordinator-side: the shared partitioner, the coded placement, and
+    each rank's ``{file_id: data}`` / ``{file_id: subset}`` maps.  The
+    coding plan itself is rebuilt by every node during CodeGen (that cost
+    is part of the measured stage, as in the paper) and once more in
+    ``finalize`` for the run metadata.
+    """
+    check_coded_params(size, redundancy, schedule)
+    partitioner = _build_partitioner(
+        data, size, sampled_partitioner, sample_size, sample_seed
+    )
+    placement = CodedPlacement(size, redundancy, batches_per_subset)
+    assignments = placement.place(data)
+
+    per_node_files: List[Dict[int, RecordBatch]] = [dict() for _ in range(size)]
+    per_node_subsets: List[Dict[int, Subset]] = [dict() for _ in range(size)]
+    for fa in assignments:
+        for node in fa.subset:
+            per_node_files[node][fa.file_id] = fa.data
+            per_node_subsets[node][fa.file_id] = fa.subset
+
+    payloads: List[Any] = [
+        (
+            per_node_files[rank],
+            per_node_subsets[rank],
+            partitioner,
+            redundancy,
+            schedule,
+        )
+        for rank in range(size)
+    ]
+    input_records = len(data)
+
+    def finalize(result: ClusterResult) -> SortRun:
+        plan = build_coding_plan(size, redundancy)
+        meta = {
+            "algorithm": "coded_terasort",
+            "num_nodes": size,
+            "redundancy": redundancy,
+            "batches_per_subset": batches_per_subset,
+            "input_records": input_records,
+            "num_files": placement.num_files,
+            "files_per_node": placement.files_per_node(),
+            "num_groups": plan.num_groups,
+            "total_multicasts": plan.total_multicasts,
+            "schedule": schedule,
+            "schedule_turns": len(plan.schedule),
+        }
+        if schedule == "parallel":
+            meta.update(parallel_schedule_meta(plan, result.per_node_times))
+        return SortRun(
+            partitions=list(result.results),
+            stage_times=result.stage_times,
+            traffic=result.traffic,
+            partitioner=partitioner,
+            meta=meta,
+        )
+
+    return PreparedJob(
+        builder=_coded_terasort_program, payloads=payloads, finalize=finalize
+    )
+
+
 def run_coded_terasort(
     cluster,
     data: RecordBatch,
@@ -206,10 +304,15 @@ def run_coded_terasort(
     sample_seed: int = 7,
     schedule: str = "serial",
 ) -> SortRun:
-    """Sort ``data`` with CodedTeraSort on ``cluster``.
+    """Sort ``data`` with CodedTeraSort on ``cluster`` (one-shot shim).
+
+    Equivalent to submitting a :class:`repro.session.CodedTeraSortSpec`
+    to a fresh one-job :class:`repro.session.Session`; amortize the
+    cluster setup across many sorts by holding a session open instead.
 
     Args:
-        cluster: any backend with ``size`` and ``run(factory)``.
+        cluster: a :class:`~repro.runtime.inproc.ThreadCluster` or
+            :class:`~repro.runtime.process.ProcessCluster`.
         data: the full input batch.
         redundancy: ``r ∈ [1, K-1]`` — each file is mapped on ``r`` nodes.
         batches_per_subset: input files per node subset (``N = b * C(K, r)``).
@@ -222,59 +325,17 @@ def run_coded_terasort(
         A :class:`~repro.core.terasort.SortRun` whose ``meta`` carries the
         coding-plan statistics (groups, packets, schedule turns/rounds).
     """
-    k = cluster.size
-    # CodedPlacement itself allows r = K (one file everywhere), but the
-    # coded shuffle needs multicast groups of r+1 <= K nodes; reject early
-    # so the error carries no cluster-failure wrapping.
-    if not 1 <= redundancy <= k - 1:
-        raise ValueError(
-            f"redundancy must be in [1, K-1] = [1, {k - 1}], got {redundancy}"
-        )
-    check_schedule(schedule)
-    partitioner = _build_partitioner(
-        data, k, sampled_partitioner, sample_size, sample_seed
-    )
-    placement = CodedPlacement(k, redundancy, batches_per_subset)
-    assignments = placement.place(data)
+    from repro.session import CodedTeraSortSpec, Session
 
-    per_node_files: List[Dict[int, RecordBatch]] = [dict() for _ in range(k)]
-    per_node_subsets: List[Dict[int, Subset]] = [dict() for _ in range(k)]
-    for fa in assignments:
-        for node in fa.subset:
-            per_node_files[node][fa.file_id] = fa.data
-            per_node_subsets[node][fa.file_id] = fa.subset
-
-    def factory(comm: Comm) -> CodedTeraSortProgram:
-        return CodedTeraSortProgram(
-            comm,
-            per_node_files[comm.rank],
-            per_node_subsets[comm.rank],
-            partitioner,
-            redundancy,
-            schedule=schedule,
-        )
-
-    result: ClusterResult = cluster.run(factory)
-    plan = build_coding_plan(k, redundancy)
-    meta = {
-        "algorithm": "coded_terasort",
-        "num_nodes": k,
-        "redundancy": redundancy,
-        "batches_per_subset": batches_per_subset,
-        "input_records": len(data),
-        "num_files": placement.num_files,
-        "files_per_node": placement.files_per_node(),
-        "num_groups": plan.num_groups,
-        "total_multicasts": plan.total_multicasts,
-        "schedule": schedule,
-        "schedule_turns": len(plan.schedule),
-    }
-    if schedule == "parallel":
-        meta.update(parallel_schedule_meta(plan, result.per_node_times))
-    return SortRun(
-        partitions=list(result.results),
-        stage_times=result.stage_times,
-        traffic=result.traffic,
-        partitioner=partitioner,
-        meta=meta,
-    )
+    with Session(cluster) as session:
+        return session.submit(
+            CodedTeraSortSpec(
+                data=data,
+                redundancy=redundancy,
+                batches_per_subset=batches_per_subset,
+                sampled_partitioner=sampled_partitioner,
+                sample_size=sample_size,
+                sample_seed=sample_seed,
+                schedule=schedule,
+            )
+        ).result()

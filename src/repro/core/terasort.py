@@ -12,15 +12,19 @@ Five stages per node, exactly as the paper's implementation (§V-A):
 4. **Unpack** — deserialize the ``K-1`` received buffers;
 5. **Reduce** — locally sort partition ``P_k``.
 
-The program runs on any :class:`~repro.runtime.api.Comm` backend; the driver
-:func:`run_terasort` handles placement, the shared partitioner, and output
-validation hooks.
+The program runs on any :class:`~repro.runtime.api.Comm` backend.
+:func:`prepare_terasort` compiles one sort into a pool-runnable
+:class:`~repro.runtime.program.PreparedJob` (placement, the shared
+partitioner, result assembly); the declarative driver API is
+:class:`repro.session.TeraSortSpec` submitted to a
+:class:`repro.session.Session`, and :func:`run_terasort` is its one-shot
+shim.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.core.mapper import hash_file
 from repro.core.partitioner import RangePartitioner
@@ -29,7 +33,7 @@ from repro.kvpairs.records import RecordBatch
 from repro.kvpairs.serialization import pack_batch_parts, unpack_batch
 from repro.kvpairs.sorting import sort_batch
 from repro.runtime.api import Comm
-from repro.runtime.program import ClusterResult, NodeProgram
+from repro.runtime.program import ClusterResult, NodeProgram, PreparedJob
 from repro.utils.timer import StageTimes
 
 from repro.runtime.traffic import TrafficLog
@@ -129,6 +133,55 @@ class SortRun:
         return sum(len(p) for p in self.partitions)
 
 
+def _terasort_program(
+    comm: Comm, payload: Tuple[RecordBatch, RangePartitioner]
+) -> TeraSortProgram:
+    """Pool builder (module-level for pickling): payload -> node program."""
+    file_data, partitioner = payload
+    return TeraSortProgram(comm, file_data, partitioner)
+
+
+def prepare_terasort(
+    size: int,
+    data: RecordBatch,
+    sampled_partitioner: bool = False,
+    sample_size: int = 10000,
+    sample_seed: int = 7,
+) -> PreparedJob:
+    """Compile one TeraSort over ``size`` nodes into a pool-runnable job.
+
+    Builds the shared range partitioner and the uncoded placement once on
+    the coordinator; each rank's payload is its single input file plus the
+    partitioner.  ``finalize`` assembles the pool's
+    :class:`~repro.runtime.program.ClusterResult` into a :class:`SortRun`.
+    """
+    partitioner = _build_partitioner(
+        data, size, sampled_partitioner, sample_size, sample_seed
+    )
+    files = UncodedPlacement(size).place(data)
+    payloads: List[Any] = [
+        (files[rank].data, partitioner) for rank in range(size)
+    ]
+    input_records = len(data)
+
+    def finalize(result: ClusterResult) -> SortRun:
+        return SortRun(
+            partitions=list(result.results),
+            stage_times=result.stage_times,
+            traffic=result.traffic,
+            partitioner=partitioner,
+            meta={
+                "algorithm": "terasort",
+                "num_nodes": size,
+                "input_records": input_records,
+            },
+        )
+
+    return PreparedJob(
+        builder=_terasort_program, payloads=payloads, finalize=finalize
+    )
+
+
 def run_terasort(
     cluster,
     data: RecordBatch,
@@ -136,12 +189,15 @@ def run_terasort(
     sample_size: int = 10000,
     sample_seed: int = 7,
 ) -> SortRun:
-    """Sort ``data`` with TeraSort on ``cluster``.
+    """Sort ``data`` with TeraSort on ``cluster`` (one-shot session shim).
+
+    Equivalent to submitting a :class:`repro.session.TeraSortSpec` to a
+    fresh one-job :class:`repro.session.Session`; amortize the cluster
+    setup across many sorts by holding a session open instead.
 
     Args:
-        cluster: any object with ``size`` and ``run(factory) -> ClusterResult``
-            (:class:`~repro.runtime.inproc.ThreadCluster` or
-            :class:`~repro.runtime.process.ProcessCluster`).
+        cluster: a :class:`~repro.runtime.inproc.ThreadCluster` or
+            :class:`~repro.runtime.process.ProcessCluster`.
         data: the full input batch (the coordinator's view).
         sampled_partitioner: use sampled quantile splitters instead of the
             uniform ones (needed for skewed keys).
@@ -151,28 +207,17 @@ def run_terasort(
     Returns:
         A :class:`SortRun`; ``partitions[k]`` is node ``k``'s sorted output.
     """
-    k = cluster.size
-    partitioner = _build_partitioner(
-        data, k, sampled_partitioner, sample_size, sample_seed
-    )
-    placement = UncodedPlacement(k)
-    files = placement.place(data)
+    from repro.session import Session, TeraSortSpec
 
-    def factory(comm: Comm) -> TeraSortProgram:
-        return TeraSortProgram(comm, files[comm.rank].data, partitioner)
-
-    result: ClusterResult = cluster.run(factory)
-    return SortRun(
-        partitions=list(result.results),
-        stage_times=result.stage_times,
-        traffic=result.traffic,
-        partitioner=partitioner,
-        meta={
-            "algorithm": "terasort",
-            "num_nodes": k,
-            "input_records": len(data),
-        },
-    )
+    with Session(cluster) as session:
+        return session.submit(
+            TeraSortSpec(
+                data=data,
+                sampled_partitioner=sampled_partitioner,
+                sample_size=sample_size,
+                sample_seed=sample_seed,
+            )
+        ).result()
 
 
 def _build_partitioner(

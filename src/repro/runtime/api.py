@@ -66,7 +66,10 @@ backend behaves identically.
 
 Internal tags live in namespaces disjoint from user tags *and* from each
 other (broadcast, barrier), so long runs can never alias a barrier frame
-onto a broadcast tag.
+onto a broadcast tag.  Session worker pools additionally shift each job's
+user tags (and barrier epochs) into a per-job window via :meth:`Comm.begin_job`,
+so one long-lived endpoint can run many jobs back to back without frames
+of adjacent jobs ever sharing a tag.
 """
 
 from __future__ import annotations
@@ -89,6 +92,16 @@ RESERVED_TAG_BASE = 1 << 48
 _BCAST_NS = 1 << 48
 #: Barrier tags: ``_BARRIER_NS + sequence`` — occupies [2^49, 2^50).
 _BARRIER_NS = 1 << 49
+
+#: Session worker pools run many jobs over one long-lived endpoint; every
+#: job is shifted into its own disjoint window of the user-tag space so a
+#: straggler frame from job ``n`` can never alias a receive of job ``n+1``.
+#: Inside a session, user tags must stay below the stride.
+JOB_TAG_STRIDE = 1 << 32
+#: Number of disjoint job windows before the namespace wraps.
+_JOB_TAG_WINDOWS = RESERVED_TAG_BASE // JOB_TAG_STRIDE
+#: Barrier-epoch stride per job (bounds barriers per job inside a session).
+_JOB_BARRIER_EPOCH_STRIDE = 1 << 24
 
 #: Default maximum chunk size for one raw frame of a user payload.
 DEFAULT_CHUNK_BYTES = 1 << 20
@@ -379,6 +392,45 @@ class Comm(ABC):
         # blocking sends route through it too, preserving per-channel FIFO
         # with any still-queued closures.
         self._async_dispatch_used = False
+        # Session pools shift every job into its own user-tag window.
+        self._job_tag_offset = 0
+        self._in_session = False
+
+    # -- session jobs -----------------------------------------------------------
+
+    def begin_job(self, job_seq: int, traffic: Optional[TrafficLog]) -> None:
+        """Rebind this endpoint to job ``job_seq`` of a session worker pool.
+
+        Long-lived pool endpoints call this between jobs: it installs the
+        job's own traffic log (per-job byte isolation), resets the stage to
+        ``"init"``, and shifts all user tags into the job's reserved window
+        of :data:`JOB_TAG_STRIDE` tags — so a stale frame from an earlier
+        job (e.g. one aborted mid-shuffle) can never alias a receive of the
+        current one.  All endpoints of a cluster must begin the same job
+        sequence number before the job's program runs.
+        """
+        if job_seq < 0:
+            raise CommError(f"job_seq must be >= 0, got {job_seq}")
+        self.traffic = traffic
+        self._stage = "init"
+        self._in_session = True
+        self._job_tag_offset = (job_seq % _JOB_TAG_WINDOWS) * JOB_TAG_STRIDE
+        self._begin_job_raw(job_seq)
+
+    def _begin_job_raw(self, job_seq: int) -> None:
+        """Backend hook: re-namespace internal protocol state per job."""
+
+    def _user_tag(self, tag: int) -> int:
+        """Validate a user tag and shift it into the current job window."""
+        self._check_tag(tag)
+        if self._in_session and tag >= JOB_TAG_STRIDE:
+            # Enforced for every job (including job 0, whose offset is 0):
+            # a window-straddling tag would alias a neighbouring job's.
+            raise CommError(
+                f"tag {tag} outside the session job window "
+                f"[0, {JOB_TAG_STRIDE})"
+            )
+        return tag + self._job_tag_offset
 
     # -- stage attribution ----------------------------------------------------
 
@@ -521,7 +573,7 @@ class Comm(ABC):
         one channel can never overtake queued closures.
         """
         self._check_peer(dst)
-        self._check_tag(tag)
+        tag = self._user_tag(tag)
         if self.traffic is not None:
             self.traffic.record(
                 self._stage, "unicast", self.rank, (dst,), payload_nbytes(payload)
@@ -542,7 +594,7 @@ class Comm(ABC):
         when ``isend`` was called.
         """
         self._check_peer(dst)
-        self._check_tag(tag)
+        tag = self._user_tag(tag)
         if self.traffic is not None:
             self.traffic.record(
                 self._stage, "unicast", self.rank, (dst,), payload_nbytes(payload)
@@ -557,7 +609,7 @@ class Comm(ABC):
         arena (read-only by contract) instead of owned ``bytes``.
         """
         self._check_peer(src)
-        self._check_tag(tag)
+        tag = self._user_tag(tag)
         return self._recv_framed(src, tag, copy=copy)
 
     def irecv(self, src: int, tag: int, copy: bool = True) -> Request:
@@ -567,7 +619,7 @@ class Comm(ABC):
         with the same read-only contract as :meth:`recv`.
         """
         self._check_peer(src)
-        self._check_tag(tag)
+        tag = self._user_tag(tag)
         return _RecvRequest(self, src, tag, copy=copy)
 
     def bcast(
@@ -599,7 +651,7 @@ class Comm(ABC):
         if len(group) == 1:
             assert payload is not None
             return payload
-        inner_tag = _BCAST_NS | tag
+        inner_tag = _BCAST_NS | self._user_tag(tag)
         if self.multicast_mode is MulticastMode.TREE:
             return self._bcast_tree(
                 group, root, inner_tag, payload, self._stage, copy=copy
@@ -635,7 +687,7 @@ class Comm(ABC):
         group = self._bcast_preflight(members, root, tag, payload)
         if len(group) == 1:
             return _CompletedRequest(payload)
-        inner_tag = _BCAST_NS | tag
+        inner_tag = _BCAST_NS | self._user_tag(tag)
         stage = self._stage
         if self.rank == root:
             self._async_dispatch_used = True

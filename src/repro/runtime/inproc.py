@@ -14,6 +14,7 @@ mailbox pops (no helper threads; only TREE-mode interior relays spawn one).
 
 from __future__ import annotations
 
+import queue
 import threading
 from typing import Any, Dict, List, Optional, Tuple
 
@@ -27,7 +28,13 @@ from repro.runtime.api import (
     MulticastMode,
 )
 from repro.runtime.mailbox import Mailbox, MailboxClosed
-from repro.runtime.program import ClusterResult, NodeProgram, ProgramFactory
+from repro.runtime.program import (
+    ClusterResult,
+    NodeProgram,
+    PreparedJob,
+    ProgramFactory,
+    assemble_cluster_result,
+)
 from repro.runtime.traffic import TrafficLog
 from repro.utils import copytrack
 from repro.utils.timer import StageTimes
@@ -194,13 +201,183 @@ class ThreadCluster:
             rank, exc = errors[0]
             raise RuntimeError(f"node {rank} failed: {exc!r}") from exc
 
-        stages = _collect_stages(programs)
-        return ClusterResult(
-            results=results,
-            stage_times=StageTimes.merge_max(stages, times),
-            per_node_times=times,
-            traffic=traffic,
+        return assemble_cluster_result(
+            results, times, traffic, _collect_stages(programs)
         )
+
+
+    def create_pool(self) -> "_ThreadPool":
+        """A persistent worker pool over this cluster configuration.
+
+        See :class:`_ThreadPool`; :class:`repro.session.Session` is the
+        driver-facing API over it.
+        """
+        return _ThreadPool(self)
+
+
+class _ThreadPool:
+    """K persistent node threads running a per-rank job control loop.
+
+    The threads are the long-lived part of the pool; the communication
+    fabric (mailboxes + barrier + per-job traffic log) is rebuilt per job
+    — mailboxes are cheap in-process objects, and a failed job's closed
+    mailboxes / broken barrier must never leak into the next job.  A job
+    failure therefore unblocks every peer (barrier abort + mailbox
+    closure, exactly like :meth:`ThreadCluster.run`) while the pool
+    itself survives to run the session's next job.
+    """
+
+    _STOP = ("stop",)
+
+    def __init__(self, cluster: ThreadCluster) -> None:
+        self._cluster = cluster
+        self.size = cluster.size
+        self._queues: List["queue.Queue"] = []
+        self._results: "queue.Queue" = queue.Queue()
+        self._threads: List[threading.Thread] = []
+        self._job_seq = 0
+
+    def _ensure_started(self) -> None:
+        if self._threads:
+            return
+        self._queues = [queue.Queue() for _ in range(self.size)]
+        self._threads = [
+            threading.Thread(
+                target=self._worker,
+                args=(rank, self._queues[rank]),
+                daemon=True,
+                name=f"pool-node-{rank}",
+            )
+            for rank in range(self.size)
+        ]
+        for t in self._threads:
+            t.start()
+
+    def _worker(self, rank: int, jobs: "queue.Queue") -> None:
+        cl = self._cluster
+        while True:
+            msg = jobs.get()
+            if msg[0] != "job":
+                return  # "stop"
+            _, seq, builder, payload, mailboxes, barrier, traffic = msg
+            comm: Optional[_ThreadComm] = None
+            try:
+                comm = _ThreadComm(
+                    rank,
+                    self.size,
+                    mailboxes,
+                    barrier,
+                    traffic,
+                    cl.multicast_mode,
+                    cl.recv_timeout,
+                    cl.chunk_bytes,
+                    cl.record_relays,
+                )
+                comm.begin_job(seq, traffic)
+                program = builder(comm, payload)
+                result = program.run()
+                self._results.put(
+                    (
+                        "ok",
+                        rank,
+                        seq,
+                        result,
+                        program.stopwatch.times(),
+                        list(program.STAGES),
+                    )
+                )
+            except BaseException as exc:  # noqa: BLE001 - reported below
+                barrier.abort()
+                for mb in mailboxes:
+                    mb.close()
+                self._results.put(("error", rank, seq, exc))
+            finally:
+                if comm is not None:
+                    comm._close_async()
+
+    def run_job(self, prepared: PreparedJob) -> ClusterResult:
+        """Run one prepared job on the pool's threads; gather the result.
+
+        Raises:
+            RuntimeError: if any node program fails (first failure
+                chronologically, like :meth:`ThreadCluster.run`); the pool
+                survives and the next job runs on fresh mailboxes.
+        """
+        k = self.size
+        prepared.check_size(k)
+        self._ensure_started()
+        seq = self._job_seq
+        self._job_seq += 1
+        mailboxes = [Mailbox() for _ in range(k)]
+        barrier = threading.Barrier(k)
+        traffic = TrafficLog()
+        for rank in range(k):
+            self._queues[rank].put(
+                (
+                    "job",
+                    seq,
+                    prepared.builder,
+                    prepared.payloads[rank],
+                    mailboxes,
+                    barrier,
+                    traffic,
+                )
+            )
+        results: List[Any] = [None] * k
+        times: List[Dict[str, float]] = [dict() for _ in range(k)]
+        stages: List[str] = []
+        errors: List[Tuple[int, BaseException]] = []
+        # Workers always report: their own receives are bounded by the
+        # cluster's recv_timeout, so the margin only covers compute.
+        timeout = (
+            None
+            if self._cluster.recv_timeout is None
+            else self._cluster.recv_timeout + 30.0
+        )
+        collected = 0
+        while collected < k:
+            try:
+                msg = self._results.get(timeout=timeout)
+            except queue.Empty:
+                # Wedged compute: poison the job so stragglers unblock,
+                # abandon the (daemon) threads, and restart next job.
+                barrier.abort()
+                for mb in mailboxes:
+                    mb.close()
+                self._threads = []
+                raise RuntimeError(
+                    f"thread pool job {seq} timed out"
+                ) from None
+            if msg[2] != seq:
+                continue  # stale report from an abandoned earlier job
+            collected += 1
+            if msg[0] == "ok":
+                _, rank, _, result, sw_times, prog_stages = msg
+                results[rank] = result
+                times[rank] = sw_times
+                if prog_stages and not stages:
+                    stages = prog_stages
+            else:
+                errors.append((msg[1], msg[3]))
+        if errors:
+            rank, exc = errors[0]
+            raise RuntimeError(f"node {rank} failed: {exc!r}") from exc
+        return assemble_cluster_result(results, times, traffic, stages)
+
+    def close(self) -> None:
+        """Stop the worker threads (idempotent)."""
+        for q in self._queues:
+            q.put(self._STOP)
+        for t in self._threads:
+            t.join(timeout=10.0)
+        self._threads = []
+        self._queues = []
+
+    def __enter__(self) -> "_ThreadPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
 
 def _collect_stages(programs: List[Optional[NodeProgram]]) -> List[str]:

@@ -43,7 +43,9 @@ import queue
 import socket
 import struct
 import threading
+import time
 import traceback
+from multiprocessing.connection import wait as _conn_wait
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.runtime.api import (
@@ -55,10 +57,18 @@ from repro.runtime.api import (
     MulticastMode,
     Request,
     _FutureRequest,
+    _JOB_BARRIER_EPOCH_STRIDE,
+    _JOB_TAG_WINDOWS,
     barrier_tag,
 )
 from repro.runtime.mailbox import Mailbox, MailboxClosed
-from repro.runtime.program import ClusterResult, NodeProgram, ProgramFactory
+from repro.runtime.program import (
+    ClusterResult,
+    NodeProgram,
+    PreparedJob,
+    ProgramFactory,
+    assemble_cluster_result,
+)
 from repro.runtime.ratelimit import TokenBucket
 from repro.runtime.traffic import TrafficLog
 from repro.runtime.transport import TransportError, recv_frame, send_frame
@@ -150,6 +160,13 @@ class _SocketComm(Comm):
         except MailboxClosed as exc:
             raise CommError(f"recv from {src} failed: {exc}") from exc
 
+    def _begin_job_raw(self, job_seq: int) -> None:
+        # Per-job barrier-epoch base: a stale barrier frame of an earlier
+        # (e.g. aborted) job can never match a later job's rounds.
+        self._barrier_epoch = (
+            job_seq % _JOB_TAG_WINDOWS
+        ) * _JOB_BARRIER_EPOCH_STRIDE
+
     def _barrier_raw(self) -> None:
         """Dissemination barrier: log2(K) rounds of shifted token passing."""
         k = self.size
@@ -206,20 +223,48 @@ class _SocketComm(Comm):
             self._sender_thread.join(timeout=10.0)
 
 
-def _worker_main(
+def _build_mesh(
+    k: int,
+) -> Dict[Tuple[int, int], Tuple[socket.socket, socket.socket]]:
+    """Full mesh: one socketpair per unordered node pair."""
+    return {
+        (i, j): socket.socketpair()
+        for i in range(k)
+        for j in range(i + 1, k)
+    }
+
+
+def _mesh_endpoints(
+    pairs: Dict[Tuple[int, int], Tuple[socket.socket, socket.socket]],
+    rank: int,
+) -> Tuple[Dict[int, socket.socket], List]:
+    """Rank's own peer sockets plus every inherited fd it must close."""
+    conns: Dict[int, socket.socket] = {}
+    extra_close: List = []
+    for (i, j), (si, sj) in pairs.items():
+        if rank == i:
+            conns[j] = si
+            extra_close.append(sj)
+        elif rank == j:
+            conns[i] = sj
+            extra_close.append(si)
+        else:
+            extra_close.extend((si, sj))
+    return conns, extra_close
+
+
+def _setup_worker_comm(
     rank: int,
     size: int,
     conns: Dict[int, socket.socket],
     extra_close: List,
-    factory: ProgramFactory,
     multicast_mode: MulticastMode,
     rate_bytes_per_s: Optional[float],
-    result_conn,
     socket_timeout: float,
     chunk_bytes: int,
     record_relays: bool,
-) -> None:
-    """Worker entry point (runs in the forked child)."""
+) -> _SocketComm:
+    """Forked-child comm setup shared by the one-shot and pool workers."""
     # Drop inherited duplicates of other endpoints' fds.  Without this a
     # dead peer's channel never reaches EOF (our own inherited copy of its
     # socket end keeps it open), so failures would only surface via the
@@ -239,22 +284,50 @@ def _worker_main(
     )
     for s in conns.values():
         s.setsockopt(socket.SOL_SOCKET, socket.SO_SNDTIMEO, sndtimeo)
+    pacer = (
+        TokenBucket(rate_bytes_per_s) if rate_bytes_per_s is not None else None
+    )
+    comm = _SocketComm(
+        rank,
+        size,
+        conns,
+        multicast_mode,
+        pacer,
+        socket_timeout,
+        chunk_bytes,
+        record_relays,
+    )
+    comm._start_readers()
+    return comm
+
+
+def _worker_main(
+    rank: int,
+    size: int,
+    conns: Dict[int, socket.socket],
+    extra_close: List,
+    factory: ProgramFactory,
+    multicast_mode: MulticastMode,
+    rate_bytes_per_s: Optional[float],
+    result_conn,
+    socket_timeout: float,
+    chunk_bytes: int,
+    record_relays: bool,
+) -> None:
+    """One-shot worker entry point (runs in the forked child)."""
     comm: Optional[_SocketComm] = None
     try:
-        pacer = (
-            TokenBucket(rate_bytes_per_s) if rate_bytes_per_s is not None else None
-        )
-        comm = _SocketComm(
+        comm = _setup_worker_comm(
             rank,
             size,
             conns,
+            extra_close,
             multicast_mode,
-            pacer,
+            rate_bytes_per_s,
             socket_timeout,
             chunk_bytes,
             record_relays,
         )
-        comm._start_readers()
         program = factory(comm)
         result = program.run()
         assert comm.traffic is not None
@@ -274,6 +347,86 @@ def _worker_main(
         if comm is not None:
             comm._close_async()
         result_conn.close()
+        for s in conns.values():
+            try:
+                s.close()
+            except OSError:
+                pass
+
+
+def _pool_worker_main(
+    rank: int,
+    size: int,
+    conns: Dict[int, socket.socket],
+    extra_close: List,
+    ctrl_conn,
+    multicast_mode: MulticastMode,
+    rate_bytes_per_s: Optional[float],
+    socket_timeout: float,
+    chunk_bytes: int,
+    record_relays: bool,
+) -> None:
+    """Pool worker entry point: a control loop over one long-lived comm.
+
+    The fork + socket-mesh + reader-thread setup runs once; each ``"job"``
+    control message then rebinds the comm to the job's tag window and
+    traffic log (:meth:`Comm.begin_job`), builds the node program from the
+    shipped ``(builder, payload)``, runs it, and reports the per-job
+    result / stage times / traffic back on the control pipe.  On any job
+    failure the worker reports and *exits*: its closing sockets EOF every
+    peer's reader thread, so blocked peers fail fast, and the parent
+    re-forks a clean pool for the next job (a mid-shuffle mesh holds
+    arbitrary half-delivered frames — a fresh fork beats resynchronizing).
+    """
+    comm: Optional[_SocketComm] = None
+    try:
+        comm = _setup_worker_comm(
+            rank,
+            size,
+            conns,
+            extra_close,
+            multicast_mode,
+            rate_bytes_per_s,
+            socket_timeout,
+            chunk_bytes,
+            record_relays,
+        )
+        while True:
+            try:
+                msg = ctrl_conn.recv()
+            except (EOFError, OSError):
+                return  # session coordinator went away
+            if msg[0] != "job":
+                return  # "stop"
+            _, job_seq, builder, payload = msg
+            traffic = TrafficLog()
+            try:
+                comm.begin_job(job_seq, traffic)
+                program = builder(comm, payload)
+                result = program.run()
+                ctrl_conn.send(
+                    (
+                        "ok",
+                        rank,
+                        job_seq,
+                        result,
+                        program.stopwatch.times(),
+                        traffic.records,
+                        list(program.STAGES),
+                    )
+                )
+            except BaseException:  # noqa: BLE001 - reported to the parent
+                ctrl_conn.send(
+                    ("error", rank, job_seq, traceback.format_exc())
+                )
+                return
+    finally:
+        if comm is not None:
+            comm._close_async()
+        try:
+            ctrl_conn.close()
+        except OSError:  # pragma: no cover - best-effort cleanup
+            pass
         for s in conns.values():
             try:
                 s.close()
@@ -326,27 +479,12 @@ class ProcessCluster:
         ctx = multiprocessing.get_context("fork")
         k = self.size
 
-        # Full mesh: one socketpair per unordered node pair.
-        pairs: Dict[Tuple[int, int], Tuple[socket.socket, socket.socket]] = {}
-        for i in range(k):
-            for j in range(i + 1, k):
-                pairs[(i, j)] = socket.socketpair()
-
+        pairs = _build_mesh(k)
         parent_conns = []
         processes = []
         try:
             for rank in range(k):
-                conns: Dict[int, socket.socket] = {}
-                extra_close: List = []
-                for (i, j), (si, sj) in pairs.items():
-                    if rank == i:
-                        conns[j] = si
-                        extra_close.append(sj)
-                    elif rank == j:
-                        conns[i] = sj
-                        extra_close.append(si)
-                    else:
-                        extra_close.extend((si, sj))
+                conns, extra_close = _mesh_endpoints(pairs, rank)
                 # Result-pipe read ends (earlier workers' and this one's
                 # own) are inherited too; the child drops those copies.
                 extra_close.extend(parent_conns)
@@ -405,17 +543,182 @@ class ProcessCluster:
                 raise RuntimeError(
                     "ProcessCluster run failed:\n" + "\n".join(failures)
                 )
-            if not stages:
-                stages = sorted({s for t in times for s in t})
-            return ClusterResult(
-                results=results,
-                stage_times=StageTimes.merge_max(stages, times),
-                per_node_times=times,
-                traffic=traffic,
-            )
+            return assemble_cluster_result(results, times, traffic, stages)
         finally:
             for proc in processes:
                 if proc.is_alive():
                     proc.terminate()
             for conn in parent_conns:
                 conn.close()
+
+    def create_pool(self) -> "_ProcessPool":
+        """A persistent worker pool over this cluster configuration.
+
+        The pool forks the K-worker socket mesh once and runs many jobs on
+        it (see :class:`_ProcessPool`); :class:`repro.session.Session` is
+        the driver-facing API over it.
+        """
+        return _ProcessPool(self)
+
+
+class _ProcessPool:
+    """K persistent worker processes over one long-lived socket mesh.
+
+    Workers are forked lazily on the first job and then run
+    :func:`_pool_worker_main`'s control loop: the per-job cost drops to
+    one (builder, payload) pickle per worker plus the job itself — the
+    fork + socketpair-mesh + reader-thread setup is paid once per pool,
+    not once per job.  Job dispatch and collection are strictly
+    sequential (the mesh runs one job at a time).
+
+    Failure policy: any worker error, worker death, or job timeout fails
+    that job with :class:`RuntimeError` and tears the workers down; the
+    next job transparently re-forks a clean mesh.  A half-failed mesh may
+    hold arbitrary in-flight frames, so a fresh fork is both simpler and
+    strictly more robust than in-place resynchronization — and keeps the
+    "session survives a failed job" contract cheap.
+    """
+
+    def __init__(self, cluster: ProcessCluster) -> None:
+        self._cluster = cluster
+        self.size = cluster.size
+        self._ctx = multiprocessing.get_context("fork")
+        self._procs: List = []
+        self._ctrl: List = []
+        self._job_seq = 0
+
+    @property
+    def running(self) -> bool:
+        return bool(self._procs) and all(p.is_alive() for p in self._procs)
+
+    def _start(self) -> None:
+        k = self.size
+        pairs = _build_mesh(k)
+        ctrl_conns: List = []
+        procs: List = []
+        try:
+            for rank in range(k):
+                conns, extra_close = _mesh_endpoints(pairs, rank)
+                # Earlier workers' parent-side control ends are inherited
+                # too; the child drops those copies.
+                extra_close.extend(ctrl_conns)
+                parent_conn, child_conn = self._ctx.Pipe(duplex=True)
+                extra_close.append(parent_conn)
+                proc = self._ctx.Process(
+                    target=_pool_worker_main,
+                    args=(
+                        rank,
+                        k,
+                        conns,
+                        extra_close,
+                        child_conn,
+                        self._cluster.multicast_mode,
+                        self._cluster.rate_bytes_per_s,
+                        self._cluster.timeout,
+                        self._cluster.chunk_bytes,
+                        self._cluster.record_relays,
+                    ),
+                    name=f"pool-worker-{rank}",
+                    daemon=True,
+                )
+                proc.start()
+                child_conn.close()
+                ctrl_conns.append(parent_conn)
+                procs.append(proc)
+        finally:
+            # The pool no longer needs the mesh fds (workers hold theirs).
+            for si, sj in pairs.values():
+                si.close()
+                sj.close()
+        self._procs = procs
+        self._ctrl = ctrl_conns
+
+    def run_job(self, prepared: PreparedJob) -> ClusterResult:
+        """Dispatch one prepared job to every worker and gather the result.
+
+        Raises:
+            RuntimeError: if any worker fails, dies, or the job times out;
+                the worker's traceback text is included and the pool is
+                torn down (the next job restarts it).
+        """
+        k = self.size
+        prepared.check_size(k)
+        if not self.running:
+            self.close()
+            self._start()
+        seq = self._job_seq
+        self._job_seq += 1
+        try:
+            for rank, conn in enumerate(self._ctrl):
+                conn.send(
+                    ("job", seq, prepared.builder, prepared.payloads[rank])
+                )
+        except (OSError, ValueError) as exc:
+            self.close()
+            raise RuntimeError(
+                f"worker pool died while dispatching job: {exc}"
+            ) from exc
+
+        results: List[Any] = [None] * k
+        times: List[Dict[str, float]] = [dict() for _ in range(k)]
+        traffic = TrafficLog()
+        stages: List[str] = []
+        failures: List[str] = []
+        pending: Dict[Any, int] = {
+            conn: rank for rank, conn in enumerate(self._ctrl)
+        }
+        deadline = time.monotonic() + self._cluster.timeout
+        while pending and not failures:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                failures.append("worker result timeout")
+                break
+            for conn in _conn_wait(list(pending), remaining):
+                rank = pending.pop(conn)
+                try:
+                    msg = conn.recv()
+                except (EOFError, OSError):
+                    failures.append(f"worker {rank} died mid-job")
+                    continue
+                if msg[0] != "ok":
+                    failures.append(f"worker {msg[1]}:\n{msg[3]}")
+                    continue
+                _, _, wseq, payload, sw_times, records, prog_stages = msg
+                assert wseq == seq, f"job sequence mismatch: {wseq} != {seq}"
+                results[rank] = payload
+                times[rank] = sw_times
+                traffic.extend(records)
+                if prog_stages and not stages:
+                    stages = prog_stages
+        if failures:
+            self.close()
+            raise RuntimeError(
+                "ProcessCluster job failed:\n" + "\n".join(failures)
+            )
+        return assemble_cluster_result(results, times, traffic, stages)
+
+    def close(self) -> None:
+        """Stop the workers (idempotent); a later job restarts the pool."""
+        for conn in self._ctrl:
+            try:
+                conn.send(("stop",))
+            except (OSError, ValueError):
+                pass
+        for proc in self._procs:
+            proc.join(timeout=5.0)
+            if proc.is_alive():
+                proc.terminate()
+                proc.join()
+        for conn in self._ctrl:
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover - best-effort cleanup
+                pass
+        self._procs = []
+        self._ctrl = []
+
+    def __enter__(self) -> "_ProcessPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -75,31 +75,62 @@ class NodeProgram(ABC):
 
 
 class _StageScope:
-    """Times a stage and restores the previous traffic stage on exit."""
+    """Times a stage (via the stopwatch) and restores the previous traffic
+    stage on exit."""
 
-    __slots__ = ("_program", "_name", "_prev", "_start")
+    __slots__ = ("_program", "_name", "_prev", "_timer")
 
     def __init__(self, program: NodeProgram, name: str) -> None:
         self._program = program
         self._name = name
         self._prev = ""
-        self._start = 0.0
+        self._timer = None
 
     def __enter__(self) -> "_StageScope":
         self._prev = self._program.comm.stage
         self._program.comm.set_stage(self._name)
-        self._start = time.perf_counter()
+        self._timer = self._program.stopwatch.stage(self._name).__enter__()
         return self
 
     def __exit__(self, *exc) -> None:
-        self._program.stopwatch.add(
-            self._name, time.perf_counter() - self._start
-        )
+        self._timer.__exit__(*exc)
         self._program.comm.set_stage(self._prev)
 
 
 #: A factory building the program for one node given its Comm endpoint.
 ProgramFactory = Callable[[Comm], NodeProgram]
+
+
+@dataclass
+class PreparedJob:
+    """One job compiled for a session worker pool.
+
+    The coordinator-side half of a :class:`~repro.session.JobSpec`: the
+    driver does all global preparation (partitioner, placement) once, then
+    the pool ships ``builder`` + ``payloads[rank]`` to each worker.
+
+    Attributes:
+        builder: ``(comm, payload) -> NodeProgram`` constructing rank's
+            program.  Must be a *module-level* callable — the process pool
+            pickles it by reference to workers forked before the job
+            existed (closures would not survive the pipe).
+        payloads: one picklable per-rank payload, ``len(payloads) == K``.
+        finalize: coordinator-side mapping from the pool's
+            :class:`ClusterResult` to the driver-facing result object
+            (e.g. a ``SortRun``); may be a closure.
+    """
+
+    builder: Callable[[Comm, Any], NodeProgram]
+    payloads: List[Any]
+    finalize: Callable[["ClusterResult"], Any]
+
+    def check_size(self, size: int) -> None:
+        """Raise :class:`ValueError` unless compiled for ``size`` ranks."""
+        if len(self.payloads) != size:
+            raise ValueError(
+                f"prepared job has {len(self.payloads)} payloads "
+                f"for a size-{size} pool"
+            )
 
 
 def execute_multicast_shuffle(
@@ -333,3 +364,24 @@ class ClusterResult:
     @property
     def size(self) -> int:
         return len(self.results)
+
+
+def assemble_cluster_result(
+    results: List[Any],
+    times: List[Dict[str, float]],
+    traffic: Optional[TrafficLog],
+    stages: List[str],
+) -> ClusterResult:
+    """Merge per-rank outputs into a :class:`ClusterResult`.
+
+    Shared tail of every backend's run/pool collection loop; with no
+    declared ``stages``, falls back to the union of observed stage names.
+    """
+    if not stages:
+        stages = sorted({s for t in times for s in t})
+    return ClusterResult(
+        results=results,
+        stage_times=StageTimes.merge_max(stages, times),
+        per_node_times=times,
+        traffic=traffic,
+    )

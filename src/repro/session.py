@@ -1,0 +1,461 @@
+"""Sessions: persistent worker pools, declarative job specs, job futures.
+
+The paper's EC2 experiments amortize cluster setup across a whole
+benchmark campaign; this module gives the driver API the same shape.  A
+:class:`Session` owns a long-lived worker pool on either backend
+(:class:`~repro.runtime.inproc.ThreadCluster` or
+:class:`~repro.runtime.process.ProcessCluster`) and accepts many jobs:
+on the process backend the fork + socketpair-mesh + reader-thread setup
+is paid once per session instead of once per job, with workers running a
+control loop over the existing :class:`~repro.runtime.api.Comm` (each
+job shifted into its own reserved tag window, see
+:meth:`~repro.runtime.api.Comm.begin_job`).
+
+Jobs are *declarative*: the three algorithm entry points are unified as
+validated spec dataclasses — :class:`TeraSortSpec`,
+:class:`CodedTeraSortSpec`, and :class:`MapReduceSpec` (with
+``scheme="coded" | "uncoded"``), all carrying their schedule /
+partitioner / placement options — and submitted through one call::
+
+    from repro import Session, ProcessCluster, TeraSortSpec, CodedTeraSortSpec
+
+    with Session(ProcessCluster(8)) as session:
+        base = session.submit(TeraSortSpec(data=data))
+        fast = session.submit(
+            CodedTeraSortSpec(data=data, redundancy=3, schedule="parallel")
+        )
+        base.result().partitions  # JobHandle is a future
+        fast.result().meta["schedule_rounds"]
+
+:meth:`Session.submit` validates the spec synchronously (bad parameters
+raise :class:`ValueError` in the caller) and returns a :class:`JobHandle`
+future with ``result()`` / ``done()`` / ``wait()`` / ``exception()``;
+jobs run strictly in submission order on a background driver thread.
+Each job gets its own :class:`~repro.runtime.program.ClusterResult` —
+stage times and traffic are isolated per job id, never merged across
+jobs.  A failing job reports its error on *its* handle and the session
+survives: subsequent jobs run normally (the process pool transparently
+re-forks its mesh; the thread pool rebuilds its per-job mailboxes).
+
+The legacy ``run_terasort`` / ``run_coded_terasort`` / ``run_mapreduce``
+functions remain as thin one-shot-session shims with unchanged
+signatures and results.
+"""
+
+from __future__ import annotations
+
+import threading
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Any, List, Optional, Sequence
+
+from repro.core.cmr import CMRRun, MapReduceJob, prepare_mapreduce
+from repro.core.coded_terasort import (
+    check_coded_params,
+    prepare_coded_terasort,
+)
+from repro.core.groups import check_schedule
+from repro.core.terasort import SortRun, prepare_terasort
+from repro.kvpairs.records import RecordBatch
+from repro.runtime.program import ClusterResult, PreparedJob
+from repro.utils.subsets import binomial
+
+__all__ = [
+    "JobSpec",
+    "TeraSortSpec",
+    "CodedTeraSortSpec",
+    "MapReduceSpec",
+    "JobHandle",
+    "Session",
+]
+
+
+# ---------------------------------------------------------------------------
+# Job specs — declarative, validated descriptions of one job.
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class JobSpec(ABC):
+    """A declarative description of one job a :class:`Session` can run.
+
+    Subclasses are frozen dataclasses naming an algorithm plus all of its
+    options; :meth:`validate` raises :class:`ValueError` for parameters
+    that cannot run on a ``size``-node cluster (called synchronously by
+    :meth:`Session.submit`), and :meth:`prepare` compiles the spec into a
+    pool-runnable :class:`~repro.runtime.program.PreparedJob`.
+    """
+
+    @abstractmethod
+    def validate(self, size: int) -> None:
+        """Raise :class:`ValueError` if the spec cannot run on ``size`` nodes."""
+
+    @abstractmethod
+    def prepare(self, size: int) -> PreparedJob:
+        """Compile the spec for a ``size``-node worker pool."""
+
+
+@dataclass(frozen=True)
+class TeraSortSpec(JobSpec):
+    """The uncoded baseline sort (§III): serial unicast shuffle.
+
+    Attributes:
+        data: the full input batch (the coordinator's view).
+        sampled_partitioner: use sampled quantile splitters instead of
+            uniform ones (needed for skewed keys).
+        sample_size / sample_seed: splitter sample parameters.
+    """
+
+    data: RecordBatch
+    sampled_partitioner: bool = False
+    sample_size: int = 10000
+    sample_seed: int = 7
+
+    def validate(self, size: int) -> None:
+        if size < 1:
+            raise ValueError(f"cluster size must be >= 1, got {size}")
+        if self.sample_size < 1:
+            raise ValueError(
+                f"sample_size must be >= 1, got {self.sample_size}"
+            )
+
+    def prepare(self, size: int) -> PreparedJob:
+        return prepare_terasort(
+            size,
+            self.data,
+            sampled_partitioner=self.sampled_partitioner,
+            sample_size=self.sample_size,
+            sample_seed=self.sample_seed,
+        )
+
+
+@dataclass(frozen=True)
+class CodedTeraSortSpec(JobSpec):
+    """CodedTeraSort (§IV): coded placement + XOR multicast shuffle.
+
+    Attributes:
+        data: the full input batch.
+        redundancy: the computation load ``r ∈ [1, K-1]``.
+        batches_per_subset: input files per node subset
+            (``N = b * C(K, r)``).
+        schedule: ``"serial"`` (paper, Fig. 9(b) turns) or ``"parallel"``
+            (pipelined conflict-free rounds); byte-identical output.
+        sampled_partitioner / sample_size / sample_seed: see
+            :class:`TeraSortSpec`.
+    """
+
+    data: RecordBatch
+    redundancy: int
+    batches_per_subset: int = 1
+    schedule: str = "serial"
+    sampled_partitioner: bool = False
+    sample_size: int = 10000
+    sample_seed: int = 7
+
+    def validate(self, size: int) -> None:
+        check_coded_params(size, self.redundancy, self.schedule)
+        if self.batches_per_subset < 1:
+            raise ValueError(
+                f"batches_per_subset must be >= 1, "
+                f"got {self.batches_per_subset}"
+            )
+
+    def prepare(self, size: int) -> PreparedJob:
+        return prepare_coded_terasort(
+            size,
+            self.data,
+            self.redundancy,
+            batches_per_subset=self.batches_per_subset,
+            sampled_partitioner=self.sampled_partitioner,
+            sample_size=self.sample_size,
+            sample_seed=self.sample_seed,
+            schedule=self.schedule,
+        )
+
+
+@dataclass(frozen=True)
+class MapReduceSpec(JobSpec):
+    """A general (Coded) MapReduce job (§II) over arbitrary file payloads.
+
+    Attributes:
+        job: the map/reduce law; must be a module-level class so the
+            process backend can pickle it to pool workers (the bundled
+            jobs in :mod:`repro.core.jobs` all qualify).
+        files: the ``N`` input file payloads; ``N`` must be a positive
+            multiple of ``C(K, r)`` (the batched placement).
+        redundancy: ``r``; each file is mapped on ``r`` nodes.
+        scheme: ``"uncoded"`` (designated-sender unicast shuffle) or
+            ``"coded"`` (Algorithm 1/2 XOR multicast).
+        schedule: coded-shuffle schedule, ``"serial"`` or ``"parallel"``;
+            only meaningful with ``scheme="coded"``.
+    """
+
+    job: MapReduceJob
+    files: Sequence[Any]
+    redundancy: int = 1
+    scheme: str = "uncoded"
+    schedule: str = "serial"
+
+    def validate(self, size: int) -> None:
+        if self.scheme not in ("coded", "uncoded"):
+            raise ValueError(
+                f'scheme must be "coded" or "uncoded", got {self.scheme!r}'
+            )
+        check_schedule(self.schedule)
+        # The coded shuffle multicasts within groups of r+1 <= K nodes;
+        # the uncoded scheme only needs the placement, so r = K is legal.
+        max_r = size - 1 if self.scheme == "coded" else size
+        if not 1 <= self.redundancy <= max_r:
+            raise ValueError(
+                f"redundancy must be in [1, {max_r}] for "
+                f"scheme={self.scheme!r} on K={size} nodes, "
+                f"got {self.redundancy}"
+            )
+        base = binomial(size, self.redundancy)
+        n = len(self.files)
+        if n == 0 or n % base != 0:
+            raise ValueError(
+                f"number of files ({n}) must be a positive multiple of "
+                f"C(K={size}, r={self.redundancy}) = {base}"
+            )
+
+    def prepare(self, size: int) -> PreparedJob:
+        return prepare_mapreduce(
+            size,
+            self.job,
+            list(self.files),
+            redundancy=self.redundancy,
+            coded=self.scheme == "coded",
+            schedule=self.schedule,
+        )
+
+
+# ---------------------------------------------------------------------------
+# Job futures.
+# ---------------------------------------------------------------------------
+
+
+class JobHandle:
+    """Future for one submitted job.
+
+    Completed by the session's driver thread; all methods are safe to
+    call from any thread, any number of times.
+    """
+
+    def __init__(self, job_id: int, spec: JobSpec) -> None:
+        self.job_id = job_id
+        self.spec = spec
+        self._event = threading.Event()
+        self._result: Any = None
+        self._cluster_result: Optional[ClusterResult] = None
+        self._error: Optional[BaseException] = None
+
+    # -- completion (driver side) -----------------------------------------
+
+    def _complete(
+        self, result: Any, cluster_result: ClusterResult
+    ) -> None:
+        self._result = result
+        self._cluster_result = cluster_result
+        self._event.set()
+
+    def _fail(self, exc: BaseException) -> None:
+        self._error = exc
+        self._event.set()
+
+    # -- future API --------------------------------------------------------
+
+    def done(self) -> bool:
+        """True once the job has finished (successfully or not)."""
+        return self._event.is_set()
+
+    def wait(self, timeout: Optional[float] = None) -> bool:
+        """Block until the job finishes; True if it did within ``timeout``."""
+        return self._event.wait(timeout)
+
+    def result(self, timeout: Optional[float] = None) -> Any:
+        """The job's result (:class:`~repro.core.terasort.SortRun` for the
+        sort specs, :class:`~repro.core.cmr.CMRRun` for MapReduce).
+
+        Blocks until completion; re-raises the job's error if it failed,
+        and :class:`TimeoutError` if ``timeout`` expires first.
+        """
+        if not self._event.wait(timeout):
+            raise TimeoutError(
+                f"job {self.job_id} did not finish within {timeout}s"
+            )
+        if self._error is not None:
+            raise self._error
+        return self._result
+
+    def exception(
+        self, timeout: Optional[float] = None
+    ) -> Optional[BaseException]:
+        """The job's error (None on success); blocks like :meth:`result`."""
+        if not self._event.wait(timeout):
+            raise TimeoutError(
+                f"job {self.job_id} did not finish within {timeout}s"
+            )
+        return self._error
+
+    def cluster_result(
+        self, timeout: Optional[float] = None
+    ) -> ClusterResult:
+        """This job's raw :class:`~repro.runtime.program.ClusterResult`.
+
+        Per-job isolation: stage times and the traffic log cover exactly
+        this job id's transfers, nothing from neighbouring jobs on the
+        same session.
+        """
+        self.result(timeout)  # propagate errors / wait
+        assert self._cluster_result is not None
+        return self._cluster_result
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = (
+            "pending"
+            if not self.done()
+            else ("failed" if self._error is not None else "done")
+        )
+        return (
+            f"JobHandle(job_id={self.job_id}, "
+            f"spec={type(self.spec).__name__}, {state})"
+        )
+
+
+# ---------------------------------------------------------------------------
+# The session.
+# ---------------------------------------------------------------------------
+
+
+class Session:
+    """A standing cluster accepting many jobs (context manager).
+
+    Args:
+        cluster: a :class:`~repro.runtime.inproc.ThreadCluster` or
+            :class:`~repro.runtime.process.ProcessCluster` (anything with
+            ``size`` and ``create_pool()``).  The cluster object only
+            carries configuration; the session owns the actual pool.
+
+    The worker pool starts lazily with the first job, jobs run strictly
+    in submission order, and :meth:`close` (or leaving the ``with``
+    block) drains every queued job before shutting the pool down.
+    """
+
+    def __init__(self, cluster) -> None:
+        create_pool = getattr(cluster, "create_pool", None)
+        if create_pool is None:
+            raise TypeError(
+                f"{type(cluster).__name__} does not support sessions "
+                "(no create_pool())"
+            )
+        self._cluster = cluster
+        self._pool = None
+        self._queue: List[JobHandle] = []
+        self._cond = threading.Condition()
+        self._close_lock = threading.Lock()
+        self._driver: Optional[threading.Thread] = None
+        self._closed = False
+        self._next_job_id = 0
+
+    @property
+    def size(self) -> int:
+        """Number of worker nodes (the paper's ``K``)."""
+        return self._cluster.size
+
+    # -- submission ---------------------------------------------------------
+
+    def submit(self, spec: JobSpec) -> JobHandle:
+        """Queue one job; returns its :class:`JobHandle` future.
+
+        The spec is validated against the cluster size *synchronously*
+        (bad parameters raise :class:`ValueError` here, not on the
+        handle); everything else — preparation, execution, result
+        assembly — happens on the driver thread in submission order.
+
+        Raises:
+            ValueError: the spec cannot run on this cluster.
+            RuntimeError: the session is closed.
+        """
+        if not isinstance(spec, JobSpec):
+            raise TypeError(
+                f"submit() takes a JobSpec, got {type(spec).__name__}"
+            )
+        spec.validate(self.size)
+        with self._cond:
+            if self._closed:
+                raise RuntimeError("session is closed")
+            handle = JobHandle(self._next_job_id, spec)
+            self._next_job_id += 1
+            self._queue.append(handle)
+            if self._driver is None:
+                self._driver = threading.Thread(
+                    target=self._drive, daemon=True, name="session-driver"
+                )
+                self._driver.start()
+            self._cond.notify_all()
+        return handle
+
+    def run(self, spec: JobSpec) -> Any:
+        """Submit one job and block for its result (convenience)."""
+        return self.submit(spec).result()
+
+    # -- driver -------------------------------------------------------------
+
+    def _drive(self) -> None:
+        while True:
+            with self._cond:
+                while not self._queue and not self._closed:
+                    self._cond.wait()
+                if not self._queue:
+                    return  # closed and drained
+                handle = self._queue.pop(0)
+            try:
+                prepared = handle.spec.prepare(self.size)
+                if self._pool is None:
+                    self._pool = self._cluster.create_pool()
+                cluster_result = self._pool.run_job(prepared)
+                handle._complete(
+                    prepared.finalize(cluster_result), cluster_result
+                )
+            except BaseException as exc:  # noqa: BLE001 - fail the handle
+                handle._fail(exc)
+
+    # -- lifecycle ----------------------------------------------------------
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def close(self) -> None:
+        """Drain queued jobs, stop the driver, shut the pool down.
+
+        Idempotent.  Jobs already submitted still run to completion (their
+        handles complete normally); new submissions raise.
+        """
+        with self._cond:
+            self._closed = True
+            driver = self._driver
+            self._cond.notify_all()
+        # Every closer joins the (possibly already finished) driver, so a
+        # concurrent second close() cannot reach the pool shutdown while
+        # the first caller's driver still has a job in flight.
+        if driver is not None:
+            driver.join()
+        with self._close_lock:
+            if self._pool is not None:
+                self._pool.close()
+                self._pool = None
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "closed" if self._closed else "open"
+        return (
+            f"Session({type(self._cluster).__name__}(size={self.size}), "
+            f"{state}, {self._next_job_id} jobs submitted)"
+        )

@@ -15,8 +15,31 @@ def test_version():
 
 
 def test_quickstart_surface():
-    """The README quickstart, miniaturized."""
+    """The README quickstart, miniaturized: one session, three jobs."""
     data = repro.teragen(3000, seed=1)
+    with repro.Session(repro.ThreadCluster(4)) as session:
+        base = session.submit(repro.TeraSortSpec(data=data))
+        coded = session.submit(
+            repro.CodedTeraSortSpec(data=data, redundancy=2)
+        )
+        fast = session.submit(
+            repro.CodedTeraSortSpec(
+                data=data, redundancy=2, schedule="parallel"
+            )
+        )
+        runs = [h.result() for h in (base, coded, fast)]
+    for run in runs:
+        repro.validate_sorted_permutation(data, run.partitions)
+    assert runs[1].traffic.load_bytes("shuffle") < runs[0].traffic.load_bytes(
+        "shuffle"
+    )
+    assert runs[2].meta["schedule_rounds"] <= runs[2].meta["schedule_turns"]
+    assert base.done() and coded.done() and fast.done()
+
+
+def test_legacy_shim_surface():
+    """The one-shot entry points survive as single-job session shims."""
+    data = repro.teragen(2000, seed=3)
     base = repro.run_terasort(repro.ThreadCluster(4), data)
     coded = repro.run_coded_terasort(
         repro.ThreadCluster(4), data, redundancy=2
@@ -26,6 +49,20 @@ def test_quickstart_surface():
     assert coded.traffic.load_bytes("shuffle") < base.traffic.load_bytes(
         "shuffle"
     )
+
+
+def test_session_surface_names():
+    """Every advertised session-API name resolves and is exported."""
+    for name in (
+        "Session",
+        "JobSpec",
+        "JobHandle",
+        "TeraSortSpec",
+        "CodedTeraSortSpec",
+        "MapReduceSpec",
+    ):
+        assert hasattr(repro, name)
+        assert name in repro.__all__
 
 
 def test_extension_entry_points():
