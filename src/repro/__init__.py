@@ -54,6 +54,7 @@ from repro.kvpairs.validation import validate_sorted_permutation
 from repro.runtime.api import MulticastMode
 from repro.runtime.inproc import ThreadCluster
 from repro.runtime.process import ProcessCluster
+from repro.runtime.tcp import TcpCluster
 from repro.scalable.program import run_grouped_coded_terasort
 from repro.scalable.sim import simulate_grouped_coded_terasort
 from repro.session import (
@@ -99,6 +100,7 @@ __all__ = [
     "MulticastMode",
     "ThreadCluster",
     "ProcessCluster",
+    "TcpCluster",
     "EC2CostModel",
     "simulate_terasort",
     "simulate_coded_terasort",

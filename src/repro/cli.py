@@ -2,7 +2,9 @@
 
 Subcommands::
 
-    codedterasort sort      — sort synthetic data locally (threads/processes)
+    codedterasort sort      — sort synthetic data (threads/processes, or a
+                              multi-host TCP cluster via --cluster tcp://)
+    codedterasort worker    — join a tcp:// coordinator as one worker agent
     codedterasort simulate  — one simulated run at paper scale
     codedterasort tables    — regenerate Tables I-III
     codedterasort figures   — Fig. 2 + trend sweeps
@@ -24,11 +26,19 @@ def _build_cluster(args: argparse.Namespace):
     from repro.runtime.inproc import ThreadCluster
     from repro.runtime.process import ProcessCluster
 
-    if args.backend == "process":
-        return ProcessCluster(
+    rate = args.rate_mbps * 125_000 if args.rate_mbps else None
+    if getattr(args, "cluster", None):
+        from repro.runtime.tcp import TcpCluster
+
+        return TcpCluster(
             args.nodes,
-            rate_bytes_per_s=args.rate_mbps * 125_000 if args.rate_mbps else None,
+            args.cluster,
+            rate_bytes_per_s=rate,
+            connect_timeout=args.connect_timeout,
+            handshake_timeout=args.handshake_timeout,
         )
+    if args.backend == "process":
+        return ProcessCluster(args.nodes, rate_bytes_per_s=rate)
     return ThreadCluster(args.nodes)
 
 
@@ -49,7 +59,13 @@ def _cmd_sort(args: argparse.Namespace) -> int:
     from repro.utils.tables import format_table
 
     data = teragen(args.records, seed=args.seed)
-    with Session(_build_cluster(args)) as session:
+    cluster = _build_cluster(args)
+    backend = args.backend
+    if getattr(args, "cluster", None):
+        backend = f"tcp ({cluster.address})"
+        print(f"rendezvous listening on {cluster.address} — start workers "
+              f"with: repro worker --join {cluster.address}")
+    with Session(cluster) as session:
         spec = _sort_spec(args, data)
         if args.repeat > 1:
             # Back-to-back jobs on one standing worker pool: the cluster
@@ -65,10 +81,12 @@ def _cmd_sort(args: argparse.Namespace) -> int:
                   f"({args.repeat / elapsed:.2f} jobs/s on one worker pool)")
         else:
             run = session.submit(spec).result()
+    if getattr(args, "cluster", None):
+        cluster.close()
     validate_sorted_permutation(data, run.partitions)
     sched = f", schedule={args.schedule}" if args.algorithm == "coded" else ""
     print(f"sorted {args.records} records on {args.nodes} nodes "
-          f"({args.algorithm}, backend={args.backend}{sched}) — output valid")
+          f"({args.algorithm}, backend={backend}{sched}) — output valid")
     if args.algorithm == "coded" and args.schedule == "parallel":
         print(f"parallel schedule: {run.meta['schedule_turns']} turns packed "
               f"into {run.meta['schedule_rounds']} rounds "
@@ -85,6 +103,23 @@ def _cmd_sort(args: argparse.Namespace) -> int:
         print(f"shuffle payload: {shuffle} bytes "
               f"({shuffle / max(1, data.nbytes):.4f} of dataset)")
     return 0
+
+
+def _cmd_worker(args: argparse.Namespace) -> int:
+    from repro.runtime.tcp import TcpClusterError, run_worker
+
+    try:
+        return run_worker(
+            args.join,
+            rank=args.rank,
+            advertise=args.advertise,
+            connect_timeout=args.connect_timeout,
+            handshake_timeout=args.handshake_timeout,
+            quiet=args.quiet,
+        )
+    except TcpClusterError as exc:
+        print(f"worker failed: {exc}", file=sys.stderr)
+        return 2
 
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
@@ -277,8 +312,18 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--records", "-n", type=int, default=60_000)
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--backend", choices=["thread", "process"], default="thread")
+    p.add_argument("--cluster", default=None, metavar="tcp://HOST:PORT",
+                   help="run on a multi-host TCP cluster: listen here as "
+                        "the rendezvous coordinator and wait for --nodes "
+                        "`repro worker --join` agents (overrides --backend)")
     p.add_argument("--rate-mbps", type=float, default=None,
-                   help="per-node egress throttle (process backend)")
+                   help="per-node egress throttle (process/tcp backends)")
+    p.add_argument("--connect-timeout", type=float, default=300.0,
+                   help="with --cluster: seconds to wait for all --nodes "
+                        "workers to join the rendezvous")
+    p.add_argument("--handshake-timeout", type=float, default=30.0,
+                   help="with --cluster: per-step bound for each worker's "
+                        "rendezvous handshake")
     p.add_argument("--schedule", choices=["serial", "parallel"],
                    default="serial",
                    help="coded shuffle schedule: serial Fig. 9(b) turns "
@@ -287,6 +332,26 @@ def build_parser() -> argparse.ArgumentParser:
                    help="run the sort N times on one session (persistent "
                         "worker pool) and report jobs/sec")
     p.set_defaults(func=_cmd_sort)
+
+    p = sub.add_parser(
+        "worker",
+        help="join a tcp:// coordinator as one cluster worker agent",
+    )
+    p.add_argument("--join", required=True, metavar="HOST:PORT",
+                   help="rendezvous coordinator address (tcp:// optional)")
+    p.add_argument("--rank", type=int, default=None,
+                   help="request this specific rank (duplicates are "
+                        "rejected); default: lowest free rank")
+    p.add_argument("--advertise", default=None, metavar="HOST",
+                   help="address peers should dial for this worker's mesh "
+                        "listener (default: local address of the "
+                        "coordinator connection)")
+    p.add_argument("--connect-timeout", type=float, default=30.0,
+                   help="seconds to keep retrying the coordinator dial")
+    p.add_argument("--handshake-timeout", type=float, default=30.0,
+                   help="per-step bound for rendezvous and mesh setup")
+    p.add_argument("--quiet", action="store_true")
+    p.set_defaults(func=_cmd_worker)
 
     p = sub.add_parser("simulate", help="simulate one run at paper scale")
     p.add_argument("--algorithm", choices=["terasort", "coded"], default="coded")

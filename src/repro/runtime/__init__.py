@@ -12,6 +12,9 @@ communication layer for the reproduction:
 * :mod:`repro.runtime.process` — a multiprocessing backend over an AF_UNIX
   socket mesh with optional token-bucket rate limiting (the paper throttles
   EC2 NICs to 100 Mbps with ``tc``);
+* :mod:`repro.runtime.tcp` — a multi-host backend: ``repro worker`` agents
+  dial a rendezvous coordinator over TCP and form the same K×K mesh across
+  real machines (the paper's actual EC2 deployment shape);
 * :mod:`repro.runtime.traffic` — traffic accounting that counts each
   multicast payload once (the paper's communication-load convention) while
   also tracking raw wire bytes.
@@ -26,6 +29,7 @@ from repro.runtime.program import (
 )
 from repro.runtime.inproc import ThreadCluster
 from repro.runtime.process import ProcessCluster
+from repro.runtime.tcp import TcpCluster
 
 __all__ = [
     "Comm",
@@ -40,4 +44,5 @@ __all__ = [
     "pipelined_multicast_shuffle",
     "ThreadCluster",
     "ProcessCluster",
+    "TcpCluster",
 ]

@@ -253,27 +253,22 @@ def _mesh_endpoints(
     return conns, extra_close
 
 
-def _setup_worker_comm(
+def make_socket_comm(
     rank: int,
     size: int,
     conns: Dict[int, socket.socket],
-    extra_close: List,
     multicast_mode: MulticastMode,
     rate_bytes_per_s: Optional[float],
     socket_timeout: float,
     chunk_bytes: int,
     record_relays: bool,
 ) -> _SocketComm:
-    """Forked-child comm setup shared by the one-shot and pool workers."""
-    # Drop inherited duplicates of other endpoints' fds.  Without this a
-    # dead peer's channel never reaches EOF (our own inherited copy of its
-    # socket end keeps it open), so failures would only surface via the
-    # receive timeout instead of an immediate reader-thread EOF.
-    for obj in extra_close:
-        try:
-            obj.close()
-        except OSError:  # pragma: no cover - best-effort cleanup
-            pass
+    """Build a ready :class:`_SocketComm` over an established peer mesh.
+
+    Shared by the forked AF_UNIX workers here and the TCP worker agents in
+    :mod:`repro.runtime.tcp` — the mesh transport differs, the endpoint
+    machinery (send bounds, pacing, reader threads) is identical.
+    """
     # Bound sends at the kernel (SO_SNDTIMEO) so a wedged peer — full
     # buffer, nothing draining — raises in the blocked worker with a
     # traceback naming the stuck send.  SO_SNDTIMEO (unlike settimeout)
@@ -299,6 +294,39 @@ def _setup_worker_comm(
     )
     comm._start_readers()
     return comm
+
+
+def _setup_worker_comm(
+    rank: int,
+    size: int,
+    conns: Dict[int, socket.socket],
+    extra_close: List,
+    multicast_mode: MulticastMode,
+    rate_bytes_per_s: Optional[float],
+    socket_timeout: float,
+    chunk_bytes: int,
+    record_relays: bool,
+) -> _SocketComm:
+    """Forked-child comm setup shared by the one-shot and pool workers."""
+    # Drop inherited duplicates of other endpoints' fds.  Without this a
+    # dead peer's channel never reaches EOF (our own inherited copy of its
+    # socket end keeps it open), so failures would only surface via the
+    # receive timeout instead of an immediate reader-thread EOF.
+    for obj in extra_close:
+        try:
+            obj.close()
+        except OSError:  # pragma: no cover - best-effort cleanup
+            pass
+    return make_socket_comm(
+        rank,
+        size,
+        conns,
+        multicast_mode,
+        rate_bytes_per_s,
+        socket_timeout,
+        chunk_bytes,
+        record_relays,
+    )
 
 
 def _worker_main(
@@ -354,6 +382,60 @@ def _worker_main(
                 pass
 
 
+def serve_pool_jobs(
+    comm: _SocketComm,
+    rank: int,
+    recv_msg: Callable[[], Tuple],
+    send_msg: Callable[[Tuple], None],
+) -> None:
+    """The pool worker control loop, over any coordinator transport.
+
+    Each ``("job", seq, builder, payload)`` message rebinds the comm to
+    the job's tag window and traffic log (:meth:`Comm.begin_job`), builds
+    the node program from the shipped ``(builder, payload)``, runs it, and
+    reports the per-job result / stage times / traffic back through
+    ``send_msg``.  On any job failure the worker reports and *returns*
+    (the caller exits): its closing sockets EOF every peer's reader
+    thread, so blocked peers fail fast, and the coordinator re-forms a
+    clean mesh for the next job (a mid-shuffle mesh holds arbitrary
+    half-delivered frames — a fresh mesh beats resynchronizing).
+
+    ``recv_msg`` must raise ``EOFError`` / ``OSError`` /
+    :class:`TransportError` once the coordinator is gone; any non-``job``
+    message (``("stop",)``) also ends the loop.  Shared by the forked
+    AF_UNIX pool workers here (transport: a duplex pipe) and the TCP
+    worker agents in :mod:`repro.runtime.tcp` (transport: framed pickles
+    on the rendezvous connection).
+    """
+    while True:
+        try:
+            msg = recv_msg()
+        except (EOFError, OSError, TransportError):
+            return  # session coordinator went away
+        if msg[0] != "job":
+            return  # "stop"
+        _, job_seq, builder, payload = msg
+        traffic = TrafficLog()
+        try:
+            comm.begin_job(job_seq, traffic)
+            program = builder(comm, payload)
+            result = program.run()
+            send_msg(
+                (
+                    "ok",
+                    rank,
+                    job_seq,
+                    result,
+                    program.stopwatch.times(),
+                    traffic.records,
+                    list(program.STAGES),
+                )
+            )
+        except BaseException:  # noqa: BLE001 - reported to the coordinator
+            send_msg(("error", rank, job_seq, traceback.format_exc()))
+            return
+
+
 def _pool_worker_main(
     rank: int,
     size: int,
@@ -366,18 +448,8 @@ def _pool_worker_main(
     chunk_bytes: int,
     record_relays: bool,
 ) -> None:
-    """Pool worker entry point: a control loop over one long-lived comm.
-
-    The fork + socket-mesh + reader-thread setup runs once; each ``"job"``
-    control message then rebinds the comm to the job's tag window and
-    traffic log (:meth:`Comm.begin_job`), builds the node program from the
-    shipped ``(builder, payload)``, runs it, and reports the per-job
-    result / stage times / traffic back on the control pipe.  On any job
-    failure the worker reports and *exits*: its closing sockets EOF every
-    peer's reader thread, so blocked peers fail fast, and the parent
-    re-forks a clean pool for the next job (a mid-shuffle mesh holds
-    arbitrary half-delivered frames — a fresh fork beats resynchronizing).
-    """
+    """Pool worker entry point (forked child): :func:`serve_pool_jobs`
+    over the duplex control pipe, after the one-time mesh/comm setup."""
     comm: Optional[_SocketComm] = None
     try:
         comm = _setup_worker_comm(
@@ -391,35 +463,7 @@ def _pool_worker_main(
             chunk_bytes,
             record_relays,
         )
-        while True:
-            try:
-                msg = ctrl_conn.recv()
-            except (EOFError, OSError):
-                return  # session coordinator went away
-            if msg[0] != "job":
-                return  # "stop"
-            _, job_seq, builder, payload = msg
-            traffic = TrafficLog()
-            try:
-                comm.begin_job(job_seq, traffic)
-                program = builder(comm, payload)
-                result = program.run()
-                ctrl_conn.send(
-                    (
-                        "ok",
-                        rank,
-                        job_seq,
-                        result,
-                        program.stopwatch.times(),
-                        traffic.records,
-                        list(program.STAGES),
-                    )
-                )
-            except BaseException:  # noqa: BLE001 - reported to the parent
-                ctrl_conn.send(
-                    ("error", rank, job_seq, traceback.format_exc())
-                )
-                return
+        serve_pool_jobs(comm, rank, ctrl_conn.recv, ctrl_conn.send)
     finally:
         if comm is not None:
             comm._close_async()

@@ -2,9 +2,10 @@
 
 The paper's EC2 experiments amortize cluster setup across a whole
 benchmark campaign; this module gives the driver API the same shape.  A
-:class:`Session` owns a long-lived worker pool on either backend
-(:class:`~repro.runtime.inproc.ThreadCluster` or
-:class:`~repro.runtime.process.ProcessCluster`) and accepts many jobs:
+:class:`Session` owns a long-lived worker pool on any backend
+(:class:`~repro.runtime.inproc.ThreadCluster`,
+:class:`~repro.runtime.process.ProcessCluster`, or the multi-host
+:class:`~repro.runtime.tcp.TcpCluster`) and accepts many jobs:
 on the process backend the fork + socketpair-mesh + reader-thread setup
 is paid once per session instead of once per job, with workers running a
 control loop over the existing :class:`~repro.runtime.api.Comm` (each
