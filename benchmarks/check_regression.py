@@ -47,6 +47,14 @@ MANIFEST: Dict[str, List[Tuple[str, str]]] = {
         ("process.speedup", "session speedup over one-shot runs"),
         ("thread.session_jobs_per_s", "jobs/sec on one thread pool"),
     ],
+    "out_of_core": [
+        ("process.parallel.mbps",
+         "out-of-core coded sort throughput (process backend)"),
+        ("process.serial.efficiency",
+         "out-of-core vs in-memory throughput ratio (serial vs serial)"),
+        ("tcp.parallel.mbps",
+         "out-of-core coded sort throughput (real TCP mesh)"),
+    ],
 }
 
 

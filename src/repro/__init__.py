@@ -14,6 +14,13 @@ provides:
   cluster) and runs many declarative jobs — :class:`TeraSortSpec`,
   :class:`CodedTeraSortSpec`, :class:`MapReduceSpec` — each submission
   returning a :class:`JobHandle` future with per-job times and traffic;
+* an out-of-core data plane: job inputs are :class:`DataSource`
+  descriptors (:class:`InlineSource` by value, :class:`FileSource` /
+  :class:`TeragenSource` read or generated worker-side, so the control
+  plane ships ~100-byte descriptors instead of record payloads), and a
+  ``memory_budget`` switches the sort programs to chunked Map, spilled
+  sorted runs, and a streaming external-merge Reduce — datasets 8x the
+  per-worker budget sort byte-identically to the in-memory path;
 * a discrete-event cluster simulator calibrated to the paper's EC2 testbed
   that regenerates every table and figure at full 12 GB scale;
 * the closed-form theory (Eq. (2)-(5)) and an experiment harness producing
@@ -48,9 +55,18 @@ from repro.core.theory import (
     predicted_total_time,
     uncoded_comm_load,
 )
+from repro.kvpairs.datasource import (
+    DataSource,
+    FileSource,
+    InlineSource,
+    TeragenSource,
+)
 from repro.kvpairs.records import RecordBatch
-from repro.kvpairs.teragen import teragen, teragen_skewed
-from repro.kvpairs.validation import validate_sorted_permutation
+from repro.kvpairs.teragen import teragen, teragen_skewed, teragen_to_file
+from repro.kvpairs.validation import (
+    validate_sorted_iter,
+    validate_sorted_permutation,
+)
 from repro.runtime.api import MulticastMode
 from repro.runtime.inproc import ThreadCluster
 from repro.runtime.process import ProcessCluster
@@ -94,8 +110,14 @@ __all__ = [
     "optimal_r",
     "predicted_total_time",
     "RecordBatch",
+    "DataSource",
+    "InlineSource",
+    "FileSource",
+    "TeragenSource",
     "teragen",
     "teragen_skewed",
+    "teragen_to_file",
+    "validate_sorted_iter",
     "validate_sorted_permutation",
     "MulticastMode",
     "ThreadCluster",

@@ -2,8 +2,11 @@
 
 Subcommands::
 
-    codedterasort sort      — sort synthetic data (threads/processes, or a
-                              multi-host TCP cluster via --cluster tcp://)
+    codedterasort gen       — write a teragen-format dataset to disk
+    codedterasort sort      — sort synthetic or on-disk data (threads /
+                              processes, or a multi-host TCP cluster via
+                              --cluster tcp://); --input FILE plus
+                              --memory-budget BYTES runs out-of-core
     codedterasort worker    — join a tcp:// coordinator as one worker agent
     codedterasort simulate  — one simulated run at paper scale
     codedterasort tables    — regenerate Tables I-III
@@ -42,23 +45,52 @@ def _build_cluster(args: argparse.Namespace):
     return ThreadCluster(args.nodes)
 
 
-def _sort_spec(args: argparse.Namespace, data):
+def _sort_spec(args: argparse.Namespace, data, source):
     from repro.session import CodedTeraSortSpec, TeraSortSpec
 
+    fields = dict(
+        data=data,
+        input=source,
+        memory_budget=args.memory_budget,
+        output_dir=args.output,
+    )
     if args.algorithm == "coded":
         return CodedTeraSortSpec(
-            data=data, redundancy=args.redundancy, schedule=args.schedule
+            redundancy=args.redundancy, schedule=args.schedule, **fields
         )
-    return TeraSortSpec(data=data)
+    return TeraSortSpec(**fields)
+
+
+def _cmd_gen(args: argparse.Namespace) -> int:
+    from repro.core.outofcore import MIN_MEMORY_BUDGET
+    from repro.kvpairs.teragen import teragen_to_file
+
+    written = teragen_to_file(args.out, args.records, seed=args.seed)
+    print(f"wrote {args.records} records ({written} bytes, seed {args.seed}) "
+          f"to {args.out}")
+    print(f"sort it with: repro sort --input {args.out} "
+          f"--memory-budget {max(written // 8, MIN_MEMORY_BUDGET)}")
+    return 0
 
 
 def _cmd_sort(args: argparse.Namespace) -> int:
+    from repro.kvpairs.datasource import FileSource
     from repro.kvpairs.teragen import teragen
     from repro.kvpairs.validation import validate_sorted_permutation
     from repro.session import Session
     from repro.utils.tables import format_table
 
-    data = teragen(args.records, seed=args.seed)
+    if args.input is not None:
+        # On-disk input: the control plane ships per-rank FileSource
+        # descriptors; workers mmap their own ranges (the path must
+        # resolve on every worker's host).
+        data = None
+        source = FileSource(args.input)
+        n_records = source.num_records
+    else:
+        data = teragen(args.records, seed=args.seed)
+        source = None
+        n_records = args.records
     cluster = _build_cluster(args)
     backend = args.backend
     if getattr(args, "cluster", None):
@@ -66,7 +98,7 @@ def _cmd_sort(args: argparse.Namespace) -> int:
         print(f"rendezvous listening on {cluster.address} — start workers "
               f"with: repro worker --join {cluster.address}")
     with Session(cluster) as session:
-        spec = _sort_spec(args, data)
+        spec = _sort_spec(args, data, source)
         if args.repeat > 1:
             # Back-to-back jobs on one standing worker pool: the cluster
             # setup is paid once, so per-job wall time is the job itself.
@@ -83,10 +115,47 @@ def _cmd_sort(args: argparse.Namespace) -> int:
             run = session.submit(spec).result()
     if getattr(args, "cluster", None):
         cluster.close()
-    validate_sorted_permutation(data, run.partitions)
+    from repro.kvpairs.records import RecordBatch
+
+    if data is not None and all(
+        isinstance(p, RecordBatch) for p in run.partitions
+    ):
+        validate_sorted_permutation(data, run.partitions)
+        verdict = "output valid"
+    else:
+        # Streaming validation — constant memory — whenever the input is
+        # on disk or the output came back as part-file descriptors
+        # (--output): global sortedness, record count, and the
+        # order-independent multiset checksum against the input.
+        from itertools import chain
+
+        from repro.kvpairs.validation import checksum_iter, validate_sorted_iter
+
+        def out_batches():
+            return chain.from_iterable(
+                _iter_partition(p) for p in run.partitions
+            )
+
+        n_out = validate_sorted_iter(out_batches())
+        if n_out != n_records:
+            raise AssertionError(
+                f"record count mismatch: input {n_records}, output {n_out}"
+            )
+        in_batches = source.iter_batches() if source is not None else [data]
+        if checksum_iter(in_batches) != checksum_iter(out_batches()):
+            raise AssertionError(
+                "output is not a permutation of the input "
+                "(checksum mismatch)"
+            )
+        verdict = "output sorted, permutation verified (streaming check)"
     sched = f", schedule={args.schedule}" if args.algorithm == "coded" else ""
-    print(f"sorted {args.records} records on {args.nodes} nodes "
-          f"({args.algorithm}, backend={backend}{sched}) — output valid")
+    print(f"sorted {n_records} records on {args.nodes} nodes "
+          f"({args.algorithm}, backend={backend}{sched}) — {verdict}")
+    if args.memory_budget is not None and "oc_peak_resident_bytes" in run.meta:
+        print(f"out-of-core: budget {run.meta['memory_budget']} bytes, "
+              f"peak resident {run.meta['oc_peak_resident_bytes']}, "
+              f"spilled {run.meta['oc_spilled_bytes']} bytes "
+              f"in {run.meta['oc_spill_runs']} runs")
     if args.algorithm == "coded" and args.schedule == "parallel":
         print(f"parallel schedule: {run.meta['schedule_turns']} turns packed "
               f"into {run.meta['schedule_rounds']} rounds "
@@ -99,10 +168,21 @@ def _cmd_sort(args: argparse.Namespace) -> int:
         decimals=4,
     ))
     if run.traffic is not None:
+        from repro.kvpairs.records import RECORD_BYTES
+
         shuffle = run.traffic.load_bytes("shuffle")
         print(f"shuffle payload: {shuffle} bytes "
-              f"({shuffle / max(1, data.nbytes):.4f} of dataset)")
+              f"({shuffle / max(1, n_records * RECORD_BYTES):.4f} of dataset)")
     return 0
+
+
+def _iter_partition(part):
+    """Batches of one output partition (RecordBatch or FileSource)."""
+    from repro.kvpairs.datasource import DataSource
+
+    if isinstance(part, DataSource):
+        return part.iter_batches()
+    return iter([part])
 
 
 def _cmd_worker(args: argparse.Namespace) -> int:
@@ -305,12 +385,34 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    p = sub.add_parser("sort", help="sort synthetic data locally")
+    p = sub.add_parser(
+        "gen", help="write a teragen-format dataset file to disk"
+    )
+    p.add_argument("--records", "-n", type=int, default=60_000)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--out", "-o", required=True,
+                   help="output file (raw packed 100-byte records)")
+    p.set_defaults(func=_cmd_gen)
+
+    p = sub.add_parser("sort", help="sort synthetic or on-disk data")
     p.add_argument("--algorithm", choices=["terasort", "coded"], default="coded")
     p.add_argument("--nodes", "-K", type=int, default=6)
     p.add_argument("--redundancy", "-r", type=int, default=2)
     p.add_argument("--records", "-n", type=int, default=60_000)
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--input", default=None, metavar="FILE",
+                   help="sort this teragen-format file instead of "
+                        "generating records (workers read their own "
+                        "ranges; the path must resolve on every worker's "
+                        "host)")
+    p.add_argument("--memory-budget", type=int, default=None, metavar="BYTES",
+                   help="per-worker cap on resident record buffers; "
+                        "enables the out-of-core pipeline (spill files + "
+                        "external merge), output byte-identical")
+    p.add_argument("--output", default=None, metavar="DIR",
+                   help="with --memory-budget: stream each sorted "
+                        "partition to DIR/part-<rank> instead of "
+                        "returning it in RAM")
     p.add_argument("--backend", choices=["thread", "process"], default="thread")
     p.add_argument("--cluster", default=None, metavar="tcp://HOST:PORT",
                    help="run on a multi-host TCP cluster: listen here as "

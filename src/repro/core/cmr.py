@@ -22,6 +22,21 @@ order so that all ``r`` mappers of a file serialize byte-identical values
 
 Jobs must therefore have deterministic ``map_file`` output serialization;
 the bundled jobs in :mod:`repro.core.jobs` comply.
+
+Out-of-core execution: file payloads may be
+:class:`~repro.kvpairs.datasource.DataSource` descriptors — each mapper
+materializes its own splits locally, so the control plane ships ~100-byte
+descriptors instead of payload bytes (the CMR papers' model, where
+workers own their input splits).  A ``memory_budget`` additionally keeps
+the serialized intermediate-value store on disk: once the resident store
+passes the budget every ``I^t_S`` blob is spilled to a per-job temp file
+and read back through zero-copy mmap views — the encoder's ``lookup``,
+the decoder, and ``deserialize`` (whose contract is bytes-like, not
+``bytes``) all operate on the views unchanged.  Record-granular chunked
+Map and streaming Reduce live in the sort programs
+(:mod:`repro.core.terasort`, :mod:`repro.core.coded_terasort`), where
+record streams make them meaningful; the generic engine's unit of work
+is one opaque file payload.
 """
 
 from __future__ import annotations
@@ -39,6 +54,8 @@ from repro.core.groups import (
     parallel_schedule_meta,
 )
 from repro.core.placement import CodedPlacement
+from repro.kvpairs.datasource import DataSource
+from repro.kvpairs.spill import SpillDir, spill_blob
 from repro.runtime.api import Comm
 from repro.runtime.program import (
     ClusterResult,
@@ -150,31 +167,69 @@ class _CMRProgramBase(NodeProgram):
         files: Dict[int, Any],
         subsets: Dict[int, Subset],
         redundancy: int,
+        memory_budget: Optional[int] = None,
     ) -> None:
         super().__init__(comm)
         self.job = job
         self.files = files
         self.subsets = subsets
         self.redundancy = redundancy
+        self.memory_budget = memory_budget
         self.num_functions = job.num_functions(comm.size)
+        self._spill: Optional[SpillDir] = None
+
+    # -- spill lifecycle ----------------------------------------------------
+
+    def _spill_dir(self) -> SpillDir:
+        if self._spill is None:
+            self._spill = SpillDir(tag=f"cmr-r{self.rank}")
+        return self._spill
+
+    def _cleanup_spill(self) -> None:
+        if self._spill is not None:
+            self._spill.cleanup()
+            self._spill = None
+
+    def run(self) -> Dict[int, Any]:
+        # Spill hygiene: the per-job dir goes away on success and on any
+        # failure path (the control loop reports the error after this).
+        try:
+            return self._run()
+        finally:
+            self._cleanup_spill()
+
+    def _run(self) -> Dict[int, Any]:
+        raise NotImplementedError
 
     # -- map --------------------------------------------------------------
 
     def _map_all(self) -> Dict[Subset, Dict[int, Mapping[int, Any]]]:
-        """Map every local file, grouped by file subset."""
+        """Map every local file (materializing descriptors), by subset."""
         by_subset: Dict[Subset, Dict[int, Mapping[int, Any]]] = {}
         for file_id in sorted(self.files):
             subset = self.subsets[file_id]
+            payload = self.files[file_id]
+            if isinstance(payload, DataSource):
+                # Workers own their splits: the descriptor resolves to
+                # records here, never on the control plane.
+                payload = payload.load()
             by_subset.setdefault(subset, {})[file_id] = self.job.map_file(
-                file_id, self.files[file_id]
+                file_id, payload
             )
         return by_subset
 
     def _serialized_store(
         self, by_subset: Dict[Subset, Dict[int, Mapping[int, Any]]]
     ) -> Dict[Tuple[Subset, int], bytes]:
-        """``(S, t) -> serialized I^t_S`` under the retention rule."""
+        """``(S, t) -> serialized I^t_S`` under the retention rule.
+
+        With a ``memory_budget``, blobs past the budget live in spill
+        files and the store holds zero-copy mmap views instead of owned
+        ``bytes`` — downstream consumers already accept bytes-likes.
+        """
         store: Dict[Tuple[Subset, int], bytes] = {}
+        resident = 0
+        spilling = False
         for subset, outputs in by_subset.items():
             in_subset = set(subset)
             for target in range(self.size):
@@ -183,7 +238,13 @@ class _CMRProgramBase(NodeProgram):
                 value = _build_intermediate(
                     self.job, target, self.size, self.num_functions, outputs
                 )
-                store[(subset, target)] = self.job.serialize(value)
+                blob = self.job.serialize(value)
+                if self.memory_budget is not None and not spilling:
+                    resident += len(blob)
+                    spilling = resident > self.memory_budget
+                if spilling:
+                    blob = spill_blob(self._spill_dir(), blob, "ival")
+                store[(subset, target)] = blob
         return store
 
     # -- reduce -------------------------------------------------------------
@@ -222,7 +283,7 @@ class UncodedCMRProgram(_CMRProgramBase):
 
     STAGES = ["map", "pack", "shuffle", "unpack", "reduce"]
 
-    def run(self) -> Dict[int, Any]:
+    def _run(self) -> Dict[int, Any]:
         with self.stage("map"):
             by_subset = self._map_all()
 
@@ -280,14 +341,17 @@ class CodedCMRProgram(_CMRProgramBase):
         subsets: Dict[int, Subset],
         redundancy: int,
         schedule: str = "serial",
+        memory_budget: Optional[int] = None,
     ) -> None:
-        super().__init__(comm, job, files, subsets, redundancy)
+        super().__init__(
+            comm, job, files, subsets, redundancy, memory_budget=memory_budget
+        )
         check_schedule(schedule)
         self.schedule = schedule
         #: Telemetry from the pipelined engine (parallel schedule only).
         self.shuffle_telemetry: Dict[str, float] = {}
 
-    def run(self) -> Dict[int, Any]:
+    def _run(self) -> Dict[int, Any]:
         rank = self.rank
 
         with self.stage("codegen"):
@@ -338,12 +402,20 @@ class CodedCMRProgram(_CMRProgramBase):
 
 def _cmr_program(comm: Comm, payload: Tuple) -> NodeProgram:
     """Pool builder (module-level for pickling): payload -> node program."""
-    job, files, subsets, redundancy, coded, schedule = payload
+    job, files, subsets, redundancy, coded, schedule, memory_budget = payload
     if coded:
         return CodedCMRProgram(
-            comm, job, files, subsets, redundancy, schedule=schedule
+            comm,
+            job,
+            files,
+            subsets,
+            redundancy,
+            schedule=schedule,
+            memory_budget=memory_budget,
         )
-    return UncodedCMRProgram(comm, job, files, subsets, redundancy)
+    return UncodedCMRProgram(
+        comm, job, files, subsets, redundancy, memory_budget=memory_budget
+    )
 
 
 def prepare_mapreduce(
@@ -353,14 +425,19 @@ def prepare_mapreduce(
     redundancy: int = 1,
     coded: bool = False,
     schedule: str = "serial",
+    memory_budget: Optional[int] = None,
 ) -> PreparedJob:
     """Compile one MapReduce run over ``size`` nodes into a pool job.
 
     Each rank's payload carries the job object plus its placed files and
     their subsets; on the process backend these are pickled to the
     workers, so ``job`` must be a module-level class (the bundled jobs in
-    :mod:`repro.core.jobs` all are).  ``finalize`` merges the per-node
-    function outputs into one :class:`CMRRun`.
+    :mod:`repro.core.jobs` all are).  File payloads that are
+    :class:`~repro.kvpairs.datasource.DataSource` descriptors are shipped
+    as descriptors and materialized worker-side; ``memory_budget`` bounds
+    each worker's resident serialized store (overflow spills to per-job
+    temp files).  ``finalize`` merges the per-node function outputs into
+    one :class:`CMRRun`.
     """
     check_schedule(schedule)
     n = len(file_payloads)
@@ -381,6 +458,7 @@ def prepare_mapreduce(
             redundancy,
             coded,
             schedule,
+            memory_budget,
         )
         for rank in range(size)
     ]

@@ -40,11 +40,25 @@ overlapped span.  Both schedules produce byte-identical sorted output.
 The intermediate-value store is keyed by file *subset* (with
 ``batches_per_subset > 1``, the files of a subset are concatenated before
 encoding, as in the batched CMR scheme of [9]).
+
+Out-of-core execution: placed files arrive as
+:class:`~repro.kvpairs.datasource.DataSource` descriptors (workers
+stream their own splits; the control plane carries no record bytes for
+file/teragen inputs), and a ``memory_budget`` switches the node program
+to the bounded pipeline — Map streams each file in windows and retains
+intermediates in a disk-spilling :class:`~repro.kvpairs.spill.StreamStore`
+(append order is window order, deterministic from the budget alone, so
+every replica of a subset lays out byte-identical ``I^t_S`` — the XOR
+coding requirement holds on disk exactly as it did in RAM); Encode/Decode
+read the store through zero-copy mmap views; and Reduce externally sorts
+own + decoded records (spilled sorted runs, streaming k-way merge)
+instead of one in-RAM sort.  Output stays byte-identical to the
+in-memory path under both schedules.
 """
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Tuple
+from typing import Any, Dict, List, Optional, Tuple, Union
 
 from repro.core.coded_common import group_store_by_subset
 from repro.core.decoding import recover_intermediate
@@ -55,12 +69,27 @@ from repro.core.groups import (
     check_schedule,
     parallel_schedule_meta,
 )
-from repro.core.mapper import map_node_coded
+from repro.core.mapper import hash_file, map_node_coded
+from repro.core.outofcore import (
+    OutOfCorePlan,
+    emit_output,
+    export_residency,
+    keep_or_spill,
+    residency_meta,
+)
 from repro.core.partitioner import RangePartitioner
 from repro.core.placement import CodedPlacement
-from repro.core.terasort import SortRun, _build_partitioner
+from repro.core.terasort import SortRun, _build_partitioner_from_source
+from repro.kvpairs.datasource import DataSource, FileSource, as_source
 from repro.kvpairs.records import RecordBatch
 from repro.kvpairs.sorting import sort_batch
+from repro.kvpairs.spill import (
+    ExternalSorter,
+    Run,
+    SpillDir,
+    StreamStore,
+    merge_runs,
+)
 from repro.runtime.api import Comm
 from repro.runtime.program import (
     ClusterResult,
@@ -68,6 +97,7 @@ from repro.runtime.program import (
     PreparedJob,
     execute_multicast_shuffle,
 )
+from repro.utils.residency import ResidencyMeter
 from repro.utils.subsets import Subset
 
 #: Tag base for multicast shuffle; group index is added per packet.
@@ -81,12 +111,19 @@ class CodedTeraSortProgram(NodeProgram):
 
     Args:
         comm: communication endpoint.
-        files: file id -> data for every file placed on this node.
+        files: file id -> data for every file placed on this node
+            (resident batches or :class:`DataSource` descriptors the node
+            reads locally).
         subsets: file id -> node subset ``S`` (``rank ∈ S``).
         partitioner: shared ``K``-way range partitioner.
         redundancy: the computation-load parameter ``r``.
         schedule: ``"serial"`` (Fig. 9(b) turns) or ``"parallel"``
             (pipelined conflict-free rounds); see the module docstring.
+        memory_budget: cap (bytes) on resident record buffers; ``None``
+            is the seed in-memory path, a value runs the out-of-core
+            pipeline (byte-identical output, both schedules).
+        output_dir: with a budget, stream the sorted partition to
+            ``<output_dir>/part-<rank>`` and return a ``FileSource``.
     """
 
     STAGES = STAGES_CODED
@@ -94,11 +131,13 @@ class CodedTeraSortProgram(NodeProgram):
     def __init__(
         self,
         comm: Comm,
-        files: Dict[int, RecordBatch],
+        files: Dict[int, Union[RecordBatch, DataSource]],
         subsets: Dict[int, Subset],
         partitioner: RangePartitioner,
         redundancy: int,
         schedule: str = "serial",
+        memory_budget: Optional[int] = None,
+        output_dir: Optional[str] = None,
     ) -> None:
         super().__init__(comm)
         check_schedule(schedule)
@@ -107,10 +146,16 @@ class CodedTeraSortProgram(NodeProgram):
         self.partitioner = partitioner
         self.redundancy = redundancy
         self.schedule = schedule
+        self.memory_budget = memory_budget
+        self.output_dir = output_dir
         #: Telemetry from the pipelined engine (parallel schedule only).
         self.shuffle_telemetry: Dict[str, float] = {}
+        #: Residency accounting for the out-of-core path (None otherwise).
+        self.meter: Optional[ResidencyMeter] = None
 
-    def run(self) -> RecordBatch:
+    def run(self) -> Union[RecordBatch, FileSource]:
+        if self.memory_budget is not None:
+            return self._run_out_of_core()
         rank = self.rank
 
         with self.stage("codegen"):
@@ -123,7 +168,12 @@ class CodedTeraSortProgram(NodeProgram):
             )
 
         with self.stage("map"):
-            kept = map_node_coded(rank, self.files, self.subsets, self.partitioner)
+            resident_files = {
+                fid: as_source(data).load() for fid, data in self.files.items()
+            }
+            kept = map_node_coded(
+                rank, resident_files, self.subsets, self.partitioner
+            )
             # Store keyed by (subset, target); batches of a subset concatenated.
             store: Dict[Tuple[Subset, int], RecordBatch] = group_store_by_subset(
                 kept, self.subsets
@@ -196,12 +246,156 @@ class CodedTeraSortProgram(NodeProgram):
         )
         return RecordBatch.from_buffer(raw_value)
 
+    # -- bounded-memory pipeline --------------------------------------------
+
+    def _run_out_of_core(self) -> Union[RecordBatch, FileSource]:
+        """Chunked Map into a spillable store, mmap-fed coding, external
+        sort at Reduce.
+
+        Determinism note: the store's append order is (file id ascending,
+        window ascending) with windows sized from the budget alone, so
+        every replica of subset ``S`` writes byte-identical ``I^t_S``
+        streams — XOR encode/decode work on mmap views of those files
+        exactly as they worked on resident ``to_bytes()`` buffers.
+        Byte-identity of the final output follows from the reduce merge
+        ordering: own store entries in store order, then decoded groups in
+        ``my_groups`` order — the same concatenation the in-memory path
+        stably sorts.
+        """
+        rank = self.rank
+        assert self.memory_budget is not None
+        plan_oc = OutOfCorePlan.for_budget(self.memory_budget)
+        meter = self.meter = ResidencyMeter()
+        spill = SpillDir(tag=f"cts-r{rank}")
+        try:
+            with self.stage("codegen"):
+                plan: CodingPlan = build_coding_plan(
+                    self.size, self.redundancy
+                )
+                my_groups = plan.groups_of_node[rank]
+                rounds = (
+                    plan.rounds_for("parallel")
+                    if self.schedule == "parallel"
+                    else None
+                )
+
+            with self.stage("map"):
+                store = StreamStore(
+                    spill, plan_oc.flush_bytes, meter, tag="store"
+                )
+                for fid in sorted(self.files):
+                    subset = self.subsets[fid]
+                    if rank not in subset:
+                        raise ValueError(
+                            f"node {rank} asked to map file {fid} "
+                            f"of subset {subset}"
+                        )
+                    in_subset = set(subset)
+                    source = as_source(self.files[fid])
+                    for window in source.iter_batches(
+                        plan_oc.input_window_records
+                    ):
+                        meter.charge(window.nbytes, "map.window")
+                        parts = hash_file(window, self.partitioner)
+                        # Retention rule, chunked: I^rank_S plus I^j_S
+                        # for j outside S, appended in window order.
+                        # hash_file's partitions are views into one
+                        # whole-window array; the retained minority is
+                        # copied out so the discarded majority really
+                        # frees when the window ends (retaining views
+                        # would pin the full window while the meter only
+                        # charges the kept fraction).
+                        store.append((subset, rank), parts[rank].copy())
+                        for j in range(self.size):
+                            if j != rank and j not in in_subset:
+                                store.append((subset, j), parts[j].copy())
+                        meter.discharge(window.nbytes)
+                store.finalize()
+
+            def lookup(subset: Subset, target: int) -> memoryview:
+                # Zero-copy mmap view of the on-disk I^t_S stream.
+                return store.get_bytes((subset, target))
+
+            def encode_for(gidx: int):
+                return encode_packet(
+                    rank, plan.groups[gidx], lookup
+                ).to_parts()
+
+            decoded_runs: Dict[int, List[Run]] = {}
+
+            def recover(gidx: int, payloads: Dict[int, bytes]) -> None:
+                packets = {
+                    sender: CodedPacket.from_bytes(raw)
+                    for sender, raw in payloads.items()
+                }
+                raw_value = recover_intermediate(
+                    rank, plan.groups[gidx], packets, lookup
+                )
+                batch = RecordBatch.from_buffer(raw_value)
+                meter.charge(batch.nbytes, "decode.recovered")
+                # One stably-sorted chunk per group; kept or spilled, it
+                # enters the reduce merge at its my_groups position.
+                chunk = sort_batch(batch)
+                meter.discharge(batch.nbytes)
+                decoded_runs[gidx] = [
+                    keep_or_spill(
+                        chunk, spill, plan_oc, meter, f"grp-{gidx}",
+                        owned=True,
+                    )
+                ]
+
+            _, self.shuffle_telemetry = execute_multicast_shuffle(
+                self,
+                plan.groups,
+                my_groups,
+                self.schedule,
+                plan.schedule,
+                rounds,
+                MULTICAST_TAG_BASE,
+                encode_for,
+                recover,
+            )
+
+            with self.stage("reduce"):
+                own_sorter = ExternalSorter(
+                    spill, plan_oc.sort_chunk_bytes, meter, tag="own"
+                )
+                for key in store.keys():
+                    subset, target = key
+                    if target != rank:
+                        continue
+                    for window in store.iter_batches(
+                        key, plan_oc.input_window_records
+                    ):
+                        own_sorter.add(window)
+                ordered: List[Run] = own_sorter.finish()
+                for gidx in my_groups:
+                    ordered.extend(decoded_runs.get(gidx, []))
+                merged = merge_runs(
+                    ordered,
+                    window_records=plan_oc.merge_window_records(len(ordered)),
+                    out_records=plan_oc.out_records,
+                    meter=meter,
+                )
+                result = emit_output(merged, rank, self.output_dir, meter)
+            return result
+        finally:
+            spill.cleanup()
+            export_residency(self, meter, self.memory_budget)
+
 
 def _coded_terasort_program(comm: Comm, payload: Tuple) -> CodedTeraSortProgram:
     """Pool builder (module-level for pickling): payload -> node program."""
-    files, subsets, partitioner, redundancy, schedule = payload
+    files, subsets, partitioner, redundancy, schedule, budget, outdir = payload
     return CodedTeraSortProgram(
-        comm, files, subsets, partitioner, redundancy, schedule=schedule
+        comm,
+        files,
+        subsets,
+        partitioner,
+        redundancy,
+        schedule=schedule,
+        memory_budget=budget,
+        output_dir=outdir,
     )
 
 
@@ -222,35 +416,43 @@ def check_coded_params(size: int, redundancy: int, schedule: str) -> None:
 
 def prepare_coded_terasort(
     size: int,
-    data: RecordBatch,
-    redundancy: int,
+    data: Optional[Union[RecordBatch, DataSource]] = None,
+    redundancy: int = 1,
     batches_per_subset: int = 1,
     sampled_partitioner: bool = False,
     sample_size: int = 10000,
     sample_seed: int = 7,
     schedule: str = "serial",
+    memory_budget: Optional[int] = None,
+    output_dir: Optional[str] = None,
 ) -> PreparedJob:
     """Compile one CodedTeraSort over ``size`` nodes into a pool job.
 
     Coordinator-side: the shared partitioner, the coded placement, and
-    each rank's ``{file_id: data}`` / ``{file_id: subset}`` maps.  The
-    coding plan itself is rebuilt by every node during CodeGen (that cost
-    is part of the measured stage, as in the paper) and once more in
-    ``finalize`` for the run metadata.
+    each rank's ``{file_id: source}`` / ``{file_id: subset}`` maps —
+    files are cut at the *descriptor* level
+    (:meth:`~repro.core.placement.CodedPlacement.split_source`), so for
+    file/teragen inputs every worker streams its own splits and the
+    control plane ships only descriptors (inline batches keep the seed's
+    ship-by-value behavior).  The coding plan itself is rebuilt by every
+    node during CodeGen (that cost is part of the measured stage, as in
+    the paper) and once more in ``finalize`` for the run metadata.
     """
     check_coded_params(size, redundancy, schedule)
-    partitioner = _build_partitioner(
-        data, size, sampled_partitioner, sample_size, sample_seed
+    source = as_source(data)
+    partitioner = _build_partitioner_from_source(
+        source, size, sampled_partitioner, sample_size, sample_seed
     )
     placement = CodedPlacement(size, redundancy, batches_per_subset)
-    assignments = placement.place(data)
+    file_sources = placement.split_source(source)
 
-    per_node_files: List[Dict[int, RecordBatch]] = [dict() for _ in range(size)]
+    per_node_files: List[Dict[int, DataSource]] = [dict() for _ in range(size)]
     per_node_subsets: List[Dict[int, Subset]] = [dict() for _ in range(size)]
-    for fa in assignments:
-        for node in fa.subset:
-            per_node_files[node][fa.file_id] = fa.data
-            per_node_subsets[node][fa.file_id] = fa.subset
+    for file_id, file_source in enumerate(file_sources):
+        subset = placement.subset_of_file(file_id)
+        for node in subset:
+            per_node_files[node][file_id] = file_source
+            per_node_subsets[node][file_id] = subset
 
     payloads: List[Any] = [
         (
@@ -259,10 +461,12 @@ def prepare_coded_terasort(
             partitioner,
             redundancy,
             schedule,
+            memory_budget,
+            output_dir,
         )
         for rank in range(size)
     ]
-    input_records = len(data)
+    input_records = source.num_records
 
     def finalize(result: ClusterResult) -> SortRun:
         plan = build_coding_plan(size, redundancy)
@@ -278,7 +482,11 @@ def prepare_coded_terasort(
             "total_multicasts": plan.total_multicasts,
             "schedule": schedule,
             "schedule_turns": len(plan.schedule),
+            "input_kind": type(source).__name__,
         }
+        if memory_budget is not None:
+            meta["memory_budget"] = memory_budget
+            meta.update(residency_meta(result.per_node_times))
         if schedule == "parallel":
             meta.update(parallel_schedule_meta(plan, result.per_node_times))
         return SortRun(

@@ -1,0 +1,229 @@
+"""Shared plumbing for the bounded-memory (out-of-core) sort programs.
+
+Both sort programs (:mod:`repro.core.terasort`,
+:mod:`repro.core.coded_terasort`) run the same three-part discipline when
+a ``memory_budget`` is set:
+
+1. **chunked Map** — the input :class:`~repro.kvpairs.datasource.DataSource`
+   is consumed in bounded windows, hashed per window, and the per-partition
+   output accumulates in a budget-shared spiller;
+2. **streaming Shuffle** — per-destination data travels as an ordered
+   sequence of sorted runs (spilled runs are sent as mmap views, received
+   runs are spilled back to disk when they don't fit);
+3. **streaming Reduce** — an external k-way merge of own + received runs
+   replaces the one-shot in-RAM sort, emitting output either to a part
+   file (``output_dir``) or as a materialized batch.
+
+This module holds the budget arithmetic, the map-side
+:class:`PartitionSpiller`, the keep-or-spill policy for received runs,
+output emission, and the stopwatch pseudo-stage export of the
+:class:`~repro.utils.residency.ResidencyMeter` readouts (how peak
+residency and spill volume reach the driver with zero extra plumbing —
+the same channel ``shuffle_span`` telemetry already rides).
+
+Budget split rationale (fractions of ``memory_budget``):
+
+* input window ≤ 1/8 — one loaded window plus its hashed copy stay ≤ 1/4;
+* spiller / sorter flush threshold 1/2 — the stable sort of a flushing
+  chunk transiently holds chunk + sorted copy, bounding Map at ~3/4;
+* merge windows 1/4 split across the runs being merged, output chunks
+  1/8 — Reduce holds windows + one output chunk ≤ 1/2.
+
+The split is deterministic from the budget alone, so every replica of a
+coded file chunks it identically — a requirement for byte-identical XOR
+encoding.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Union
+
+from repro.kvpairs.datasource import FileSource
+from repro.kvpairs.records import RECORD_BYTES, RecordBatch
+from repro.kvpairs.sorting import sort_batch
+from repro.kvpairs.spill import Run, SpillDir, write_run_file
+from repro.runtime.program import NodeProgram
+from repro.utils.residency import ResidencyMeter
+
+#: Smallest budget accepted — below this the window arithmetic collapses.
+MIN_MEMORY_BUDGET = 64 * RECORD_BYTES
+
+
+@dataclass(frozen=True)
+class OutOfCorePlan:
+    """Window/threshold sizing derived deterministically from the budget."""
+
+    memory_budget: int
+    input_window_records: int
+    flush_bytes: int
+    sort_chunk_bytes: int
+    out_records: int
+
+    @classmethod
+    def for_budget(cls, memory_budget: int) -> "OutOfCorePlan":
+        if memory_budget < MIN_MEMORY_BUDGET:
+            raise ValueError(
+                f"memory_budget must be >= {MIN_MEMORY_BUDGET} bytes, "
+                f"got {memory_budget}"
+            )
+        return cls(
+            memory_budget=memory_budget,
+            input_window_records=max(64, memory_budget // 8 // RECORD_BYTES),
+            flush_bytes=memory_budget // 2,
+            sort_chunk_bytes=max(RECORD_BYTES, memory_budget // 4),
+            out_records=max(64, memory_budget // 8 // RECORD_BYTES),
+        )
+
+    def merge_window_records(self, num_runs: int) -> int:
+        """Per-run merge window: 1/4 of budget split across the runs."""
+        per_run = self.memory_budget // 4 // max(1, num_runs)
+        return max(64, per_run // RECORD_BYTES)
+
+
+class PartitionSpiller:
+    """Map-side accumulation of per-destination sorted runs.
+
+    Hashed window slices are appended per destination **in stream order**;
+    when the shared resident total passes ``flush_bytes`` every pending
+    destination chunk is stable-sorted and spilled as one run.  The run
+    lists per destination therefore satisfy the external-merge stability
+    contract: merging them (earlier run wins ties) reproduces the stable
+    sort of that destination's full stream.
+    """
+
+    def __init__(
+        self,
+        num_partitions: int,
+        spill: SpillDir,
+        flush_bytes: int,
+        meter: Optional[ResidencyMeter] = None,
+    ) -> None:
+        self._spill = spill
+        self._flush_bytes = max(flush_bytes, RECORD_BYTES)
+        self._meter = meter
+        self._pending: List[List[RecordBatch]] = [
+            [] for _ in range(num_partitions)
+        ]
+        self._resident = 0
+        self._runs: List[List[Run]] = [[] for _ in range(num_partitions)]
+
+    def add(self, dst: int, batch: RecordBatch) -> None:
+        if len(batch) == 0:
+            return
+        if self._meter is not None:
+            self._meter.charge(batch.nbytes, "map.partition")
+        self._pending[dst].append(batch)
+        self._resident += batch.nbytes
+        if self._resident >= self._flush_bytes:
+            self._flush()
+
+    def _flush(self) -> None:
+        for dst, batches in enumerate(self._pending):
+            if not batches:
+                continue
+            chunk = sort_batch(RecordBatch.concat(batches))
+            path = self._spill.new_path(f"part-{dst}")
+            write_run_file(path, [chunk])
+            self._runs[dst].append(Run.from_file(path, len(chunk)))
+            if self._meter is not None:
+                self._meter.spilled(chunk.nbytes)
+            self._pending[dst] = []
+        if self._meter is not None:
+            self._meter.discharge(self._resident)
+        self._resident = 0
+
+    def finish(self) -> List[List[Run]]:
+        """Flush the tails; per-destination runs in chunk order."""
+        self._flush()
+        return [list(runs) for runs in self._runs]
+
+
+def keep_or_spill(
+    batch: RecordBatch,
+    spill: SpillDir,
+    plan: OutOfCorePlan,
+    meter: ResidencyMeter,
+    tag: str,
+    owned: bool = False,
+) -> Run:
+    """One sorted chunk -> a resident run if it fits, else a spilled run.
+
+    "Fits" means resident bytes stay under half the budget after keeping
+    it.  A kept batch is copied out of whatever transient buffer (receive
+    arena, decode output) it currently views — unless the caller marks it
+    ``owned`` — so keeping it never pins a larger allocation.
+    """
+    if meter.resident_bytes + batch.nbytes <= plan.memory_budget // 2:
+        kept = batch if owned else batch.copy()
+        meter.charge(kept.nbytes, f"{tag}.resident")
+        return Run.resident(kept)
+    path = spill.new_path(tag)
+    write_run_file(path, [batch])
+    meter.spilled(batch.nbytes)
+    return Run.from_file(path, len(batch))
+
+
+def emit_output(
+    merged: Iterator[RecordBatch],
+    rank: int,
+    output_dir: Optional[str],
+    meter: ResidencyMeter,
+) -> Union[RecordBatch, FileSource]:
+    """Drain the merged stream into the program's result.
+
+    With ``output_dir`` the sorted partition streams straight to
+    ``part-<rank>`` (constant memory; the result is a
+    :class:`~repro.kvpairs.datasource.FileSource` descriptor).  Without it
+    the partition is materialized — convenient for small outputs, but the
+    materialized bytes are charged to the meter, so budget assertions
+    will fail unless an ``output_dir`` is used for genuinely large runs.
+    """
+    if output_dir is None:
+        parts = []
+        for batch in merged:
+            owned = batch.copy()
+            meter.charge(owned.nbytes, "output.resident")
+            parts.append(owned)
+        return RecordBatch.concat(parts)
+    os.makedirs(output_dir, exist_ok=True)
+    path = os.path.join(output_dir, f"part-{rank:05d}")
+    count = 0
+    with open(path, "wb") as f:
+        for batch in merged:
+            f.write(batch.as_memoryview())
+            count += len(batch)
+    return FileSource(path, 0, count)
+
+
+#: Pseudo-stage names carrying residency readouts to the driver.
+OC_PEAK_KEY = "oc_peak_resident_bytes"
+OC_SPILLED_KEY = "oc_spilled_bytes"
+OC_RUNS_KEY = "oc_spill_runs"
+OC_BUDGET_KEY = "oc_memory_budget_bytes"
+
+
+def export_residency(
+    program: NodeProgram, meter: ResidencyMeter, memory_budget: int
+) -> None:
+    """Ship the meter home through the stopwatch pseudo-stage channel."""
+    program.stopwatch.add(OC_PEAK_KEY, float(meter.peak_resident_bytes))
+    program.stopwatch.add(OC_SPILLED_KEY, float(meter.spilled_bytes))
+    program.stopwatch.add(OC_RUNS_KEY, float(meter.spill_runs))
+    program.stopwatch.add(OC_BUDGET_KEY, float(memory_budget))
+
+
+def residency_meta(per_node_times: List[Dict[str, float]]) -> Dict[str, object]:
+    """Driver-side aggregation of the per-rank residency pseudo-stages."""
+    peaks = [t.get(OC_PEAK_KEY, 0.0) for t in per_node_times]
+    return {
+        "oc_peak_resident_bytes": int(max(peaks, default=0.0)),
+        "oc_per_node_peak_resident_bytes": [int(p) for p in peaks],
+        "oc_spilled_bytes": int(
+            sum(t.get(OC_SPILLED_KEY, 0.0) for t in per_node_times)
+        ),
+        "oc_spill_runs": int(
+            sum(t.get(OC_RUNS_KEY, 0.0) for t in per_node_times)
+        ),
+    }

@@ -22,26 +22,54 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Sequence, Tuple
 
+from repro.kvpairs.datasource import DataSource
 from repro.kvpairs.records import RecordBatch
 from repro.utils.subsets import Subset, binomial, k_subsets, subsets_containing
+
+
+def split_even_ranges(n: int, parts: int) -> List[Tuple[int, int]]:
+    """The ``(start, stop)`` record ranges of an even ``parts``-way split.
+
+    Sizes are ``ceil`` for the first ``n % parts`` ranges and ``floor``
+    for the rest, so they differ by at most one record.  This is the
+    arithmetic both placements use — factored out so the driver can split
+    a :class:`~repro.kvpairs.datasource.DataSource` at the descriptor
+    level without touching records.
+    """
+    if parts < 1:
+        raise ValueError(f"parts must be >= 1, got {parts}")
+    base, extra = divmod(n, parts)
+    ranges = []
+    pos = 0
+    for i in range(parts):
+        size = base + (1 if i < extra else 0)
+        ranges.append((pos, pos + size))
+        pos += size
+    return ranges
 
 
 def split_even(batch: RecordBatch, parts: int) -> List[RecordBatch]:
     """Split a batch into ``parts`` contiguous near-equal files.
 
-    Sizes are ``ceil`` for the first ``len(batch) % parts`` files and
-    ``floor`` for the rest, so they differ by at most one record.
+    Sizes follow :func:`split_even_ranges`; chunks are zero-copy views.
     """
-    if parts < 1:
-        raise ValueError(f"parts must be >= 1, got {parts}")
-    n = len(batch)
-    base, extra = divmod(n, parts)
-    offsets = []
-    pos = 0
-    for i in range(parts - 1):
-        pos += base + (1 if i < extra else 0)
-        offsets.append(pos)
-    return batch.split_at(offsets)
+    return [
+        batch.slice(start, stop)
+        for start, stop in split_even_ranges(len(batch), parts)
+    ]
+
+
+def split_source_even(source: DataSource, parts: int) -> List[DataSource]:
+    """Per-file subrange *descriptors* of an even split (no records touched).
+
+    The descriptor-level twin of :func:`split_even`: element ``f``
+    describes exactly the records ``split_even(source.load(), parts)[f]``
+    would hold.  Shared by both placements' ``split_source``.
+    """
+    return [
+        source.subrange(start, stop - start)
+        for start, stop in split_even_ranges(source.num_records, parts)
+    ]
 
 
 @dataclass(frozen=True)
@@ -77,6 +105,11 @@ class UncodedPlacement:
             FileAssignment(file_id=k, subset=(k,), data=files[k])
             for k in range(self.num_files)
         ]
+
+    def split_source(self, source: DataSource) -> List[DataSource]:
+        """Per-file descriptors matching :meth:`place` — workers read
+        their own splits."""
+        return split_source_even(source, self.num_files)
 
     def _check_node(self, node: int) -> None:
         if not 0 <= node < self.num_nodes:
@@ -175,6 +208,11 @@ class CodedPlacement:
             )
             for f in range(self.num_files)
         ]
+
+    def split_source(self, source: DataSource) -> List[DataSource]:
+        """Per-file descriptors in file-id order; pair with
+        :meth:`subset_of_file` to build per-node descriptor maps."""
+        return split_source_even(source, self.num_files)
 
     def node_storage_bytes(self, total_bytes: int) -> float:
         """Expected bytes stored per node: ``r / K`` of the input."""

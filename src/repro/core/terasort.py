@@ -19,21 +19,48 @@ partitioner, result assembly); the declarative driver API is
 :class:`repro.session.TeraSortSpec` submitted to a
 :class:`repro.session.Session`, and :func:`run_terasort` is its one-shot
 shim.
+
+Out-of-core execution: inputs are
+:class:`~repro.kvpairs.datasource.DataSource` descriptors (each rank
+materializes or streams its split locally — the control plane never
+carries record bytes for file/teragen sources), and with a
+``memory_budget`` the node program switches from materialize-everything
+to the bounded-memory pipeline: chunked Map (windows hashed and spilled
+as sorted per-partition runs), a shuffle that ships runs as mmap views
+and spills what it receives, and a streaming Reduce (external k-way merge
+instead of one in-RAM sort).  Output is byte-identical to the in-memory
+path — the merge's run ordering reproduces the stable sort exactly.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple, Union
 
 from repro.core.mapper import hash_file
+from repro.core.outofcore import (
+    OutOfCorePlan,
+    PartitionSpiller,
+    emit_output,
+    export_residency,
+    keep_or_spill,
+    residency_meta,
+)
 from repro.core.partitioner import RangePartitioner
 from repro.core.placement import UncodedPlacement
+from repro.kvpairs.datasource import DataSource, FileSource, InlineSource, as_source
 from repro.kvpairs.records import RecordBatch
-from repro.kvpairs.serialization import pack_batch_parts, unpack_batch
+from repro.kvpairs.serialization import (
+    pack_batch_parts,
+    pack_batches_parts,
+    unpack_batch,
+    unpack_batches,
+)
 from repro.kvpairs.sorting import sort_batch
+from repro.kvpairs.spill import Run, SpillDir, merge_runs
 from repro.runtime.api import Comm
 from repro.runtime.program import ClusterResult, NodeProgram, PreparedJob
+from repro.utils.residency import ResidencyMeter
 from repro.utils.timer import StageTimes
 
 from repro.runtime.traffic import TrafficLog
@@ -49,8 +76,17 @@ class TeraSortProgram(NodeProgram):
 
     Args:
         comm: communication endpoint.
-        file_data: this node's input file ``F_{k}``.
+        file_data: this node's input file ``F_{k}`` — a resident
+            :class:`~repro.kvpairs.records.RecordBatch` or a
+            :class:`~repro.kvpairs.datasource.DataSource` descriptor the
+            node materializes/streams locally.
         partitioner: the shared ``K``-way range partitioner.
+        memory_budget: cap (bytes) on resident record buffers; ``None``
+            runs the seed in-memory path, a value runs the out-of-core
+            pipeline (byte-identical output).
+        output_dir: with a budget, stream the sorted partition to
+            ``<output_dir>/part-<rank>`` and return a ``FileSource``
+            instead of materializing it.
     """
 
     STAGES = STAGES_TERASORT
@@ -58,19 +94,27 @@ class TeraSortProgram(NodeProgram):
     def __init__(
         self,
         comm: Comm,
-        file_data: RecordBatch,
+        file_data: Union[RecordBatch, DataSource],
         partitioner: RangePartitioner,
+        memory_budget: Optional[int] = None,
+        output_dir: Optional[str] = None,
     ) -> None:
         super().__init__(comm)
-        self.file_data = file_data
+        self.source = as_source(file_data)
         self.partitioner = partitioner
+        self.memory_budget = memory_budget
+        self.output_dir = output_dir
+        #: Residency accounting for the out-of-core path (None otherwise).
+        self.meter: Optional[ResidencyMeter] = None
 
-    def run(self) -> RecordBatch:
+    def run(self) -> Union[RecordBatch, FileSource]:
+        if self.memory_budget is not None:
+            return self._run_out_of_core()
         k = self.size
         rank = self.rank
 
         with self.stage("map"):
-            parts = hash_file(self.file_data, self.partitioner)
+            parts = hash_file(self.source.load(), self.partitioner)
 
         with self.stage("pack"):
             # Gather lists [frame header, records-view]: the mapper's
@@ -109,13 +153,113 @@ class TeraSortProgram(NodeProgram):
             result = sort_batch(RecordBatch.concat([own] + incoming))
         return result
 
+    # -- bounded-memory pipeline --------------------------------------------
+
+    def _run_out_of_core(self) -> Union[RecordBatch, FileSource]:
+        """Chunked Map, run-streaming shuffle, external-merge Reduce.
+
+        Byte-identity with :meth:`run`'s in-memory path rests on one
+        invariant, maintained at every step: each per-destination stream
+        travels as stably-sorted chunks *in stream order*, and every merge
+        breaks ties toward the earlier run — which reproduces exactly the
+        stable ``sort_batch(concat([own] + incoming))`` of the seed path.
+        """
+        k = self.size
+        rank = self.rank
+        assert self.memory_budget is not None
+        plan = OutOfCorePlan.for_budget(self.memory_budget)
+        meter = self.meter = ResidencyMeter()
+        spill = SpillDir(tag=f"ts-r{rank}")
+        try:
+            with self.stage("map"):
+                spiller = PartitionSpiller(
+                    k, spill, plan.flush_bytes, meter
+                )
+                for window in self.source.iter_batches(
+                    plan.input_window_records
+                ):
+                    meter.charge(window.nbytes, "map.window")
+                    parts = hash_file(window, self.partitioner)
+                    for dst in range(k):
+                        spiller.add(dst, parts[dst])
+                    meter.discharge(window.nbytes)
+                runs_by_dst = spiller.finish()
+
+            with self.stage("pack"):
+                # Per destination: one frame whose sub-frames are the
+                # sorted runs in chunk order.  Spilled runs enter the
+                # gather list as mmap views — record bytes go from disk
+                # pages to the socket without a resident copy.
+                outgoing = {
+                    dst: pack_batches_parts(
+                        (i, run.load())
+                        for i, run in enumerate(runs_by_dst[dst])
+                    )
+                    for dst in range(k)
+                    if dst != rank
+                }
+
+            received_runs: Dict[int, List[Run]] = {}
+            # Fig. 9(a) turn order, but each inbound frame is unpacked and
+            # spilled immediately so at most one receive arena is ever
+            # resident.
+            for sender in range(k):
+                if sender == rank:
+                    with self.stage("shuffle"):
+                        for dst in range(k):
+                            if dst != rank:
+                                self.comm.send(dst, SHUFFLE_TAG, outgoing[dst])
+                else:
+                    with self.stage("shuffle"):
+                        raw = self.comm.recv(sender, SHUFFLE_TAG, copy=False)
+                    with self.stage("unpack"):
+                        runs = []
+                        for i, (tag, batch) in enumerate(
+                            unpack_batches(raw, copy=False)
+                        ):
+                            if tag != i:
+                                raise RuntimeError(
+                                    f"run {i} from sender {sender} "
+                                    f"tagged {tag}"
+                                )
+                            runs.append(
+                                keep_or_spill(
+                                    batch, spill, plan, meter,
+                                    f"recv-{sender}",
+                                )
+                            )
+                        received_runs[sender] = runs
+                        del raw  # release the receive arena
+
+            with self.stage("reduce"):
+                ordered: List[Run] = list(runs_by_dst[rank])
+                for sender in sorted(received_runs):
+                    ordered.extend(received_runs[sender])
+                merged = merge_runs(
+                    ordered,
+                    window_records=plan.merge_window_records(len(ordered)),
+                    out_records=plan.out_records,
+                    meter=meter,
+                )
+                result = emit_output(merged, rank, self.output_dir, meter)
+            return result
+        finally:
+            spill.cleanup()
+            export_residency(self, meter, self.memory_budget)
+
 
 @dataclass
 class SortRun:
     """Result of a full distributed sort run.
 
     Attributes:
-        partitions: per-rank sorted output partitions (ascending key ranges).
+        partitions: per-rank sorted output partitions (ascending key
+            ranges).  Resident :class:`~repro.kvpairs.records.RecordBatch`
+            objects for in-memory runs; for out-of-core runs with an
+            ``output_dir`` each entry is the worker's
+            :class:`~repro.kvpairs.datasource.FileSource` output
+            descriptor (``len()`` works on both; stream big ones with
+            ``iter_batches`` instead of ``load()``).
         stage_times: merged per-stage breakdown (max over nodes).
         traffic: the run's traffic log (None if backend doesn't collect one).
         partitioner: the partitioner used (for validation / inspection).
@@ -133,48 +277,66 @@ class SortRun:
         return sum(len(p) for p in self.partitions)
 
 
-def _terasort_program(
-    comm: Comm, payload: Tuple[RecordBatch, RangePartitioner]
-) -> TeraSortProgram:
+def _terasort_program(comm: Comm, payload: Tuple) -> TeraSortProgram:
     """Pool builder (module-level for pickling): payload -> node program."""
-    file_data, partitioner = payload
-    return TeraSortProgram(comm, file_data, partitioner)
+    source, partitioner, memory_budget, output_dir = payload
+    return TeraSortProgram(
+        comm,
+        source,
+        partitioner,
+        memory_budget=memory_budget,
+        output_dir=output_dir,
+    )
 
 
 def prepare_terasort(
     size: int,
-    data: RecordBatch,
+    data: Optional[Union[RecordBatch, DataSource]] = None,
     sampled_partitioner: bool = False,
     sample_size: int = 10000,
     sample_seed: int = 7,
+    memory_budget: Optional[int] = None,
+    output_dir: Optional[str] = None,
 ) -> PreparedJob:
     """Compile one TeraSort over ``size`` nodes into a pool-runnable job.
 
-    Builds the shared range partitioner and the uncoded placement once on
-    the coordinator; each rank's payload is its single input file plus the
-    partitioner.  ``finalize`` assembles the pool's
+    Builds the shared range partitioner once on the coordinator and cuts
+    the input into per-rank splits *at the descriptor level*: each rank's
+    payload is a :class:`~repro.kvpairs.datasource.DataSource` subrange
+    plus the partitioner, so for file/teragen inputs the control plane
+    ships ~100-byte descriptors, never record bytes (an
+    :class:`~repro.kvpairs.datasource.InlineSource` — the plain
+    ``RecordBatch`` call style — still ships its records by value, the
+    seed behavior).  ``finalize`` assembles the pool's
     :class:`~repro.runtime.program.ClusterResult` into a :class:`SortRun`.
     """
-    partitioner = _build_partitioner(
-        data, size, sampled_partitioner, sample_size, sample_seed
+    source = as_source(data)
+    partitioner = _build_partitioner_from_source(
+        source, size, sampled_partitioner, sample_size, sample_seed
     )
-    files = UncodedPlacement(size).place(data)
+    splits = UncodedPlacement(size).split_source(source)
     payloads: List[Any] = [
-        (files[rank].data, partitioner) for rank in range(size)
+        (splits[rank], partitioner, memory_budget, output_dir)
+        for rank in range(size)
     ]
-    input_records = len(data)
+    input_records = source.num_records
 
     def finalize(result: ClusterResult) -> SortRun:
+        meta: Dict[str, object] = {
+            "algorithm": "terasort",
+            "num_nodes": size,
+            "input_records": input_records,
+            "input_kind": type(source).__name__,
+        }
+        if memory_budget is not None:
+            meta["memory_budget"] = memory_budget
+            meta.update(residency_meta(result.per_node_times))
         return SortRun(
             partitions=list(result.results),
             stage_times=result.stage_times,
             traffic=result.traffic,
             partitioner=partitioner,
-            meta={
-                "algorithm": "terasort",
-                "num_nodes": size,
-                "input_records": input_records,
-            },
+            meta=meta,
         )
 
     return PreparedJob(
@@ -239,3 +401,29 @@ def _build_partitioner(
         return RangePartitioner.uniform(k)
     idx = rng.choice(n, size=take, replace=False)
     return RangePartitioner.from_sample(data.take(idx), k)
+
+
+def _build_partitioner_from_source(
+    source: DataSource,
+    k: int,
+    sampled: bool,
+    sample_size: int,
+    sample_seed: int,
+) -> RangePartitioner:
+    """Partitioner from any source kind.
+
+    Inline sources keep the seed's exact RNG sampling (byte-identical
+    splitters for existing callers); other kinds draw through the
+    source's own :meth:`~repro.kvpairs.datasource.DataSource.sample`,
+    which never materializes the dataset.
+    """
+    if isinstance(source, InlineSource):
+        return _build_partitioner(
+            source.batch, k, sampled, sample_size, sample_seed
+        )
+    if not sampled:
+        return RangePartitioner.uniform(k)
+    sample = source.sample(sample_size, seed=sample_seed)
+    if len(sample) == 0:
+        return RangePartitioner.uniform(k)
+    return RangePartitioner.from_sample(sample, k)

@@ -167,6 +167,19 @@ class RecordBatch:
     def slice(self, start: int, stop: int) -> "RecordBatch":
         return RecordBatch(self._arr[start:stop])
 
+    def iter_slices(self, window_records: int) -> Iterable["RecordBatch"]:
+        """Consecutive zero-copy windows of at most ``window_records``.
+
+        The one bounded-windowing loop every streaming consumer (spill
+        runs, stores, data sources, merges) shares.
+        """
+        if window_records <= 0:
+            raise ValueError(
+                f"window_records must be >= 1, got {window_records}"
+            )
+        for start in range(0, len(self), window_records):
+            yield self.slice(start, min(start + window_records, len(self)))
+
     def split_at(self, offsets: Sequence[int]) -> List["RecordBatch"]:
         """Split into consecutive chunks at ``offsets`` (cumulative indices).
 

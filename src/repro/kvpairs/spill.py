@@ -1,0 +1,600 @@
+"""Spillable run files and the streaming external k-way merge.
+
+This is the disk half of the out-of-core data plane.  A **run** is a
+sorted sequence of 100-byte records stored either resident (one
+:class:`~repro.kvpairs.records.RecordBatch`) or in a *run file* — raw
+packed teragen-format records, the same on-disk layout Hadoop TeraGen
+writes, read back as mmap-backed zero-copy ``RecordBatch`` views (NumPy
+keeps the mapping alive, so views stay valid after the file object is
+closed and even after the run file is unlinked).
+
+:func:`merge_runs` is the streaming external k-way merge: it walks every
+run in bounded windows and repeatedly emits the records at or below the
+smallest loaded *window-end* key, merging each round with the existing
+vectorized :func:`~repro.kvpairs.sorting.merge_sorted` tournament.  The
+merge is **stable across runs** — ties go to the earlier run, and within
+a run to the earlier record — so merging the stably-sorted chunks of a
+stream, in chunk order, reproduces byte-for-byte what one stable in-RAM
+sort of the whole stream would produce.  That equivalence is what lets
+the out-of-core sort programs promise output byte-identical to the
+in-memory path.
+
+:class:`ExternalSorter` packages the write side of that contract: feed it
+batches in stream order, it accumulates up to a chunk budget, stable-sorts
+each chunk, spills it as one run, and hands the ordered run list to
+:func:`merge_runs`.  :class:`StreamStore` is the unsorted cousin used by
+the coded Map stage: per-key append-ordered record streams spilled to one
+file per key, read back as mmap views (the deterministic byte layout XOR
+coding requires) or as bounded windows.
+
+Spill hygiene: every run file lives under a per-job :class:`SpillDir`
+(``repro-spill-<pid>-*`` under the system temp dir, or ``$REPRO_SPILL_DIR``).
+Dirs are removed on job success *and* failure (program ``finally``),
+at interpreter exit (``atexit``), and :func:`SpillDir.sweep_stale` lets a
+fresh worker reap dirs orphaned by a SIGKILLed predecessor on the same
+host.
+"""
+
+from __future__ import annotations
+
+import atexit
+import mmap
+import os
+import shutil
+import tempfile
+import threading
+from dataclasses import dataclass
+from typing import Dict, Hashable, Iterable, Iterator, List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.kvpairs.records import RECORD_BYTES, RecordBatch
+from repro.kvpairs.sorting import is_sorted, merge_sorted, sort_batch
+from repro.utils.residency import ResidencyMeter
+
+#: Default merge window per run and output chunk, in records.
+DEFAULT_WINDOW_RECORDS = 16384
+#: Prefix shared by every spill dir (the ``.gitignore``d pattern).
+SPILL_DIR_PREFIX = "repro-spill"
+
+_active_dirs: "set[str]" = set()
+_active_lock = threading.Lock()
+
+
+def _cleanup_active() -> None:  # pragma: no cover - exercised at exit
+    with _active_lock:
+        paths = list(_active_dirs)
+        _active_dirs.clear()
+    for path in paths:
+        shutil.rmtree(path, ignore_errors=True)
+
+
+atexit.register(_cleanup_active)
+
+
+def spill_base_dir() -> str:
+    """Where spill dirs are created: ``$REPRO_SPILL_DIR`` or the system tmp."""
+    return os.environ.get("REPRO_SPILL_DIR") or tempfile.gettempdir()
+
+
+class SpillDir:
+    """A per-job temp directory holding run files (context manager).
+
+    The directory name embeds the creating pid
+    (``repro-spill-<pid>-<rand>``) so :func:`sweep_stale` can tell live
+    dirs from orphans.  ``cleanup()`` is idempotent and also runs from an
+    ``atexit`` hook, so a worker that exits through ``SystemExit`` (e.g.
+    the TCP agent's SIGTERM handler) still removes its dirs.
+    """
+
+    def __init__(self, tag: str = "job", base: Optional[str] = None) -> None:
+        base = base or spill_base_dir()
+        os.makedirs(base, exist_ok=True)
+        self.path = tempfile.mkdtemp(
+            prefix=f"{SPILL_DIR_PREFIX}-{os.getpid()}-{tag}-", dir=base
+        )
+        self._seq = 0
+        self._lock = threading.Lock()
+        with _active_lock:
+            _active_dirs.add(self.path)
+
+    def new_path(self, prefix: str = "run") -> str:
+        """A fresh file path inside the dir (files are created lazily)."""
+        with self._lock:
+            self._seq += 1
+            return os.path.join(self.path, f"{prefix}-{self._seq:06d}.bin")
+
+    def cleanup(self) -> None:
+        """Remove the directory and everything in it (idempotent)."""
+        with _active_lock:
+            _active_dirs.discard(self.path)
+        shutil.rmtree(self.path, ignore_errors=True)
+
+    @property
+    def exists(self) -> bool:
+        return os.path.isdir(self.path)
+
+    def __enter__(self) -> "SpillDir":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.cleanup()
+
+    @staticmethod
+    def sweep_stale(base: Optional[str] = None) -> List[str]:
+        """Remove spill dirs whose creator process is gone; returns removals.
+
+        Covers workers that died without running ``atexit`` (SIGKILL): the
+        next agent starting on the same host reaps their leftovers.  Dirs
+        belonging to live pids (including this process) are left alone.
+        """
+        base = base or spill_base_dir()
+        removed: List[str] = []
+        try:
+            entries = os.listdir(base)
+        except OSError:
+            return removed
+        for name in entries:
+            if not name.startswith(SPILL_DIR_PREFIX + "-"):
+                continue
+            parts = name.split("-")
+            try:
+                pid = int(parts[2])
+            except (IndexError, ValueError):
+                continue
+            if pid == os.getpid() or _pid_alive(pid):
+                continue
+            path = os.path.join(base, name)
+            shutil.rmtree(path, ignore_errors=True)
+            removed.append(path)
+        return removed
+
+
+def install_spill_cleanup_handler() -> None:
+    """Make SIGTERM run ``atexit`` hooks (i.e. remove live spill dirs).
+
+    Python's default SIGTERM disposition kills the process without
+    running ``atexit``, so a terminated worker would leak its spill dirs
+    until a successor sweeps them.  Worker entry points (forked pool
+    workers, TCP agents) call this from their main thread; elsewhere it
+    is a silent no-op.  SIGKILL still leaks — that is what
+    :func:`SpillDir.sweep_stale` is for.
+    """
+    import signal
+
+    def _terminate(signum, frame):  # pragma: no cover - signal path
+        raise SystemExit(128 + signum)
+
+    try:
+        signal.signal(signal.SIGTERM, _terminate)
+    except ValueError:  # not the main thread
+        pass
+
+
+def _pid_alive(pid: int) -> bool:
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:  # pragma: no cover - pid exists, other user
+        return True
+    return True
+
+
+# ---------------------------------------------------------------------------
+# Run files: raw packed records on disk, mmap-backed zero-copy reads.
+# ---------------------------------------------------------------------------
+
+
+def write_run_file(path: str, batches: Iterable[RecordBatch]) -> int:
+    """Append ``batches`` to ``path`` as packed records; returns bytes written."""
+    written = 0
+    with open(path, "ab") as f:
+        for batch in batches:
+            if len(batch) == 0:
+                continue
+            f.write(batch.as_memoryview())
+            written += batch.nbytes
+    return written
+
+
+def read_run_file(path: str) -> RecordBatch:
+    """The whole run file as one mmap-backed read-only batch (zero-copy).
+
+    The returned batch's array aliases the mapping; NumPy keeps the mmap
+    object alive, so the batch (and any view sliced from it) stays valid
+    after this function closes the file descriptor — and after the file
+    is later unlinked (POSIX keeps mapped pages reachable).
+    """
+    size = os.path.getsize(path)
+    if size == 0:
+        return RecordBatch.empty()
+    with open(path, "rb") as f:
+        mm = mmap.mmap(f.fileno(), 0, access=mmap.ACCESS_READ)
+    return RecordBatch.from_buffer(mm)
+
+
+@dataclass
+class Run:
+    """One sorted run: resident batch or file-backed records.
+
+    ``num_records`` is tracked so sizing decisions never need an extra
+    ``stat`` (and so empty runs short-circuit without touching disk).
+    """
+
+    path: Optional[str] = None
+    batch: Optional[RecordBatch] = None
+    num_records: int = 0
+
+    @classmethod
+    def resident(cls, batch: RecordBatch) -> "Run":
+        return cls(batch=batch, num_records=len(batch))
+
+    @classmethod
+    def from_file(cls, path: str, num_records: Optional[int] = None) -> "Run":
+        if num_records is None:
+            num_records = os.path.getsize(path) // RECORD_BYTES
+        return cls(path=path, num_records=num_records)
+
+    @property
+    def nbytes(self) -> int:
+        return self.num_records * RECORD_BYTES
+
+    def load(self) -> RecordBatch:
+        """The whole run (mmap-backed view for file runs)."""
+        if self.batch is not None:
+            return self.batch
+        if self.path is None or self.num_records == 0:
+            return RecordBatch.empty()
+        return read_run_file(self.path)
+
+    def iter_batches(self, window_records: int) -> Iterator[RecordBatch]:
+        """The run as consecutive windows of at most ``window_records``."""
+        if window_records <= 0:
+            window_records = DEFAULT_WINDOW_RECORDS
+        return iter(self.load().iter_slices(window_records))
+
+
+RunLike = Union[Run, RecordBatch]
+
+
+def _as_run(run: RunLike) -> Run:
+    return Run.resident(run) if isinstance(run, RecordBatch) else run
+
+
+def spill_blob(spill: SpillDir, data, prefix: str = "blob") -> memoryview:
+    """Write arbitrary serialized bytes to a file; return a mmap read view.
+
+    The generic-payload cousin of run files, used by the CMR engine to
+    keep pickled intermediate values out of RAM: the returned view is
+    mmap-backed (the mapping outlives the file descriptor) and works
+    anywhere a bytes-like intermediate is accepted — the XOR encoder's
+    ``lookup``, ``pickle.loads``, ``memoryview`` slicing.
+    """
+    path = spill.new_path(prefix)
+    with open(path, "wb") as f:
+        f.write(data)
+    return read_blob(path)
+
+
+def read_blob(path: str) -> memoryview:
+    """A zero-copy mmap view of a whole file (empty files give ``b""``)."""
+    if os.path.getsize(path) == 0:
+        return memoryview(b"")
+    with open(path, "rb") as f:
+        mm = mmap.mmap(f.fileno(), 0, access=mmap.ACCESS_READ)
+    return memoryview(mm)
+
+
+# ---------------------------------------------------------------------------
+# The streaming external k-way merge.
+# ---------------------------------------------------------------------------
+
+
+class _Cursor:
+    """Bounded read position into one sorted run."""
+
+    __slots__ = ("_it", "batch", "done", "_meter")
+
+    def __init__(
+        self, it: Iterator[RecordBatch], meter: Optional[ResidencyMeter]
+    ) -> None:
+        self._it = it
+        self.batch: Optional[RecordBatch] = None
+        self.done = False
+        self._meter = meter
+
+    def _pull(self) -> Optional[RecordBatch]:
+        nxt = next(self._it, None)
+        if nxt is None:
+            self.done = True
+            return None
+        if self._meter is not None:
+            self._meter.charge(nxt.nbytes, "merge.window")
+        return nxt
+
+    def refill(self) -> None:
+        """Ensure at least one unconsumed record is loaded (or mark done)."""
+        while not self.done and (self.batch is None or len(self.batch) == 0):
+            self.batch = self._pull()
+
+    def extend_past(self, bound: np.bytes_) -> None:
+        """Load more windows until the last loaded key exceeds ``bound``.
+
+        Needed for cross-run tie stability: a run whose loaded window *ends*
+        exactly at the bound may continue with equal keys in the next
+        window, and those must be emitted in the same round (before any
+        later run's equal keys get a chance to overtake them).
+        """
+        assert self.batch is not None
+        while not self.done and self.batch.keys[-1] <= bound:
+            nxt = self._pull()
+            if nxt is None:
+                return
+            if len(nxt):
+                self.batch = RecordBatch.concat([self.batch, nxt])
+
+    def take_upto(self, bound: np.bytes_) -> RecordBatch:
+        """Split off (and return) every loaded record with key <= ``bound``."""
+        assert self.batch is not None
+        cut = int(np.searchsorted(self.batch.keys, bound, side="right"))
+        head = self.batch.slice(0, cut)
+        self.batch = self.batch.slice(cut, len(self.batch))
+        if self._meter is not None:
+            self._meter.discharge(head.nbytes)
+        return head
+
+    @property
+    def live(self) -> bool:
+        return self.batch is not None and len(self.batch) > 0
+
+
+def merge_runs(
+    runs: Sequence[RunLike],
+    window_records: int = DEFAULT_WINDOW_RECORDS,
+    out_records: int = DEFAULT_WINDOW_RECORDS,
+    meter: Optional[ResidencyMeter] = None,
+) -> Iterator[RecordBatch]:
+    """Stream-merge sorted runs into sorted output batches (stable).
+
+    Args:
+        runs: the sorted runs, **in priority order** — key ties are broken
+            toward earlier runs, which is exactly the contract that makes
+            merging a stream's stably-sorted chunks equivalent to stably
+            sorting the whole stream.
+        window_records: how many records to hold per run at a time.
+        out_records: maximum records per yielded batch.
+        meter: optional residency meter charged for loaded windows.
+
+    Yields:
+        Sorted batches whose concatenation is the stable merge of all
+        runs.  Empty runs contribute nothing; a single run streams through
+        a re-chunking fast path with no merge work.
+
+    Raises:
+        ValueError: if any run's records are found out of order (surfaced
+            by :func:`~repro.kvpairs.sorting.merge_sorted`).
+    """
+    runs = [_as_run(r) for r in runs]
+    live_runs = [r for r in runs if r.num_records > 0]
+    if not live_runs:
+        return
+    if out_records <= 0:
+        out_records = DEFAULT_WINDOW_RECORDS
+    if len(live_runs) == 1:
+        # Single-run fast path: no merge work, just bounded re-chunking —
+        # but the documented "unsorted runs raise" contract still holds
+        # (window sortedness + boundary keys, same check is_sorted does).
+        prev_last: Optional[np.bytes_] = None
+        for chunk in live_runs[0].iter_batches(out_records):
+            if len(chunk) == 0:
+                continue
+            if not is_sorted(chunk) or (
+                prev_last is not None and chunk.keys[0] < prev_last
+            ):
+                raise ValueError("run 0 is not sorted")
+            prev_last = chunk.keys[-1]
+            yield chunk
+        return
+    cursors = [
+        _Cursor(r.iter_batches(window_records), meter) for r in live_runs
+    ]
+    for c in cursors:
+        c.refill()
+    while True:
+        active = [c for c in cursors if c.live]
+        if not active:
+            return
+        # The smallest loaded window-end key bounds what can be emitted:
+        # every record <= bound across *all* runs is currently loaded
+        # (after extend_past pulls the boundary ties), so one stable
+        # merge_sorted round emits them in globally correct, stable order.
+        bound = min(c.batch.keys[-1] for c in active)  # type: ignore[index]
+        for c in active:
+            c.extend_past(bound)
+        heads = [c.take_upto(bound) for c in active]
+        merged = merge_sorted([h for h in heads if len(h)])
+        yield from merged.iter_slices(out_records)
+        for c in cursors:
+            c.refill()
+
+
+# ---------------------------------------------------------------------------
+# ExternalSorter: stream in, sorted runs out.
+# ---------------------------------------------------------------------------
+
+
+class ExternalSorter:
+    """Budget-bounded stable external sort over a stream of batches.
+
+    Feed batches **in stream order** via :meth:`add`; once pending bytes
+    reach ``chunk_bytes`` the chunk is stable-sorted and spilled as one
+    run.  :meth:`finish` flushes the tail and returns the runs in chunk
+    order — merge them with :func:`merge_runs` to get exactly the output
+    of one stable in-RAM sort of the concatenated stream.
+    """
+
+    def __init__(
+        self,
+        spill: SpillDir,
+        chunk_bytes: int,
+        meter: Optional[ResidencyMeter] = None,
+        tag: str = "sort",
+    ) -> None:
+        if chunk_bytes < RECORD_BYTES:
+            chunk_bytes = RECORD_BYTES
+        self._spill = spill
+        self._chunk_bytes = chunk_bytes
+        self._meter = meter
+        self._tag = tag
+        self._pending: List[RecordBatch] = []
+        self._pending_bytes = 0
+        self._runs: List[Run] = []
+
+    @property
+    def runs_so_far(self) -> int:
+        return len(self._runs)
+
+    def add(self, batch: RecordBatch) -> None:
+        if len(batch) == 0:
+            return
+        if self._meter is not None:
+            self._meter.charge(batch.nbytes, f"{self._tag}.pending")
+        self._pending.append(batch)
+        self._pending_bytes += batch.nbytes
+        if self._pending_bytes >= self._chunk_bytes:
+            self._flush()
+
+    def _flush(self) -> None:
+        if not self._pending:
+            return
+        chunk = sort_batch(RecordBatch.concat(self._pending))
+        path = self._spill.new_path(self._tag)
+        write_run_file(path, [chunk])
+        self._runs.append(Run.from_file(path, len(chunk)))
+        if self._meter is not None:
+            self._meter.spilled(chunk.nbytes)
+            self._meter.discharge(self._pending_bytes)
+        self._pending = []
+        self._pending_bytes = 0
+
+    def finish(self) -> List[Run]:
+        """Flush the tail chunk and return all runs in chunk order."""
+        self._flush()
+        return list(self._runs)
+
+    def merge(
+        self,
+        window_records: int = DEFAULT_WINDOW_RECORDS,
+        out_records: int = DEFAULT_WINDOW_RECORDS,
+    ) -> Iterator[RecordBatch]:
+        """Finish and stream the fully sorted output."""
+        return merge_runs(
+            self.finish(),
+            window_records=window_records,
+            out_records=out_records,
+            meter=self._meter,
+        )
+
+
+# ---------------------------------------------------------------------------
+# StreamStore: per-key append-ordered record streams (the coded Map store).
+# ---------------------------------------------------------------------------
+
+
+class StreamStore:
+    """Keyed, append-ordered, spillable record streams (NOT sorted).
+
+    The coded Map stage retains one intermediate value per ``(subset,
+    target)``; XOR coding requires every replica to serialize it
+    byte-identically, so the layout is purely *append order* — windows of
+    each file hashed in window order, files in ascending id — never a
+    sort.  The store accumulates per-key batches and, when the shared
+    resident total passes ``flush_bytes``, appends everything to one file
+    per key (order preserved: a flush only moves the resident prefix to
+    disk).  :meth:`finalize` flushes the tails and returns zero-copy mmap
+    views of the complete per-key byte streams for the encoder.
+    """
+
+    def __init__(
+        self,
+        spill: SpillDir,
+        flush_bytes: int,
+        meter: Optional[ResidencyMeter] = None,
+        tag: str = "store",
+    ) -> None:
+        self._spill = spill
+        self._flush_bytes = max(flush_bytes, RECORD_BYTES)
+        self._meter = meter
+        self._tag = tag
+        self._pending: Dict[Hashable, List[RecordBatch]] = {}
+        self._paths: Dict[Hashable, str] = {}
+        self._counts: Dict[Hashable, int] = {}
+        self._resident = 0
+        self._order: List[Hashable] = []
+        self._final: Optional[Dict[Hashable, RecordBatch]] = None
+
+    def append(self, key: Hashable, batch: RecordBatch) -> None:
+        if self._final is not None:
+            raise RuntimeError("store already finalized")
+        if key not in self._counts:
+            self._counts[key] = 0
+            self._order.append(key)
+        if len(batch) == 0:
+            return
+        if self._meter is not None:
+            self._meter.charge(batch.nbytes, f"{self._tag}.pending")
+        self._pending.setdefault(key, []).append(batch)
+        self._counts[key] += len(batch)
+        self._resident += batch.nbytes
+        if self._resident >= self._flush_bytes:
+            self._flush()
+
+    def _flush(self) -> None:
+        for key, batches in self._pending.items():
+            if not batches:
+                continue
+            path = self._paths.get(key)
+            if path is None:
+                path = self._paths[key] = self._spill.new_path(self._tag)
+            written = write_run_file(path, batches)
+            if self._meter is not None:
+                self._meter.spilled(written)
+        if self._meter is not None:
+            self._meter.discharge(self._resident)
+        self._pending = {}
+        self._resident = 0
+
+    def keys(self) -> List[Hashable]:
+        """All keys in first-append order (deterministic across replicas)."""
+        return list(self._order)
+
+    def num_records(self, key: Hashable) -> int:
+        return self._counts.get(key, 0)
+
+    def finalize(self) -> None:
+        """Flush every tail; afterwards keys read back as mmap views."""
+        if self._final is None:
+            self._flush()
+            self._final = {}
+
+    def get(self, key: Hashable) -> RecordBatch:
+        """The complete stream for ``key`` as one zero-copy mmap view."""
+        if self._final is None:
+            raise RuntimeError("finalize() the store before reading it back")
+        batch = self._final.get(key)
+        if batch is None:
+            path = self._paths.get(key)
+            batch = RecordBatch.empty() if path is None else read_run_file(path)
+            self._final[key] = batch
+        return batch
+
+    def get_bytes(self, key: Hashable) -> memoryview:
+        """The stream's raw serialized bytes (the encoder's lookup form)."""
+        return self.get(key).as_memoryview()
+
+    def iter_batches(
+        self, key: Hashable, window_records: int
+    ) -> Iterator[RecordBatch]:
+        """The stream as bounded windows (reduce-side consumption)."""
+        return iter(self.get(key).iter_slices(window_records))

@@ -94,6 +94,37 @@ def _make_values(n: int, start_row: int) -> np.ndarray:
     return values
 
 
+def teragen_to_file(
+    path: str,
+    n: int,
+    seed: int = 0,
+    start_row: int = 0,
+    batch_records: int = 0,
+) -> int:
+    """Write ``n`` synthetic records to ``path`` (raw packed teragen format).
+
+    Generation is windowed — memory stays bounded by one window no matter
+    how large ``n`` is — and uses the aligned-window stream of
+    :class:`~repro.kvpairs.datasource.TeragenSource`, so
+    ``FileSource(path)`` later yields byte-identical records to
+    ``TeragenSource(n, seed, start_row)``: the on-disk and generate-local
+    descriptions of a dataset are interchangeable.
+
+    Returns:
+        Bytes written.
+    """
+    # Local import: datasource imports this module for its generator.
+    from repro.kvpairs.datasource import DEFAULT_BATCH_RECORDS, TeragenSource
+
+    source = TeragenSource(n, seed, start_row)
+    written = 0
+    with open(path, "wb") as f:
+        for batch in source.iter_batches(batch_records or DEFAULT_BATCH_RECORDS):
+            f.write(batch.as_memoryview())
+            written += batch.nbytes
+    return written
+
+
 def extract_row_ids(batch: RecordBatch) -> np.ndarray:
     """Recover the embedded row ids from a TeraGen batch's values.
 

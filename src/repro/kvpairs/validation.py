@@ -14,7 +14,7 @@ After a distributed sort we verify two properties:
 from __future__ import annotations
 
 import hashlib
-from typing import Sequence
+from typing import Iterable, Sequence
 
 import numpy as np
 
@@ -93,6 +93,52 @@ def validate_sorted(out_parts: Sequence[RecordBatch]) -> None:
             )
         prev_last = (int(hi[-1]), int(lo[-1]))
         prev_idx = i
+
+
+def validate_sorted_iter(batches: Iterable[RecordBatch]) -> int:
+    """Assert global sortedness over a *stream* of batches; returns count.
+
+    The streaming counterpart of :func:`validate_sorted` for out-of-core
+    runs: it holds one batch (plus the previous boundary key) at a time,
+    so a multi-gigabyte output validates in constant memory — feed it
+    e.g. ``FileSource(...).iter_batches()`` chained across partitions in
+    partition order.
+
+    Raises:
+        AssertionError: naming the offending batch or boundary.
+    """
+    total = 0
+    prev_idx = None
+    prev_last = None
+    for i, batch in enumerate(batches):
+        if not is_sorted(batch):
+            raise AssertionError(f"batch {i} is not locally sorted")
+        total += len(batch)
+        if len(batch) == 0:
+            continue
+        hi, lo = batch.key_words()
+        first = (int(hi[0]), int(lo[0]))
+        if prev_last is not None and first < prev_last:
+            raise AssertionError(
+                f"boundary violation between batches {prev_idx} and {i}: "
+                f"{prev_last} > {first}"
+            )
+        prev_last = (int(hi[-1]), int(lo[-1]))
+        prev_idx = i
+    return total
+
+
+def checksum_iter(batches: Iterable[RecordBatch]) -> int:
+    """Order-independent multiset checksum of a batch stream.
+
+    Summable with :func:`batch_checksum` values mod 2^128 — lets a
+    permutation check compare a streamed (out-of-core) dataset against
+    resident partitions without materializing either side.
+    """
+    total = 0
+    for batch in batches:
+        total = (total + batch_checksum(batch)) % _CHECKSUM_MOD
+    return total
 
 
 def validate_sorted_permutation(

@@ -343,6 +343,9 @@ def _worker_main(
     record_relays: bool,
 ) -> None:
     """One-shot worker entry point (runs in the forked child)."""
+    from repro.kvpairs.spill import install_spill_cleanup_handler
+
+    install_spill_cleanup_handler()
     comm: Optional[_SocketComm] = None
     try:
         comm = _setup_worker_comm(
@@ -450,6 +453,11 @@ def _pool_worker_main(
 ) -> None:
     """Pool worker entry point (forked child): :func:`serve_pool_jobs`
     over the duplex control pipe, after the one-time mesh/comm setup."""
+    from repro.kvpairs.spill import install_spill_cleanup_handler
+
+    # Spill hygiene: a terminated pool worker must still remove its
+    # per-job spill dirs (SIGTERM -> SystemExit -> atexit hooks).
+    install_spill_cleanup_handler()
     comm: Optional[_SocketComm] = None
     try:
         comm = _setup_worker_comm(

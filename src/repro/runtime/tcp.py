@@ -289,6 +289,15 @@ def run_worker(
         if not quiet:
             print(f"[worker] {msg}", flush=True)
 
+    # Spill hygiene: remove any spill dirs a SIGKILLed predecessor on
+    # this host leaked, and arrange for our own to be removed even if the
+    # supervisor stops us with SIGTERM mid-job.
+    from repro.kvpairs.spill import SpillDir, install_spill_cleanup_handler
+
+    install_spill_cleanup_handler()
+    for stale in SpillDir.sweep_stale():
+        say(f"reaped stale spill dir {stale}")
+
     ctrl = _dial(host, port, connect_timeout)
     listener: Optional[socket.socket] = None
     comm: Optional[_SocketComm] = None

@@ -16,7 +16,13 @@ Jobs are *declarative*: the three algorithm entry points are unified as
 validated spec dataclasses — :class:`TeraSortSpec`,
 :class:`CodedTeraSortSpec`, and :class:`MapReduceSpec` (with
 ``scheme="coded" | "uncoded"``), all carrying their schedule /
-partitioner / placement options — and submitted through one call::
+partitioner / placement options.  The sort specs also carry the
+out-of-core knobs: ``input=`` takes a
+:class:`~repro.kvpairs.datasource.DataSource` descriptor (workers read
+their own splits — the control plane stops shipping record bytes),
+``memory_budget=`` caps each worker's resident record buffers (spilling
+the rest to per-job temp files), and ``output_dir=`` streams sorted
+partitions to part files.  Jobs are submitted through one call::
 
     from repro import Session, ProcessCluster, TeraSortSpec, CodedTeraSortSpec
 
@@ -56,7 +62,9 @@ from repro.core.coded_terasort import (
     prepare_coded_terasort,
 )
 from repro.core.groups import check_schedule
+from repro.core.outofcore import MIN_MEMORY_BUDGET
 from repro.core.terasort import SortRun, prepare_terasort
+from repro.kvpairs.datasource import DataSource
 from repro.kvpairs.records import RecordBatch
 from repro.runtime.program import ClusterResult, PreparedJob
 from repro.utils.subsets import binomial
@@ -96,18 +104,59 @@ class JobSpec(ABC):
         """Compile the spec for a ``size``-node worker pool."""
 
 
+def _check_input_fields(spec) -> None:
+    """Shared validation of the sort specs' input/budget/output fields."""
+    if (spec.data is None) == (spec.input is None):
+        raise ValueError(
+            "exactly one of data= (a RecordBatch) or input= (a DataSource) "
+            "must be given"
+        )
+    if spec.data is not None and not isinstance(spec.data, RecordBatch):
+        raise ValueError(
+            f"data must be a RecordBatch, got {type(spec.data).__name__} "
+            "(pass sources via input=)"
+        )
+    if spec.input is not None and not isinstance(spec.input, DataSource):
+        raise ValueError(
+            f"input must be a DataSource, got {type(spec.input).__name__}"
+        )
+    if spec.memory_budget is not None and spec.memory_budget < MIN_MEMORY_BUDGET:
+        raise ValueError(
+            f"memory_budget must be >= {MIN_MEMORY_BUDGET} bytes, "
+            f"got {spec.memory_budget}"
+        )
+    if spec.output_dir is not None and spec.memory_budget is None:
+        raise ValueError(
+            "output_dir requires memory_budget (the in-memory path "
+            "returns resident partitions)"
+        )
+
+
 @dataclass(frozen=True)
 class TeraSortSpec(JobSpec):
     """The uncoded baseline sort (§III): serial unicast shuffle.
 
     Attributes:
-        data: the full input batch (the coordinator's view).
+        data: the full input batch (the coordinator's view); mutually
+            exclusive with ``input``.
+        input: a :class:`~repro.kvpairs.datasource.DataSource` descriptor
+            (``FileSource`` / ``TeragenSource`` / ``InlineSource``) —
+            workers read their own splits, the control plane ships only
+            descriptors for file/teragen kinds.
+        memory_budget: per-worker cap (bytes) on resident record buffers;
+            enables the out-of-core pipeline (byte-identical output).
+        output_dir: with a budget, workers stream their sorted partition
+            to ``<output_dir>/part-<rank>`` (a worker-local or shared
+            path) and the run's partitions are ``FileSource`` results.
         sampled_partitioner: use sampled quantile splitters instead of
             uniform ones (needed for skewed keys).
         sample_size / sample_seed: splitter sample parameters.
     """
 
-    data: RecordBatch
+    data: Optional[RecordBatch] = None
+    input: Optional[DataSource] = None
+    memory_budget: Optional[int] = None
+    output_dir: Optional[str] = None
     sampled_partitioner: bool = False
     sample_size: int = 10000
     sample_seed: int = 7
@@ -119,14 +168,17 @@ class TeraSortSpec(JobSpec):
             raise ValueError(
                 f"sample_size must be >= 1, got {self.sample_size}"
             )
+        _check_input_fields(self)
 
     def prepare(self, size: int) -> PreparedJob:
         return prepare_terasort(
             size,
-            self.data,
+            self.input if self.input is not None else self.data,
             sampled_partitioner=self.sampled_partitioner,
             sample_size=self.sample_size,
             sample_seed=self.sample_seed,
+            memory_budget=self.memory_budget,
+            output_dir=self.output_dir,
         )
 
 
@@ -135,8 +187,11 @@ class CodedTeraSortSpec(JobSpec):
     """CodedTeraSort (§IV): coded placement + XOR multicast shuffle.
 
     Attributes:
-        data: the full input batch.
+        data: the full input batch; mutually exclusive with ``input``.
         redundancy: the computation load ``r ∈ [1, K-1]``.
+        input / memory_budget / output_dir: out-of-core input descriptor,
+            per-worker residency cap, and streamed-output directory — see
+            :class:`TeraSortSpec`.
         batches_per_subset: input files per node subset
             (``N = b * C(K, r)``).
         schedule: ``"serial"`` (paper, Fig. 9(b) turns) or ``"parallel"``
@@ -145,8 +200,11 @@ class CodedTeraSortSpec(JobSpec):
             :class:`TeraSortSpec`.
     """
 
-    data: RecordBatch
-    redundancy: int
+    data: Optional[RecordBatch] = None
+    redundancy: int = 1
+    input: Optional[DataSource] = None
+    memory_budget: Optional[int] = None
+    output_dir: Optional[str] = None
     batches_per_subset: int = 1
     schedule: str = "serial"
     sampled_partitioner: bool = False
@@ -160,17 +218,20 @@ class CodedTeraSortSpec(JobSpec):
                 f"batches_per_subset must be >= 1, "
                 f"got {self.batches_per_subset}"
             )
+        _check_input_fields(self)
 
     def prepare(self, size: int) -> PreparedJob:
         return prepare_coded_terasort(
             size,
-            self.data,
+            self.input if self.input is not None else self.data,
             self.redundancy,
             batches_per_subset=self.batches_per_subset,
             sampled_partitioner=self.sampled_partitioner,
             sample_size=self.sample_size,
             sample_seed=self.sample_seed,
             schedule=self.schedule,
+            memory_budget=self.memory_budget,
+            output_dir=self.output_dir,
         )
 
 
@@ -189,6 +250,10 @@ class MapReduceSpec(JobSpec):
             ``"coded"`` (Algorithm 1/2 XOR multicast).
         schedule: coded-shuffle schedule, ``"serial"`` or ``"parallel"``;
             only meaningful with ``scheme="coded"``.
+        memory_budget: per-worker cap (bytes) on the resident serialized
+            intermediate store; overflow spills to per-job temp files.
+            File payloads that are ``DataSource`` descriptors are always
+            materialized worker-side, budget or not.
     """
 
     job: MapReduceJob
@@ -196,8 +261,13 @@ class MapReduceSpec(JobSpec):
     redundancy: int = 1
     scheme: str = "uncoded"
     schedule: str = "serial"
+    memory_budget: Optional[int] = None
 
     def validate(self, size: int) -> None:
+        if self.memory_budget is not None and self.memory_budget < 1:
+            raise ValueError(
+                f"memory_budget must be >= 1, got {self.memory_budget}"
+            )
         if self.scheme not in ("coded", "uncoded"):
             raise ValueError(
                 f'scheme must be "coded" or "uncoded", got {self.scheme!r}'
@@ -228,6 +298,7 @@ class MapReduceSpec(JobSpec):
             redundancy=self.redundancy,
             coded=self.scheme == "coded",
             schedule=self.schedule,
+            memory_budget=self.memory_budget,
         )
 
 

@@ -1,0 +1,101 @@
+"""Record-buffer residency accounting for the out-of-core data plane.
+
+The out-of-core pipeline's memory contract is *counted in resident record
+bytes*: a program running under a ``memory_budget`` must never hold more
+than the budget in buffered records — everything past it must live in
+spill files.  This module gives that contract a measurable witness, the
+way :mod:`repro.utils.copytrack` does for the zero-copy contract: every
+structure that retains record bytes (map-side partition accumulators,
+external-sort pending chunks, merge cursor windows, decoded intermediates,
+materialized outputs) charges a :class:`ResidencyMeter`, and discharges it
+when the bytes are spilled or released.
+
+Accounting convention (mirroring copytrack's):
+
+* **counted** — record payload bytes the program is *retaining* in user
+  space: accumulated partition chunks waiting to be sorted/sent, loaded
+  merge windows, recovered intermediate values held for the reducer, and
+  any fully materialized output batch;
+* **not counted** — transient transport buffers (send gather lists,
+  receive arenas that are drained and released within one shuffle turn)
+  and mmap-backed views of spill files (those pages are the OS page
+  cache's to keep or evict — they are the *disk* side of the contract).
+
+Unlike copytrack the meter is a per-program *object*, not process-global:
+the threaded backend runs K node programs in one process, and each must
+account (and be asserted) independently.  Peaks are exported through the
+stopwatch's pseudo-stage channel (``oc_peak_resident_bytes`` etc. in
+``ClusterResult.per_node_times``) so forked and remote workers ship them
+home with zero extra plumbing.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+
+class ResidencyMeter:
+    """Tracks resident record bytes, their peak, and spill volume."""
+
+    __slots__ = ("_resident", "_peak", "_spilled_bytes", "_spill_runs", "_sites")
+
+    def __init__(self) -> None:
+        self._resident = 0
+        self._peak = 0
+        self._spilled_bytes = 0
+        self._spill_runs = 0
+        self._sites: Dict[str, int] = {}
+
+    # -- residency ---------------------------------------------------------
+
+    def charge(self, nbytes: int, site: str = "") -> None:
+        """Record ``nbytes`` of record payload becoming resident."""
+        if nbytes <= 0:
+            return
+        self._resident += nbytes
+        if self._resident > self._peak:
+            self._peak = self._resident
+        if site:
+            self._sites[site] = self._sites.get(site, 0) + nbytes
+
+    def discharge(self, nbytes: int) -> None:
+        """Record ``nbytes`` of resident payload being spilled or released."""
+        if nbytes <= 0:
+            return
+        self._resident = max(0, self._resident - nbytes)
+
+    # -- spill volume ------------------------------------------------------
+
+    def spilled(self, nbytes: int, runs: int = 1) -> None:
+        """Record ``nbytes`` written to spill storage as ``runs`` run(s)."""
+        if nbytes > 0:
+            self._spilled_bytes += nbytes
+        self._spill_runs += max(0, runs)
+
+    # -- readouts ----------------------------------------------------------
+
+    @property
+    def resident_bytes(self) -> int:
+        return self._resident
+
+    @property
+    def peak_resident_bytes(self) -> int:
+        return self._peak
+
+    @property
+    def spilled_bytes(self) -> int:
+        return self._spilled_bytes
+
+    @property
+    def spill_runs(self) -> int:
+        return self._spill_runs
+
+    def sites(self) -> Dict[str, int]:
+        """Cumulative charged bytes per site (diagnostics)."""
+        return dict(self._sites)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ResidencyMeter(resident={self._resident}, peak={self._peak}, "
+            f"spilled={self._spilled_bytes} in {self._spill_runs} runs)"
+        )

@@ -1,0 +1,247 @@
+"""Spill layer: run files, the streaming external merge, spill hygiene.
+
+The external-merge contracts the out-of-core sort's byte-identity rests
+on:
+
+* duplicate keys across runs keep stable order (earlier run wins, and
+  ties crossing a merge-window boundary are pulled into the same round);
+* empty runs contribute nothing and never wedge the merge;
+* a single live run takes the no-compare re-chunking fast path;
+* mmap-backed run views stay valid after the backing file object is
+  closed and even after the file is unlinked (NumPy holds the mapping);
+* ``ExternalSorter`` + ``merge_runs`` reproduce one stable in-RAM sort
+  byte-for-byte;
+* ``StreamStore`` lays out per-key streams in append order regardless of
+  flush timing (the XOR-coding determinism requirement);
+* spill dirs disappear on cleanup/context-exit and ``sweep_stale`` reaps
+  dirs whose creator pid is dead.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.kvpairs.records import RECORD_BYTES, RecordBatch
+from repro.kvpairs.sorting import is_sorted, sort_batch
+from repro.kvpairs.spill import (
+    ExternalSorter,
+    Run,
+    SpillDir,
+    StreamStore,
+    merge_runs,
+    read_blob,
+    read_run_file,
+    spill_blob,
+    write_run_file,
+)
+from repro.kvpairs.teragen import teragen
+from repro.utils.residency import ResidencyMeter
+
+
+def _dup_batch(n, key_levels, seed=0):
+    """Records with heavily duplicated keys and unique traceable values."""
+    rng = np.random.default_rng(seed)
+    keys = np.zeros((n, 10), np.uint8)
+    keys[:, 0] = rng.integers(0, key_levels, size=n)
+    values = np.zeros((n, 90), np.uint8)
+    values[:, :8] = (
+        np.arange(n, dtype=np.uint64).view(np.uint8).reshape(n, 8)
+    )
+    return RecordBatch.from_arrays(keys, values)
+
+
+class TestMergeRuns:
+    def test_duplicate_keys_across_runs_stable(self, tmp_path):
+        # Three runs full of equal keys: output must equal the stable
+        # sort of their concatenation (run order breaks every tie).
+        stream = _dup_batch(900, key_levels=2)
+        chunks = [
+            sort_batch(stream.slice(i, i + 300)) for i in range(0, 900, 300)
+        ]
+        runs = []
+        for i, chunk in enumerate(chunks):
+            path = str(tmp_path / f"run-{i}.bin")
+            write_run_file(path, [chunk])
+            runs.append(Run.from_file(path))
+        # Tiny windows force boundary ties to cross window edges.
+        merged = RecordBatch.concat(
+            list(merge_runs(runs, window_records=7, out_records=11))
+        )
+        ref = sort_batch(stream)
+        assert np.array_equal(merged.array, ref.array)
+
+    def test_window_boundary_ties_pulled_into_round(self, tmp_path):
+        # Run 0 ends a window exactly on a duplicated key that continues
+        # into its next window; run 1 holds the same key.  Stability
+        # requires ALL of run 0's copies before any of run 1's.
+        same = np.full((8, 10), 5, np.uint8)
+        v0 = np.zeros((8, 90), np.uint8)
+        v0[:, 0] = np.arange(8)
+        r0 = RecordBatch.from_arrays(same, v0)
+        v1 = np.zeros((3, 90), np.uint8)
+        v1[:, 0] = 100 + np.arange(3)
+        r1 = RecordBatch.from_arrays(same[:3], v1)
+        merged = RecordBatch.concat(
+            list(merge_runs([r0, r1], window_records=2, out_records=64))
+        )
+        order = merged.raw_view()[:, 10].tolist()
+        assert order == list(range(8)) + [100, 101, 102]
+
+    def test_empty_runs(self, tmp_path):
+        data = sort_batch(teragen(500, seed=1))
+        empty_path = str(tmp_path / "empty.bin")
+        open(empty_path, "wb").close()
+        runs = [
+            RecordBatch.empty(),
+            Run.from_file(empty_path),
+            Run.resident(data),
+            RecordBatch.empty(),
+        ]
+        merged = RecordBatch.concat(list(merge_runs(runs, window_records=64)))
+        assert np.array_equal(merged.array, data.array)
+        assert list(merge_runs([RecordBatch.empty()])) == []
+        assert list(merge_runs([])) == []
+
+    def test_single_run_fast_path(self):
+        data = sort_batch(teragen(1000, seed=2))
+        out = list(merge_runs([data], out_records=300))
+        assert [len(b) for b in out] == [300, 300, 300, 100]
+        assert np.array_equal(RecordBatch.concat(out).array, data.array)
+        # Fast-path chunks alias the run (no merge copies were made).
+        assert np.shares_memory(out[0].array, data.array)
+
+    def test_unsorted_run_rejected(self):
+        bad = teragen(50, seed=3)  # unsorted with overwhelming probability
+        assert not is_sorted(bad)
+        with pytest.raises(ValueError, match="not sorted"):
+            list(merge_runs([bad, bad], window_records=512))
+        # The single-run fast path honors the same contract.
+        with pytest.raises(ValueError, match="not sorted"):
+            list(merge_runs([bad], out_records=512))
+        with pytest.raises(ValueError, match="not sorted"):
+            # Sorted windows but a boundary violation between them.
+            list(merge_runs([bad], out_records=1))
+
+
+class TestRunFiles:
+    def test_mmap_view_survives_file_close_and_unlink(self, tmp_path):
+        data = sort_batch(teragen(200, seed=4))
+        path = str(tmp_path / "run.bin")
+        write_run_file(path, [data])
+        batch = read_run_file(path)  # fd is closed inside
+        view = batch.slice(50, 150)
+        os.unlink(path)  # mapped pages must remain reachable
+        assert np.array_equal(view.array, data.array[50:150])
+        assert np.array_equal(batch.array, data.array)
+        # Views are read-only: the mapping must not be writable.
+        with pytest.raises(ValueError):
+            batch.array[0] = batch.array[1]
+
+    def test_append_and_sizes(self, tmp_path):
+        a, b = teragen(10, seed=5), teragen(20, seed=6)
+        path = str(tmp_path / "run.bin")
+        assert write_run_file(path, [a, RecordBatch.empty(), b]) == 3000
+        run = Run.from_file(path)
+        assert run.num_records == 30 and run.nbytes == 30 * RECORD_BYTES
+        whole = run.load()
+        assert np.array_equal(
+            whole.array, RecordBatch.concat([a, b]).array
+        )
+        windows = list(run.iter_batches(12))
+        assert [len(w) for w in windows] == [12, 12, 6]
+
+    def test_blob_roundtrip(self, tmp_path):
+        with SpillDir(base=str(tmp_path)) as spill:
+            view = spill_blob(spill, b"hello \x00 world")
+            assert bytes(view) == b"hello \x00 world"
+            empty = spill_blob(spill, b"")
+            assert bytes(empty) == b""
+
+
+class TestExternalSorter:
+    def test_matches_stable_sort_byte_for_byte(self, tmp_path):
+        stream = _dup_batch(5000, key_levels=7, seed=9)
+        meter = ResidencyMeter()
+        with SpillDir(base=str(tmp_path)) as spill:
+            sorter = ExternalSorter(
+                spill, chunk_bytes=40_000, meter=meter
+            )
+            for i in range(0, 5000, 617):
+                sorter.add(stream.slice(i, min(i + 617, 5000)))
+            merged = RecordBatch.concat(
+                list(sorter.merge(window_records=100, out_records=500))
+            )
+        assert np.array_equal(merged.array, sort_batch(stream).array)
+        assert meter.spilled_bytes == 5000 * RECORD_BYTES
+        assert meter.spill_runs > 1  # small chunks really spilled
+
+
+class TestStreamStore:
+    def test_layout_independent_of_flush_timing(self, tmp_path):
+        # The same appends with wildly different flush thresholds must
+        # produce byte-identical per-key streams (coding determinism).
+        data = teragen(600, seed=10)
+        windows = [data.slice(i, i + 100) for i in range(0, 600, 100)]
+
+        def build(flush_bytes):
+            spill = SpillDir(base=str(tmp_path))
+            store = StreamStore(spill, flush_bytes)
+            for i, w in enumerate(windows):
+                store.append("a" if i % 2 == 0 else "b", w)
+            store.finalize()
+            return store, spill
+
+        eager, sd1 = build(flush_bytes=RECORD_BYTES)  # flush every append
+        lazy, sd2 = build(flush_bytes=1 << 30)  # never flush until final
+        try:
+            assert eager.keys() == lazy.keys() == ["a", "b"]
+            for key in ("a", "b"):
+                assert eager.num_records(key) == lazy.num_records(key) == 300
+                assert bytes(eager.get_bytes(key)) == bytes(
+                    lazy.get_bytes(key)
+                )
+            ref = RecordBatch.concat(windows[::2])
+            assert np.array_equal(eager.get("a").array, ref.array)
+            got = RecordBatch.concat(list(eager.iter_batches("a", 70)))
+            assert np.array_equal(got.array, ref.array)
+        finally:
+            sd1.cleanup()
+            sd2.cleanup()
+
+    def test_read_before_finalize_rejected(self, tmp_path):
+        with SpillDir(base=str(tmp_path)) as spill:
+            store = StreamStore(spill, 1 << 20)
+            store.append("k", teragen(5, seed=0))
+            with pytest.raises(RuntimeError, match="finalize"):
+                store.get("k")
+
+
+class TestSpillHygiene:
+    def test_cleanup_idempotent_and_context_exit(self, tmp_path):
+        spill = SpillDir(base=str(tmp_path))
+        path = spill.new_path()
+        write_run_file(path, [teragen(5, seed=0)])
+        assert spill.exists
+        spill.cleanup()
+        spill.cleanup()
+        assert not spill.exists
+        with SpillDir(base=str(tmp_path)) as sd:
+            inner = sd.path
+        assert not os.path.isdir(inner)
+
+    def test_sweep_stale_reaps_dead_pids_only(self, tmp_path):
+        base = str(tmp_path)
+        live = SpillDir(base=base)
+        # Forge a dir from a dead pid (re-using an exited child's pid is
+        # racy; pid 2**22+1 is above the default pid_max ceiling).
+        dead = os.path.join(base, "repro-spill-4194305-job-x")
+        os.makedirs(dead)
+        bogus = os.path.join(base, "repro-spill-notapid-job-x")
+        os.makedirs(bogus)
+        removed = SpillDir.sweep_stale(base)
+        assert removed == [dead]
+        assert live.exists and os.path.isdir(bogus)
+        live.cleanup()
