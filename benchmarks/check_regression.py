@@ -55,6 +55,14 @@ MANIFEST: Dict[str, List[Tuple[str, str]]] = {
         ("tcp.parallel.mbps",
          "out-of-core coded sort throughput (real TCP mesh)"),
     ],
+    "merge_kernels": [
+        ("merge.speedup", "OVC k-way merge speedup over classic kernels"),
+        ("merge.ovc_mbps", "k-way OVC merge throughput"),
+        ("external.speedup",
+         "external merge speedup (spilled runs + OVC sidecars)"),
+        ("partition.index_speedup",
+         "radix partition index-pass speedup over searchsorted+argsort"),
+    ],
 }
 
 

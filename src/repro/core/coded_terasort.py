@@ -54,6 +54,13 @@ read the store through zero-copy mmap views; and Reduce externally sorts
 own + decoded records (spilled sorted runs, streaming k-way merge)
 instead of one in-RAM sort.  Output stays byte-identical to the
 in-memory path under both schedules.
+
+The compute hot path (Map's partition pass, Reduce's merge) runs on the
+kernels of :mod:`repro.kvpairs.kernels` — MSB radix partition and the
+offset-value-coded merge, with ``.ovc`` code sidecars persisted next to
+spilled runs; ``REPRO_KERNELS=classic`` selects the plain
+``searchsorted`` implementations.  Both are byte-identical, on either
+schedule.
 """
 
 from __future__ import annotations

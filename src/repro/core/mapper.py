@@ -20,6 +20,7 @@ from typing import Dict, List, Sequence
 import numpy as np
 
 from repro.core.partitioner import RangePartitioner
+from repro.kvpairs import kernels
 from repro.kvpairs.records import RecordBatch
 from repro.utils.subsets import Subset
 
@@ -39,9 +40,12 @@ def hash_file(
     if n == 0:
         return [RecordBatch.empty() for _ in range(k)]
     idx = partitioner.partition_indices(data)
-    order = np.argsort(idx, kind="stable")
+    if kernels.use_ovc():
+        order, counts = kernels.group_by_partition(idx, k)
+    else:
+        order = np.argsort(idx, kind="stable")
+        counts = np.bincount(idx, minlength=k)
     grouped = data.take(order)
-    counts = np.bincount(idx, minlength=k)
     offsets = np.cumsum(counts)[:-1]
     return grouped.split_at([int(o) for o in offsets])
 

@@ -43,7 +43,7 @@ from typing import Dict, Iterator, List, Optional, Union
 from repro.kvpairs.datasource import FileSource
 from repro.kvpairs.records import RECORD_BYTES, RecordBatch
 from repro.kvpairs.sorting import sort_batch
-from repro.kvpairs.spill import Run, SpillDir, write_run_file
+from repro.kvpairs.spill import Run, SpillDir, write_sorted_run
 from repro.runtime.program import NodeProgram
 from repro.utils.residency import ResidencyMeter
 
@@ -125,7 +125,7 @@ class PartitionSpiller:
                 continue
             chunk = sort_batch(RecordBatch.concat(batches))
             path = self._spill.new_path(f"part-{dst}")
-            write_run_file(path, [chunk])
+            write_sorted_run(path, chunk)
             self._runs[dst].append(Run.from_file(path, len(chunk)))
             if self._meter is not None:
                 self._meter.spilled(chunk.nbytes)
@@ -160,7 +160,7 @@ def keep_or_spill(
         meter.charge(kept.nbytes, f"{tag}.resident")
         return Run.resident(kept)
     path = spill.new_path(tag)
-    write_run_file(path, [batch])
+    write_sorted_run(path, batch)
     meter.spilled(batch.nbytes)
     return Run.from_file(path, len(batch))
 

@@ -15,14 +15,23 @@ Two splitter constructions are provided:
 * :meth:`RangePartitioner.from_sample` — boundaries at the empirical
   quantiles of a key sample, the way Hadoop TeraSort's partitioner samples
   input splits; necessary for skewed inputs.
+
+With the default kernels (``$REPRO_KERNELS`` unset or ``ovc``),
+:meth:`RangePartitioner.partition_indices` routes large batches through
+the MSB radix table of :mod:`repro.kvpairs.kernels` — a lazily built,
+per-process 2^16-entry lookup on the top 16 key bits whose output is
+exactly equal to the ``searchsorted`` walk.  The table is a local cache:
+it is dropped on pickling, so shipping a partitioner inside a job
+descriptor stays as small as the boundary list itself.
 """
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import List, Optional, Sequence
 
 import numpy as np
 
+from repro.kvpairs import kernels
 from repro.kvpairs.records import RecordBatch
 
 _U64_SPAN = 1 << 64
@@ -48,6 +57,7 @@ class RangePartitioner:
             raise ValueError("boundaries must be non-decreasing")
         self.num_partitions = int(num_partitions)
         self.boundaries = bounds
+        self._radix: Optional[kernels.RadixTable] = None
 
     # -- constructors -------------------------------------------------------
 
@@ -88,8 +98,21 @@ class RangePartitioner:
     # -- mapping -------------------------------------------------------------
 
     def partition_indices(self, batch: RecordBatch) -> np.ndarray:
-        """Partition index in ``[0, K)`` for every record (vectorized)."""
+        """Partition index in ``[0, K)`` for every record (vectorized).
+
+        Large batches use the radix lookup table (identical output);
+        small ones and ``REPRO_KERNELS=classic`` keep the direct
+        ``searchsorted`` walk.
+        """
         hi = batch.key_prefix_u64()
+        if (
+            self.num_partitions >= 2
+            and len(batch) >= kernels.RADIX_MIN_BATCH
+            and kernels.use_ovc()
+        ):
+            if self._radix is None:
+                self._radix = kernels.RadixTable.build(self.boundaries)
+            return self._radix.partition(hi, self.boundaries)
         return np.searchsorted(self.boundaries, hi, side="right").astype(np.int64)
 
     def partition_of_prefix(self, hi: int) -> int:
@@ -115,6 +138,14 @@ class RangePartitioner:
             return 1.0
         counts = self.partition_counts(batch)
         return float(counts.max() * self.num_partitions / len(batch))
+
+    def __getstate__(self) -> dict:
+        # The radix table is a 256 KiB per-process cache; shipping it in
+        # job descriptors would blow the payload budget, and rebuilding
+        # it on first use is cheap.
+        state = self.__dict__.copy()
+        state["_radix"] = None
+        return state
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, RangePartitioner):

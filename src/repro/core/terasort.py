@@ -30,6 +30,12 @@ as sorted per-partition runs), a shuffle that ships runs as mmap views
 and spills what it receives, and a streaming Reduce (external k-way merge
 instead of one in-RAM sort).  Output is byte-identical to the in-memory
 path — the merge's run ordering reproduces the stable sort exactly.
+
+The compute hot path (Map's partition pass, Reduce's k-way merge) runs
+on the kernels of :mod:`repro.kvpairs.kernels` — MSB radix partition
+and the offset-value-coded merge (spilled runs carry persisted ``.ovc``
+code sidecars) — with ``REPRO_KERNELS=classic`` selecting the plain
+``searchsorted`` implementations; both are byte-identical.
 """
 
 from __future__ import annotations

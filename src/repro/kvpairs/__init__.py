@@ -4,6 +4,12 @@ Every record is 100 bytes: a 10-byte key and a 90-byte value, matching the
 Hadoop TeraGen records the paper sorts.  Records are held in NumPy structured
 arrays and all bulk operations (partitioning, sorting, serialization) are
 vectorized per the HPC guide — no per-record Python loops on the data path.
+
+The sort/merge/partition hot path runs on the compute kernels of
+:mod:`repro.kvpairs.kernels` (offset-value-coded merge, MSB radix
+partition) by default; ``REPRO_KERNELS=classic`` selects the plain
+``searchsorted`` implementations for A/B benchmarking.  Both produce
+byte-identical output.
 """
 
 from repro.kvpairs.records import (
@@ -21,6 +27,13 @@ from repro.kvpairs.serialization import (
     pack_batches,
     pack_batches_parts,
     unpack_batches,
+)
+from repro.kvpairs.kernels import (
+    KERNELS_ENV,
+    KernelStats,
+    kernel_mode,
+    ovc_codes,
+    use_ovc,
 )
 from repro.kvpairs.sorting import sort_batch, merge_sorted, is_sorted
 from repro.kvpairs.validation import (
@@ -43,6 +56,11 @@ __all__ = [
     "pack_batches",
     "pack_batches_parts",
     "unpack_batches",
+    "KERNELS_ENV",
+    "KernelStats",
+    "kernel_mode",
+    "ovc_codes",
+    "use_ovc",
     "sort_batch",
     "merge_sorted",
     "is_sorted",

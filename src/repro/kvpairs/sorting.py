@@ -1,16 +1,31 @@
-"""Local sorting of record batches (the Reduce-stage workhorse).
+"""Local sorting and merging of record batches (the Reduce-stage workhorse).
 
 Both TeraSort and CodedTeraSort end with each node sorting its partition
 locally (the paper uses ``std::sort``).  We realize the exact 10-byte key
 order with a two-column ``np.lexsort`` on the ``(hi, lo)`` key decomposition
 — a stable, vectorized radix-style sort with no per-record Python work.
 
-``merge_sorted`` is provided for the k-way merge variant of Reduce (merging
-per-source already-sorted runs), which is how Hadoop's reducer actually
-consumes shuffled spills.  It is a *real* vectorized merge — a tournament
-of stable pairwise ``np.searchsorted`` merges, ``O(n log k)`` comparisons
-on 10-byte keys — not a concatenate-and-resort; its output is cross-checked
-against sorting the concatenation.
+``merge_sorted`` is the k-way merge variant of Reduce (merging per-source
+already-sorted runs), which is how Hadoop's reducer actually consumes
+shuffled spills.  It is a *real* vectorized merge — a tournament of stable
+pairwise merges — not a concatenate-and-resort.  Two kernel
+implementations back it, selected by ``$REPRO_KERNELS`` (see
+:mod:`repro.kvpairs.kernels`):
+
+* ``ovc`` (default) — the offset-value-coded merge: per-run ``uint16``
+  OVC columns (offset of the first key byte differing from the
+  predecessor, packed with the byte value at that offset) provide the
+  duplicate-group structure and sortedness validation; rank queries
+  between runs resolve on cached ``uint64`` prefix words and touch full
+  ``S10`` keys only on prefix-word ties.
+* ``classic`` — the seed implementation: pairwise ``np.searchsorted``
+  over full ``S10`` keys.
+
+Both produce byte-identical output (same records, same stable tie
+order).  ``check=False`` skips the per-run sortedness validation for
+trusted internal call sites (e.g. :func:`repro.kvpairs.spill.merge_runs`,
+which validates each window once as it loads it); public callers keep
+the default ``check=True`` contract that unsorted runs raise.
 """
 
 from __future__ import annotations
@@ -19,6 +34,7 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.kvpairs import kernels
 from repro.kvpairs.records import RECORD_DTYPE, RecordBatch
 
 
@@ -48,7 +64,7 @@ def is_sorted(batch: RecordBatch) -> bool:
 
 
 def _merge_two(a: RecordBatch, b: RecordBatch) -> RecordBatch:
-    """Stable vectorized merge of two sorted runs (``a`` wins key ties).
+    """Classic stable vectorized merge of two sorted runs (``a`` wins ties).
 
     Each record's output position is its own index plus the count of
     other-run records that precede it: ``searchsorted(left)`` for ``a``'s
@@ -67,19 +83,13 @@ def _merge_two(a: RecordBatch, b: RecordBatch) -> RecordBatch:
     return RecordBatch(out)
 
 
-def merge_sorted(runs: Sequence[RecordBatch]) -> RecordBatch:
-    """Merge already-sorted runs into one sorted batch (stable k-way merge).
-
-    A tournament of pairwise :func:`_merge_two` merges — ``ceil(log2 k)``
-    vectorized rounds over the data instead of a full re-sort of the
-    concatenation.  Ties preserve run order (records from earlier runs
-    first), matching what a stable sort of the concatenation would yield.
-    Raises if any run is not sorted, because silent misuse would produce
-    subtly unsorted output.
-    """
-    for i, run in enumerate(runs):
-        if not is_sorted(run):
-            raise ValueError(f"run {i} is not sorted")
+def _merge_sorted_classic(
+    runs: Sequence[RecordBatch], check: bool
+) -> RecordBatch:
+    if check:
+        for i, run in enumerate(runs):
+            if not is_sorted(run):
+                raise ValueError(f"run {i} is not sorted")
     live = [run for run in runs if len(run)]
     if not live:
         return RecordBatch.empty()
@@ -92,3 +102,35 @@ def merge_sorted(runs: Sequence[RecordBatch]) -> RecordBatch:
             merged.append(live[-1])
         live = merged
     return live[0]
+
+
+def _merge_sorted_ovc(runs: Sequence[RecordBatch], check: bool) -> RecordBatch:
+    cols = [
+        kernels.RunColumns.from_batch(run, check=check, what=f"run {i}")
+        for i, run in enumerate(runs)
+        if len(run) or check
+    ]
+    return kernels.merge_sorted_columns(cols).batch
+
+
+def merge_sorted(
+    runs: Sequence[RecordBatch], check: bool = True
+) -> RecordBatch:
+    """Merge already-sorted runs into one sorted batch (stable k-way merge).
+
+    A tournament of pairwise vectorized merges — ``ceil(log2 k)`` rounds
+    over the data instead of a full re-sort of the concatenation.  Ties
+    preserve run order (records from earlier runs first), matching what a
+    stable sort of the concatenation would yield.  Output is
+    byte-identical across both kernel modes (``$REPRO_KERNELS``).
+
+    Args:
+        runs: the sorted runs, in priority order (earlier wins ties).
+        check: validate every run and raise ``ValueError`` if one is not
+            sorted (silent misuse would produce subtly unsorted output).
+            Trusted internal call sites that just produced/validated the
+            runs pass ``False`` and skip the re-scan.
+    """
+    if kernels.use_ovc():
+        return _merge_sorted_ovc(runs, check)
+    return _merge_sorted_classic(runs, check)

@@ -19,6 +19,23 @@ sort of the whole stream would produce.  That equivalence is what lets
 the out-of-core sort programs promise output byte-identical to the
 in-memory path.
 
+**OVC sidecars.**  With the offset-value-coded kernels active (the
+default — see :mod:`repro.kvpairs.kernels`), every *sorted* run file is
+written together with a ``<run>.ovc`` sidecar: the run's offset-value
+code column as packed little-endian ``uint16``, one code per record, in
+record order (code ``i`` is record ``i``'s code relative to record
+``i-1``; code 0 is relative to the virtual minus-infinity key).  Readers
+mmap the sidecar and slice it in lockstep with the record windows, so
+re-merging a spilled run never recomputes codes — and because the
+column was computed over the whole run at write time, a window's first
+code is automatically relative to the previous window's last record,
+which is exactly the cross-window carry the merge needs.  Runs without
+a sidecar (resident runs, foreign files) get their codes computed per
+window as they are loaded, with the same predecessor carry; that
+computation doubles as the per-window sortedness validation, so
+:func:`merge_runs` calls the merge with ``check=False`` and still keeps
+the "unsorted runs raise" contract.
+
 :class:`ExternalSorter` packages the write side of that contract: feed it
 batches in stream order, it accumulates up to a chunk budget, stable-sorts
 each chunk, spills it as one run, and hands the ordered run list to
@@ -48,7 +65,9 @@ from typing import Dict, Hashable, Iterable, Iterator, List, Optional, Sequence,
 
 import numpy as np
 
-from repro.kvpairs.records import RECORD_BYTES, RecordBatch
+from repro.kvpairs import kernels
+from repro.kvpairs.kernels import OVC_BYTES, OVC_DTYPE, RunColumns
+from repro.kvpairs.records import KEY_BYTES, RECORD_BYTES, RecordBatch
 from repro.kvpairs.sorting import is_sorted, merge_sorted, sort_batch
 from repro.utils.residency import ResidencyMeter
 
@@ -214,12 +233,56 @@ def read_run_file(path: str) -> RecordBatch:
     return RecordBatch.from_buffer(mm)
 
 
+def ovc_sidecar_path(path: str) -> str:
+    """Where a run file's OVC column lives (``<run>.ovc``)."""
+    return path + ".ovc"
+
+
+def write_ovc_file(path: str, codes) -> None:
+    """Persist an OVC column as packed little-endian ``uint16``."""
+    with open(ovc_sidecar_path(path), "wb") as f:
+        f.write(np.ascontiguousarray(codes, dtype=OVC_DTYPE).tobytes())
+
+
+def read_ovc_file(path: str, num_records: int):
+    """The run's OVC column as a zero-copy mmap view, or ``None``.
+
+    Returns ``None`` when no sidecar exists or its length does not match
+    ``num_records`` (a mismatched sidecar is ignored, never trusted).
+    """
+    sidecar = ovc_sidecar_path(path)
+    try:
+        size = os.path.getsize(sidecar)
+    except OSError:
+        return None
+    if size != num_records * OVC_BYTES or size == 0:
+        return None
+    with open(sidecar, "rb") as f:
+        mm = mmap.mmap(f.fileno(), 0, access=mmap.ACCESS_READ)
+    return np.frombuffer(mm, dtype=OVC_DTYPE)
+
+
+def write_sorted_run(path: str, chunk: RecordBatch) -> None:
+    """Write one sorted chunk as a run file (+ OVC sidecar in ovc mode).
+
+    The one write path every sorted-run producer (``ExternalSorter``,
+    ``PartitionSpiller``, ``keep_or_spill``) shares: the chunk was just
+    stable-sorted by the caller, so its OVC column is computed without
+    the validation pass and persisted alongside the records.
+    """
+    write_run_file(path, [chunk])
+    if kernels.use_ovc() and len(chunk):
+        write_ovc_file(path, kernels.ovc_codes(chunk, check=False))
+
+
 @dataclass
 class Run:
     """One sorted run: resident batch or file-backed records.
 
     ``num_records`` is tracked so sizing decisions never need an extra
     ``stat`` (and so empty runs short-circuit without touching disk).
+    File runs written through :func:`write_sorted_run` carry an OVC
+    sidecar; :meth:`load_codes` finds it by path.
     """
 
     path: Optional[str] = None
@@ -247,6 +310,12 @@ class Run:
         if self.path is None or self.num_records == 0:
             return RecordBatch.empty()
         return read_run_file(self.path)
+
+    def load_codes(self):
+        """The run's persisted OVC column (mmap view), or ``None``."""
+        if self.path is None or self.num_records == 0:
+            return None
+        return read_ovc_file(self.path, self.num_records)
 
     def iter_batches(self, window_records: int) -> Iterator[RecordBatch]:
         """The run as consecutive windows of at most ``window_records``."""
@@ -291,32 +360,96 @@ def read_blob(path: str) -> memoryview:
 # ---------------------------------------------------------------------------
 
 
-class _Cursor:
-    """Bounded read position into one sorted run."""
+def _part_nbytes(part: Union[RecordBatch, RunColumns]) -> int:
+    if isinstance(part, RunColumns):
+        return part.batch.nbytes + part.hi.nbytes + part.codes.nbytes
+    return part.nbytes
 
-    __slots__ = ("_it", "batch", "done", "_meter")
+
+class _Cursor:
+    """Bounded, validating read position into one sorted run.
+
+    Pulls the run in windows and validates each window exactly once as
+    it loads (classic: an ``is_sorted`` scan plus the window-boundary
+    key check; ovc: OVC code computation, whose inversion check *is* the
+    validation — or a trusted persisted sidecar, sliced in lockstep).
+    Downstream merges therefore run with ``check=False`` while the
+    documented "unsorted runs raise ``ValueError``" contract holds.
+    """
+
+    __slots__ = (
+        "_source", "_codes_src", "_window", "_pos", "_n", "_meter",
+        "_what", "_ovc", "_last_key", "head",
+    )
 
     def __init__(
-        self, it: Iterator[RecordBatch], meter: Optional[ResidencyMeter]
+        self,
+        run: Run,
+        window_records: int,
+        meter: Optional[ResidencyMeter],
+        index: int,
     ) -> None:
-        self._it = it
-        self.batch: Optional[RecordBatch] = None
-        self.done = False
+        if window_records <= 0:
+            window_records = DEFAULT_WINDOW_RECORDS
+        self._ovc = kernels.use_ovc()
+        self._source = run.load()
+        self._codes_src = run.load_codes() if self._ovc else None
+        self._n = run.num_records
+        self._window = window_records
+        self._pos = 0
         self._meter = meter
+        self._what = f"run {index}"
+        self._last_key: Optional[np.bytes_] = None
+        #: The loaded-but-unconsumed records (with columns in ovc mode).
+        self.head: Optional[Union[RecordBatch, RunColumns]] = None
 
-    def _pull(self) -> Optional[RecordBatch]:
-        nxt = next(self._it, None)
-        if nxt is None:
-            self.done = True
+    @property
+    def done(self) -> bool:
+        return self._pos >= self._n
+
+    def _head_batch(self) -> RecordBatch:
+        return self.head.batch if self._ovc else self.head
+
+    def _pull(self) -> Optional[Union[RecordBatch, RunColumns]]:
+        """Load, validate, and meter the next window (None if exhausted)."""
+        if self.done:
             return None
+        start = self._pos
+        stop = min(start + self._window, self._n)
+        self._pos = stop
+        window = self._source.slice(start, stop)
+        if self._ovc:
+            if self._codes_src is not None:
+                part: Union[RecordBatch, RunColumns] = RunColumns.from_batch(
+                    window, codes=self._codes_src[start:stop]
+                )
+            else:
+                base = (
+                    None
+                    if self._last_key is None
+                    else bytes(self._last_key).ljust(KEY_BYTES, b"\x00")
+                )
+                part = RunColumns.from_batch(
+                    window, base_key=base, check=True, what=self._what
+                )
+        else:
+            if not is_sorted(window) or (
+                self._last_key is not None
+                and window.keys[0] < self._last_key
+            ):
+                raise ValueError(f"{self._what} is not sorted")
+            part = window
+        self._last_key = window.keys[-1]
         if self._meter is not None:
-            self._meter.charge(nxt.nbytes, "merge.window")
-        return nxt
+            self._meter.charge(_part_nbytes(part), "merge.window")
+        return part
 
     def refill(self) -> None:
-        """Ensure at least one unconsumed record is loaded (or mark done)."""
-        while not self.done and (self.batch is None or len(self.batch) == 0):
-            self.batch = self._pull()
+        """Ensure at least one unconsumed record is loaded (or exhausted)."""
+        while not self.done and (
+            self.head is None or len(self._head_batch()) == 0
+        ):
+            self.head = self._pull()
 
     def extend_past(self, bound: np.bytes_) -> None:
         """Load more windows until the last loaded key exceeds ``bound``.
@@ -326,27 +459,44 @@ class _Cursor:
         window, and those must be emitted in the same round (before any
         later run's equal keys get a chance to overtake them).
         """
-        assert self.batch is not None
-        while not self.done and self.batch.keys[-1] <= bound:
+        assert self.head is not None
+        parts = [self.head]
+        while not self.done and self._tail_key(parts) <= bound:
             nxt = self._pull()
             if nxt is None:
-                return
-            if len(nxt):
-                self.batch = RecordBatch.concat([self.batch, nxt])
+                break
+            parts.append(nxt)
+        if len(parts) > 1:
+            self.head = (
+                RunColumns.concat(parts)
+                if self._ovc
+                else RecordBatch.concat(parts)
+            )
 
-    def take_upto(self, bound: np.bytes_) -> RecordBatch:
+    def _tail_key(self, parts) -> np.bytes_:
+        last = parts[-1]
+        return (last.batch if self._ovc else last).keys[-1]
+
+    def take_upto(
+        self, bound: np.bytes_
+    ) -> Union[RecordBatch, RunColumns]:
         """Split off (and return) every loaded record with key <= ``bound``."""
-        assert self.batch is not None
-        cut = int(np.searchsorted(self.batch.keys, bound, side="right"))
-        head = self.batch.slice(0, cut)
-        self.batch = self.batch.slice(cut, len(self.batch))
+        assert self.head is not None
+        batch = self._head_batch()
+        cut = int(np.searchsorted(batch.keys, bound, side="right"))
+        head = self.head.slice(0, cut)
+        self.head = self.head.slice(cut, len(batch))
         if self._meter is not None:
-            self._meter.discharge(head.nbytes)
+            self._meter.discharge(_part_nbytes(head))
         return head
 
     @property
     def live(self) -> bool:
-        return self.batch is not None and len(self.batch) > 0
+        return self.head is not None and len(self._head_batch()) > 0
+
+    @property
+    def head_last_key(self) -> np.bytes_:
+        return self._head_batch().keys[-1]
 
 
 def merge_runs(
@@ -397,7 +547,7 @@ def merge_runs(
             yield chunk
         return
     cursors = [
-        _Cursor(r.iter_batches(window_records), meter) for r in live_runs
+        _Cursor(r, window_records, meter, i) for i, r in enumerate(live_runs)
     ]
     for c in cursors:
         c.refill()
@@ -408,12 +558,17 @@ def merge_runs(
         # The smallest loaded window-end key bounds what can be emitted:
         # every record <= bound across *all* runs is currently loaded
         # (after extend_past pulls the boundary ties), so one stable
-        # merge_sorted round emits them in globally correct, stable order.
-        bound = min(c.batch.keys[-1] for c in active)  # type: ignore[index]
+        # merge round emits them in globally correct, stable order.
+        bound = min(c.head_last_key for c in active)
         for c in active:
             c.extend_past(bound)
-        heads = [c.take_upto(bound) for c in active]
-        merged = merge_sorted([h for h in heads if len(h)])
+        heads = [h for h in (c.take_upto(bound) for c in active) if len(h)]
+        if heads and isinstance(heads[0], RunColumns):
+            # Windows were validated (or sidecar-trusted) at load time and
+            # carry their columns — merge directly, no re-validation.
+            merged = kernels.merge_sorted_columns(heads).batch
+        else:
+            merged = merge_sorted(heads, check=False)
         yield from merged.iter_slices(out_records)
         for c in cursors:
             c.refill()
@@ -470,7 +625,7 @@ class ExternalSorter:
             return
         chunk = sort_batch(RecordBatch.concat(self._pending))
         path = self._spill.new_path(self._tag)
-        write_run_file(path, [chunk])
+        write_sorted_run(path, chunk)
         self._runs.append(Run.from_file(path, len(chunk)))
         if self._meter is not None:
             self._meter.spilled(chunk.nbytes)
