@@ -4,20 +4,44 @@ Reproduces the reported 31.3%–35.7% average-runtime reduction of MDS-coded
 distributed gradient descent over the uncoded baseline, on the shifted-
 exponential machine model, and sweeps the recovery threshold k to show the
 trade (small k: more work per worker; large k: longer straggler wait).
+
+**Live lane** (``main()``): real stragglers on the live process backend.
+One worker's map stage is paced N-times slower via ``$REPRO_FAULT_PLAN``
+(N in {2, 5, 10}; ``--quick`` runs N=5 only) and a TeraSort runs with
+speculative map re-execution on vs off.  Each lane's output is asserted
+byte-identical to a fault-free reference, and the x5 lane must show the
+acceptance-bar **>= 1.5x speedup** from speculation.  Results land in a
+JSON gated by ``check_regression.py --kind stragglers``.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_stragglers.py --quick \
+        [--out results/stragglers.json]
 """
 
 from __future__ import annotations
 
+import argparse
+import json
+import os
+import pathlib
+import sys
+import time
+from typing import Dict
+
 import numpy as np
 import pytest
 
-from repro.stragglers.latency import ShiftedExponential
-from repro.stragglers.matmul import CodedMatVec, UncodedMatVec
-from repro.stragglers.runner import (
+REPO = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+from repro.stragglers.latency import ShiftedExponential  # noqa: E402
+from repro.stragglers.matmul import CodedMatVec, UncodedMatVec  # noqa: E402
+from repro.stragglers.runner import (  # noqa: E402
     render_straggler_table,
     straggler_comparison,
 )
-from repro.utils.tables import format_table
+from repro.utils.tables import format_table  # noqa: E402
 
 
 def bench_straggler_gd_comparison(benchmark, sink):
@@ -82,3 +106,109 @@ def bench_straggler_threshold_sweep(benchmark, sink):
             markdown=True,
         ),
     )
+
+
+# ---------------------------------------------------------------------------
+# Live lane: one real injected straggler, speculation on vs off.
+# ---------------------------------------------------------------------------
+
+
+def _live_sort(
+    nodes: int, records: int, speculation: bool, plan: str, timeout: float
+):
+    """One TeraSort on a fresh process pool under the given fault plan.
+
+    A fresh Session per lane so the forked workers inherit the plan from
+    the environment (set before the pool fork) — the same no-plumbing
+    path a real deployment uses.
+    """
+    from repro.kvpairs.datasource import TeragenSource
+    from repro.runtime.process import ProcessCluster
+    from repro.session import Session, TeraSortSpec
+    from repro.testing.faults import ENV_VAR
+
+    old = os.environ.get(ENV_VAR)
+    os.environ[ENV_VAR] = plan
+    try:
+        with Session(ProcessCluster(
+            nodes, timeout=timeout, heartbeat_interval=0.05
+        )) as session:
+            t0 = time.perf_counter()
+            run = session.submit(TeraSortSpec(
+                input=TeragenSource(records, seed=71),
+                speculation=speculation,
+                speculation_wait_factor=1.5,
+                speculation_min_wait=0.1,
+            )).result(timeout=timeout)
+            seconds = time.perf_counter() - t0
+        return run, seconds
+    finally:
+        if old is None:
+            os.environ.pop(ENV_VAR, None)
+        else:
+            os.environ[ENV_VAR] = old
+
+
+def live_bench(
+    nodes: int, records: int, factors, timeout: float
+) -> Dict:
+    reference, _ = _live_sort(nodes, records, False, "", timeout)
+    ref_bytes = [p.to_bytes() for p in reference.partitions]
+    results: Dict = {"nodes": nodes, "records": records, "live": {}}
+    for factor in factors:
+        plan = f"stage.slow,rank=1,stage=map,factor={factor}"
+        lane: Dict = {}
+        for label, speculation in (("on", True), ("off", False)):
+            run, seconds = _live_sort(
+                nodes, records, speculation, plan, timeout
+            )
+            if [p.to_bytes() for p in run.partitions] != ref_bytes:
+                raise SystemExit(
+                    f"x{factor}/speculation-{label}: output diverged "
+                    f"from the fault-free reference"
+                )
+            lane[f"{label}_seconds"] = seconds
+            if speculation:
+                lane["speculation_meta"] = run.meta["speculation"]
+        lane["speedup"] = lane["off_seconds"] / lane["on_seconds"]
+        results["live"][f"x{factor}"] = lane
+        print(f"[live/x{factor}] speculation on {lane['on_seconds']:.2f}s "
+              f"vs off {lane['off_seconds']:.2f}s — "
+              f"{lane['speedup']:.2f}x (backups "
+              f"{lane['speculation_meta']['backups']})", flush=True)
+    return results
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="live straggler lane: injected slowdown, "
+                    "speculation on vs off")
+    parser.add_argument("--nodes", "-K", type=int, default=4)
+    parser.add_argument("--records", "-n", type=int, default=40_000)
+    parser.add_argument("--quick", action="store_true",
+                        help="CI smoke: the x5 lane only, 20k records")
+    parser.add_argument("--timeout", type=float, default=300.0)
+    parser.add_argument("--out", type=pathlib.Path, default=None,
+                        help="write the results JSON here")
+    args = parser.parse_args(argv)
+    factors = (5,) if args.quick else (2, 5, 10)
+    records = 20_000 if args.quick else args.records
+
+    results = live_bench(args.nodes, records, factors, args.timeout)
+    x5 = results["live"]["x5"]
+    if x5["speedup"] < 1.5:
+        print(f"FAIL: x5 straggler speedup {x5['speedup']:.2f}x is below "
+              f"the 1.5x acceptance bar", file=sys.stderr)
+        return 1
+    if args.out:
+        args.out.parent.mkdir(parents=True, exist_ok=True)
+        args.out.write_text(json.dumps(results, indent=2, sort_keys=True))
+        print(f"wrote {args.out}")
+    print(f"PASS: speculation recovered a x5 map straggler "
+          f"{x5['speedup']:.2f}x faster (>= 1.5x bar), byte-identical "
+          f"in every lane")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

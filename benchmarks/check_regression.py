@@ -55,6 +55,10 @@ MANIFEST: Dict[str, List[Tuple[str, str]]] = {
         ("tcp.parallel.mbps",
          "out-of-core coded sort throughput (real TCP mesh)"),
     ],
+    "stragglers": [
+        ("live.x5.speedup",
+         "speculation speedup under a 5x map straggler (on vs off)"),
+    ],
     "merge_kernels": [
         ("merge.speedup", "OVC k-way merge speedup over classic kernels"),
         ("merge.ovc_mbps", "k-way OVC merge throughput"),

@@ -21,6 +21,13 @@ provides:
   ``memory_budget`` switches the sort programs to chunked Map, spilled
   sorted runs, and a streaming external-merge Reduce — datasets 8x the
   per-worker budget sort byte-identically to the in-memory path;
+* a fault-tolerant live runtime: worker heartbeats with driver-side
+  failure detection (typed :class:`WorkerFailure`), automatic
+  byte-identical job retry (``Session(max_retries=...)``), speculative
+  re-execution of straggling map shards
+  (``TeraSortSpec(speculation=True)``), and a deterministic
+  fault-injection harness (``$REPRO_FAULT_PLAN``) that drives the
+  chaos tests and straggler benchmarks;
 * a discrete-event cluster simulator calibrated to the paper's EC2 testbed
   that regenerates every table and figure at full 12 GB scale;
 * the closed-form theory (Eq. (2)-(5)) and an experiment harness producing
@@ -68,6 +75,7 @@ from repro.kvpairs.validation import (
     validate_sorted_permutation,
 )
 from repro.runtime.api import MulticastMode
+from repro.runtime.errors import RuntimeTimeoutError, WorkerFailure
 from repro.runtime.inproc import ThreadCluster
 from repro.runtime.process import ProcessCluster
 from repro.runtime.tcp import TcpCluster
@@ -75,6 +83,7 @@ from repro.scalable.program import run_grouped_coded_terasort
 from repro.scalable.sim import simulate_grouped_coded_terasort
 from repro.session import (
     CodedTeraSortSpec,
+    JobAttempt,
     JobHandle,
     JobSpec,
     MapReduceSpec,
@@ -92,6 +101,9 @@ __all__ = [
     "Session",
     "JobSpec",
     "JobHandle",
+    "JobAttempt",
+    "WorkerFailure",
+    "RuntimeTimeoutError",
     "TeraSortSpec",
     "CodedTeraSortSpec",
     "MapReduceSpec",

@@ -55,10 +55,16 @@ def _sort_spec(args: argparse.Namespace, data, source):
         output_dir=args.output,
     )
     if args.algorithm == "coded":
+        if args.speculation:
+            raise SystemExit(
+                "--speculation applies to --algorithm terasort only "
+                "(the coded shuffle has no independent map shards to "
+                "re-execute)"
+            )
         return CodedTeraSortSpec(
             redundancy=args.redundancy, schedule=args.schedule, **fields
         )
-    return TeraSortSpec(**fields)
+    return TeraSortSpec(speculation=args.speculation, **fields)
 
 
 def _cmd_gen(args: argparse.Namespace) -> int:
@@ -97,7 +103,12 @@ def _cmd_sort(args: argparse.Namespace) -> int:
         backend = f"tcp ({cluster.address})"
         print(f"rendezvous listening on {cluster.address} — start workers "
               f"with: repro worker --join {cluster.address}")
-    with Session(cluster) as session:
+    with Session(
+        cluster,
+        max_retries=args.max_retries,
+        retry_backoff=args.retry_backoff,
+        failure_timeout=args.failure_timeout,
+    ) as session:
         spec = _sort_spec(args, data, source)
         if args.repeat > 1:
             # Back-to-back jobs on one standing worker pool: the cluster
@@ -433,6 +444,22 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--repeat", type=int, default=1,
                    help="run the sort N times on one session (persistent "
                         "worker pool) and report jobs/sec")
+    p.add_argument("--max-retries", type=int, default=0,
+                   help="automatically resubmit a job up to N times after "
+                        "an infrastructure failure (worker crash or "
+                        "silence); re-runs are byte-identical")
+    p.add_argument("--retry-backoff", type=float, default=0.5,
+                   help="base seconds between retry attempts (doubles "
+                        "per attempt)")
+    p.add_argument("--failure-timeout", type=float, default=None,
+                   help="declare a worker dead after this many seconds "
+                        "without a heartbeat (default: the backend's "
+                        "setting; process/tcp backends only)")
+    p.add_argument("--speculation", action="store_true",
+                   help="with --algorithm terasort and --input: launch "
+                        "backup copies of straggling map shards on "
+                        "finished workers (first finisher wins; output "
+                        "stays byte-identical)")
     p.set_defaults(func=_cmd_sort)
 
     p = sub.add_parser(

@@ -40,6 +40,8 @@ code sidecars) — with ``REPRO_KERNELS=classic`` selecting the plain
 
 from __future__ import annotations
 
+import struct
+import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple, Union
 
@@ -74,6 +76,31 @@ from repro.runtime.traffic import TrafficLog
 #: User tag carrying shuffled intermediate values.
 SHUFFLE_TAG = 1000
 
+#: Backup -> straggler: "my copy of your map shard is complete" (empty
+#: payload).  A straggler only abandons its own map after this arrives,
+#: which guarantees the backup's copy exists before anyone is redirected.
+SPEC_READY_TAG = 1100
+#: ``SPEC_DATA_TAG + shard``: the backup ships that shard's partition.
+SPEC_DATA_TAG = 1200
+
+#: Bounds on the per-window record count in speculative mode.  The map
+#: runs windowed so abandon-polls (and injected-slowdown pacing) happen
+#: at window boundaries: ~SPEC_WINDOWS_PER_SHARD windows per shard,
+#: clamped so tiny shards still poll and huge ones don't poll too often.
+SPEC_MAP_WINDOW = 32768
+SPEC_MIN_WINDOW = 512
+SPEC_WINDOWS_PER_SHARD = 32
+
+
+def _spec_window(num_records: int) -> int:
+    """Map-window size giving ~SPEC_WINDOWS_PER_SHARD polls per shard."""
+    per = -(-num_records // SPEC_WINDOWS_PER_SHARD)
+    return max(SPEC_MIN_WINDOW, min(SPEC_MAP_WINDOW, per))
+
+#: First byte of a speculative primary shuffle frame.
+_FRAME_DATA = 1  # packed partition bytes follow
+_FRAME_YIELD = 0  # uint32 backup rank follows: fetch the shard from there
+
 STAGES_TERASORT = ["map", "pack", "shuffle", "unpack", "reduce"]
 
 
@@ -93,6 +120,10 @@ class TeraSortProgram(NodeProgram):
         output_dir: with a budget, stream the sorted partition to
             ``<output_dir>/part-<rank>`` and return a ``FileSource``
             instead of materializing it.
+        spec_splits: all ranks' shard descriptors — enables speculative
+            map re-execution (any rank can re-map a straggler's shard).
+            Requires a live pool backend (a driver control channel);
+            without one the program degrades to the plain path.
     """
 
     STAGES = STAGES_TERASORT
@@ -104,18 +135,22 @@ class TeraSortProgram(NodeProgram):
         partitioner: RangePartitioner,
         memory_budget: Optional[int] = None,
         output_dir: Optional[str] = None,
+        spec_splits: Optional[List[DataSource]] = None,
     ) -> None:
         super().__init__(comm)
         self.source = as_source(file_data)
         self.partitioner = partitioner
         self.memory_budget = memory_budget
         self.output_dir = output_dir
+        self.spec_splits = spec_splits
         #: Residency accounting for the out-of-core path (None otherwise).
         self.meter: Optional[ResidencyMeter] = None
 
     def run(self) -> Union[RecordBatch, FileSource]:
         if self.memory_budget is not None:
             return self._run_out_of_core()
+        if self.spec_splits is not None and self.comm.job_control is not None:
+            return self._run_speculative()
         k = self.size
         rank = self.rank
 
@@ -158,6 +193,258 @@ class TeraSortProgram(NodeProgram):
         with self.stage("reduce"):
             result = sort_batch(RecordBatch.concat([own] + incoming))
         return result
+
+    # -- speculative map re-execution ---------------------------------------
+
+    def _run_speculative(self) -> RecordBatch:
+        """In-memory TeraSort with driver-directed speculative execution.
+
+        Map runs windowed so a rank can abandon its shard the moment a
+        backup copy (launched by the driver on an already-finished
+        worker) signals completion.  The shuffle becomes an event loop:
+        every rank sends its frames up front, each either a *data* frame
+        (marker byte + packed partition) or a *yield* frame naming the
+        backup rank to fetch that shard's partition from instead.  A
+        shard's partitions are a deterministic function of its
+        descriptor, so whichever copy wins the race the output is
+        byte-identical to the plain path.
+        """
+        k = self.size
+        rank = self.rank
+
+        with self.stage("map"):
+            map_t0 = time.perf_counter()
+            parts, my_backup = self._speculative_map()
+            if parts is None:
+                # Pseudo-stage (not in STAGES): flags the abandoned map
+                # and its sunk time in this node's raw stage dict.
+                self.stopwatch.add(
+                    "spec_map_abandoned", time.perf_counter() - map_t0
+                )
+
+        with self.stage("pack"):
+            if parts is not None:
+                outgoing: Dict[int, Any] = {
+                    dst: [bytes([_FRAME_DATA]),
+                          *pack_batch_parts(parts[dst], tag=rank)]
+                    for dst in range(k)
+                    if dst != rank
+                }
+                own: Optional[RecordBatch] = parts[rank]
+            else:
+                redirect = bytes([_FRAME_YIELD]) + struct.pack(
+                    "<I", my_backup
+                )
+                outgoing = {dst: redirect for dst in range(k) if dst != rank}
+                own = None
+
+        with self.stage("shuffle"):
+            for dst in range(k):
+                if dst != rank:
+                    self.comm.send(dst, SHUFFLE_TAG, outgoing[dst])
+            raw_frames, local_batches, own_raw = (
+                self._speculative_shuffle_loop(my_backup if own is None else None)
+            )
+
+        with self.stage("unpack"):
+            if own is None:
+                tag, own = unpack_batch(own_raw, copy=False)
+                if tag != rank:
+                    raise RuntimeError(
+                        f"backup frame tag {tag} does not match shard {rank}"
+                    )
+            incoming: List[RecordBatch] = []
+            for sender in range(k):
+                if sender == rank:
+                    continue
+                if sender in local_batches:
+                    incoming.append(local_batches[sender])
+                    continue
+                tag, batch = unpack_batch(raw_frames[sender], copy=False)
+                if tag != sender:
+                    raise RuntimeError(
+                        f"shuffle frame tag {tag} does not match "
+                        f"shard {sender}"
+                    )
+                incoming.append(batch)
+
+        with self.stage("reduce"):
+            result = sort_batch(RecordBatch.concat([own] + incoming))
+        return result
+
+    def _speculative_map(
+        self,
+    ) -> Tuple[Optional[List[RecordBatch]], Optional[int]]:
+        """Windowed map, preemptible by a backup's READY signal.
+
+        Returns ``(parts, backup)``: the ``K`` partitions, or ``None``
+        if this rank abandoned its shard because the backup's copy
+        finished first; ``backup`` is the rank holding that copy
+        (``None`` when no backup was ever assigned).
+        """
+        k = self.size
+        control = self.comm.job_control
+        acc: List[List[RecordBatch]] = [[] for _ in range(k)]
+        backup: Optional[int] = None
+        ready_req = None
+
+        def backup_finished() -> bool:
+            nonlocal backup, ready_req
+            if backup is None:
+                backup = control.backup_for(self.rank)
+                if backup is not None:
+                    ready_req = self.comm.irecv(backup, SPEC_READY_TAG)
+            return ready_req is not None and ready_req.test()
+
+        window_records = _spec_window(self.source.num_records)
+        for window in self.source.iter_batches(window_records):
+            wparts = hash_file(window, self.partitioner)
+            for dst in range(k):
+                acc[dst].append(wparts[dst])
+            if self.fault_checkpoint(backup_finished) or backup_finished():
+                return None, backup
+        if backup_finished():
+            # The backup beat us even to the finish line: still yield,
+            # so exactly one copy of the shard enters the shuffle.
+            return None, backup
+        return [RecordBatch.concat(pieces) for pieces in acc], backup
+
+    def _speculative_shuffle_loop(
+        self, fetch_own_from: Optional[int]
+    ) -> Tuple[Dict[int, Any], Dict[int, RecordBatch], Optional[Any]]:
+        """Collect one partition frame per shard, re-routing yielded ones.
+
+        Runs inside the ``shuffle`` stage after this rank's own frames
+        went out.  Also services this rank's backup duty: when the
+        driver names this rank as backup for a straggling shard, the
+        duty map runs synchronously here (all receives are polled, so
+        nothing blocks on this rank meanwhile).
+
+        Args:
+            fetch_own_from: set when this rank abandoned its own map —
+                the backup rank shipping our partition of our shard.
+
+        Returns:
+            ``(raw_frames, local_batches, own_raw)``: packed-partition
+            frames by shard, partitions kept locally from backup duty,
+            and the raw frame holding our own partition (``None`` unless
+            ``fetch_own_from``).
+        """
+        k = self.size
+        rank = self.rank
+        comm = self.comm
+        control = comm.job_control
+
+        primary = {
+            s: comm.irecv(s, SHUFFLE_TAG, copy=False)
+            for s in range(k)
+            if s != rank
+        }
+        pending = set(primary)
+        spec_reqs: Dict[int, Any] = {}
+        raw_frames: Dict[int, Any] = {}
+        local_batches: Dict[int, RecordBatch] = {}
+        duty_parts: Dict[int, Optional[List[RecordBatch]]] = {}
+        own_req = None
+        own_raw: Optional[Any] = None
+        if fetch_own_from is not None:
+            own_req = comm.irecv(
+                fetch_own_from, SPEC_DATA_TAG + rank, copy=False
+            )
+
+        while pending or spec_reqs or own_req is not None:
+            progressed = False
+
+            duty = control.backup_duty(rank)
+            if duty is not None and duty != rank and duty not in duty_parts:
+                if duty in pending:
+                    duty_parts[duty] = self._run_backup_duty(
+                        duty, primary[duty]
+                    )
+                else:
+                    duty_parts[duty] = None  # shard already delivered
+                progressed = True
+
+            for s in list(pending):
+                if not primary[s].test():
+                    continue
+                payload = primary[s].wait()
+                pending.discard(s)
+                progressed = True
+                if payload[0] == _FRAME_DATA:
+                    raw_frames[s] = memoryview(payload)[1:]
+                    continue
+                (backup,) = struct.unpack_from("<I", payload, 1)
+                if backup != rank:
+                    spec_reqs[s] = comm.irecv(
+                        backup, SPEC_DATA_TAG + s, copy=False
+                    )
+                    continue
+                # We are the backup: a straggler yields only after our
+                # READY, so the duty copy is guaranteed complete — ship
+                # it to everyone else, keep our own partition locally.
+                parts = duty_parts.get(s)
+                if parts is None:
+                    raise RuntimeError(
+                        f"shard {s} yielded to rank {rank} before its "
+                        f"backup copy completed"
+                    )
+                for dst in range(k):
+                    if dst != rank:
+                        comm.send(
+                            dst,
+                            SPEC_DATA_TAG + s,
+                            pack_batch_parts(parts[dst], tag=s),
+                        )
+                local_batches[s] = parts[rank]
+
+            for s in list(spec_reqs):
+                if spec_reqs[s].test():
+                    raw_frames[s] = spec_reqs.pop(s).wait()
+                    progressed = True
+
+            if own_req is not None and own_req.test():
+                own_raw = own_req.wait()
+                own_req = None
+                progressed = True
+
+            if not progressed:
+                time.sleep(0.0005)
+
+        return raw_frames, local_batches, own_raw
+
+    def _run_backup_duty(
+        self, shard: int, straggler_req: Any
+    ) -> Optional[List[RecordBatch]]:
+        """Map the straggler's shard; abort if its own frame lands first.
+
+        Returns the shard's ``K`` partitions, or ``None`` when the
+        straggler finished while we were still duplicating (its primary
+        frame then carries the real bytes).  On completion, READY is
+        signalled to the straggler — its next window-boundary poll will
+        make it yield, and the resolution (its primary frame's marker)
+        tells us whether to ship the duty copy or discard it.
+        """
+        assert self.spec_splits is not None
+        t0 = time.perf_counter()
+        k = self.size
+        split = self.spec_splits[shard]
+        acc: List[List[RecordBatch]] = [[] for _ in range(k)]
+        for window in split.iter_batches(_spec_window(split.num_records)):
+            if straggler_req.test():
+                return None
+            wparts = hash_file(window, self.partitioner)
+            for dst in range(k):
+                acc[dst].append(wparts[dst])
+            if self.fault_checkpoint(straggler_req.test):
+                return None
+        if straggler_req.test():
+            return None
+        parts = [RecordBatch.concat(pieces) for pieces in acc]
+        self.comm.send(shard, SPEC_READY_TAG, b"")
+        # Pseudo-stage: duty time, visible in this node's raw stage dict.
+        self.stopwatch.add("spec_backup", time.perf_counter() - t0)
+        return parts
 
     # -- bounded-memory pipeline --------------------------------------------
 
@@ -285,13 +572,14 @@ class SortRun:
 
 def _terasort_program(comm: Comm, payload: Tuple) -> TeraSortProgram:
     """Pool builder (module-level for pickling): payload -> node program."""
-    source, partitioner, memory_budget, output_dir = payload
+    source, partitioner, memory_budget, output_dir, *rest = payload
     return TeraSortProgram(
         comm,
         source,
         partitioner,
         memory_budget=memory_budget,
         output_dir=output_dir,
+        spec_splits=rest[0] if rest else None,
     )
 
 
@@ -303,6 +591,9 @@ def prepare_terasort(
     sample_seed: int = 7,
     memory_budget: Optional[int] = None,
     output_dir: Optional[str] = None,
+    speculation: bool = False,
+    speculation_wait_factor: float = 1.5,
+    speculation_min_wait: float = 0.2,
 ) -> PreparedJob:
     """Compile one TeraSort over ``size`` nodes into a pool-runnable job.
 
@@ -315,14 +606,34 @@ def prepare_terasort(
     ``RecordBatch`` call style — still ships its records by value, the
     seed behavior).  ``finalize`` assembles the pool's
     :class:`~repro.runtime.program.ClusterResult` into a :class:`SortRun`.
+
+    With ``speculation`` the compiled job additionally asks the pool's
+    driver loop to watch per-stage heartbeats and launch a backup copy
+    of a straggling map shard on an already-finished worker (first
+    finisher wins; output stays byte-identical).  Requires a re-readable
+    input descriptor (not an :class:`InlineSource`) and the in-memory
+    path.
     """
     source = as_source(data)
+    if speculation:
+        if isinstance(source, InlineSource):
+            raise ValueError(
+                "speculation requires a re-readable DataSource input "
+                "(a backup worker must be able to read the straggler's "
+                "split); got an InlineSource"
+            )
+        if memory_budget is not None:
+            raise ValueError(
+                "speculation is only supported on the in-memory path "
+                "(no memory_budget)"
+            )
     partitioner = _build_partitioner_from_source(
         source, size, sampled_partitioner, sample_size, sample_seed
     )
     splits = UncodedPlacement(size).split_source(source)
+    spec_splits = list(splits) if speculation else None
     payloads: List[Any] = [
-        (splits[rank], partitioner, memory_budget, output_dir)
+        (splits[rank], partitioner, memory_budget, output_dir, spec_splits)
         for rank in range(size)
     ]
     input_records = source.num_records
@@ -337,6 +648,21 @@ def prepare_terasort(
         if memory_budget is not None:
             meta["memory_budget"] = memory_budget
             meta.update(residency_meta(result.per_node_times))
+        if speculation:
+            # Which ranks ran a backup copy / abandoned their own map
+            # (from the pseudo-stage stamps in the raw per-node times).
+            meta["speculation"] = {
+                "backups": [
+                    r
+                    for r, t in enumerate(result.per_node_times)
+                    if "spec_backup" in t
+                ],
+                "abandoned": [
+                    r
+                    for r, t in enumerate(result.per_node_times)
+                    if "spec_map_abandoned" in t
+                ],
+            }
         return SortRun(
             partitions=list(result.results),
             stage_times=result.stage_times,
@@ -346,7 +672,18 @@ def prepare_terasort(
         )
 
     return PreparedJob(
-        builder=_terasort_program, payloads=payloads, finalize=finalize
+        builder=_terasort_program,
+        payloads=payloads,
+        finalize=finalize,
+        speculation=(
+            {
+                "stage": "map",
+                "wait_factor": speculation_wait_factor,
+                "min_wait": speculation_min_wait,
+            }
+            if speculation
+            else None
+        ),
     )
 
 

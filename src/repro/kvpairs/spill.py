@@ -146,6 +146,13 @@ class SpillDir:
         Covers workers that died without running ``atexit`` (SIGKILL): the
         next agent starting on the same host reaps their leftovers.  Dirs
         belonging to live pids (including this process) are left alone.
+
+        Race-safe under concurrent sweeps (every worker of a re-forked
+        pool sweeps at startup): a sweeper first *claims* an orphan by
+        renaming it to ``<name>.reap-<sweeper pid>`` — the atomic rename
+        ensures exactly one winner per dir — then removes the claimed
+        name.  A claim whose sweeper itself died is re-claimed by the
+        next sweep.
         """
         base = base or spill_base_dir()
         removed: List[str] = []
@@ -156,15 +163,29 @@ class SpillDir:
         for name in entries:
             if not name.startswith(SPILL_DIR_PREFIX + "-"):
                 continue
-            parts = name.split("-")
+            plain, _, claim = name.partition(".reap-")
+            parts = plain.split("-")
             try:
-                pid = int(parts[2])
+                owner = int(parts[2])
             except (IndexError, ValueError):
                 continue
-            if pid == os.getpid() or _pid_alive(pid):
+            if claim:
+                # Already claimed: only steal it from a dead sweeper.
+                try:
+                    claimer = int(claim.rsplit(".reap-", 1)[-1])
+                except ValueError:
+                    continue
+                if claimer == os.getpid() or _pid_alive(claimer):
+                    continue
+            elif owner == os.getpid() or _pid_alive(owner):
                 continue
             path = os.path.join(base, name)
-            shutil.rmtree(path, ignore_errors=True)
+            claimed = f"{path}.reap-{os.getpid()}"
+            try:
+                os.rename(path, claimed)
+            except OSError:
+                continue  # lost the claim race to a concurrent sweeper
+            shutil.rmtree(claimed, ignore_errors=True)
             removed.append(path)
         return removed
 

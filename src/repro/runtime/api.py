@@ -79,9 +79,10 @@ import struct
 import threading
 import time
 from abc import ABC, abstractmethod
-from typing import Callable, List, Optional, Sequence, Tuple, Union
+from typing import Any, Callable, List, Optional, Sequence, Tuple, Union
 
 from repro.runtime.traffic import TrafficLog
+from repro.testing import faults
 from repro.utils import copytrack
 
 #: Tags at or above this value are reserved for internal protocols
@@ -395,6 +396,10 @@ class Comm(ABC):
         # Session pools shift every job into its own user-tag window.
         self._job_tag_offset = 0
         self._in_session = False
+        self._job_seq = 0
+        # Driver->worker mid-job control channel (speculation); installed
+        # by the pool's control loop, None on one-shot/thread backends.
+        self.job_control: Optional[Any] = None
 
     # -- session jobs -----------------------------------------------------------
 
@@ -414,6 +419,8 @@ class Comm(ABC):
         self.traffic = traffic
         self._stage = "init"
         self._in_session = True
+        self._job_seq = job_seq
+        self.job_control = None
         self._job_tag_offset = (job_seq % _JOB_TAG_WINDOWS) * JOB_TAG_STRIDE
         self._begin_job_raw(job_seq)
 
@@ -574,6 +581,7 @@ class Comm(ABC):
         """
         self._check_peer(dst)
         tag = self._user_tag(tag)
+        faults.comm_op("send", self.rank, dst, self._stage, self._job_seq)
         if self.traffic is not None:
             self.traffic.record(
                 self._stage, "unicast", self.rank, (dst,), payload_nbytes(payload)
@@ -610,6 +618,7 @@ class Comm(ABC):
         """
         self._check_peer(src)
         tag = self._user_tag(tag)
+        faults.comm_op("recv", self.rank, src, self._stage, self._job_seq)
         return self._recv_framed(src, tag, copy=copy)
 
     def irecv(self, src: int, tag: int, copy: bool = True) -> Request:

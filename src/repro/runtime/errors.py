@@ -1,0 +1,98 @@
+"""Typed runtime failures for the live backends.
+
+The live runtime used to surface every failure mode — a crashed worker,
+a wedged socket, a driver-side timeout — as a bare ``RuntimeError`` (or
+an EOF cascade that eventually became one).  Fault-tolerant execution
+needs to *distinguish* them: a :class:`WorkerFailure` is retryable (the
+job's inputs are deterministic descriptors, so a re-run is
+byte-identical), while a program bug raised inside a stage must fail the
+handle immediately and must never be retried.
+
+Both classes extend :class:`~repro.runtime.api.CommError` (itself a
+``RuntimeError``), so every existing ``except CommError`` /
+``except RuntimeError`` site keeps working.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.runtime.api import CommError
+
+
+class WorkerFailure(CommError):
+    """A worker died or went silent mid-job: infrastructure, not program.
+
+    Attributes:
+        rank: the failed worker's rank (``-1`` when unattributable).
+        stage: the last stage the worker was known to be executing.
+        cause: human-readable cause (EOF, heartbeat timeout, crash, ...).
+
+    This is the *retryable* failure class: :class:`~repro.session.Session`
+    re-submits a job that raised ``WorkerFailure`` (up to ``max_retries``),
+    because job specs are deterministic descriptors and a re-run produces
+    byte-identical output.
+    """
+
+    def __init__(self, rank: int, stage: str, cause: str) -> None:
+        super().__init__(
+            f"worker {rank} failed in stage {stage!r}: {cause}"
+        )
+        self.rank = rank
+        self.stage = stage
+        self.cause = cause
+
+
+class RuntimeTimeoutError(CommError):
+    """A bounded runtime wait expired (socket op or whole-job deadline).
+
+    Unlike :class:`WorkerFailure` this is **not** auto-retried: a job
+    that outruns its deadline would most likely outrun it again.
+
+    Attributes:
+        peer: the remote rank being waited on, or ``None``.
+        stage: the stage active when the wait expired, or ``None``.
+        seconds: the timeout that expired, or ``None`` if unknown.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        peer: Optional[int] = None,
+        stage: Optional[str] = None,
+        seconds: Optional[float] = None,
+    ) -> None:
+        super().__init__(message)
+        self.peer = peer
+        self.stage = stage
+        self.seconds = seconds
+
+
+def job_failure(
+    backend: str,
+    program_errors: Sequence[str],
+    infra_failures: Sequence[Tuple[int, str, str]],
+) -> RuntimeError:
+    """Classify a pool job's collected failures into one exception.
+
+    Shared by the process and TCP pool drivers.  Any *program* error (a
+    worker's job raised) dominates: the job failed on its own merits and
+    must not be retried, so the result is a plain :class:`RuntimeError` —
+    even though the crash's EOF cascade usually adds comm failures from
+    every surviving worker.  Pure infrastructure failures produce a
+    :class:`WorkerFailure` attributed to the first failing rank (the
+    retryable class).  Every collected failure line is kept in the
+    message either way.
+    """
+    lines: List[str] = list(program_errors)
+    lines += [
+        f"worker {rank} failed in stage {stage!r}: {cause}"
+        for rank, stage, cause in infra_failures
+    ]
+    message = f"{backend} job failed:\n" + "\n".join(lines)
+    if program_errors or not infra_failures:
+        return RuntimeError(message)
+    rank, stage, cause = infra_failures[0]
+    failure = WorkerFailure(rank, stage, cause)
+    failure.args = (message,)
+    return failure

@@ -61,9 +61,16 @@ from repro.runtime.api import (
     _JOB_TAG_WINDOWS,
     barrier_tag,
 )
+from repro.runtime.errors import (
+    RuntimeTimeoutError,
+    WorkerFailure,
+    job_failure as _job_failure,
+)
 from repro.runtime.mailbox import Mailbox, MailboxClosed
+from repro.runtime.monitor import JobMonitor
 from repro.runtime.program import (
     ClusterResult,
+    JobControl,
     NodeProgram,
     PreparedJob,
     ProgramFactory,
@@ -143,22 +150,45 @@ class _SocketComm(Comm):
         try:
             with self._send_locks[dst]:
                 send_frame(self._conns[dst], tag, payload, pacer=self._pacer)
+        except socket.timeout as exc:
+            # SO_SNDTIMEO expiry: the peer stopped draining (wedged or
+            # dead) — typed so drivers can tell timeout from protocol bug.
+            raise RuntimeTimeoutError(
+                f"send to worker {dst} timed out in stage "
+                f"{self._stage!r}: {exc}",
+                peer=dst,
+                stage=self._stage,
+            ) from exc
         except (OSError, TransportError) as exc:
-            raise CommError(f"send to {dst} failed: {exc}") from exc
+            raise WorkerFailure(
+                dst, self._stage, f"send failed: {exc}"
+            ) from exc
 
     def _recv_raw(self, src: int, tag: int, timeout=BACKEND_TIMEOUT) -> bytearray:
         if timeout is BACKEND_TIMEOUT:
             timeout = self._recv_timeout
         try:
             return self._mailbox.get(src, tag, timeout)
-        except (MailboxClosed, TimeoutError) as exc:
-            raise CommError(f"recv from {src} failed: {exc}") from exc
+        except TimeoutError as exc:
+            raise RuntimeTimeoutError(
+                f"recv from worker {src} timed out after {timeout}s in "
+                f"stage {self._stage!r}",
+                peer=src,
+                stage=self._stage,
+                seconds=timeout,
+            ) from exc
+        except MailboxClosed as exc:
+            raise WorkerFailure(
+                src, self._stage, f"peer connection lost: {exc}"
+            ) from exc
 
     def _poll_raw(self, src: int, tag: int) -> Optional[bytes]:
         try:
             return self._mailbox.poll(src, tag)
         except MailboxClosed as exc:
-            raise CommError(f"recv from {src} failed: {exc}") from exc
+            raise WorkerFailure(
+                src, self._stage, f"peer connection lost: {exc}"
+            ) from exc
 
     def _begin_job_raw(self, job_seq: int) -> None:
         # Per-job barrier-epoch base: a stale barrier frame of an earlier
@@ -385,11 +415,89 @@ def _worker_main(
                 pass
 
 
+class _CtrlReader:
+    """Owns the coordinator channel's receive side on a daemon thread.
+
+    Frames are demultiplexed by type: ``("job", ...)`` / ``("stop",)`` /
+    channel-EOF land on the inbox queue the control loop pops, while
+    mid-job ``("ctl", seq, payload)`` frames are delivered straight into
+    the running job's :class:`JobControl` — so the program never has to
+    stop working to receive a speculation directive.
+    """
+
+    _EOF = ("__eof__",)
+
+    def __init__(self, recv_msg: Callable[[], Tuple]) -> None:
+        self._recv_msg = recv_msg
+        self.inbox: "queue.Queue[Tuple]" = queue.Queue()
+        self.job_control: Optional[JobControl] = None
+        self._thread = threading.Thread(
+            target=self._loop, daemon=True, name="pool-ctrl-reader"
+        )
+        self._thread.start()
+
+    def _loop(self) -> None:
+        while True:
+            try:
+                msg = self._recv_msg()
+            except (EOFError, OSError, TransportError):
+                self.inbox.put(self._EOF)
+                return
+            if msg[0] == "ctl":
+                control = self.job_control
+                if control is not None and msg[1] == control.job_seq:
+                    control.deliver(msg[2])
+                continue
+            self.inbox.put(msg)
+            if msg[0] != "job":
+                return  # "stop" (or anything unknown) ends the loop
+
+
+class _Heartbeater:
+    """Emits ``("hb", rank, job_seq, stage)`` frames while a job runs."""
+
+    def __init__(
+        self,
+        rank: int,
+        job_seq: int,
+        comm: Comm,
+        send_msg: Callable[[Tuple], None],
+        send_lock: threading.Lock,
+        interval: float,
+    ) -> None:
+        self._rank = rank
+        self._job_seq = job_seq
+        self._comm = comm
+        self._send_msg = send_msg
+        self._send_lock = send_lock
+        self._interval = interval
+        self._stop = threading.Event()
+        self._thread = threading.Thread(
+            target=self._loop, daemon=True, name=f"heartbeat-{rank}"
+        )
+        self._thread.start()
+
+    def _loop(self) -> None:
+        while not self._stop.wait(self._interval):
+            beat = ("hb", self._rank, self._job_seq, self._comm.stage)
+            try:
+                with self._send_lock:
+                    self._send_msg(beat)
+            except (OSError, ValueError, TransportError):
+                return  # coordinator gone; the control loop will notice
+
+    def stop(self) -> None:
+        """Stop and join — no heartbeat may trail the final job report."""
+        self._stop.set()
+        self._thread.join(timeout=10.0)
+
+
 def serve_pool_jobs(
     comm: _SocketComm,
     rank: int,
     recv_msg: Callable[[], Tuple],
     send_msg: Callable[[Tuple], None],
+    heartbeat_interval: Optional[float] = None,
 ) -> None:
     """The pool worker control loop, over any coordinator transport.
 
@@ -403,6 +511,19 @@ def serve_pool_jobs(
     clean mesh for the next job (a mid-shuffle mesh holds arbitrary
     half-delivered frames — a fresh mesh beats resynchronizing).
 
+    While a job runs, a heartbeat thread reports the worker's current
+    stage every ``heartbeat_interval`` seconds (``None`` disables) — the
+    driver's liveness detector and the speculation policy both feed on
+    these.  A reader thread owns ``recv_msg`` for the whole loop, routing
+    mid-job ``("ctl", seq, payload)`` frames into ``comm.job_control``.
+    The heartbeater is stopped *and joined* before the final ok/error
+    report, so the report is always the channel's last frame for the job.
+
+    Failures are reported typed: a :class:`CommError` (peer death, comm
+    timeout — including the cascade EOFs every survivor sees when one
+    worker crashes) reports as ``("comm_error", rank, seq, tb)``, any
+    other exception — a genuine program bug — as ``("error", ...)``.
+
     ``recv_msg`` must raise ``EOFError`` / ``OSError`` /
     :class:`TransportError` once the coordinator is gone; any non-``job``
     message (``("stop",)``) also ends the loop.  Shared by the forked
@@ -410,33 +531,67 @@ def serve_pool_jobs(
     worker agents in :mod:`repro.runtime.tcp` (transport: framed pickles
     on the rendezvous connection).
     """
+    send_lock = threading.Lock()
+    reader = _CtrlReader(recv_msg)
+
+    def report(msg: Tuple) -> None:
+        with send_lock:
+            send_msg(msg)
+
     while True:
-        try:
-            msg = recv_msg()
-        except (EOFError, OSError, TransportError):
-            return  # session coordinator went away
+        msg = reader.inbox.get()
         if msg[0] != "job":
-            return  # "stop"
+            return  # "stop" or coordinator EOF
         _, job_seq, builder, payload = msg
         traffic = TrafficLog()
+        heartbeater: Optional[_Heartbeater] = None
         try:
             comm.begin_job(job_seq, traffic)
+            comm.job_control = JobControl(job_seq)
+            reader.job_control = comm.job_control
+            if heartbeat_interval is not None and heartbeat_interval > 0:
+                heartbeater = _Heartbeater(
+                    rank, job_seq, comm, send_msg, send_lock,
+                    heartbeat_interval,
+                )
             program = builder(comm, payload)
             result = program.run()
-            send_msg(
-                (
-                    "ok",
-                    rank,
-                    job_seq,
-                    result,
-                    program.stopwatch.times(),
-                    traffic.records,
-                    list(program.STAGES),
-                )
+            report_msg = (
+                "ok",
+                rank,
+                job_seq,
+                result,
+                program.stopwatch.times(),
+                traffic.records,
+                list(program.STAGES),
             )
-        except BaseException:  # noqa: BLE001 - reported to the coordinator
-            send_msg(("error", rank, job_seq, traceback.format_exc()))
+            if heartbeater is not None:
+                heartbeater.stop()
+                heartbeater = None
+            report(report_msg)
+        except CommError:
+            # Infrastructure: a peer died or a comm wait expired.  The
+            # survivors of one crash all land here via the EOF cascade.
+            if heartbeater is not None:
+                heartbeater.stop()
+                heartbeater = None
+            try:
+                report(("comm_error", rank, job_seq, traceback.format_exc()))
+            except (OSError, ValueError, TransportError):
+                pass
             return
+        except BaseException:  # noqa: BLE001 - reported to the coordinator
+            if heartbeater is not None:
+                heartbeater.stop()
+                heartbeater = None
+            try:
+                report(("error", rank, job_seq, traceback.format_exc()))
+            except (OSError, ValueError, TransportError):
+                pass
+            return
+        finally:
+            reader.job_control = None
+            comm.job_control = None
 
 
 def _pool_worker_main(
@@ -450,14 +605,18 @@ def _pool_worker_main(
     socket_timeout: float,
     chunk_bytes: int,
     record_relays: bool,
+    heartbeat_interval: Optional[float] = None,
 ) -> None:
     """Pool worker entry point (forked child): :func:`serve_pool_jobs`
     over the duplex control pipe, after the one-time mesh/comm setup."""
-    from repro.kvpairs.spill import install_spill_cleanup_handler
+    from repro.kvpairs.spill import SpillDir, install_spill_cleanup_handler
 
     # Spill hygiene: a terminated pool worker must still remove its
-    # per-job spill dirs (SIGTERM -> SystemExit -> atexit hooks).
+    # per-job spill dirs (SIGTERM -> SystemExit -> atexit hooks), and a
+    # fresh pool (e.g. re-forked after an injected SIGKILL) reaps any
+    # spill dirs a crashed predecessor left behind.
     install_spill_cleanup_handler()
+    SpillDir.sweep_stale()
     comm: Optional[_SocketComm] = None
     try:
         comm = _setup_worker_comm(
@@ -471,7 +630,13 @@ def _pool_worker_main(
             chunk_bytes,
             record_relays,
         )
-        serve_pool_jobs(comm, rank, ctrl_conn.recv, ctrl_conn.send)
+        serve_pool_jobs(
+            comm,
+            rank,
+            ctrl_conn.recv,
+            ctrl_conn.send,
+            heartbeat_interval=heartbeat_interval,
+        )
     finally:
         if comm is not None:
             comm._close_async()
@@ -499,6 +664,13 @@ class ProcessCluster:
         chunk_bytes: maximum raw-frame size for one user payload chunk.
         record_relays: additionally log every physical broadcast hop (kind
             ``"relay"``) to the traffic log.
+        heartbeat_interval: how often pool workers report their current
+            stage to the driver (seconds); feeds failure detection and
+            map speculation.  ``None`` disables heartbeats.
+        failure_timeout: a pool worker silent for this long mid-job is
+            declared dead with a typed
+            :class:`~repro.runtime.errors.WorkerFailure` — no waiting
+            for the job timeout or the EOF cascade.
     """
 
     def __init__(
@@ -509,6 +681,8 @@ class ProcessCluster:
         timeout: float = 300.0,
         chunk_bytes: int = DEFAULT_CHUNK_BYTES,
         record_relays: bool = False,
+        heartbeat_interval: Optional[float] = 0.5,
+        failure_timeout: float = 30.0,
     ) -> None:
         if size < 1:
             raise ValueError(f"cluster size must be >= 1, got {size}")
@@ -520,6 +694,8 @@ class ProcessCluster:
         self.timeout = timeout
         self.chunk_bytes = chunk_bytes
         self.record_relays = record_relays
+        self.heartbeat_interval = heartbeat_interval
+        self.failure_timeout = failure_timeout
 
     def run(self, factory: ProgramFactory) -> ClusterResult:
         """Fork workers, run the program, gather results and traffic.
@@ -669,6 +845,7 @@ class _ProcessPool:
                         self._cluster.timeout,
                         self._cluster.chunk_bytes,
                         self._cluster.record_relays,
+                        self._cluster.heartbeat_interval,
                     ),
                     name=f"pool-worker-{rank}",
                     daemon=True,
@@ -685,13 +862,30 @@ class _ProcessPool:
         self._procs = procs
         self._ctrl = ctrl_conns
 
+    def _broadcast_ctl(self, seq: int, payload: Any) -> None:
+        """Best-effort mid-job control frame to every worker."""
+        for conn in self._ctrl:
+            try:
+                conn.send(("ctl", seq, payload))
+            except (OSError, ValueError):  # pragma: no cover - dying pool
+                pass
+
     def run_job(self, prepared: PreparedJob) -> ClusterResult:
         """Dispatch one prepared job to every worker and gather the result.
 
+        While collecting, worker heartbeats feed a :class:`JobMonitor`:
+        a worker silent past the cluster's ``failure_timeout`` is
+        declared dead immediately, and (for jobs prepared with a
+        speculation config) straggling map shards get a backup launched
+        on an already-finished worker via a ``("ctl", ...)`` broadcast.
+
         Raises:
-            RuntimeError: if any worker fails, dies, or the job times out;
-                the worker's traceback text is included and the pool is
-                torn down (the next job restarts it).
+            WorkerFailure: a worker died or went silent mid-job
+                (infrastructure — the session layer may retry); the pool
+                is torn down and the next job restarts it.
+            RuntimeError: a worker's program raised (a genuine job bug,
+                never retried) or the job timed out; the worker's
+                traceback text is included.
         """
         k = self.size
         prepared.check_size(k)
@@ -707,33 +901,86 @@ class _ProcessPool:
                 )
         except (OSError, ValueError) as exc:
             self.close()
-            raise RuntimeError(
-                f"worker pool died while dispatching job: {exc}"
+            raise WorkerFailure(
+                -1, "dispatch", f"worker pool died while dispatching job: {exc}"
             ) from exc
 
         results: List[Any] = [None] * k
         times: List[Dict[str, float]] = [dict() for _ in range(k)]
         traffic = TrafficLog()
         stages: List[str] = []
-        failures: List[str] = []
+        program_errors: List[str] = []
+        infra_failures: List[Tuple[int, str, str]] = []  # (rank, stage, cause)
         pending: Dict[Any, int] = {
             conn: rank for rank, conn in enumerate(self._ctrl)
         }
+        monitor = JobMonitor(
+            k, self._cluster.failure_timeout, prepared.speculation
+        )
         deadline = time.monotonic() + self._cluster.timeout
-        while pending and not failures:
-            remaining = deadline - time.monotonic()
-            if remaining <= 0:
-                failures.append("worker result timeout")
+        # After the first failure, keep draining reports for a short grace
+        # window: the survivors' cascade (comm_error / EOF) and — crucially
+        # — any root-cause program error must be classified before raising.
+        grace_deadline: Optional[float] = None
+        while pending:
+            now = time.monotonic()
+            if now >= deadline:
+                if not (program_errors or infra_failures):
+                    infra_failures.append((
+                        -1,
+                        "unknown",
+                        f"job timed out after {self._cluster.timeout}s "
+                        f"(ranks {sorted(pending.values())} pending)",
+                    ))
                 break
-            for conn in _conn_wait(list(pending), remaining):
-                rank = pending.pop(conn)
+            if grace_deadline is not None and now >= grace_deadline:
+                break
+            if self._cluster.heartbeat_interval:
+                try:
+                    monitor.check_liveness(pending.values())
+                except WorkerFailure as failure:
+                    infra_failures.append(
+                        (failure.rank, failure.stage, failure.cause)
+                    )
+                    for conn, rank in list(pending.items()):
+                        if rank == failure.rank:
+                            del pending[conn]
+            for straggler, backup in monitor.speculation_directives():
+                self._broadcast_ctl(seq, ("speculate", straggler, backup))
+            if (program_errors or infra_failures) and grace_deadline is None:
+                grace_deadline = time.monotonic() + min(
+                    1.0, self._cluster.timeout
+                )
+            wait_for = monitor.poll_timeout(
+                min(deadline, grace_deadline or deadline) - time.monotonic()
+            )
+            for conn in _conn_wait(list(pending), wait_for):
+                rank = pending[conn]
                 try:
                     msg = conn.recv()
                 except (EOFError, OSError):
-                    failures.append(f"worker {rank} died mid-job")
+                    del pending[conn]
+                    infra_failures.append((
+                        rank,
+                        monitor.stage_of(rank),
+                        "worker process died mid-job (control channel EOF)",
+                    ))
+                    continue
+                if msg[0] == "hb":
+                    if msg[2] == seq:
+                        monitor.heartbeat(msg[1], msg[3])
+                    continue
+                del pending[conn]
+                monitor.result(rank)
+                if msg[0] == "comm_error":
+                    infra_failures.append((
+                        msg[1],
+                        monitor.stage_of(msg[1]),
+                        f"comm failure:\n{msg[3]}",
+                    ))
                     continue
                 if msg[0] != "ok":
-                    failures.append(f"worker {msg[1]}:\n{msg[3]}")
+                    program_errors.append(f"worker {msg[1]}:\n{msg[3]}")
                     continue
                 _, _, wseq, payload, sw_times, records, prog_stages = msg
                 assert wseq == seq, f"job sequence mismatch: {wseq} != {seq}"
@@ -742,10 +989,10 @@ class _ProcessPool:
                 traffic.extend(records)
                 if prog_stages and not stages:
                     stages = prog_stages
-        if failures:
+        if program_errors or infra_failures:
             self.close()
-            raise RuntimeError(
-                "ProcessCluster job failed:\n" + "\n".join(failures)
+            raise _job_failure(
+                "ProcessCluster", program_errors, infra_failures
             )
         return assemble_cluster_result(results, times, traffic, stages)
 
@@ -760,6 +1007,11 @@ class _ProcessPool:
             proc.join(timeout=5.0)
             if proc.is_alive():
                 proc.terminate()
+                proc.join(timeout=5.0)
+            if proc.is_alive():
+                # SIGTERM stays pending on a stopped (SIGSTOP) worker; only
+                # SIGKILL reaps it, and close() must never hang.
+                proc.kill()
                 proc.join()
         for conn in self._ctrl:
             try:

@@ -34,6 +34,7 @@ encode/decode work performed inside the loop).
 
 from __future__ import annotations
 
+import threading
 import time
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
@@ -41,6 +42,7 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.runtime.api import BufferParts, Comm, Request, wait_all
 from repro.runtime.traffic import TrafficLog
+from repro.testing import faults
 from repro.utils.timer import StageTimes, Stopwatch
 
 
@@ -59,6 +61,9 @@ class NodeProgram(ABC):
         self.rank = comm.rank
         self.size = comm.size
         self.stopwatch = Stopwatch()
+        # Injected-slowdown pacers for the currently open stage scopes
+        # (see repro.testing.faults); empty unless a fault plan matched.
+        self._fault_pacers: List[faults.Pacer] = []
 
     def stage(self, name: str) -> "_StageScope":
         """Enter stage ``name``: times it and attributes traffic to it.
@@ -69,6 +74,27 @@ class NodeProgram(ABC):
         """
         return _StageScope(self, name)
 
+    def fault_checkpoint(
+        self, poll: Optional[Callable[[], bool]] = None
+    ) -> bool:
+        """Apply any injected stage slowdown at a work-window boundary.
+
+        Programs with windowed inner loops (e.g. the speculative map) call
+        this per window so an injected ``stage.slow`` fault stretches the
+        stage *incrementally* — letting a straggler be observed (and
+        preempted) mid-stage rather than sleeping the whole delay at once.
+        No-op unless a fault plan installed a pacer for an open stage.
+
+        ``poll``: optional abandon-check; the injected sleep runs in
+        short slices and the method returns ``True`` (dropping whatever
+        delay remains) as soon as the check fires — so a preemptible
+        program can be preempted mid-slowdown too.
+        """
+        for pacer in self._fault_pacers:
+            if pacer.checkpoint(poll):
+                return True
+        return False
+
     @abstractmethod
     def run(self) -> Any:
         """Execute the node's share of the computation; return its result."""
@@ -78,27 +104,88 @@ class _StageScope:
     """Times a stage (via the stopwatch) and restores the previous traffic
     stage on exit."""
 
-    __slots__ = ("_program", "_name", "_prev", "_timer")
+    __slots__ = ("_program", "_name", "_prev", "_timer", "_pacer")
 
     def __init__(self, program: NodeProgram, name: str) -> None:
         self._program = program
         self._name = name
         self._prev = ""
         self._timer = None
+        self._pacer = None
 
     def __enter__(self) -> "_StageScope":
-        self._prev = self._program.comm.stage
-        self._program.comm.set_stage(self._name)
+        comm = self._program.comm
+        self._prev = comm.stage
+        comm.set_stage(self._name)
         self._timer = self._program.stopwatch.stage(self._name).__enter__()
+        # Stage-entry fault point: crash/delay fire here (inside the timer,
+        # so injected latency is attributed to this stage); a slowdown
+        # installs a pacer driven by fault_checkpoint() and stage exit.
+        self._pacer = faults.stage_enter(
+            comm.rank, self._name, getattr(comm, "_job_seq", 0)
+        )
+        if self._pacer is not None:
+            self._program._fault_pacers.append(self._pacer)
         return self
 
     def __exit__(self, *exc) -> None:
+        if self._pacer is not None:
+            self._program._fault_pacers.remove(self._pacer)
+            if exc[0] is None:
+                self._pacer.checkpoint()
         self._timer.__exit__(*exc)
         self._program.comm.set_stage(self._prev)
 
 
 #: A factory building the program for one node given its Comm endpoint.
 ProgramFactory = Callable[[Comm], NodeProgram]
+
+
+class JobControl:
+    """Worker-side mailbox for mid-job driver control messages.
+
+    The pool control loop installs one per job as ``comm.job_control``;
+    the worker's control-channel reader thread delivers driver payloads
+    into it while the program runs.  The only message today is the
+    speculation directive ``("speculate", straggler, backup)``: run a
+    backup copy of ``straggler``'s map shard on rank ``backup``.
+
+    Programs poll the accessors between work windows — all methods are
+    lock-protected and non-blocking.  One-shot runs and the thread
+    backend have no control channel (``comm.job_control is None``) and
+    programs must degrade to plain execution.
+    """
+
+    def __init__(self, job_seq: int) -> None:
+        self.job_seq = job_seq
+        self._lock = threading.Lock()
+        self._speculations: List[Tuple[int, int]] = []
+
+    def deliver(self, payload: Any) -> None:
+        """Called from the control reader thread with one driver message."""
+        if (
+            isinstance(payload, tuple)
+            and len(payload) == 3
+            and payload[0] == "speculate"
+        ):
+            with self._lock:
+                self._speculations.append((int(payload[1]), int(payload[2])))
+
+    def backup_for(self, rank: int) -> Optional[int]:
+        """The rank running a backup of ``rank``'s map shard, if any."""
+        with self._lock:
+            for straggler, backup in self._speculations:
+                if straggler == rank:
+                    return backup
+        return None
+
+    def backup_duty(self, rank: int) -> Optional[int]:
+        """The straggler shard ``rank`` was asked to back up, if any."""
+        with self._lock:
+            for straggler, backup in self._speculations:
+                if backup == rank:
+                    return straggler
+        return None
 
 
 @dataclass
@@ -118,11 +205,16 @@ class PreparedJob:
         finalize: coordinator-side mapping from the pool's
             :class:`ClusterResult` to the driver-facing result object
             (e.g. a ``SortRun``); may be a closure.
+        speculation: when set, the pool's driver loop watches per-stage
+            heartbeats and may launch a backup copy of a straggling
+            shard; a dict like ``{"stage": "map", "wait_factor": 1.5,
+            "min_wait": 0.2}``.  ``None`` disables speculation.
     """
 
     builder: Callable[[Comm, Any], NodeProgram]
     payloads: List[Any]
     finalize: Callable[["ClusterResult"], Any]
+    speculation: Optional[Dict[str, Any]] = None
 
     def check_size(self, size: int) -> None:
         """Raise :class:`ValueError` unless compiled for ``size`` ranks."""

@@ -63,6 +63,8 @@ import time
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.runtime.api import DEFAULT_CHUNK_BYTES, MulticastMode
+from repro.runtime.errors import WorkerFailure, job_failure
+from repro.runtime.monitor import JobMonitor
 from repro.runtime.process import (
     _SocketComm,
     make_socket_comm,
@@ -353,6 +355,7 @@ def run_worker(
             my_rank,
             lambda: _recv_msg(ctrl),
             lambda msg: _send_msg(ctrl, msg),
+            heartbeat_interval=cfg.get("heartbeat_interval", 0.5),
         )
         say("stopped")
         return 0
@@ -400,6 +403,13 @@ class TcpCluster:
         record_relays: additionally log physical broadcast hops.
         connect_timeout: how long a pool start waits for K workers.
         handshake_timeout: per-step bound for rendezvous reads.
+        heartbeat_interval: how often workers report their current stage
+            on the control connection (shipped in the welcome config);
+            feeds failure detection and map speculation.  ``None``
+            disables heartbeats.
+        failure_timeout: a worker silent for this long mid-job is
+            declared dead with a typed
+            :class:`~repro.runtime.errors.WorkerFailure`.
     """
 
     def __init__(
@@ -413,6 +423,8 @@ class TcpCluster:
         record_relays: bool = False,
         connect_timeout: float = 30.0,
         handshake_timeout: float = 30.0,
+        heartbeat_interval: Optional[float] = 0.5,
+        failure_timeout: float = 30.0,
     ) -> None:
         if size < 1:
             raise ValueError(f"cluster size must be >= 1, got {size}")
@@ -424,6 +436,8 @@ class TcpCluster:
         self.record_relays = record_relays
         self.connect_timeout = connect_timeout
         self.handshake_timeout = handshake_timeout
+        self.heartbeat_interval = heartbeat_interval
+        self.failure_timeout = failure_timeout
         host, port = parse_address(address)
         self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
@@ -631,6 +645,10 @@ class _TcpPool:
                         "timeout": cluster.timeout,
                         "chunk_bytes": cluster.chunk_bytes,
                         "record_relays": cluster.record_relays,
+                        # New keys ride the config dict, so older workers
+                        # (which .get with defaults) stay compatible — no
+                        # PROTOCOL_VERSION bump needed for additions.
+                        "heartbeat_interval": cluster.heartbeat_interval,
                     },
                 ),
             )
@@ -641,13 +659,32 @@ class _TcpPool:
 
     # -- jobs ---------------------------------------------------------------
 
+    def _broadcast_ctl(self, seq: int, payload: Any) -> None:
+        """Best-effort mid-job control frame to every worker."""
+        for conn in self._ctrl:
+            try:
+                _send_msg(conn, ("ctl", seq, payload))
+            except (OSError, TransportError):  # pragma: no cover - dying pool
+                pass
+
     def run_job(self, prepared: PreparedJob) -> ClusterResult:
         """Dispatch one prepared job to every worker and gather the result.
 
+        While collecting, worker heartbeats feed a :class:`JobMonitor`
+        (exactly like the process pool): a worker silent past the
+        cluster's ``failure_timeout`` is declared dead immediately, and
+        jobs prepared with a speculation config get straggling map
+        shards backed up on finished workers via ``("ctl", ...)``
+        broadcasts.
+
         Raises:
-            RuntimeError: if any worker fails, dies, or the job times
-                out; the worker's traceback text is included and the pool
-                is torn down (the next job waits for workers to rejoin).
+            WorkerFailure: a worker died or went silent mid-job
+                (infrastructure — the session layer may retry); the pool
+                is torn down and the next job waits for workers to
+                rejoin the standing rendezvous.
+            RuntimeError: a worker's program raised (a genuine job bug,
+                never retried) or the job timed out; the worker's
+                traceback text is included.
         """
         k = self.size
         prepared.check_size(k)
@@ -663,36 +700,89 @@ class _TcpPool:
                 )
         except (OSError, TransportError) as exc:
             self.close()
-            raise RuntimeError(
-                f"worker pool died while dispatching job: {exc}"
+            raise WorkerFailure(
+                -1, "dispatch", f"worker pool died while dispatching job: {exc}"
             ) from exc
 
         results: List[Any] = [None] * k
         times: List[Dict[str, float]] = [dict() for _ in range(k)]
         traffic = TrafficLog()
         stages: List[str] = []
-        failures: List[str] = []
+        program_errors: List[str] = []
+        infra_failures: List[Tuple[int, str, str]] = []  # (rank, stage, cause)
         pending: Dict[socket.socket, int] = {
             conn: rank for rank, conn in enumerate(self._ctrl)
         }
+        monitor = JobMonitor(
+            k, self._cluster.failure_timeout, prepared.speculation
+        )
         deadline = time.monotonic() + self._cluster.timeout
-        while pending and not failures:
-            remaining = deadline - time.monotonic()
-            if remaining <= 0:
-                failures.append("worker result timeout")
+        # After the first failure, drain reports for a short grace window
+        # so a root-cause program error is classified before raising (see
+        # repro.runtime.errors.job_failure).
+        grace_deadline: Optional[float] = None
+        while pending:
+            now = time.monotonic()
+            if now >= deadline:
+                if not (program_errors or infra_failures):
+                    infra_failures.append((
+                        -1,
+                        "unknown",
+                        f"job timed out after {self._cluster.timeout}s "
+                        f"(ranks {sorted(pending.values())} pending)",
+                    ))
                 break
-            for conn in _select(list(pending), remaining)[0]:
-                rank = pending.pop(conn)
+            if grace_deadline is not None and now >= grace_deadline:
+                break
+            if self._cluster.heartbeat_interval:
+                try:
+                    monitor.check_liveness(pending.values())
+                except WorkerFailure as failure:
+                    infra_failures.append(
+                        (failure.rank, failure.stage, failure.cause)
+                    )
+                    for conn, rank in list(pending.items()):
+                        if rank == failure.rank:
+                            del pending[conn]
+            for straggler, backup in monitor.speculation_directives():
+                self._broadcast_ctl(seq, ("speculate", straggler, backup))
+            if (program_errors or infra_failures) and grace_deadline is None:
+                grace_deadline = time.monotonic() + min(
+                    1.0, self._cluster.timeout
+                )
+            wait_for = monitor.poll_timeout(
+                min(deadline, grace_deadline or deadline) - time.monotonic()
+            )
+            for conn in _select(list(pending), wait_for)[0]:
+                rank = pending[conn]
                 conn.settimeout(max(1.0, deadline - time.monotonic()))
                 try:
                     msg = _recv_msg(conn)
                 except (OSError, TransportError) as exc:
-                    failures.append(f"worker {rank} died mid-job: {exc}")
+                    del pending[conn]
+                    infra_failures.append((
+                        rank,
+                        monitor.stage_of(rank),
+                        f"worker died mid-job: {exc}",
+                    ))
                     continue
                 finally:
                     conn.settimeout(None)
+                if msg[0] == "hb":
+                    if msg[2] == seq:
+                        monitor.heartbeat(msg[1], msg[3])
+                    continue
+                del pending[conn]
+                monitor.result(rank)
+                if msg[0] == "comm_error":
+                    infra_failures.append((
+                        msg[1],
+                        monitor.stage_of(msg[1]),
+                        f"comm failure:\n{msg[3]}",
+                    ))
+                    continue
                 if msg[0] != "ok":
-                    failures.append(f"worker {msg[1]}:\n{msg[3]}")
+                    program_errors.append(f"worker {msg[1]}:\n{msg[3]}")
                     continue
                 _, _, wseq, payload, sw_times, records, prog_stages = msg
                 assert wseq == seq, f"job sequence mismatch: {wseq} != {seq}"
@@ -701,11 +791,9 @@ class _TcpPool:
                 traffic.extend(records)
                 if prog_stages and not stages:
                     stages = prog_stages
-        if failures:
+        if program_errors or infra_failures:
             self.close()
-            raise RuntimeError(
-                "TcpCluster job failed:\n" + "\n".join(failures)
-            )
+            raise job_failure("TcpCluster", program_errors, infra_failures)
         return assemble_cluster_result(results, times, traffic, stages)
 
     def close(self) -> None:

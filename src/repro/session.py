@@ -52,6 +52,7 @@ signatures and results.
 from __future__ import annotations
 
 import threading
+import time
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
 from typing import Any, List, Optional, Sequence
@@ -66,6 +67,7 @@ from repro.core.outofcore import MIN_MEMORY_BUDGET
 from repro.core.terasort import SortRun, prepare_terasort
 from repro.kvpairs.datasource import DataSource
 from repro.kvpairs.records import RecordBatch
+from repro.runtime.errors import WorkerFailure
 from repro.runtime.program import ClusterResult, PreparedJob
 from repro.utils.subsets import binomial
 
@@ -74,6 +76,7 @@ __all__ = [
     "TeraSortSpec",
     "CodedTeraSortSpec",
     "MapReduceSpec",
+    "JobAttempt",
     "JobHandle",
     "Session",
 ]
@@ -151,6 +154,17 @@ class TeraSortSpec(JobSpec):
         sampled_partitioner: use sampled quantile splitters instead of
             uniform ones (needed for skewed keys).
         sample_size / sample_seed: splitter sample parameters.
+        speculation: enable speculative re-execution of straggling map
+            shards (live pool backends only): the driver watches stage
+            heartbeats and launches a backup copy of a slow shard's map
+            on an already-finished worker — first finisher wins, output
+            stays byte-identical (map output per shard is deterministic).
+            Requires ``input=`` (shards must be re-readable descriptors)
+            and the in-memory path (no ``memory_budget``).
+        speculation_wait_factor / speculation_min_wait: a shard is
+            declared straggling once the job has run
+            ``max(min_wait, wait_factor x median map completion time)``
+            seconds and at least half the workers finished their map.
     """
 
     data: Optional[RecordBatch] = None
@@ -160,6 +174,9 @@ class TeraSortSpec(JobSpec):
     sampled_partitioner: bool = False
     sample_size: int = 10000
     sample_seed: int = 7
+    speculation: bool = False
+    speculation_wait_factor: float = 1.5
+    speculation_min_wait: float = 0.2
 
     def validate(self, size: int) -> None:
         if size < 1:
@@ -169,6 +186,28 @@ class TeraSortSpec(JobSpec):
                 f"sample_size must be >= 1, got {self.sample_size}"
             )
         _check_input_fields(self)
+        if self.speculation:
+            if self.input is None:
+                raise ValueError(
+                    "speculation requires input= (a re-readable DataSource "
+                    "descriptor: a backup worker must be able to read the "
+                    "straggler's split)"
+                )
+            if self.memory_budget is not None:
+                raise ValueError(
+                    "speculation is only supported on the in-memory path "
+                    "(no memory_budget)"
+                )
+            if self.speculation_wait_factor < 1.0:
+                raise ValueError(
+                    f"speculation_wait_factor must be >= 1.0, "
+                    f"got {self.speculation_wait_factor}"
+                )
+            if self.speculation_min_wait < 0.0:
+                raise ValueError(
+                    f"speculation_min_wait must be >= 0, "
+                    f"got {self.speculation_min_wait}"
+                )
 
     def prepare(self, size: int) -> PreparedJob:
         return prepare_terasort(
@@ -179,6 +218,9 @@ class TeraSortSpec(JobSpec):
             sample_seed=self.sample_seed,
             memory_budget=self.memory_budget,
             output_dir=self.output_dir,
+            speculation=self.speculation,
+            speculation_wait_factor=self.speculation_wait_factor,
+            speculation_min_wait=self.speculation_min_wait,
         )
 
 
@@ -307,16 +349,41 @@ class MapReduceSpec(JobSpec):
 # ---------------------------------------------------------------------------
 
 
+@dataclass
+class JobAttempt:
+    """One execution attempt of a job (see :attr:`JobHandle.attempts`).
+
+    Attributes:
+        index: 0-based attempt number.
+        duration: wall seconds this attempt ran on the pool.
+        error: the typed failure that ended the attempt
+            (:class:`~repro.runtime.errors.WorkerFailure` for the retried
+            ones), or ``None`` for the successful attempt.
+    """
+
+    index: int
+    duration: float
+    error: Optional[BaseException] = None
+
+
 class JobHandle:
     """Future for one submitted job.
 
     Completed by the session's driver thread; all methods are safe to
     call from any thread, any number of times.
+
+    Attributes:
+        attempts: per-attempt history, appended by the driver as each
+            attempt ends.  One entry for a job that ran cleanly; a job
+            that survived worker failures records every failed attempt
+            (with its typed :class:`~repro.runtime.errors.WorkerFailure`)
+            before the successful one.
     """
 
     def __init__(self, job_id: int, spec: JobSpec) -> None:
         self.job_id = job_id
         self.spec = spec
+        self.attempts: List[JobAttempt] = []
         self._event = threading.Event()
         self._result: Any = None
         self._cluster_result: Optional[ClusterResult] = None
@@ -408,20 +475,55 @@ class Session:
             :class:`~repro.runtime.process.ProcessCluster` (anything with
             ``size`` and ``create_pool()``).  The cluster object only
             carries configuration; the session owns the actual pool.
+        max_retries: how many times a job that failed to *infrastructure*
+            (a typed :class:`~repro.runtime.errors.WorkerFailure`: worker
+            crash, silent worker past the failure timeout, comm cascade)
+            is automatically re-submitted.  The pool re-forms between
+            attempts (re-fork on the process backend, worker re-join on
+            TCP) and re-runs produce byte-identical output because job
+            specs are deterministic descriptors.  Program errors — the
+            job's own code raising — are never retried.  Default 0: a
+            failure fails the handle, matching the pre-retry behaviour.
+        retry_backoff: base seconds slept before re-submitting; attempt
+            ``n`` waits ``retry_backoff * 2**(n-1)`` (bounded exponential
+            backoff so a flapping host isn't hammered).
+        failure_timeout: override the cluster's mid-job worker liveness
+            bound (seconds without a heartbeat before a worker is
+            declared dead); ``None`` keeps the cluster's own setting.
 
     The worker pool starts lazily with the first job, jobs run strictly
     in submission order, and :meth:`close` (or leaving the ``with``
     block) drains every queued job before shutting the pool down.
     """
 
-    def __init__(self, cluster) -> None:
+    def __init__(
+        self,
+        cluster,
+        max_retries: int = 0,
+        retry_backoff: float = 0.5,
+        failure_timeout: Optional[float] = None,
+    ) -> None:
         create_pool = getattr(cluster, "create_pool", None)
         if create_pool is None:
             raise TypeError(
                 f"{type(cluster).__name__} does not support sessions "
                 "(no create_pool())"
             )
+        if max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {max_retries}")
+        if retry_backoff < 0:
+            raise ValueError(
+                f"retry_backoff must be >= 0, got {retry_backoff}"
+            )
+        if failure_timeout is not None:
+            if failure_timeout <= 0:
+                raise ValueError(
+                    f"failure_timeout must be > 0, got {failure_timeout}"
+                )
+            cluster.failure_timeout = failure_timeout
         self._cluster = cluster
+        self._max_retries = max_retries
+        self._retry_backoff = retry_backoff
         self._pool = None
         self._queue: List[JobHandle] = []
         self._cond = threading.Condition()
@@ -486,10 +588,38 @@ class Session:
                 prepared = handle.spec.prepare(self.size)
                 if self._pool is None:
                     self._pool = self._cluster.create_pool()
-                cluster_result = self._pool.run_job(prepared)
-                handle._complete(
-                    prepared.finalize(cluster_result), cluster_result
-                )
+                attempt = 0
+                while True:
+                    started = time.monotonic()
+                    try:
+                        cluster_result = self._pool.run_job(prepared)
+                    except WorkerFailure as failure:
+                        # Infrastructure died under the job.  Record the
+                        # attempt and, within budget, re-submit: run_job
+                        # re-forms the pool (re-fork / worker re-join) and
+                        # the deterministic spec re-runs byte-identically.
+                        handle.attempts.append(
+                            JobAttempt(
+                                index=attempt,
+                                duration=time.monotonic() - started,
+                                error=failure,
+                            )
+                        )
+                        if attempt >= self._max_retries:
+                            raise
+                        time.sleep(self._retry_backoff * (2 ** attempt))
+                        attempt += 1
+                        continue
+                    handle.attempts.append(
+                        JobAttempt(
+                            index=attempt,
+                            duration=time.monotonic() - started,
+                        )
+                    )
+                    handle._complete(
+                        prepared.finalize(cluster_result), cluster_result
+                    )
+                    break
             except BaseException as exc:  # noqa: BLE001 - fail the handle
                 handle._fail(exc)
 

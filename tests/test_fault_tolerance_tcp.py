@@ -1,0 +1,148 @@
+"""Fault tolerance over the real TCP backend (the acceptance bar).
+
+Workers are genuine ``run_worker`` processes dialing the coordinator
+over 127.0.0.1, kept under a supervisor restart loop (the documented
+deployment mode: a failed job stops surviving workers cleanly, so every
+dead slot must rejoin the standing rendezvous before the session's
+automatic retry can re-admit K workers).
+
+Covers the issue's acceptance criterion — ``$REPRO_FAULT_PLAN``
+injecting one mid-shuffle worker crash, the submitted TeraSort completes
+with byte-identical output via automatic retry and the handle records
+>= 2 attempts with the typed failure cause — plus a TCP retry storm that
+exhausts ``max_retries`` and leaves the session usable.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import threading
+import time
+
+import pytest
+
+from repro.kvpairs.teragen import teragen
+from repro.kvpairs.validation import validate_sorted_permutation
+from repro.runtime.errors import WorkerFailure
+from repro.runtime.process import ProcessCluster
+from repro.runtime.tcp import TcpCluster, run_worker
+from repro.session import Session, TeraSortSpec
+from repro.testing.faults import ENV_VAR
+
+_CTX = multiprocessing.get_context("fork")
+K = 4
+
+
+class _Supervisor:
+    """Restart loop keeping K worker slots alive against one rendezvous."""
+
+    def __init__(self, address: str) -> None:
+        self._address = address
+        self._procs = [self._spawn() for _ in range(K)]
+        self._stop = threading.Event()
+        self._thread = threading.Thread(target=self._loop, daemon=True)
+        self._thread.start()
+
+    def _spawn(self):
+        proc = _CTX.Process(
+            target=run_worker,
+            kwargs=dict(join=self._address, quiet=True,
+                        connect_timeout=60.0, handshake_timeout=60.0),
+            daemon=True,
+        )
+        proc.start()
+        return proc
+
+    def _loop(self) -> None:
+        while not self._stop.is_set():
+            for i, proc in enumerate(self._procs):
+                if not proc.is_alive():
+                    self._procs[i] = self._spawn()
+            time.sleep(0.1)
+
+    def halt(self) -> None:
+        """Stop respawning (call before the session stops the workers)."""
+        self._stop.set()
+        self._thread.join()
+
+    def reap(self) -> None:
+        self.halt()
+        for proc in self._procs:
+            proc.join(10)
+            if proc.is_alive():
+                proc.terminate()
+                proc.join()
+
+
+@pytest.fixture
+def no_plan(monkeypatch):
+    monkeypatch.delenv(ENV_VAR, raising=False)
+    return monkeypatch
+
+
+def test_mid_shuffle_crash_retried_byte_identical_over_tcp(no_plan):
+    """The acceptance test: one injected mid-shuffle crash on TCP, the
+    job completes byte-identically via automatic retry, >= 2 attempts
+    recorded with the typed cause."""
+    data = teragen(2000, seed=51)
+    with Session(ProcessCluster(K, timeout=60)) as s:
+        reference = [
+            p.to_bytes()
+            for p in s.submit(TeraSortSpec(data=data)).result().partitions
+        ]
+
+    no_plan.setenv(ENV_VAR, "send.crash,rank=1,stage=shuffle,job_lt=1")
+    with TcpCluster(
+        K, "tcp://127.0.0.1:0", timeout=60, connect_timeout=60,
+        heartbeat_interval=0.1, failure_timeout=15.0,
+    ) as cluster:
+        supervisor = _Supervisor(cluster.address)
+        try:
+            with Session(
+                cluster, max_retries=2, retry_backoff=0.2
+            ) as session:
+                handle = session.submit(TeraSortSpec(data=data))
+                run = handle.result(timeout=120)
+                supervisor.halt()
+            validate_sorted_permutation(data, run.partitions)
+            assert [p.to_bytes() for p in run.partitions] == reference
+            assert len(handle.attempts) >= 2
+            assert isinstance(handle.attempts[0].error, WorkerFailure)
+            assert "TcpCluster" in str(handle.attempts[0].error)
+            assert handle.attempts[-1].error is None
+        finally:
+            supervisor.reap()
+
+
+def test_retry_storm_exhausts_then_session_serves_again_over_tcp(no_plan):
+    """Crashes on attempts 0 and 1 exhaust max_retries=1; the job after
+    (sequence 2, past the plan's job_lt gate) succeeds on the same
+    session once replacement workers rejoin."""
+    data = teragen(1500, seed=52)
+    # job_lt=2 gates the storm: respawned workers inherit the plan, so
+    # it must expire by job sequence rather than by environment edits.
+    no_plan.setenv(ENV_VAR, "stage.crash,rank=1,stage=map,job_lt=2")
+    with TcpCluster(
+        K, "tcp://127.0.0.1:0", timeout=60, connect_timeout=60,
+        heartbeat_interval=0.1, failure_timeout=15.0,
+    ) as cluster:
+        supervisor = _Supervisor(cluster.address)
+        try:
+            with Session(
+                cluster, max_retries=1, retry_backoff=0.2
+            ) as session:
+                doomed = session.submit(TeraSortSpec(data=data))
+                err = doomed.exception(timeout=120)
+                assert isinstance(err, WorkerFailure)
+                assert len(doomed.attempts) == 2
+                assert all(
+                    isinstance(a.error, WorkerFailure)
+                    for a in doomed.attempts
+                )
+                ok = session.submit(TeraSortSpec(data=data))
+                validate_sorted_permutation(
+                    data, ok.result(timeout=120).partitions
+                )
+                supervisor.halt()
+        finally:
+            supervisor.reap()
