@@ -1,0 +1,219 @@
+"""Sort service: makespan for N mixed jobs, concurrent subsets vs FIFO.
+
+Measures what the service's per-job worker subsets buy on one standing
+TCP mesh: N four-worker jobs (mixed coded/uncoded, two tenants) packed
+concurrently onto K=8 workers by the :class:`SortService` scheduler,
+versus the same N jobs submitted strictly FIFO (each waits for the
+previous — the :class:`~repro.session.Session` discipline, where one job
+owns the whole pool).  With two disjoint 4-worker subsets live at once,
+the concurrent lane's makespan should approach half the FIFO lane's;
+the acceptance bar is >= 1.3x.
+
+Every job's output is asserted byte-identical to the same spec run solo
+on a dedicated in-process cluster before any timing is reported.  The
+mesh is paced (``--rate-mbps``) so the shuffle — the resource the
+subsets actually partition — dominates the per-job wall time.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_service.py [--quick] \
+        [--jobs N] [--records N] [--out results/service.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import multiprocessing
+import pathlib
+import sys
+import time
+from typing import Dict, List
+
+from repro.kvpairs.teragen import teragen
+from repro.runtime.inproc import ThreadCluster
+from repro.runtime.tcp import TcpCluster, run_worker
+from repro.service import ServiceClient, SortService
+from repro.session import CodedTeraSortSpec, Session, TeraSortSpec
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
+_CTX = multiprocessing.get_context("fork")
+
+#: Mesh size and per-job subset size: two jobs fit side by side.
+NODES = 8
+JOB_WORKERS = 4
+
+
+def _spawn_workers(address: str, n: int):
+    procs = [
+        _CTX.Process(
+            target=run_worker,
+            kwargs=dict(
+                join=address, quiet=True,
+                connect_timeout=120.0, handshake_timeout=120.0,
+            ),
+            daemon=True,
+        )
+        for _ in range(n)
+    ]
+    for p in procs:
+        p.start()
+    return procs
+
+
+def _make_specs(jobs: int, records: int) -> List:
+    """Mixed workload: alternate uncoded and coded (r=2) sorts."""
+    specs = []
+    for i in range(jobs):
+        data = teragen(records, seed=100 + i)
+        if i % 2:
+            specs.append(CodedTeraSortSpec(data=data, redundancy=2))
+        else:
+            specs.append(TeraSortSpec(data=data))
+    return specs
+
+
+def _partitions_bytes(run) -> List[bytes]:
+    return [p.to_bytes() for p in run.partitions]
+
+
+def _references(specs: List) -> List[List[bytes]]:
+    refs = []
+    with Session(ThreadCluster(JOB_WORKERS, recv_timeout=120.0)) as session:
+        for spec in specs:
+            refs.append(
+                _partitions_bytes(session.submit(spec).result(timeout=300))
+            )
+    return refs
+
+
+def bench(jobs: int, records: int, rate_mbps: float) -> Dict:
+    specs = _make_specs(jobs, records)
+    refs = _references(specs)
+
+    with TcpCluster(
+        NODES, "tcp://127.0.0.1:0",
+        rate_bytes_per_s=rate_mbps * 1e6 / 8.0,
+        timeout=300, connect_timeout=120,
+    ) as cluster:
+        procs = _spawn_workers(cluster.address, NODES)
+        try:
+            with SortService(cluster, max_queue_depth=2 * jobs) as service:
+                service.start()
+                client = ServiceClient(service.control_address)
+
+                # Warm the mesh (imports, allocators) outside the clocks.
+                client.submit(
+                    TeraSortSpec(data=teragen(2_000, seed=99)),
+                    workers=JOB_WORKERS,
+                ).result(timeout=300)
+
+                def tenant(i: int) -> str:
+                    return "alice" if i % 2 else "bob"
+
+                # Lane 1: FIFO — each job waits for the previous one, the
+                # strict one-job-owns-the-pool session discipline.
+                t0 = time.perf_counter()
+                fifo_runs = [
+                    client.submit(
+                        spec, tenant=tenant(i), workers=JOB_WORKERS
+                    ).result(timeout=300)
+                    for i, spec in enumerate(specs)
+                ]
+                fifo_s = time.perf_counter() - t0
+
+                # Lane 2: concurrent — submit everything, let the
+                # scheduler pack disjoint subsets onto the mesh.
+                t0 = time.perf_counter()
+                handles = [
+                    client.submit(
+                        spec, tenant=tenant(i), workers=JOB_WORKERS
+                    )
+                    for i, spec in enumerate(specs)
+                ]
+                conc_runs = [h.result(timeout=300) for h in handles]
+                conc_s = time.perf_counter() - t0
+
+                stats = client.stats()
+        finally:
+            for p in procs:
+                p.join(timeout=30)
+                if p.is_alive():
+                    p.terminate()
+                    p.join()
+
+    for lane, runs in (("fifo", fifo_runs), ("concurrent", conc_runs)):
+        for i, run in enumerate(runs):
+            if _partitions_bytes(run) != refs[i]:
+                raise RuntimeError(
+                    f"{lane} lane job {i} diverged from its solo reference"
+                )
+
+    return {
+        "nodes": NODES,
+        "job_workers": JOB_WORKERS,
+        "jobs": jobs,
+        "records": records,
+        "rate_mbps": rate_mbps,
+        "fifo": {
+            "makespan_s": fifo_s,
+            "jobs_per_s": jobs / fifo_s,
+        },
+        "concurrent": {
+            "makespan_s": conc_s,
+            "jobs_per_s": jobs / conc_s,
+        },
+        "speedup": fifo_s / conc_s,
+        "jobs_done": stats.jobs_done,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="small payloads for CI smoke (seconds, not minutes)",
+    )
+    parser.add_argument("--jobs", type=int, default=6,
+                        help="jobs per lane (default 6)")
+    parser.add_argument("--records", type=int, default=None,
+                        help="records per job (100 B each)")
+    parser.add_argument("--rate-mbps", type=float, default=None,
+                        help="per-worker mesh pacing in Mbit/s")
+    parser.add_argument("--out", type=pathlib.Path,
+                        default=RESULTS_DIR / "service.json")
+    args = parser.parse_args(argv)
+
+    # Pace hard enough that the shuffle (what the subsets partition)
+    # dominates per-job wall time; otherwise dispatch overhead hides
+    # the concurrency win at smoke sizes.
+    records = args.records or (30_000 if args.quick else 100_000)
+    rate_mbps = args.rate_mbps or 8.0
+
+    report = bench(args.jobs, records, rate_mbps)
+    report["quick"] = bool(args.quick)
+    args.out.parent.mkdir(parents=True, exist_ok=True)
+    args.out.write_text(json.dumps(report, indent=2, sort_keys=True))
+
+    print(f"sort service: {args.jobs} x {records}-record jobs "
+          f"({JOB_WORKERS} workers each) on a paced K={NODES} mesh")
+    print(f"  fifo       makespan {report['fifo']['makespan_s']:6.2f}s"
+          f"   {report['fifo']['jobs_per_s']:5.2f} jobs/s")
+    print(f"  concurrent makespan {report['concurrent']['makespan_s']:6.2f}s"
+          f"   {report['concurrent']['jobs_per_s']:5.2f} jobs/s")
+    print(f"  -> {report['speedup']:.2f}x (all outputs byte-identical "
+          f"to solo runs)")
+    print(f"[results] wrote {args.out}")
+    if report["speedup"] < 1.3:
+        print("WARNING: concurrent-subset speedup below the 1.3x "
+              "acceptance bar", file=sys.stderr)
+        # Full runs gate on the acceptance bar; --quick (the CI smoke)
+        # only warns — check_regression.py gates CI against the committed
+        # baseline instead.
+        if not args.quick:
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

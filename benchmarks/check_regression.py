@@ -59,6 +59,12 @@ MANIFEST: Dict[str, List[Tuple[str, str]]] = {
         ("live.x5.speedup",
          "speculation speedup under a 5x map straggler (on vs off)"),
     ],
+    "service": [
+        ("speedup",
+         "concurrent-subset speedup over serialized FIFO makespan"),
+        ("concurrent.jobs_per_s",
+         "service throughput with per-job worker subsets"),
+    ],
     "merge_kernels": [
         ("merge.speedup", "OVC k-way merge speedup over classic kernels"),
         ("merge.ovc_mbps", "k-way OVC merge throughput"),

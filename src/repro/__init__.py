@@ -28,6 +28,12 @@ provides:
   (``TeraSortSpec(speculation=True)``), and a deterministic
   fault-injection harness (``$REPRO_FAULT_PLAN``) that drives the
   chaos tests and straggler benchmarks;
+* a multi-tenant sort service: the ``repro serve`` daemon
+  (:class:`SortService`) owns one standing TCP worker mesh and runs
+  many clients' jobs *concurrently on per-job worker subsets*, with
+  admission control, per-tenant quotas (:class:`TenantQuota`), and
+  fair-share/priority scheduling; :class:`ServiceClient` is the thin
+  submit/status side returning :class:`JobHandle`-compatible futures;
 * a discrete-event cluster simulator calibrated to the paper's EC2 testbed
   that regenerates every table and figure at full 12 GB scale;
 * the closed-form theory (Eq. (2)-(5)) and an experiment harness producing
@@ -81,6 +87,17 @@ from repro.runtime.process import ProcessCluster
 from repro.runtime.tcp import TcpCluster
 from repro.scalable.program import run_grouped_coded_terasort
 from repro.scalable.sim import simulate_grouped_coded_terasort
+from repro.service import (
+    AdmissionError,
+    QueueFull,
+    QuotaExceeded,
+    ServiceClient,
+    ServiceJobHandle,
+    ServiceRejected,
+    ServiceStats,
+    SortService,
+    TenantQuota,
+)
 from repro.session import (
     CodedTeraSortSpec,
     JobAttempt,
@@ -135,6 +152,15 @@ __all__ = [
     "ThreadCluster",
     "ProcessCluster",
     "TcpCluster",
+    "SortService",
+    "ServiceClient",
+    "ServiceJobHandle",
+    "ServiceRejected",
+    "ServiceStats",
+    "TenantQuota",
+    "AdmissionError",
+    "QueueFull",
+    "QuotaExceeded",
     "EC2CostModel",
     "simulate_terasort",
     "simulate_coded_terasort",

@@ -8,6 +8,11 @@ Subcommands::
                               --cluster tcp://); --input FILE plus
                               --memory-budget BYTES runs out-of-core
     codedterasort worker    — join a tcp:// coordinator as one worker agent
+    codedterasort serve     — run the multi-tenant sort service daemon
+                              (standing worker mesh + TCP control port;
+                              concurrent jobs on per-job worker subsets)
+    codedterasort submit    — submit one sort job to a running service
+    codedterasort status    — job table + per-tenant stats of a service
     codedterasort simulate  — one simulated run at paper scale
     codedterasort tables    — regenerate Tables I-III
     codedterasort figures   — Fig. 2 + trend sweeps
@@ -211,6 +216,157 @@ def _cmd_worker(args: argparse.Namespace) -> int:
     except TcpClusterError as exc:
         print(f"worker failed: {exc}", file=sys.stderr)
         return 2
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import signal
+    import time
+
+    from repro.runtime.tcp import TcpCluster, TcpClusterError
+    from repro.service import SortService, TenantQuota
+
+    rate = args.rate_mbps * 125_000 if args.rate_mbps else None
+    cluster = TcpCluster(
+        args.nodes,
+        args.listen,
+        rate_bytes_per_s=rate,
+        timeout=args.job_timeout,
+        connect_timeout=args.connect_timeout,
+        handshake_timeout=args.handshake_timeout,
+        failure_timeout=args.failure_timeout,
+    )
+    service = SortService(
+        cluster,
+        control=args.control,
+        max_queue_depth=args.max_queue_depth,
+        default_quota=TenantQuota(
+            max_concurrent=args.max_concurrent,
+            max_queued=args.max_queued,
+        ),
+        max_retries=args.max_retries,
+    )
+    # Machine-parseable lines first (the smoke harness scrapes them),
+    # before start() blocks waiting for workers.
+    print(f"[serve] rendezvous {cluster.address}", flush=True)
+    print(f"[serve] control {service.control_address}", flush=True)
+    print(f"[serve] waiting for {args.nodes} workers — start them with: "
+          f"repro worker --join {cluster.address}", flush=True)
+
+    def _on_term(signum, frame):
+        raise SystemExit(0)
+
+    signal.signal(signal.SIGTERM, _on_term)
+    try:
+        service.start()
+        print("[serve] ready", flush=True)
+        while not service.closed:
+            time.sleep(0.25)
+    except TcpClusterError as exc:
+        print(f"serve failed: {exc}", file=sys.stderr)
+        return 2
+    except KeyboardInterrupt:
+        pass
+    finally:
+        service.close()
+        cluster.close()
+        print("[serve] stopped", flush=True)
+    return 0
+
+
+def _submit_spec(args: argparse.Namespace):
+    from repro.kvpairs.datasource import FileSource
+    from repro.kvpairs.teragen import teragen
+    from repro.session import CodedTeraSortSpec, TeraSortSpec
+
+    if args.input is not None:
+        data, source = None, FileSource(args.input)
+    else:
+        data, source = teragen(args.records, seed=args.seed), None
+    if args.algorithm == "coded":
+        return CodedTeraSortSpec(
+            data=data,
+            input=source,
+            redundancy=args.redundancy,
+            schedule=args.schedule,
+        )
+    return TeraSortSpec(data=data, input=source)
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    from repro.service import ServiceClient, ServiceRejected
+
+    client = ServiceClient(args.connect)
+    spec = _submit_spec(args)
+    try:
+        handle = client.submit(
+            spec,
+            tenant=args.tenant,
+            priority=args.priority,
+            workers=args.workers,
+        )
+    except ServiceRejected as exc:
+        print(f"rejected ({exc.kind}): {exc}", file=sys.stderr)
+        return 3
+    workers = args.workers if args.workers else "all"
+    print(f"submitted job {handle.job_id} "
+          f"(tenant={args.tenant}, priority={args.priority}, "
+          f"workers={workers})")
+    if args.no_wait:
+        return 0
+    try:
+        run = handle.result(timeout=args.wait_timeout)
+    except TimeoutError as exc:
+        print(f"{exc}", file=sys.stderr)
+        return 4
+    except RuntimeError as exc:
+        print(f"job {handle.job_id} failed: {exc}", file=sys.stderr)
+        return 1
+    n_out = sum(len(p) for p in run.partitions)
+    print(f"job {handle.job_id} done: {len(run.partitions)} sorted "
+          f"partitions, {n_out} records")
+    return 0
+
+
+def _cmd_status(args: argparse.Namespace) -> int:
+    from repro.service import ServiceClient
+    from repro.utils.tables import format_table
+
+    client = ServiceClient(args.connect)
+    stats = client.stats()
+    jobs = client.status(args.job)
+    if args.json:
+        import json
+
+        print(json.dumps(
+            {"stats": stats.to_dict(), "jobs": jobs}, indent=2,
+            sort_keys=True,
+        ))
+        return 0
+    print(f"workers: {stats.workers_live}/{stats.workers} live; "
+          f"jobs: {stats.jobs_queued} queued, {stats.jobs_running} running, "
+          f"{stats.jobs_done} done, {stats.jobs_failed} failed, "
+          f"{stats.jobs_rejected} rejected")
+    if stats.queue_wait_p50 is not None:
+        print(f"queue wait: p50 {stats.queue_wait_p50:.3f}s, "
+              f"p95 {stats.queue_wait_p95:.3f}s")
+    if stats.tenants:
+        print(format_table(
+            ["tenant", "queued", "running", "done", "failed", "rejected",
+             "bytes sorted"],
+            [[name, t.jobs_queued, t.jobs_running, t.jobs_done,
+              t.jobs_failed, t.jobs_rejected, t.bytes_sorted]
+             for name, t in sorted(stats.tenants.items())],
+        ))
+    if jobs:
+        print(format_table(
+            ["job", "tenant", "state", "workers", "attempts", "error"],
+            [[j["job_id"], j["tenant"], j["state"],
+              ",".join(str(w) for w in j["workers_used"]) or j["workers"],
+              j["attempts"],
+              (j["error"][0] if j["error"] else "")]
+             for j in jobs],
+        ))
+    return 0
 
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
@@ -481,6 +637,76 @@ def build_parser() -> argparse.ArgumentParser:
                    help="per-step bound for rendezvous and mesh setup")
     p.add_argument("--quiet", action="store_true")
     p.set_defaults(func=_cmd_worker)
+
+    p = sub.add_parser(
+        "serve",
+        help="run the multi-tenant sort service daemon (standing worker "
+             "mesh + control port; concurrent jobs on worker subsets)",
+    )
+    p.add_argument("--nodes", "-K", type=int, default=6,
+                   help="mesh size: how many `repro worker` agents to admit")
+    p.add_argument("--listen", default="tcp://127.0.0.1:0",
+                   metavar="tcp://HOST:PORT",
+                   help="worker rendezvous address (port 0 = ephemeral)")
+    p.add_argument("--control", default="tcp://127.0.0.1:0",
+                   metavar="tcp://HOST:PORT",
+                   help="client control port for submit/status")
+    p.add_argument("--rate-mbps", type=float, default=None,
+                   help="per-worker egress throttle")
+    p.add_argument("--job-timeout", type=float, default=300.0,
+                   help="per-job wall bound")
+    p.add_argument("--connect-timeout", type=float, default=300.0,
+                   help="seconds to wait for all workers at startup")
+    p.add_argument("--handshake-timeout", type=float, default=30.0)
+    p.add_argument("--failure-timeout", type=float, default=30.0,
+                   help="declare a worker dead after this long without a "
+                        "heartbeat")
+    p.add_argument("--max-queue-depth", type=int, default=64,
+                   help="global queued-job bound (admission control)")
+    p.add_argument("--max-concurrent", type=int, default=4,
+                   help="default per-tenant running-job quota")
+    p.add_argument("--max-queued", type=int, default=16,
+                   help="default per-tenant queued-job quota")
+    p.add_argument("--max-retries", type=int, default=1,
+                   help="per-job retry budget for worker failures")
+    p.set_defaults(func=_cmd_serve)
+
+    p = sub.add_parser(
+        "submit", help="submit one sort job to a running service"
+    )
+    p.add_argument("--connect", required=True, metavar="tcp://HOST:PORT",
+                   help="the service's control address (printed by serve)")
+    p.add_argument("--tenant", default="default")
+    p.add_argument("--priority", type=int, default=0,
+                   help="higher runs earlier in the queue (running jobs "
+                        "are never preempted)")
+    p.add_argument("--workers", type=int, default=None,
+                   help="run on this many workers (a subset of the mesh); "
+                        "default: the whole mesh")
+    p.add_argument("--algorithm", choices=["terasort", "coded"],
+                   default="coded")
+    p.add_argument("--redundancy", "-r", type=int, default=2)
+    p.add_argument("--schedule", choices=["serial", "parallel"],
+                   default="serial")
+    p.add_argument("--records", "-n", type=int, default=60_000)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--input", default=None, metavar="FILE",
+                   help="sort this teragen-format file (path must resolve "
+                        "on every worker host)")
+    p.add_argument("--no-wait", action="store_true",
+                   help="print the job id and return without waiting")
+    p.add_argument("--wait-timeout", type=float, default=600.0)
+    p.set_defaults(func=_cmd_submit)
+
+    p = sub.add_parser(
+        "status", help="job table + per-tenant stats of a running service"
+    )
+    p.add_argument("--connect", required=True, metavar="tcp://HOST:PORT")
+    p.add_argument("--job", type=int, default=None,
+                   help="show only this job id")
+    p.add_argument("--json", action="store_true",
+                   help="machine-readable ServiceStats + job rows")
+    p.set_defaults(func=_cmd_status)
 
     p = sub.add_parser("simulate", help="simulate one run at paper scale")
     p.add_argument("--algorithm", choices=["terasort", "coded"], default="coded")

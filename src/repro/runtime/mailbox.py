@@ -28,7 +28,7 @@ from __future__ import annotations
 import threading
 import time
 from collections import deque
-from typing import Deque, Dict, Optional, Tuple, Union
+from typing import Callable, Deque, Dict, Optional, Tuple, Union
 
 _MailKey = Tuple[int, int]  # (src, tag)
 _Frame = Union[bytes, bytearray, memoryview]
@@ -116,6 +116,24 @@ class Mailbox:
                     f"{self._closed_sources[src]}"
                 )
             return None
+
+    def purge(self, match: "Callable[[int, int], bool]") -> int:
+        """Drop every buffered frame whose ``(src, tag)`` key matches.
+
+        Long-lived endpoints that run many overlapping jobs (the sort
+        service's subset workers) reclaim a finished or aborted job's
+        undelivered frames with this — unlike the one-job-at-a-time
+        pools, they never tear the whole mailbox down between jobs.
+
+        Returns:
+            The number of frames dropped.
+        """
+        with self._cond:
+            dropped = 0
+            for key in [k for k in self._queues if match(*k)]:
+                dropped += len(self._queues[key])
+                del self._queues[key]
+            return dropped
 
     def close_source(self, src: int, reason: str) -> None:
         """Fail future receives from ``src`` (already-buffered frames drain)."""

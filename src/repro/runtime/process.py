@@ -46,7 +46,7 @@ import threading
 import time
 import traceback
 from multiprocessing.connection import wait as _conn_wait
-from typing import Any, Callable, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.runtime.api import (
     BACKEND_TIMEOUT,
@@ -54,8 +54,11 @@ from repro.runtime.api import (
     Comm,
     CommError,
     DEFAULT_CHUNK_BYTES,
+    JOB_TAG_STRIDE,
     MulticastMode,
     Request,
+    _BARRIER_NS,
+    _BCAST_NS,
     _FutureRequest,
     _JOB_BARRIER_EPOCH_STRIDE,
     _JOB_TAG_WINDOWS,
@@ -251,6 +254,155 @@ class _SocketComm(Comm):
             self._send_queue.put(None)
             assert self._sender_thread is not None
             self._sender_thread.join(timeout=10.0)
+
+
+class SubsetComm(_SocketComm):
+    """A logical-rank view of one worker's mesh endpoint for a subset job.
+
+    The sort service schedules a K'-worker job onto K' of a standing
+    mesh's K workers, overlapping it with other jobs on the disjoint
+    remainder.  Each member builds a ``SubsetComm`` over its base
+    endpoint: logical rank ``i`` maps onto global rank ``members[i]``,
+    the base's sockets, per-destination send locks, pacer, and mailbox
+    are shared (no new connections, no new reader threads — the base
+    readers keep feeding the one mailbox, keyed by *global* source), and
+    every inherited primitive — barriers, broadcast trees, the async
+    sender — operates purely in logical coordinates.  A program written
+    for a K'-node cluster therefore runs unmodified, and byte-identically
+    to a dedicated K'-worker mesh.
+
+    Isolation between overlapping jobs rests on three mechanisms:
+
+    * per-job tag windows (:meth:`Comm.begin_job` with coordinator-unique
+      sequence numbers) keep concurrent jobs' frames from ever aliasing;
+    * per-source mailbox closure means a worker death fails only the
+      jobs whose subset contains the dead rank — neighbours never see it;
+    * receives poll the job's abort flag (a coordinator
+      ``("ctl", seq, ("abort", reason))`` frame, see
+      :meth:`~repro.runtime.program.JobControl.abort_reason`) in short
+      slices, so members of a job the coordinator already failed
+      elsewhere unblock promptly instead of waiting out the timeout.
+
+    Workers run one job at a time, so the base endpoint is never used
+    concurrently with a subset built over it.
+    """
+
+    _ABORT_POLL = 0.1
+
+    def __init__(self, base: _SocketComm, members: Sequence[int]) -> None:
+        members = list(members)
+        if len(set(members)) != len(members):
+            raise CommError(f"duplicate ranks in subset {members}")
+        if base.rank not in members:
+            raise CommError(
+                f"rank {base.rank} is not a member of subset {members}"
+            )
+        for g in members:
+            if g != base.rank and g not in base._conns:
+                raise CommError(
+                    f"subset member {g} is not a mesh peer of rank "
+                    f"{base.rank} (mesh size {base.size})"
+                )
+        super().__init__(
+            members.index(base.rank),
+            len(members),
+            {
+                i: base._conns[g]
+                for i, g in enumerate(members)
+                if g != base.rank
+            },
+            base.multicast_mode,
+            base._pacer,
+            base._recv_timeout,
+            base.chunk_bytes,
+            base.record_relays,
+        )
+        self.members = members
+        self._base = base
+        # Share the base's lock objects (a previous subset job's sender
+        # thread may still be draining a send to the same peer socket)
+        # and its mailbox; raw receives translate logical -> global.
+        self._send_locks = {
+            i: base._send_locks[g]
+            for i, g in enumerate(members)
+            if g != base.rank
+        }
+        self._mailbox = base._mailbox
+
+    def _abort_failure(self, reason: str) -> WorkerFailure:
+        return WorkerFailure(
+            -1, self._stage, f"job aborted by coordinator: {reason}"
+        )
+
+    def _recv_raw(self, src: int, tag: int, timeout=BACKEND_TIMEOUT):
+        if timeout is BACKEND_TIMEOUT:
+            timeout = self._recv_timeout
+        gsrc = self.members[src]
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            control = self.job_control
+            if control is not None:
+                reason = control.abort_reason()
+                if reason is not None:
+                    raise self._abort_failure(reason)
+            if deadline is None:
+                slice_t = self._ABORT_POLL
+            else:
+                slice_t = min(
+                    self._ABORT_POLL,
+                    max(0.0, deadline - time.monotonic()),
+                )
+            try:
+                return self._mailbox.get(gsrc, tag, slice_t)
+            except TimeoutError:
+                if deadline is not None and time.monotonic() >= deadline:
+                    raise RuntimeTimeoutError(
+                        f"recv from worker {src} timed out after {timeout}s "
+                        f"in stage {self._stage!r}",
+                        peer=src,
+                        stage=self._stage,
+                        seconds=timeout,
+                    ) from None
+            except MailboxClosed as exc:
+                raise WorkerFailure(
+                    src, self._stage, f"peer connection lost: {exc}"
+                ) from exc
+
+    def _poll_raw(self, src: int, tag: int) -> Optional[bytes]:
+        control = self.job_control
+        if control is not None:
+            reason = control.abort_reason()
+            if reason is not None:
+                raise self._abort_failure(reason)
+        try:
+            return self._mailbox.poll(self.members[src], tag)
+        except MailboxClosed as exc:
+            raise WorkerFailure(
+                src, self._stage, f"peer connection lost: {exc}"
+            ) from exc
+
+
+def _purge_job_frames(mailbox: Mailbox, job_seq: int) -> int:
+    """Drop buffered frames belonging to ``job_seq``'s tag windows.
+
+    A subset job that failed (or was aborted) can leave undelivered
+    frames in the shared base mailbox.  The full-mesh pools simply tear
+    the worker down after a failure, but a resilient service worker
+    lives on to serve the next job — so the dead job's frames must be
+    reclaimed.  Covers all three namespaces a job receives in: shifted
+    user tags, broadcast inner tags, and barrier rounds.
+    """
+    window = job_seq % _JOB_TAG_WINDOWS
+
+    def match(src: int, tag: int) -> bool:
+        if tag >= _BARRIER_NS:
+            epoch = (tag - _BARRIER_NS) // 64
+            return epoch // _JOB_BARRIER_EPOCH_STRIDE == window
+        if tag >= _BCAST_NS:
+            return (tag - _BCAST_NS) // JOB_TAG_STRIDE == window
+        return tag // JOB_TAG_STRIDE == window
+
+    return mailbox.purge(match)
 
 
 def _build_mesh(
@@ -492,32 +644,80 @@ class _Heartbeater:
         self._thread.join(timeout=10.0)
 
 
+class WorkerDrain:
+    """Signal-safe graceful-shutdown flag for a pool worker.
+
+    ``repro worker`` arms one of these on SIGTERM: :meth:`trigger` (safe
+    to call from a signal handler — only an ``Event.set`` and a
+    ``Queue.put``) both sets the flag the control loop checks between
+    jobs and drops a sentinel on the control inbox so an *idle* worker
+    wakes from its blocking ``inbox.get`` immediately.  A busy worker
+    finishes its in-flight job, reports the result, and only then exits
+    — a mid-shuffle kill would instead cascade ``WorkerFailure`` across
+    the whole subset.
+    """
+
+    _SENTINEL = ("__drain__",)
+
+    def __init__(self) -> None:
+        self._event = threading.Event()
+        self._inbox: Optional["queue.Queue[Tuple]"] = None
+
+    @property
+    def requested(self) -> bool:
+        return self._event.is_set()
+
+    def trigger(self) -> None:
+        self._event.set()
+        inbox = self._inbox
+        if inbox is not None:
+            inbox.put(self._SENTINEL)
+
+
 def serve_pool_jobs(
     comm: _SocketComm,
     rank: int,
     recv_msg: Callable[[], Tuple],
     send_msg: Callable[[Tuple], None],
     heartbeat_interval: Optional[float] = None,
+    resilient: bool = False,
+    drain: Optional[WorkerDrain] = None,
 ) -> None:
     """The pool worker control loop, over any coordinator transport.
 
-    Each ``("job", seq, builder, payload)`` message rebinds the comm to
-    the job's tag window and traffic log (:meth:`Comm.begin_job`), builds
-    the node program from the shipped ``(builder, payload)``, runs it, and
-    reports the per-job result / stage times / traffic back through
-    ``send_msg``.  On any job failure the worker reports and *returns*
-    (the caller exits): its closing sockets EOF every peer's reader
-    thread, so blocked peers fail fast, and the coordinator re-forms a
-    clean mesh for the next job (a mid-shuffle mesh holds arbitrary
-    half-delivered frames — a fresh mesh beats resynchronizing).
+    Each ``("job", seq, builder, payload[, members])`` message rebinds
+    the comm to the job's tag window and traffic log
+    (:meth:`Comm.begin_job`), builds the node program from the shipped
+    ``(builder, payload)``, runs it, and reports the per-job result /
+    stage times / traffic back through ``send_msg``.  When the optional
+    fifth element ``members`` is present (the sort service's per-job
+    worker subsets), the job runs on a :class:`SubsetComm` view over
+    ``comm`` instead — logical ranks ``0..len(members)-1`` over the
+    listed global ranks — leaving the other workers of the mesh free to
+    run a different job concurrently.
+
+    Failure policy is selected by ``resilient``:
+
+    * ``resilient=False`` (the one-job-at-a-time pools): on any job
+      failure the worker reports and *returns* (the caller exits).  Its
+      closing sockets EOF every peer's reader thread, so blocked peers
+      fail fast, and the coordinator re-forms a clean mesh for the next
+      job (a mid-shuffle mesh holds arbitrary half-delivered frames — a
+      fresh mesh beats resynchronizing).
+    * ``resilient=True`` (service workers): the worker reports the
+      failure, reclaims the dead job's buffered frames
+      (:func:`_purge_job_frames` — per-job tag windows make this exact),
+      and stays up for the next job.  The coordinator retries the failed
+      job on a fresh sequence number, so nothing ever aliases.
 
     While a job runs, a heartbeat thread reports the worker's current
     stage every ``heartbeat_interval`` seconds (``None`` disables) — the
     driver's liveness detector and the speculation policy both feed on
     these.  A reader thread owns ``recv_msg`` for the whole loop, routing
-    mid-job ``("ctl", seq, payload)`` frames into ``comm.job_control``.
-    The heartbeater is stopped *and joined* before the final ok/error
-    report, so the report is always the channel's last frame for the job.
+    mid-job ``("ctl", seq, payload)`` frames into the job comm's
+    :class:`JobControl`.  The heartbeater is stopped *and joined* before
+    the final ok/error report, so the report is always the channel's
+    last frame for the job.
 
     Failures are reported typed: a :class:`CommError` (peer death, comm
     timeout — including the cascade EOFs every survivor sees when one
@@ -526,13 +726,17 @@ def serve_pool_jobs(
 
     ``recv_msg`` must raise ``EOFError`` / ``OSError`` /
     :class:`TransportError` once the coordinator is gone; any non-``job``
-    message (``("stop",)``) also ends the loop.  Shared by the forked
-    AF_UNIX pool workers here (transport: a duplex pipe) and the TCP
-    worker agents in :mod:`repro.runtime.tcp` (transport: framed pickles
-    on the rendezvous connection).
+    message (``("stop",)``) also ends the loop, as does a
+    :class:`WorkerDrain` trigger once the in-flight job (if any) has
+    reported.  Shared by the forked AF_UNIX pool workers here
+    (transport: a duplex pipe) and the TCP worker agents in
+    :mod:`repro.runtime.tcp` (transport: framed pickles on the
+    rendezvous connection).
     """
     send_lock = threading.Lock()
     reader = _CtrlReader(recv_msg)
+    if drain is not None:
+        drain._inbox = reader.inbox
 
     def report(msg: Tuple) -> None:
         with send_lock:
@@ -541,20 +745,27 @@ def serve_pool_jobs(
     while True:
         msg = reader.inbox.get()
         if msg[0] != "job":
-            return  # "stop" or coordinator EOF
-        _, job_seq, builder, payload = msg
+            return  # "stop", drain sentinel, or coordinator EOF
+        job_seq, builder, payload = msg[1], msg[2], msg[3]
+        members: Optional[List[int]] = msg[4] if len(msg) > 4 else None
         traffic = TrafficLog()
         heartbeater: Optional[_Heartbeater] = None
+        job_comm: Comm = comm
+        failed = False
         try:
-            comm.begin_job(job_seq, traffic)
-            comm.job_control = JobControl(job_seq)
-            reader.job_control = comm.job_control
+            if members is not None:
+                # A malformed subset raises CommError straight into the
+                # typed handlers below — reported, never fatal here.
+                job_comm = SubsetComm(comm, members)
+            job_comm.begin_job(job_seq, traffic)
+            job_comm.job_control = JobControl(job_seq)
+            reader.job_control = job_comm.job_control
             if heartbeat_interval is not None and heartbeat_interval > 0:
                 heartbeater = _Heartbeater(
-                    rank, job_seq, comm, send_msg, send_lock,
+                    rank, job_seq, job_comm, send_msg, send_lock,
                     heartbeat_interval,
                 )
-            program = builder(comm, payload)
+            program = builder(job_comm, payload)
             result = program.run()
             report_msg = (
                 "ok",
@@ -572,26 +783,44 @@ def serve_pool_jobs(
         except CommError:
             # Infrastructure: a peer died or a comm wait expired.  The
             # survivors of one crash all land here via the EOF cascade.
+            failed = True
             if heartbeater is not None:
                 heartbeater.stop()
                 heartbeater = None
             try:
                 report(("comm_error", rank, job_seq, traceback.format_exc()))
             except (OSError, ValueError, TransportError):
-                pass
-            return
-        except BaseException:  # noqa: BLE001 - reported to the coordinator
+                return
+        except BaseException as exc:  # noqa: BLE001 - reported to coordinator
+            failed = True
             if heartbeater is not None:
                 heartbeater.stop()
                 heartbeater = None
             try:
                 report(("error", rank, job_seq, traceback.format_exc()))
             except (OSError, ValueError, TransportError):
-                pass
-            return
+                return
+            if isinstance(exc, SystemExit):
+                # Drain escalation (second SIGTERM) or an explicit
+                # in-program exit: the coordinator has its error report;
+                # now really exit, with the honest nonzero status.
+                raise
         finally:
             reader.job_control = None
-            comm.job_control = None
+            job_comm.job_control = None
+            if heartbeater is not None:
+                heartbeater.stop()
+            if job_comm is not comm:
+                # The subset view shares the base sockets; only its
+                # private sender thread needs tearing down.  A failed
+                # (or aborted) job may leave frames for its tag windows
+                # in the shared mailbox — reclaim them.
+                job_comm._close_async()
+                _purge_job_frames(comm._mailbox, job_seq)
+        if failed and not resilient:
+            return
+        if drain is not None and drain.requested:
+            return
 
 
 def _pool_worker_main(

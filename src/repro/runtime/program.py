@@ -146,9 +146,13 @@ class JobControl:
 
     The pool control loop installs one per job as ``comm.job_control``;
     the worker's control-channel reader thread delivers driver payloads
-    into it while the program runs.  The only message today is the
-    speculation directive ``("speculate", straggler, backup)``: run a
-    backup copy of ``straggler``'s map shard on rank ``backup``.
+    into it while the program runs.  Two messages exist today: the
+    speculation directive ``("speculate", straggler, backup)`` (run a
+    backup copy of ``straggler``'s map shard on rank ``backup``) and the
+    abort directive ``("abort", reason)`` — the service coordinator's
+    way of unblocking the surviving members of a subset job it has
+    already failed (their receives poll :meth:`abort_reason` and bail
+    out instead of waiting the full receive timeout).
 
     Programs poll the accessors between work windows — all methods are
     lock-protected and non-blocking.  One-shot runs and the thread
@@ -160,6 +164,7 @@ class JobControl:
         self.job_seq = job_seq
         self._lock = threading.Lock()
         self._speculations: List[Tuple[int, int]] = []
+        self._abort_reason: Optional[str] = None
 
     def deliver(self, payload: Any) -> None:
         """Called from the control reader thread with one driver message."""
@@ -170,6 +175,19 @@ class JobControl:
         ):
             with self._lock:
                 self._speculations.append((int(payload[1]), int(payload[2])))
+        elif (
+            isinstance(payload, tuple)
+            and len(payload) == 2
+            and payload[0] == "abort"
+        ):
+            with self._lock:
+                if self._abort_reason is None:
+                    self._abort_reason = str(payload[1])
+
+    def abort_reason(self) -> Optional[str]:
+        """Why the coordinator aborted this job, or ``None`` while live."""
+        with self._lock:
+            return self._abort_reason
 
     def backup_for(self, rank: int) -> Optional[int]:
         """The rank running a backup of ``rank``'s map shard, if any."""

@@ -57,6 +57,7 @@ from __future__ import annotations
 import os
 import pickle
 import selectors
+import signal
 import socket
 import struct
 import time
@@ -66,6 +67,7 @@ from repro.runtime.api import DEFAULT_CHUNK_BYTES, MulticastMode
 from repro.runtime.errors import WorkerFailure, job_failure
 from repro.runtime.monitor import JobMonitor
 from repro.runtime.process import (
+    WorkerDrain,
     _SocketComm,
     make_socket_comm,
     serve_pool_jobs,
@@ -88,8 +90,11 @@ __all__ = [
 ]
 
 #: Bumped whenever the rendezvous protocol or the job wire format changes
-#: incompatibly; coordinator and workers must match exactly.
-PROTOCOL_VERSION = 1
+#: incompatibly; coordinator and workers must match exactly.  v2: job
+#: frames may carry a fifth ``members`` element (per-job worker subsets,
+#: see :class:`~repro.runtime.process.SubsetComm`) — a v1 worker would
+#: fail to unpack them, so the sort service requires v2 agents.
+PROTOCOL_VERSION = 2
 
 _MAGIC = b"CODEDTS1"
 #: HELLO: magic, protocol version, requested rank (-1 = assign any).
@@ -300,6 +305,25 @@ def run_worker(
     for stale in SpillDir.sweep_stale():
         say(f"reaped stale spill dir {stale}")
 
+    # Graceful drain: the first SIGTERM lets an in-flight job finish and
+    # report before the agent exits (a mid-shuffle death would cascade
+    # WorkerFailure across the whole subset); a second SIGTERM means the
+    # supervisor is serious — exit now (SystemExit still runs the spill
+    # cleanup atexit hooks installed above).
+    drain = WorkerDrain()
+    prev_sigterm = None
+
+    def _on_sigterm(signum, frame):
+        if drain.requested:
+            raise SystemExit(128 + signum)
+        say("SIGTERM: draining (finishing in-flight job, then exiting)")
+        drain.trigger()
+
+    try:
+        prev_sigterm = signal.signal(signal.SIGTERM, _on_sigterm)
+    except ValueError:  # pragma: no cover - non-main-thread embedding
+        drain = None
+
     ctrl = _dial(host, port, connect_timeout)
     listener: Optional[socket.socket] = None
     comm: Optional[_SocketComm] = None
@@ -356,10 +380,17 @@ def run_worker(
             lambda: _recv_msg(ctrl),
             lambda msg: _send_msg(ctrl, msg),
             heartbeat_interval=cfg.get("heartbeat_interval", 0.5),
+            resilient=bool(cfg.get("resilient", False)),
+            drain=drain,
         )
-        say("stopped")
+        say("drained" if drain is not None and drain.requested else "stopped")
         return 0
     finally:
+        if prev_sigterm is not None:
+            try:
+                signal.signal(signal.SIGTERM, prev_sigterm)
+            except ValueError:  # pragma: no cover
+                pass
         if comm is not None:
             comm._close_async()
         for sock in ([ctrl] + list(peers.values())) + (
@@ -410,6 +441,11 @@ class TcpCluster:
         failure_timeout: a worker silent for this long mid-job is
             declared dead with a typed
             :class:`~repro.runtime.errors.WorkerFailure`.
+        resilient_workers: shipped in the welcome config — workers
+            survive a failed job (report, reclaim its frames, serve the
+            next) instead of exiting to force a clean re-rendezvous.
+            The sort service turns this on; the one-job-at-a-time pool
+            path keeps the teardown-and-rejoin policy.
     """
 
     def __init__(
@@ -425,6 +461,7 @@ class TcpCluster:
         handshake_timeout: float = 30.0,
         heartbeat_interval: Optional[float] = 0.5,
         failure_timeout: float = 30.0,
+        resilient_workers: bool = False,
     ) -> None:
         if size < 1:
             raise ValueError(f"cluster size must be >= 1, got {size}")
@@ -438,6 +475,7 @@ class TcpCluster:
         self.handshake_timeout = handshake_timeout
         self.heartbeat_interval = heartbeat_interval
         self.failure_timeout = failure_timeout
+        self.resilient_workers = resilient_workers
         host, port = parse_address(address)
         self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
@@ -649,6 +687,7 @@ class _TcpPool:
                         # (which .get with defaults) stay compatible — no
                         # PROTOCOL_VERSION bump needed for additions.
                         "heartbeat_interval": cluster.heartbeat_interval,
+                        "resilient": cluster.resilient_workers,
                     },
                 ),
             )

@@ -58,6 +58,16 @@ class TrafficLog:
         self._records: List[TrafficRecord] = []
         self._lock = threading.Lock()
 
+    def __getstate__(self) -> dict:
+        # Job results (and the TrafficLog inside them) travel the
+        # service control port pickled; locks don't.
+        with self._lock:
+            return {"_records": list(self._records)}
+
+    def __setstate__(self, state: dict) -> None:
+        self._records = state["_records"]
+        self._lock = threading.Lock()
+
     def record(
         self,
         stage: str,

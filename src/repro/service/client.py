@@ -1,0 +1,201 @@
+"""Thin client for the sort service: futures over the control port.
+
+:class:`ServiceClient` opens **one connection per request** (the control
+protocol is strictly request/response), so a single client object is
+safe to share across threads — three threads can submit and wait
+concurrently with no shared socket state.  :class:`ServiceJobHandle`
+duck-types the blocking half of :class:`~repro.session.JobHandle`
+(``done`` / ``wait`` / ``result`` / ``exception``), so driver code
+written against a local ``Session`` ports to the service by swapping
+``session.submit(spec)`` for ``client.submit(spec)``.
+"""
+
+from __future__ import annotations
+
+import socket
+import time
+from typing import Any, Dict, List, Optional
+
+from repro.runtime.errors import RuntimeTimeoutError, WorkerFailure
+from repro.runtime.tcp import parse_address
+from repro.service.protocol import request
+from repro.service.stats import ServiceStats
+from repro.session import JobSpec
+
+__all__ = ["ServiceClient", "ServiceJobHandle", "ServiceRejected"]
+
+
+class ServiceRejected(RuntimeError):
+    """The service rejected a submission (admission control).
+
+    Attributes:
+        kind: the machine-readable rejection kind from the daemon
+            (``"queue_full"``, ``"quota_exceeded"``, ...).
+    """
+
+    def __init__(self, kind: str, message: str) -> None:
+        super().__init__(message)
+        self.kind = kind
+
+
+def _rebuild_failure(kind: str, message: str) -> BaseException:
+    """A job failure arrives as ``(kind, message)`` strings; rebuild the
+    closest typed exception so client-side ``except WorkerFailure``
+    sites keep working."""
+    if kind == "worker_failure":
+        failure = WorkerFailure(-1, "service", message)
+        failure.args = (message,)
+        return failure
+    if kind == "timeout":
+        return RuntimeTimeoutError(message)
+    return RuntimeError(message)
+
+
+class ServiceClient:
+    """Client for one :class:`~repro.service.daemon.SortService`.
+
+    Args:
+        address: the daemon's control address (``tcp://HOST:PORT``).
+        connect_timeout: per-request dial + I/O bound.
+    """
+
+    def __init__(
+        self, address: str, connect_timeout: float = 30.0
+    ) -> None:
+        self._host, self._port = parse_address(address)
+        self._connect_timeout = connect_timeout
+
+    def _request(self, req: Any, timeout: Optional[float] = None) -> Any:
+        sock = socket.create_connection(
+            (self._host, self._port), timeout=self._connect_timeout
+        )
+        try:
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            if timeout is not None:
+                sock.settimeout(timeout)
+            resp = request(sock, req)
+        finally:
+            try:
+                sock.close()
+            except OSError:  # pragma: no cover
+                pass
+        if (
+            isinstance(resp, tuple)
+            and resp
+            and resp[0] == "error"
+        ):
+            raise _rebuild_failure(resp[1], resp[2])
+        return resp
+
+    # -- API ----------------------------------------------------------------
+
+    def submit(
+        self,
+        spec: JobSpec,
+        tenant: str = "default",
+        priority: int = 0,
+        workers: Optional[int] = None,
+    ) -> "ServiceJobHandle":
+        """Submit one job; returns a handle immediately.
+
+        Raises:
+            ServiceRejected: admission control turned the job away
+                (``.kind`` says why — back off or shrink the request).
+        """
+        resp = self._request(
+            (
+                "submit",
+                spec,
+                {"tenant": tenant, "priority": priority, "workers": workers},
+            )
+        )
+        if resp[0] == "rejected":
+            raise ServiceRejected(resp[1], resp[2])
+        assert resp[0] == "ok", resp
+        return ServiceJobHandle(self, resp[1], spec)
+
+    def status(
+        self, job_id: Optional[int] = None
+    ) -> List[Dict[str, Any]]:
+        """Status rows for one job (or all), as plain dicts."""
+        resp = self._request(("status", job_id))
+        assert resp[0] == "ok", resp
+        return resp[1]
+
+    def stats(self) -> ServiceStats:
+        resp = self._request(("stats",))
+        assert resp[0] == "ok", resp
+        return resp[1]
+
+    def shutdown(self) -> None:
+        """Ask the daemon to shut down (it responds, then closes)."""
+        self._request(("shutdown",))
+
+
+class ServiceJobHandle:
+    """Future for one service job; API-compatible with the blocking half
+    of :class:`~repro.session.JobHandle`."""
+
+    def __init__(
+        self, client: ServiceClient, job_id: int, spec: JobSpec
+    ) -> None:
+        self._client = client
+        self.job_id = job_id
+        self.spec = spec
+        self._outcome: Optional[Any] = None
+        self._error: Optional[BaseException] = None
+        self._settled = False
+
+    def _poll(self, timeout: float) -> bool:
+        """One long-poll round trip; True once the job settled."""
+        if self._settled:
+            return True
+        resp = self._client._request(
+            ("result", self.job_id, timeout),
+            timeout=timeout + 60.0,
+        )
+        if resp[0] == "pending":
+            return False
+        if resp[0] == "ok":
+            self._outcome = resp[1]
+        else:
+            assert resp[0] == "failed", resp
+            self._error = _rebuild_failure(resp[1], resp[2])
+        self._settled = True
+        return True
+
+    def done(self) -> bool:
+        return self._poll(0.0)
+
+    def wait(self, timeout: Optional[float] = None) -> bool:
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            remaining = (
+                25.0
+                if deadline is None
+                else min(25.0, deadline - time.monotonic())
+            )
+            if remaining < 0:
+                return False
+            if self._poll(max(0.0, remaining)):
+                return True
+            if deadline is not None and time.monotonic() >= deadline:
+                return False
+
+    def result(self, timeout: Optional[float] = None) -> Any:
+        if not self.wait(timeout):
+            raise TimeoutError(
+                f"service job {self.job_id} not done within {timeout}s"
+            )
+        if self._error is not None:
+            raise self._error
+        return self._outcome
+
+    def exception(
+        self, timeout: Optional[float] = None
+    ) -> Optional[BaseException]:
+        if not self.wait(timeout):
+            raise TimeoutError(
+                f"service job {self.job_id} not done within {timeout}s"
+            )
+        return self._error

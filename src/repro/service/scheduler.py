@@ -1,0 +1,257 @@
+"""Admission control and fair-share scheduling for the sort service.
+
+Pure logic, no mesh, no threads: the daemon calls :meth:`submit` /
+:meth:`next_job` / :meth:`job_finished` under its own lock, and the unit
+tests drive the same API directly.
+
+Policy, in the order it is applied:
+
+* **Admission** (:meth:`FairShareScheduler.submit`) is a hard gate with
+  typed rejections — a bounded global queue depth (:class:`QueueFull`)
+  and per-tenant quotas on queued jobs and queued bytes
+  (:class:`QuotaExceeded`).  A rejected job costs the service nothing;
+  the client gets the rejection kind over the control port and can back
+  off or shrink the request.
+* **Dispatch** (:meth:`FairShareScheduler.next_job`) picks, among queued
+  jobs that *fit* (enough free workers, tenant below its concurrency
+  quota), the one with the highest priority; ties break by fair share —
+  the tenant with the least service (running + already-served jobs) wins,
+  then FIFO.  Priority moves jobs ahead in the *queue* only: a running
+  job is never preempted (its subset of workers is released only when it
+  finishes or fails).
+* **Backfill**: a job that fits never waits for a larger job that
+  doesn't — if the head-of-queue job needs 6 free workers and only 3 are
+  free, a 3-worker job behind it runs now.  Big jobs still drain-in
+  eventually because finishing jobs free workers faster than the
+  scheduler admits new large ones ahead of them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional
+
+__all__ = [
+    "AdmissionError",
+    "FairShareScheduler",
+    "QueueFull",
+    "QueuedJob",
+    "QuotaExceeded",
+    "TenantQuota",
+]
+
+
+class AdmissionError(RuntimeError):
+    """Base class for typed admission rejections (never retried server-side).
+
+    Attributes:
+        kind: short machine-readable rejection kind, stable across the
+            control-port wire (clients switch on it).
+    """
+
+    kind = "rejected"
+
+
+class QueueFull(AdmissionError):
+    """The service's global queue is at its bounded depth."""
+
+    kind = "queue_full"
+
+
+class QuotaExceeded(AdmissionError):
+    """The submitting tenant is over one of its quotas."""
+
+    kind = "quota_exceeded"
+
+
+@dataclass(frozen=True)
+class TenantQuota:
+    """Per-tenant resource limits.
+
+    Attributes:
+        max_concurrent: jobs this tenant may have *running* at once
+            (queued jobs wait, they are not rejected by this limit).
+        max_queued: jobs this tenant may have waiting in the queue.
+        max_queued_bytes: total estimated input bytes this tenant may
+            have queued (``None`` = unlimited).
+    """
+
+    max_concurrent: int = 4
+    max_queued: int = 16
+    max_queued_bytes: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.max_concurrent < 1:
+            raise ValueError(
+                f"max_concurrent must be >= 1, got {self.max_concurrent}"
+            )
+        if self.max_queued < 0:
+            raise ValueError(
+                f"max_queued must be >= 0, got {self.max_queued}"
+            )
+        if self.max_queued_bytes is not None and self.max_queued_bytes < 0:
+            raise ValueError(
+                f"max_queued_bytes must be >= 0, got {self.max_queued_bytes}"
+            )
+
+
+@dataclass
+class QueuedJob:
+    """One queue entry; ``payload`` is opaque to the scheduler (the
+    daemon stores its job record there)."""
+
+    job_id: int
+    tenant: str
+    priority: int
+    workers: int
+    est_bytes: int
+    payload: Any = None
+    enqueued_at: float = 0.0
+
+
+class FairShareScheduler:
+    """Priority + fair-share queue with typed admission control.
+
+    Not thread-safe by itself — the owner serializes calls (the daemon
+    holds one lock across its scheduler and pool state).
+
+    Args:
+        total_workers: mesh size; a job needing more can never run and
+            is rejected outright at submit.
+        max_queue_depth: global bound on queued jobs.
+        default_quota: quota applied to tenants without an explicit one.
+        quotas: per-tenant overrides, keyed by tenant name.
+    """
+
+    def __init__(
+        self,
+        total_workers: int,
+        max_queue_depth: int = 64,
+        default_quota: Optional[TenantQuota] = None,
+        quotas: Optional[Dict[str, TenantQuota]] = None,
+    ) -> None:
+        if total_workers < 1:
+            raise ValueError(
+                f"total_workers must be >= 1, got {total_workers}"
+            )
+        if max_queue_depth < 1:
+            raise ValueError(
+                f"max_queue_depth must be >= 1, got {max_queue_depth}"
+            )
+        self.total_workers = total_workers
+        self.max_queue_depth = max_queue_depth
+        self._default_quota = default_quota or TenantQuota()
+        self._quotas = dict(quotas or {})
+        self._queue: List[QueuedJob] = []
+        self._running: Dict[str, int] = {}  # tenant -> running job count
+        self._served: Dict[str, int] = {}  # tenant -> jobs ever dispatched
+
+    # -- introspection ------------------------------------------------------
+
+    def quota_for(self, tenant: str) -> TenantQuota:
+        return self._quotas.get(tenant, self._default_quota)
+
+    @property
+    def queued(self) -> List[QueuedJob]:
+        """The queue in arrival order (read-only view for stats)."""
+        return list(self._queue)
+
+    def queue_depth(self) -> int:
+        return len(self._queue)
+
+    def running_count(self, tenant: Optional[str] = None) -> int:
+        if tenant is not None:
+            return self._running.get(tenant, 0)
+        return sum(self._running.values())
+
+    # -- admission ----------------------------------------------------------
+
+    def submit(self, job: QueuedJob) -> None:
+        """Admit ``job`` to the queue or raise a typed rejection.
+
+        Raises:
+            QueueFull: the global queue is at ``max_queue_depth``.
+            QuotaExceeded: the tenant is over ``max_queued`` or
+                ``max_queued_bytes``, or the job wants more workers than
+                the mesh has.
+        """
+        if job.workers < 1:
+            raise QuotaExceeded(
+                f"job {job.job_id} requests {job.workers} workers"
+            )
+        if job.workers > self.total_workers:
+            raise QuotaExceeded(
+                f"job {job.job_id} requests {job.workers} workers but the "
+                f"mesh has {self.total_workers}"
+            )
+        if len(self._queue) >= self.max_queue_depth:
+            raise QueueFull(
+                f"queue depth {self.max_queue_depth} reached; retry later"
+            )
+        quota = self.quota_for(job.tenant)
+        mine = [q for q in self._queue if q.tenant == job.tenant]
+        if len(mine) >= quota.max_queued:
+            raise QuotaExceeded(
+                f"tenant {job.tenant!r} already has {len(mine)} jobs "
+                f"queued (max_queued={quota.max_queued})"
+            )
+        if quota.max_queued_bytes is not None:
+            queued_bytes = sum(q.est_bytes for q in mine)
+            if queued_bytes + job.est_bytes > quota.max_queued_bytes:
+                raise QuotaExceeded(
+                    f"tenant {job.tenant!r} would have "
+                    f"{queued_bytes + job.est_bytes} bytes queued "
+                    f"(max_queued_bytes={quota.max_queued_bytes})"
+                )
+        self._queue.append(job)
+
+    # -- dispatch -----------------------------------------------------------
+
+    def next_job(self, free_workers: int) -> Optional[QueuedJob]:
+        """Pick and remove the next runnable job, or ``None``.
+
+        A job is runnable when ``free_workers`` covers its subset and
+        its tenant is under ``max_concurrent``.  Among runnable jobs the
+        winner minimizes ``(-priority, service, job_id)`` where
+        ``service = running + served`` for the tenant — higher priority
+        first, then the least-served tenant (fair share), then FIFO.
+        The caller must pair every returned job with a later
+        :meth:`job_finished`.
+        """
+        best_idx: Optional[int] = None
+        best_key = None
+        for idx, job in enumerate(self._queue):
+            if job.workers > free_workers:
+                continue
+            quota = self.quota_for(job.tenant)
+            if self._running.get(job.tenant, 0) >= quota.max_concurrent:
+                continue
+            service = self._running.get(job.tenant, 0) + self._served.get(
+                job.tenant, 0
+            )
+            key = (-job.priority, service, job.job_id)
+            if best_key is None or key < best_key:
+                best_key = key
+                best_idx = idx
+        if best_idx is None:
+            return None
+        job = self._queue.pop(best_idx)
+        self._running[job.tenant] = self._running.get(job.tenant, 0) + 1
+        self._served[job.tenant] = self._served.get(job.tenant, 0) + 1
+        return job
+
+    def job_finished(self, tenant: str) -> None:
+        """Release one running slot for ``tenant`` (success or failure)."""
+        count = self._running.get(tenant, 0)
+        if count <= 1:
+            self._running.pop(tenant, None)
+        else:
+            self._running[tenant] = count - 1
+
+    def requeue(self, job: QueuedJob) -> None:
+        """Put a job back for retry, bypassing admission (it was already
+        admitted once; rejecting a retry would drop accepted work).  The
+        caller has already called :meth:`job_finished` for the failed
+        attempt.  Its original ``job_id`` keeps its FIFO position ahead
+        of younger submissions."""
+        self._queue.append(job)

@@ -366,6 +366,17 @@ class JobAttempt:
     error: Optional[BaseException] = None
 
 
+def retry_delay(attempt: int, backoff: float, cap: float = 30.0) -> float:
+    """Seconds to sleep before re-submitting failed attempt ``attempt``.
+
+    Bounded exponential: ``backoff * 2**attempt``, capped so a long retry
+    budget cannot stall a driver for minutes.  Shared by the in-process
+    :class:`Session` driver and the sort service's scheduler, so both
+    retry with identical pacing.
+    """
+    return min(cap, backoff * (2 ** attempt))
+
+
 class JobHandle:
     """Future for one submitted job.
 
@@ -607,7 +618,7 @@ class Session:
                         )
                         if attempt >= self._max_retries:
                             raise
-                        time.sleep(self._retry_backoff * (2 ** attempt))
+                        time.sleep(retry_delay(attempt, self._retry_backoff))
                         attempt += 1
                         continue
                     handle.attempts.append(

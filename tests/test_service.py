@@ -1,0 +1,233 @@
+"""End-to-end sort service: concurrent subset jobs on one real TCP mesh.
+
+The acceptance criteria for the service PR, verified against genuine
+``run_worker`` processes and a live :class:`SortService` daemon:
+
+* two jobs submitted by concurrent clients run on *disjoint* worker
+  subsets of one mesh with overlapping execution intervals, and each
+  output is byte-identical to the same spec run solo on a dedicated
+  in-process cluster;
+* a worker crash inside one subset retries only that subset's job —
+  the neighbouring job completes untouched on its own subset;
+* admission control rejects over-quota submissions with a typed
+  ``ServiceRejected`` over the control port, and per-tenant stats
+  (including queue-wait percentiles) survive the wire.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+
+import pytest
+
+from repro.kvpairs.teragen import teragen
+from repro.kvpairs.validation import validate_sorted_permutation
+from repro.runtime.inproc import ThreadCluster
+from repro.runtime.tcp import TcpCluster, run_worker
+from repro.service import (
+    ServiceClient,
+    ServiceRejected,
+    SortService,
+    TenantQuota,
+)
+from repro.session import Session, TeraSortSpec
+from repro.testing.faults import ENV_VAR
+
+_CTX = multiprocessing.get_context("fork")
+
+
+@pytest.fixture
+def no_plan(monkeypatch):
+    monkeypatch.delenv(ENV_VAR, raising=False)
+    return monkeypatch
+
+
+def _spawn_workers(address, n):
+    procs = [
+        _CTX.Process(
+            target=run_worker,
+            kwargs=dict(
+                join=address, quiet=True,
+                connect_timeout=60.0, handshake_timeout=60.0,
+            ),
+            daemon=True,
+        )
+        for _ in range(n)
+    ]
+    for p in procs:
+        p.start()
+    return procs
+
+
+def _reap(procs, timeout=15.0):
+    for p in procs:
+        p.join(timeout)
+        if p.is_alive():
+            p.terminate()
+            p.join()
+
+
+def _solo_partitions(spec, k):
+    """Reference partitions for ``spec`` on a dedicated k-worker cluster."""
+    with Session(ThreadCluster(k, recv_timeout=60.0)) as session:
+        run = session.submit(spec).result(timeout=60)
+    return [p.to_bytes() for p in run.partitions]
+
+
+def _wait_state(client, job_id, state, timeout=30.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        rows = client.status(job_id)
+        if rows and rows[0]["state"] == state:
+            return rows[0]
+        time.sleep(0.05)
+    raise AssertionError(
+        f"job {job_id} never reached {state!r}: {client.status(job_id)}"
+    )
+
+
+def test_two_jobs_overlap_on_disjoint_subsets_byte_identical(no_plan):
+    """K=4 mesh, two 2-worker sorts: disjoint subsets, overlapping
+    execution, outputs byte-identical to dedicated solo runs."""
+    data_a = teragen(1200, seed=91)
+    data_b = teragen(1200, seed=92)
+    spec_a = TeraSortSpec(data=data_a)
+    spec_b = TeraSortSpec(data=data_b)
+    ref_a = _solo_partitions(TeraSortSpec(data=data_a), 2)
+    ref_b = _solo_partitions(TeraSortSpec(data=data_b), 2)
+
+    # Hold both jobs' map stages open so their intervals provably overlap.
+    no_plan.setenv(ENV_VAR, "stage.delay,stage=map,secs=0.8,job_lt=2")
+    with TcpCluster(
+        4, "tcp://127.0.0.1:0", timeout=60, connect_timeout=60
+    ) as cluster:
+        procs = _spawn_workers(cluster.address, 4)
+        try:
+            with SortService(cluster) as service:
+                service.start()
+                client = ServiceClient(service.control_address)
+                handle_a = client.submit(spec_a, tenant="alice", workers=2)
+                handle_b = client.submit(spec_b, tenant="bob", workers=2)
+                run_a = handle_a.result(timeout=120)
+                run_b = handle_b.result(timeout=120)
+
+                validate_sorted_permutation(data_a, run_a.partitions)
+                validate_sorted_permutation(data_b, run_b.partitions)
+                assert [p.to_bytes() for p in run_a.partitions] == ref_a
+                assert [p.to_bytes() for p in run_b.partitions] == ref_b
+
+                row_a = client.status(handle_a.job_id)[0]
+                row_b = client.status(handle_b.job_id)[0]
+                assert row_a["state"] == "done"
+                assert row_b["state"] == "done"
+                # Disjoint subsets of the one mesh...
+                used_a = set(row_a["workers_used"])
+                used_b = set(row_b["workers_used"])
+                assert len(used_a) == len(used_b) == 2
+                assert not (used_a & used_b)
+                # ... and genuinely concurrent execution intervals.
+                overlap = min(
+                    row_a["finished_at"], row_b["finished_at"]
+                ) - max(row_a["started_at"], row_b["started_at"])
+                assert overlap > 0, (row_a, row_b)
+
+                stats = client.stats()
+                assert stats.jobs_done == 2
+                assert stats.tenants["alice"].jobs_done == 1
+                assert stats.tenants["bob"].jobs_done == 1
+        finally:
+            _reap(procs)
+
+
+def test_worker_crash_retries_only_its_subset(no_plan):
+    """K=6 mesh, two 3-worker sorts; a worker in job B's subset crashes
+    mid-map.  A completes untouched on attempt 1; B retries on the
+    survivors and still matches its solo output byte for byte."""
+    data_a = teragen(1200, seed=93)
+    data_b = teragen(1200, seed=94)
+    ref_a = _solo_partitions(TeraSortSpec(data=data_a), 3)
+    ref_b = _solo_partitions(TeraSortSpec(data=data_b), 3)
+
+    # Pool seq 1 is job B (dispatched second); its logical rank 1
+    # crashes entering map.  The retry is a fresh pool seq, unmatched.
+    no_plan.setenv(ENV_VAR, "stage.crash,rank=1,stage=map,job=1")
+    with TcpCluster(
+        6, "tcp://127.0.0.1:0", timeout=60, connect_timeout=60,
+        heartbeat_interval=0.1, failure_timeout=15.0,
+    ) as cluster:
+        procs = _spawn_workers(cluster.address, 6)
+        try:
+            with SortService(cluster, max_retries=2) as service:
+                service.start()
+                client = ServiceClient(service.control_address)
+                handle_a = client.submit(TeraSortSpec(data=data_a),
+                                         tenant="alice", workers=3)
+                handle_b = client.submit(TeraSortSpec(data=data_b),
+                                         tenant="bob", workers=3)
+                run_a = handle_a.result(timeout=120)
+                run_b = handle_b.result(timeout=120)
+
+                assert [p.to_bytes() for p in run_a.partitions] == ref_a
+                assert [p.to_bytes() for p in run_b.partitions] == ref_b
+
+                row_a = client.status(handle_a.job_id)[0]
+                row_b = client.status(handle_b.job_id)[0]
+                # The crash touched only B: one clean attempt for A, a
+                # retry recorded for B.
+                assert row_a["attempts"] == 1
+                assert row_b["attempts"] == 2
+                stats = client.stats()
+                assert stats.jobs_done == 2
+                assert stats.jobs_failed == 0
+                # The dead worker shrank capacity; the service carried on.
+                assert stats.workers_live == 5
+        finally:
+            _reap(procs)
+
+
+def test_quota_rejection_stats_and_shutdown(no_plan):
+    """Per-tenant quotas reject a third concurrent submission with a
+    typed kind over the wire; stats and shutdown round-trip too."""
+    no_plan.setenv(ENV_VAR, "stage.delay,stage=map,secs=1.5,job_lt=1")
+    data = teragen(800, seed=95)
+    with TcpCluster(
+        2, "tcp://127.0.0.1:0", timeout=60, connect_timeout=60
+    ) as cluster:
+        procs = _spawn_workers(cluster.address, 2)
+        try:
+            service = SortService(
+                cluster,
+                default_quota=TenantQuota(max_concurrent=1, max_queued=1),
+            )
+            with service:
+                service.start()
+                client = ServiceClient(service.control_address)
+                first = client.submit(TeraSortSpec(data=data), workers=2)
+                # The delay plan holds job 1 in map; once it is running,
+                # the tenant's next job queues and the one after that
+                # must bounce off max_queued=1.
+                _wait_state(client, first.job_id, "running")
+                second = client.submit(TeraSortSpec(data=data), workers=2)
+                with pytest.raises(ServiceRejected) as exc_info:
+                    client.submit(TeraSortSpec(data=data), workers=2)
+                assert exc_info.value.kind == "quota_exceeded"
+
+                assert first.result(timeout=120) is not None
+                assert second.result(timeout=120) is not None
+                stats = client.stats()
+                assert stats.jobs_done == 2
+                assert stats.jobs_rejected == 1
+                assert stats.tenants["default"].jobs_rejected == 1
+                # The second job waited on the first: its queue delay is
+                # in the percentile window.
+                assert stats.queue_wait_p95 is not None
+                assert stats.queue_wait_p95 > 0.5
+
+                client.shutdown()
+                deadline = time.monotonic() + 15.0
+                while not service.closed and time.monotonic() < deadline:
+                    time.sleep(0.05)
+                assert service.closed
+        finally:
+            _reap(procs)

@@ -1,0 +1,232 @@
+"""SubsetComm: logical-rank views over one shared socket mesh.
+
+Builds a real K=4 socketpair mesh *in process* (four ``_SocketComm``
+endpoints with live reader threads, one per rank, driven by worker
+threads) and exercises the service runtime's isolation mechanisms
+directly:
+
+* two subset jobs on disjoint member sets run concurrently over the one
+  mesh and each sees only its own frames (per-job tag windows);
+* logical ranks map onto arbitrary (even unsorted) global member lists;
+* an ``("abort", reason)`` control delivery unblocks a pending receive
+  promptly instead of waiting out the receive timeout;
+* ``_purge_job_frames`` reclaims exactly the dead job's buffered frames;
+* the constructor rejects malformed subsets.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.runtime.api import MulticastMode
+from repro.runtime.errors import CommError, WorkerFailure
+from repro.runtime.process import (
+    SubsetComm,
+    _purge_job_frames,
+    make_socket_comm,
+)
+from repro.runtime.program import JobControl
+
+K = 4
+
+
+@pytest.fixture()
+def mesh():
+    """Four in-process ``_SocketComm`` endpoints over a socketpair mesh."""
+    pairs = {
+        (i, j): socket.socketpair()
+        for i in range(K)
+        for j in range(i + 1, K)
+    }
+    conns_for = {r: {} for r in range(K)}
+    for (i, j), (si, sj) in pairs.items():
+        conns_for[i][j] = si
+        conns_for[j][i] = sj
+    comms = [
+        make_socket_comm(
+            rank=r,
+            size=K,
+            conns=conns_for[r],
+            multicast_mode=MulticastMode.TREE,
+            rate_bytes_per_s=None,
+            socket_timeout=30.0,
+            chunk_bytes=1 << 20,
+            record_relays=False,
+        )
+        for r in range(K)
+    ]
+    yield comms
+    for comm in comms:
+        comm._close_async()
+    for si, sj in pairs.values():
+        for s in (si, sj):
+            try:
+                s.close()
+            except OSError:
+                pass
+
+
+def _run_members(comms, members, job_seq, body, errors):
+    """One thread per subset member running ``body(subset_comm)``."""
+
+    def worker(global_rank):
+        try:
+            sub = SubsetComm(comms[global_rank], members)
+            sub.begin_job(job_seq, None)
+            try:
+                body(sub)
+            finally:
+                sub._close_async()
+        except BaseException as exc:  # noqa: BLE001 - surfaced to the test
+            errors.append((global_rank, exc))
+
+    threads = [
+        threading.Thread(target=worker, args=(g,), daemon=True)
+        for g in members
+    ]
+    for t in threads:
+        t.start()
+    return threads
+
+
+class TestConcurrentSubsets:
+    def test_disjoint_jobs_share_one_mesh(self, mesh):
+        """Jobs on {0, 2} and {1, 3} overlap without cross-talk."""
+        results = {}
+        errors = []
+        lock = threading.Lock()
+
+        def make_body(label):
+            def body(sub):
+                # Logical all-to-all: every member sends its label-tagged
+                # payload to the other, then a barrier.
+                peer = 1 - sub.rank
+                payload = f"{label}:{sub.rank}".encode()
+                sub.send(peer, tag=7, payload=payload)
+                got = bytes(sub.recv(peer, tag=7))
+                sub.barrier()
+                with lock:
+                    results[(label, sub.rank)] = got
+
+            return body
+
+        threads = _run_members(mesh, [0, 2], 5, make_body("even"), errors)
+        threads += _run_members(mesh, [1, 3], 6, make_body("odd"), errors)
+        for t in threads:
+            t.join(timeout=30.0)
+        assert not errors, errors
+        assert results == {
+            ("even", 0): b"even:1",
+            ("even", 1): b"even:0",
+            ("odd", 0): b"odd:1",
+            ("odd", 1): b"odd:0",
+        }
+
+    def test_logical_ranks_follow_member_order(self, mesh):
+        """members=[3, 1]: logical 0 is global 3, logical 1 is global 1."""
+        seen = {}
+        errors = []
+
+        def body(sub):
+            if sub.rank == 0:
+                sub.send(1, tag=2, payload=b"from-global-3")
+            else:
+                seen["payload"] = bytes(sub.recv(0, tag=2))
+                seen["global"] = sub.members[sub.rank]
+
+        threads = _run_members(mesh, [3, 1], 9, body, errors)
+        for t in threads:
+            t.join(timeout=30.0)
+        assert not errors, errors
+        assert seen == {"payload": b"from-global-3", "global": 1}
+
+    def test_bcast_within_subset(self, mesh):
+        got = {}
+        errors = []
+        lock = threading.Lock()
+
+        def body(sub):
+            out = sub.bcast([0, 1, 2], root=0, tag=3, payload=(
+                b"coded" if sub.rank == 0 else None
+            ))
+            with lock:
+                got[sub.rank] = bytes(out)
+
+        threads = _run_members(mesh, [0, 1, 3], 11, body, errors)
+        for t in threads:
+            t.join(timeout=30.0)
+        assert not errors, errors
+        assert got == {0: b"coded", 1: b"coded", 2: b"coded"}
+
+
+class TestAbort:
+    def test_abort_unblocks_pending_recv_promptly(self, mesh):
+        sub = SubsetComm(mesh[0], [0, 1])
+        sub.begin_job(3, None)
+        control = JobControl(3)
+        sub.job_control = control
+        try:
+            start = time.monotonic()
+
+            def later():
+                time.sleep(0.3)
+                control.deliver(("abort", "neighbour died"))
+
+            threading.Thread(target=later, daemon=True).start()
+            # Nobody ever sends: only the abort poll can end this recv
+            # before the 30 s backend timeout.
+            with pytest.raises(WorkerFailure) as exc_info:
+                sub.recv(1, tag=1)
+            elapsed = time.monotonic() - start
+            assert elapsed < 5.0, f"abort took {elapsed:.1f}s to land"
+            assert "neighbour died" in str(exc_info.value)
+        finally:
+            sub.job_control = None
+            sub._close_async()
+
+
+class TestPurge:
+    def test_purge_reclaims_only_the_dead_jobs_frames(self, mesh):
+        # Worker 1 sends rank 0 one frame in job 5's window and one in
+        # job 6's window; purging job 5 must leave job 6 intact.
+        sender5 = SubsetComm(mesh[1], [0, 1])
+        sender5.begin_job(5, None)
+        sender5.send(0, tag=4, payload=b"stale")
+        sender6 = SubsetComm(mesh[1], [0, 1])
+        sender6.begin_job(6, None)
+        sender6.send(0, tag=4, payload=b"live")
+        # The marker is sent *last*: rank 0's single reader thread
+        # delivers frames from rank 1 in order, so once the marker is
+        # receivable both earlier frames are already in the mailbox.
+        sender6.send(0, tag=5, payload=b"marker")
+        try:
+            receiver = SubsetComm(mesh[0], [0, 1])
+            receiver.begin_job(6, None)
+            assert bytes(receiver.recv(1, tag=5)) == b"marker"
+
+            purged = _purge_job_frames(mesh[0]._mailbox, 5)
+            assert purged == 1
+
+            assert bytes(receiver.recv(1, tag=4)) == b"live"
+            receiver._close_async()
+        finally:
+            sender5._close_async()
+            sender6._close_async()
+
+
+class TestValidation:
+    def test_duplicate_members_rejected(self, mesh):
+        with pytest.raises(CommError):
+            SubsetComm(mesh[0], [0, 0, 1])
+
+    def test_base_rank_must_be_member(self, mesh):
+        with pytest.raises(CommError):
+            SubsetComm(mesh[0], [1, 2])
+
+    def test_members_must_be_mesh_peers(self, mesh):
+        with pytest.raises(CommError):
+            SubsetComm(mesh[0], [0, K + 3])
