@@ -18,7 +18,7 @@ from repro.experiments.report import render_ablation
 from repro.kvpairs.teragen import teragen
 from repro.kvpairs.validation import validate_sorted_permutation
 from repro.runtime.api import MulticastMode
-from repro.runtime.process import ProcessCluster
+from repro.cluster import connect
 from repro.sim.costmodel import EC2CostModel
 from repro.sim.runner import simulate_coded_terasort, simulate_terasort
 
@@ -58,8 +58,9 @@ def bench_multicast_tree_vs_linear_real(benchmark, sink):
 
     def run(mode):
         return run_coded_terasort(
-            ProcessCluster(
-                k, rate_bytes_per_s=rate, timeout=120, multicast_mode=mode
+            connect(
+                f"proc://{k}",
+                rate_bytes_per_s=rate, timeout=120, multicast_mode=mode,
             ),
             data,
             redundancy=r,

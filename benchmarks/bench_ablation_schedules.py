@@ -78,7 +78,7 @@ def _measure_engine_point(k, r, n_records, cost):
     from repro.core.theory import coded_shuffle_bytes
     from repro.kvpairs.teragen import teragen
     from repro.kvpairs.validation import validate_sorted_permutation
-    from repro.runtime.process import ProcessCluster
+    from repro.cluster import connect
 
     data = teragen(n_records, seed=1000 + 10 * k + r)
     plan = build_coding_plan(k, r)
@@ -100,7 +100,7 @@ def _measure_engine_point(k, r, n_records, cost):
     }
     for schedule in ("serial", "parallel"):
         run = run_coded_terasort(
-            ProcessCluster(k, timeout=240, rate_bytes_per_s=PAPER_RATE),
+            connect(f"proc://{k}", timeout=240, rate_bytes_per_s=PAPER_RATE),
             data,
             redundancy=r,
             schedule=schedule,

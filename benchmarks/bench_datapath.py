@@ -51,7 +51,7 @@ from repro.kvpairs.serialization import (
     unpack_batches,
 )
 from repro.kvpairs.teragen import teragen
-from repro.runtime.process import ProcessCluster
+from repro.cluster import connect
 from repro.runtime.program import NodeProgram
 from repro.utils import copytrack
 from repro.utils.subsets import without
@@ -184,7 +184,7 @@ def _merge_copies(results) -> Dict[str, int]:
 
 
 def bench_roundtrip(mode: str, records: int, reps: int) -> Dict:
-    cluster = ProcessCluster(2, timeout=300.0, chunk_bytes=BENCH_CHUNK_BYTES)
+    cluster = connect("proc://2", timeout=300.0, chunk_bytes=BENCH_CHUNK_BYTES)
     res = cluster.run(
         lambda comm: _RoundtripProgram(comm, mode, records, reps)
     )
@@ -206,7 +206,7 @@ def bench_roundtrip(mode: str, records: int, reps: int) -> Dict:
 
 
 def bench_coded(mode: str, records: int, reps: int) -> Dict:
-    cluster = ProcessCluster(3, timeout=300.0, chunk_bytes=BENCH_CHUNK_BYTES)
+    cluster = connect("proc://3", timeout=300.0, chunk_bytes=BENCH_CHUNK_BYTES)
     res = cluster.run(
         lambda comm: _CodedLaneProgram(comm, mode, records, reps)
     )

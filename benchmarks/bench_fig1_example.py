@@ -9,7 +9,7 @@ from __future__ import annotations
 
 from repro.core.cmr import run_mapreduce
 from repro.core.jobs import PROBE_UNIT, FixedSizeProbeJob
-from repro.runtime.inproc import ThreadCluster
+from repro.cluster import connect
 from repro.utils.tables import format_table
 
 
@@ -22,7 +22,7 @@ def _loads():
         ("coded r=2 (Fig. 1b)", True, 2),
     ):
         run = run_mapreduce(
-            ThreadCluster(3, recv_timeout=30), FixedSizeProbeJob(), files,
+            connect("inproc://3", recv_timeout=30), FixedSizeProbeJob(), files,
             redundancy=r, coded=coded,
         )
         records = [x for x in run.traffic.records if x.stage == "shuffle"]

@@ -49,8 +49,7 @@ from repro.kvpairs.datasource import FileSource  # noqa: E402
 from repro.kvpairs.records import RECORD_BYTES, RecordBatch  # noqa: E402
 from repro.kvpairs.teragen import teragen_to_file  # noqa: E402
 from repro.kvpairs.validation import validate_sorted_iter  # noqa: E402
-from repro.runtime.process import ProcessCluster  # noqa: E402
-from repro.runtime.tcp import TcpCluster  # noqa: E402
+from repro.cluster import connect  # noqa: E402
 from repro.session import CodedTeraSortSpec, Session  # noqa: E402
 
 RESULTS_DIR = REPO / "results"
@@ -156,7 +155,7 @@ def _bench(
     }
 
     # In-memory reference lane (same descriptor input, no budget).
-    with Session(ProcessCluster(nodes, timeout=timeout)) as session:
+    with Session(connect(f"proc://{nodes}", timeout=timeout)) as session:
         t0 = time.perf_counter()
         ref_run = session.run(
             CodedTeraSortSpec(input=source, redundancy=redundancy)
@@ -188,8 +187,8 @@ def _bench(
         str(REPO / "src") + os.pathsep + env.get("PYTHONPATH", "")
     )
     results["tcp"] = {}
-    with TcpCluster(
-        nodes, "tcp://127.0.0.1:0", timeout=timeout, connect_timeout=120
+    with connect(
+        "tcp://127.0.0.1:0", size=nodes, timeout=timeout, connect_timeout=120
     ) as cluster:
         workers = [
             subprocess.Popen(

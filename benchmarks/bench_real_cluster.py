@@ -23,8 +23,8 @@ from repro.core.terasort import run_terasort
 from repro.kvpairs.teragen import teragen
 from repro.kvpairs.validation import validate_sorted_permutation
 from repro.runtime.api import MulticastMode
-from repro.runtime.process import ProcessCluster
-from repro.runtime.tcp import TcpCluster, run_worker
+from repro.cluster import connect
+from repro.runtime.tcp import run_worker
 from repro.session import CodedTeraSortSpec, Session, TeraSortSpec
 from repro.utils.tables import format_table
 
@@ -38,7 +38,7 @@ def bench_real_terasort_rate_limited(benchmark):
     data = teragen(RECORDS, seed=3)
     run = benchmark.pedantic(
         lambda: run_terasort(
-            ProcessCluster(K, rate_bytes_per_s=RATE, timeout=120), data
+            connect(f"proc://{K}", rate_bytes_per_s=RATE, timeout=120), data
         ),
         rounds=1,
         iterations=1,
@@ -52,8 +52,8 @@ def bench_real_coded_terasort_rate_limited(benchmark):
     data = teragen(RECORDS, seed=3)
     run = benchmark.pedantic(
         lambda: run_coded_terasort(
-            ProcessCluster(
-                K,
+            connect(
+                f"proc://{K}",
                 rate_bytes_per_s=RATE,
                 timeout=120,
                 multicast_mode=MulticastMode.TREE,
@@ -80,11 +80,11 @@ def bench_real_speedup_comparison(benchmark, sink):
 
     def both():
         plain = run_terasort(
-            ProcessCluster(K, rate_bytes_per_s=RATE, timeout=240), data
+            connect(f"proc://{K}", rate_bytes_per_s=RATE, timeout=240), data
         )
         coded = run_coded_terasort(
-            ProcessCluster(
-                K,
+            connect(
+                f"proc://{K}",
                 rate_bytes_per_s=RATE,
                 timeout=240,
                 multicast_mode=MulticastMode.TREE,
@@ -140,9 +140,9 @@ def bench_real_tcp_cluster_speedup(benchmark, sink):
     data = teragen(100_000, seed=4)  # 10 MB -> ~2.5 s of paced shuffle
 
     def both():
-        with TcpCluster(
-            K,
+        with connect(
             "tcp://127.0.0.1:0",
+            size=K,
             rate_bytes_per_s=RATE,
             timeout=240,
             multicast_mode=MulticastMode.TREE,

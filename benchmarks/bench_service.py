@@ -14,6 +14,13 @@ on a dedicated in-process cluster before any timing is reported.  The
 mesh is paced (``--rate-mbps``) so the shuffle — the resource the
 subsets actually partition — dominates the per-job wall time.
 
+A third *elastic* lane then exercises the elastic-pool machinery on the
+same K=8 mesh: two 4-worker jobs are put in flight, 2 workers are
+SIGKILLed mid-service, 2 replacements rejoin the standing mesh, and a
+queued 6-worker coded job either waits for the regrowth or is
+shrink-to-fit re-planned — every output again byte-identical to a solo
+run at the width it actually ran.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_service.py [--quick] \
@@ -25,14 +32,17 @@ from __future__ import annotations
 import argparse
 import json
 import multiprocessing
+import os
 import pathlib
+import signal
 import sys
+import threading
 import time
 from typing import Dict, List
 
 from repro.kvpairs.teragen import teragen
-from repro.runtime.inproc import ThreadCluster
-from repro.runtime.tcp import TcpCluster, run_worker
+from repro.cluster import connect
+from repro.runtime.tcp import run_worker
 from repro.service import ServiceClient, SortService
 from repro.session import CodedTeraSortSpec, Session, TeraSortSpec
 
@@ -79,7 +89,7 @@ def _partitions_bytes(run) -> List[bytes]:
 
 def _references(specs: List) -> List[List[bytes]]:
     refs = []
-    with Session(ThreadCluster(JOB_WORKERS, recv_timeout=120.0)) as session:
+    with Session(connect(f"inproc://{JOB_WORKERS}", recv_timeout=120.0)) as session:
         for spec in specs:
             refs.append(
                 _partitions_bytes(session.submit(spec).result(timeout=300))
@@ -91,14 +101,16 @@ def bench(jobs: int, records: int, rate_mbps: float) -> Dict:
     specs = _make_specs(jobs, records)
     refs = _references(specs)
 
-    with TcpCluster(
-        NODES, "tcp://127.0.0.1:0",
+    with connect(
+        "tcp://127.0.0.1:0", size=NODES,
         rate_bytes_per_s=rate_mbps * 1e6 / 8.0,
         timeout=300, connect_timeout=120,
     ) as cluster:
         procs = _spawn_workers(cluster.address, NODES)
         try:
-            with SortService(cluster, max_queue_depth=2 * jobs) as service:
+            with SortService(
+                cluster, max_queue_depth=2 * jobs, shrink_to_fit=True,
+            ) as service:
                 service.start()
                 client = ServiceClient(service.control_address)
 
@@ -135,6 +147,60 @@ def bench(jobs: int, records: int, rate_mbps: float) -> Dict:
                 conc_s = time.perf_counter() - t0
 
                 stats = client.stats()
+
+                # Lane 3: elasticity — SIGKILL 2 workers under two
+                # in-flight jobs, rejoin replacements, and push a
+                # 6-worker coded job through the membership change.
+                data_kill = [
+                    teragen(records, seed=200 + i) for i in range(2)
+                ]
+                inflight_specs = [
+                    TeraSortSpec(data=data_kill[0]),
+                    CodedTeraSortSpec(data=data_kill[1], redundancy=2),
+                ]
+                wide_data = teragen(records, seed=210)
+                wide_spec = CodedTeraSortSpec(data=wide_data, redundancy=2)
+
+                recovery = {}
+
+                def watch_recovery(t_kill):
+                    deadline = time.monotonic() + 300
+                    while time.monotonic() < deadline:
+                        if client.stats().workers_live == NODES:
+                            recovery["s"] = time.monotonic() - t_kill
+                            return
+                        time.sleep(0.2)
+
+                t0 = time.perf_counter()
+                inflight = [
+                    client.submit(s, tenant="elastic", workers=JOB_WORKERS)
+                    for s in inflight_specs
+                ]
+                for p in procs[:2]:
+                    os.kill(p.pid, signal.SIGKILL)
+                watcher = threading.Thread(
+                    target=watch_recovery, args=(time.monotonic(),),
+                    daemon=True,
+                )
+                watcher.start()
+                wide = client.submit(wide_spec, tenant="elastic", workers=6)
+                procs += _spawn_workers(cluster.address, 2)
+                inflight_runs = [h.result(timeout=300) for h in inflight]
+                wide_run = wide.result(timeout=300)
+                elastic_s = time.perf_counter() - t0
+                watcher.join(timeout=300)
+                stats_elastic = client.stats()
+                if stats_elastic.workers_joined != 2:
+                    raise RuntimeError(
+                        f"expected 2 rejoins, got "
+                        f"{stats_elastic.workers_joined}"
+                    )
+                wide_k = wide.replanned_k or 6
+                # A retried in-flight job may itself have been
+                # shrink-re-planned; verify at its actual width.
+                inflight_k = [
+                    h.replanned_k or JOB_WORKERS for h in inflight
+                ]
         finally:
             for p in procs:
                 p.join(timeout=30)
@@ -145,9 +211,25 @@ def bench(jobs: int, records: int, rate_mbps: float) -> Dict:
     for lane, runs in (("fifo", fifo_runs), ("concurrent", conc_runs)):
         for i, run in enumerate(runs):
             if _partitions_bytes(run) != refs[i]:
+                rk = handles[i].replanned_k if lane == "concurrent" else None
                 raise RuntimeError(
                     f"{lane} lane job {i} diverged from its solo reference"
+                    f" (parts={len(run.partitions)} ref={len(refs[i])}"
+                    f" replanned_k={rk})"
                 )
+    # Elastic lane byte identity, at the width each job actually ran.
+    for (run, spec, k) in [
+        (inflight_runs[0], inflight_specs[0], inflight_k[0]),
+        (inflight_runs[1], inflight_specs[1], inflight_k[1]),
+        (wide_run, wide_spec, wide_k),
+    ]:
+        with Session(connect(f"inproc://{k}", recv_timeout=120.0)) as s:
+            ref = _partitions_bytes(s.submit(spec).result(timeout=300))
+        if _partitions_bytes(run) != ref:
+            raise RuntimeError(
+                f"elastic lane {type(spec).__name__}@{k} diverged from "
+                "its solo reference"
+            )
 
     return {
         "nodes": NODES,
@@ -164,6 +246,14 @@ def bench(jobs: int, records: int, rate_mbps: float) -> Dict:
             "jobs_per_s": jobs / conc_s,
         },
         "speedup": fifo_s / conc_s,
+        "elastic": {
+            "makespan_s": elastic_s,
+            "jobs_per_s": 3 / elastic_s,
+            "recovery_s": recovery.get("s"),
+            "replanned_k": wide.replanned_k,
+            "workers_joined": stats_elastic.workers_joined,
+            "workers_live": stats_elastic.workers_live,
+        },
         "jobs_done": stats.jobs_done,
     }
 
@@ -203,6 +293,15 @@ def main(argv=None) -> int:
           f"   {report['concurrent']['jobs_per_s']:5.2f} jobs/s")
     print(f"  -> {report['speedup']:.2f}x (all outputs byte-identical "
           f"to solo runs)")
+    el = report["elastic"]
+    rec = el["recovery_s"]
+    print(f"  elastic    makespan {el['makespan_s']:6.2f}s"
+          f"   {el['jobs_per_s']:5.2f} jobs/s  "
+          f"(SIGKILL 2 + rejoin"
+          + (f"; live in {rec:.2f}s" if rec is not None else "")
+          + (f"; 6-wide re-planned to K'={el['replanned_k']}"
+             if el["replanned_k"] else "; 6-wide ran full width")
+          + ")")
     print(f"[results] wrote {args.out}")
     if report["speedup"] < 1.3:
         print("WARNING: concurrent-subset speedup below the 1.3x "

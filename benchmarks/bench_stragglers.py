@@ -123,15 +123,15 @@ def _live_sort(
     path a real deployment uses.
     """
     from repro.kvpairs.datasource import TeragenSource
-    from repro.runtime.process import ProcessCluster
+    from repro.cluster import connect
     from repro.session import Session, TeraSortSpec
     from repro.testing.faults import ENV_VAR
 
     old = os.environ.get(ENV_VAR)
     os.environ[ENV_VAR] = plan
     try:
-        with Session(ProcessCluster(
-            nodes, timeout=timeout, heartbeat_interval=0.05
+        with Session(connect(
+            f"proc://{nodes}", timeout=timeout, heartbeat_interval=0.05
         )) as session:
             t0 = time.perf_counter()
             run = session.submit(TeraSortSpec(

@@ -64,6 +64,9 @@ MANIFEST: Dict[str, List[Tuple[str, str]]] = {
          "concurrent-subset speedup over serialized FIFO makespan"),
         ("concurrent.jobs_per_s",
          "service throughput with per-job worker subsets"),
+        ("elastic.jobs_per_s",
+         "elastic-lane throughput (SIGKILL 2 mid-service, rejoin, "
+         "6-wide job through the membership change)"),
     ],
     "merge_kernels": [
         ("merge.speedup", "OVC k-way merge speedup over classic kernels"),

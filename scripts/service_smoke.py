@@ -10,9 +10,13 @@ sorts on 3-worker subsets.  Asserts:
   in-process thread cluster;
 * at least two jobs demonstrably ran at the same time on *disjoint*
   worker subsets of the one mesh;
-* ``repro status --json`` round-trips sane per-tenant stats;
+* elasticity: SIGKILLing 2 of the 6 workers shrinks ``workers_live``,
+  respawned replacements rejoin the standing mesh mid-service, and a
+  post-regrowth job is again byte-identical to its in-process run;
+* ``repro status --json`` round-trips sane per-tenant stats plus the
+  membership counters (``workers_live`` back to 6 after regrowth);
 * a ``shutdown`` request stops the daemon cleanly (exit 0) and every
-  worker drains to exit 0.
+  surviving worker drains to exit 0.
 
 Usage::
 
@@ -26,9 +30,11 @@ import json
 import os
 import pathlib
 import re
+import signal
 import subprocess
 import sys
 import threading
+import time
 
 REPO = pathlib.Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO / "src"))
@@ -96,6 +102,7 @@ def main(argv=None) -> int:
         env=env, stdout=subprocess.PIPE, text=True, bufsize=1,
     )
     workers = []
+    killed = []
     try:
         addrs = _read_addresses(daemon)
         print(f"[smoke] daemon up; joining {NODES} `repro worker` "
@@ -172,6 +179,58 @@ def main(argv=None) -> int:
         print("[smoke] concurrent occupancy of disjoint subsets confirmed",
               flush=True)
 
+        # Elasticity lane: SIGKILL 2 workers, respawn replacements, and
+        # prove the regrown mesh sorts byte-identically again.
+        def wait_stats(predicate, what, timeout=60.0):
+            deadline = time.monotonic() + timeout
+            while time.monotonic() < deadline:
+                stats = client.stats()
+                if predicate(stats):
+                    return stats
+                time.sleep(0.2)
+            raise RuntimeError(f"stats never reached {what}: {client.stats()}")
+
+        killed, workers = workers[:2], workers[2:]
+        for w in killed:
+            w.send_signal(signal.SIGKILL)
+        wait_stats(lambda s: s.workers_live == NODES - 2, "2 dead")
+        print(f"[smoke] killed 2 workers; live={NODES - 2}", flush=True)
+
+        workers += [
+            subprocess.Popen(
+                [
+                    sys.executable, "-m", "repro", "worker",
+                    "--join", addrs["rendezvous"],
+                    "--connect-timeout", "120",
+                ],
+                env=env,
+            )
+            for _ in range(2)
+        ]
+        regrown = wait_stats(
+            lambda s: s.workers_live == NODES, "regrowth", timeout=120.0
+        )
+        if regrown.workers_joined != 2:
+            print(f"[smoke] FAIL: expected 2 rejoins, "
+                  f"got {regrown.workers_joined}")
+            return 1
+        print(f"[smoke] mesh regrown to {NODES} "
+              f"(epoch {regrown.membership_epoch})", flush=True)
+
+        elastic_data = teragen(args.records, seed=67)
+        elastic_spec = CodedTeraSortSpec(data=elastic_data, redundancy=2)
+        run = client.submit(
+            elastic_spec, tenant="elastic", workers=JOB_WORKERS
+        ).result(timeout=300)
+        validate_sorted_permutation(elastic_data, run.partitions)
+        with Session(ThreadCluster(JOB_WORKERS, recv_timeout=120)) as s:
+            ref = s.submit(elastic_spec).result(timeout=300)
+        if _partitions_bytes(run) != _partitions_bytes(ref):
+            print("[smoke] FAIL: post-regrowth job diverged from inproc")
+            return 1
+        print("[smoke] post-regrowth job byte-identical with inproc",
+              flush=True)
+
         # Stats via the CLI surface (`repro status --json`).
         status = subprocess.run(
             [
@@ -185,12 +244,21 @@ def main(argv=None) -> int:
                   f"{status.stderr}")
             return 1
         doc = json.loads(status.stdout)
-        if doc["stats"]["jobs_done"] != CLIENTS:
+        if doc["stats"]["jobs_done"] != CLIENTS + 1:
             print(f"[smoke] FAIL: stats report {doc['stats']['jobs_done']} "
-                  f"done, expected {CLIENTS}")
+                  f"done, expected {CLIENTS + 1}")
+            return 1
+        if (
+            doc["stats"]["workers_live"] != NODES
+            or doc["stats"]["workers_joined"] != 2
+        ):
+            print(f"[smoke] FAIL: status --json missed the regrowth: "
+                  f"{doc['stats']}")
             return 1
         print(f"[smoke] status --json: {doc['stats']['jobs_done']} done, "
-              f"{len(doc['stats']['tenants'])} tenants", flush=True)
+              f"{len(doc['stats']['tenants'])} tenants, "
+              f"{doc['stats']['workers_live']} live after regrowth",
+              flush=True)
 
         client.shutdown()
         daemon_rc = daemon.wait(timeout=60)
@@ -201,10 +269,11 @@ def main(argv=None) -> int:
             print("[smoke] FAIL: unclean shutdown")
             return 1
         print("[smoke] PASS — multi-tenant service served "
-              f"{CLIENTS} concurrent clients on one {NODES}-worker mesh")
+              f"{CLIENTS} concurrent clients on one {NODES}-worker mesh, "
+              "survived losing 2 workers, and regrew to full strength")
         return 0
     finally:
-        for proc in [daemon] + workers:
+        for proc in [daemon] + workers + killed:
             if proc.poll() is None:
                 proc.kill()
 

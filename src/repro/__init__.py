@@ -39,12 +39,14 @@ provides:
 * the closed-form theory (Eq. (2)-(5)) and an experiment harness producing
   paper-vs-measured reports.
 
-Quickstart::
+Quickstart (:func:`connect` picks the backend from a URL —
+``inproc://K`` worker threads, ``proc://K`` forked processes,
+``tcp://HOST:PORT`` a real multi-host mesh)::
 
-    from repro import Session, ThreadCluster, TeraSortSpec, CodedTeraSortSpec, teragen
+    from repro import Session, TeraSortSpec, CodedTeraSortSpec, connect, teragen
 
     data = teragen(100_000, seed=1)
-    with Session(ThreadCluster(6)) as session:
+    with Session(connect("inproc://6")) as session:
         base = session.submit(TeraSortSpec(data=data))
         coded = session.submit(CodedTeraSortSpec(data=data, redundancy=2))
         # JobHandle.result() -> SortRun; partitions are the sorted shards
@@ -57,6 +59,7 @@ single-job session shims.  See README.md for the architecture overview
 and EXPERIMENTS.md for the reproduction results.
 """
 
+from repro.cluster import connect
 from repro.core.coded_terasort import CodedTeraSortProgram, run_coded_terasort
 from repro.core.cmr import MapReduceJob, run_mapreduce
 from repro.core.partitioner import RangePartitioner
@@ -115,6 +118,7 @@ from repro.wireless.wdc import run_wireless_sort
 __version__ = "1.0.0"
 
 __all__ = [
+    "connect",
     "Session",
     "JobSpec",
     "JobHandle",

@@ -31,23 +31,21 @@ from typing import List, Optional
 
 
 def _build_cluster(args: argparse.Namespace):
-    from repro.runtime.inproc import ThreadCluster
-    from repro.runtime.process import ProcessCluster
+    """All CLI paths route through the unified repro.connect factory."""
+    from repro.cluster import connect
 
     rate = args.rate_mbps * 125_000 if args.rate_mbps else None
     if getattr(args, "cluster", None):
-        from repro.runtime.tcp import TcpCluster
-
-        return TcpCluster(
-            args.nodes,
+        return connect(
             args.cluster,
+            size=args.nodes,
             rate_bytes_per_s=rate,
             connect_timeout=args.connect_timeout,
             handshake_timeout=args.handshake_timeout,
         )
     if args.backend == "process":
-        return ProcessCluster(args.nodes, rate_bytes_per_s=rate)
-    return ThreadCluster(args.nodes)
+        return connect(f"proc://{args.nodes}", rate_bytes_per_s=rate)
+    return connect(f"inproc://{args.nodes}")
 
 
 def _sort_spec(args: argparse.Namespace, data, source):
@@ -222,13 +220,14 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     import signal
     import time
 
-    from repro.runtime.tcp import TcpCluster, TcpClusterError
+    from repro.cluster import connect
+    from repro.runtime.tcp import TcpClusterError
     from repro.service import SortService, TenantQuota
 
     rate = args.rate_mbps * 125_000 if args.rate_mbps else None
-    cluster = TcpCluster(
-        args.nodes,
+    cluster = connect(
         args.listen,
+        size=args.nodes,
         rate_bytes_per_s=rate,
         timeout=args.job_timeout,
         connect_timeout=args.connect_timeout,
@@ -244,6 +243,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             max_queued=args.max_queued,
         ),
         max_retries=args.max_retries,
+        shrink_to_fit=args.shrink_to_fit,
     )
     # Machine-parseable lines first (the smoke harness scrapes them),
     # before start() blocks waiting for workers.
@@ -669,6 +669,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="default per-tenant queued-job quota")
     p.add_argument("--max-retries", type=int, default=1,
                    help="per-job retry budget for worker failures")
+    p.add_argument("--shrink-to-fit", action="store_true",
+                   help="let the scheduler re-plan a queued shrinkable "
+                        "job onto fewer free workers when nothing fits "
+                        "at full width (elastic subset scheduling)")
     p.set_defaults(func=_cmd_serve)
 
     p = sub.add_parser(

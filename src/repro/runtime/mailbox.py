@@ -141,6 +141,18 @@ class Mailbox:
             self._closed_sources.setdefault(src, reason)
             self._cond.notify_all()
 
+    def reopen_source(self, src: int) -> None:
+        """Clear a per-source closure: a replacement peer took over ``src``.
+
+        Elastic pools recycle a dead worker's rank — when the rejoined
+        worker's fresh connection is integrated, receives from that
+        source must block for new frames again instead of failing on the
+        old incarnation's EOF.  A no-op if the source was never closed.
+        """
+        with self._cond:
+            self._closed_sources.pop(src, None)
+            self._cond.notify_all()
+
     def close(self) -> None:
         """Fail all pending and future receives."""
         with self._cond:

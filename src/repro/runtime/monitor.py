@@ -35,11 +35,18 @@ class JobMonitor:
         size: int,
         failure_timeout: float,
         speculation: Optional[Dict] = None,
+        epoch: Optional[int] = None,
     ) -> None:
         now = time.monotonic()
         self.size = size
         self.failure_timeout = failure_timeout
         self.speculation = speculation
+        #: Membership epoch the job was planned under (elastic pools).
+        #: Feeds sourced via :meth:`heartbeat`/:meth:`result` with a
+        #: newer member-incarnation epoch are rejected — a recycled rank
+        #: must never refresh the liveness clock of a job dispatched
+        #: before its replacement worker joined.
+        self.epoch = epoch
         self._start = now
         self._last_heard = [now] * size
         self._stage = ["init"] * size
@@ -51,7 +58,18 @@ class JobMonitor:
 
     # -- event feeds ---------------------------------------------------------
 
-    def heartbeat(self, rank: int, stage: str) -> None:
+    def accepts(self, member_epoch: Optional[int]) -> bool:
+        """Whether a feed from a member incarnation born at
+        ``member_epoch`` belongs to this job (see ``epoch``)."""
+        if self.epoch is None or member_epoch is None:
+            return True
+        return member_epoch <= self.epoch
+
+    def heartbeat(
+        self, rank: int, stage: str, member_epoch: Optional[int] = None
+    ) -> None:
+        if not self.accepts(member_epoch):
+            return
         now = time.monotonic()
         self._last_heard[rank] = now
         self._stage[rank] = stage
@@ -61,8 +79,12 @@ class JobMonitor:
                 self._past_watched[rank] = True
                 self._done_at[rank] = now
 
-    def result(self, rank: int) -> None:
+    def result(
+        self, rank: int, member_epoch: Optional[int] = None
+    ) -> None:
         """A final ok/error report arrived from ``rank``."""
+        if not self.accepts(member_epoch):
+            return
         now = time.monotonic()
         self._last_heard[rank] = now
         self._finished[rank] = True

@@ -114,6 +114,12 @@ class _SocketComm(Comm):
         self._send_locks: Dict[int, threading.Lock] = {
             peer: threading.Lock() for peer in conns
         }
+        #: Membership epoch at which each peer link was established; 0
+        #: for the initial mesh.  Elastic pools stamp later incarnations
+        #: (see :meth:`add_peer`), and :class:`SubsetComm` compares these
+        #: against a job's planning epoch so a job dispatched before a
+        #: rank was recycled can never talk to the replacement worker.
+        self.peer_epochs: Dict[int, int] = {peer: 0 for peer in conns}
         self._readers: List[threading.Thread] = []
         self._send_queue: Optional["queue.Queue"] = None
         self._sender_thread: Optional[threading.Thread] = None
@@ -139,12 +145,86 @@ class _SocketComm(Comm):
             try:
                 tag, payload = recv_frame(sock)
             except (OSError, TransportError) as exc:
-                self._mailbox.close_source(peer, str(exc))
+                # Close the source only while this socket is still the
+                # peer's current link: a replacement incarnation may have
+                # been integrated (add_peer) before the old link's EOF
+                # drained, and its fresh source must stay open.
+                if self._conns.get(peer) is sock:
+                    self._mailbox.close_source(peer, str(exc))
                 return
             try:
                 self._mailbox.put(peer, tag, payload)
             except MailboxClosed:
                 return
+
+    # -- elastic membership -----------------------------------------------------
+
+    def add_peer(
+        self, peer: int, sock: socket.socket, epoch: int = 0
+    ) -> None:
+        """Integrate a (re)joined worker's mesh link into this endpoint.
+
+        Called by the resilient worker's mesh-growth acceptor when a
+        replacement agent dials in mid-service: the new socket replaces
+        any dead link at ``peer``'s rank, the rank's mailbox source is
+        reopened (the old incarnation's EOF closed it), a fresh reader
+        thread starts, and the link is stamped with the membership
+        ``epoch`` it was born in.  Safe while disjoint subset jobs run:
+        an in-flight :class:`SubsetComm` snapshots its members' sockets
+        at construction and never includes a dead rank.
+        """
+        if self._recv_timeout is not None:
+            sndtimeo = struct.pack(
+                "ll",
+                int(self._recv_timeout),
+                int((self._recv_timeout % 1) * 1e6),
+            )
+            sock.setsockopt(socket.SOL_SOCKET, socket.SO_SNDTIMEO, sndtimeo)
+        old = self._conns.get(peer)
+        self._conns[peer] = sock
+        self._send_locks.setdefault(peer, threading.Lock())
+        self.peer_epochs[peer] = epoch
+        if peer >= self.size:
+            self.size = peer + 1
+        self._mailbox.reopen_source(peer)
+        t = threading.Thread(
+            target=self._reader_loop,
+            args=(peer, sock),
+            daemon=True,
+            name=f"reader-{self.rank}<-{peer}",
+        )
+        t.start()
+        self._readers.append(t)
+        if old is not None and old is not sock:
+            try:
+                old.close()
+            except OSError:  # pragma: no cover - already dead
+                pass
+
+    def wait_for_peers(
+        self, peers: Sequence[int], timeout: float = 5.0
+    ) -> None:
+        """Block until every listed rank has a mesh link (or raise).
+
+        A subset job can be dispatched the instant a rejoined member
+        reported ready to the coordinator, a hair before *this* worker's
+        acceptor finished integrating that member's peer link — absorb
+        the race instead of failing the job on it.
+        """
+        deadline = time.monotonic() + timeout
+        missing = [
+            g for g in peers if g != self.rank and g not in self._conns
+        ]
+        while missing:
+            if time.monotonic() >= deadline:
+                raise CommError(
+                    f"subset members {missing} are not mesh peers of rank "
+                    f"{self.rank} after {timeout:.1f}s (mesh size {self.size})"
+                )
+            time.sleep(0.01)
+            missing = [
+                g for g in missing if g not in self._conns
+            ]
 
     # -- raw primitives ---------------------------------------------------------
 
@@ -289,7 +369,12 @@ class SubsetComm(_SocketComm):
 
     _ABORT_POLL = 0.1
 
-    def __init__(self, base: _SocketComm, members: Sequence[int]) -> None:
+    def __init__(
+        self,
+        base: _SocketComm,
+        members: Sequence[int],
+        epoch: Optional[int] = None,
+    ) -> None:
         members = list(members)
         if len(set(members)) != len(members):
             raise CommError(f"duplicate ranks in subset {members}")
@@ -302,6 +387,21 @@ class SubsetComm(_SocketComm):
                 raise CommError(
                     f"subset member {g} is not a mesh peer of rank "
                     f"{base.rank} (mesh size {base.size})"
+                )
+            # Membership-epoch guard: a job planned at epoch E must never
+            # talk to a peer whose link was (re)established after E — the
+            # rank was recycled by a replacement worker the job's plan
+            # knows nothing about.  Reported as a comm error, so the
+            # coordinator retries on the current membership.
+            if (
+                epoch is not None
+                and g != base.rank
+                and base.peer_epochs.get(g, 0) > epoch
+            ):
+                raise CommError(
+                    f"subset member {g} rejoined at membership epoch "
+                    f"{base.peer_epochs[g]}, newer than the job's planning "
+                    f"epoch {epoch} (recycled rank)"
                 )
         super().__init__(
             members.index(base.rank),
@@ -318,6 +418,7 @@ class SubsetComm(_SocketComm):
             base.record_relays,
         )
         self.members = members
+        self.epoch = epoch
         self._base = base
         # Share the base's lock objects (a previous subset job's sender
         # thread may still be draining a send to the same peer socket)
@@ -574,15 +675,23 @@ class _CtrlReader:
     channel-EOF land on the inbox queue the control loop pops, while
     mid-job ``("ctl", seq, payload)`` frames are delivered straight into
     the running job's :class:`JobControl` — so the program never has to
-    stop working to receive a speculation directive.
+    stop working to receive a speculation directive.  Elastic-pool
+    ``("roster", info)`` membership updates likewise bypass the inbox
+    into the ``on_roster`` callback: they may arrive at any time, idle
+    or mid-job, and must never end the control loop.
     """
 
     _EOF = ("__eof__",)
 
-    def __init__(self, recv_msg: Callable[[], Tuple]) -> None:
+    def __init__(
+        self,
+        recv_msg: Callable[[], Tuple],
+        on_roster: Optional[Callable[[Dict], None]] = None,
+    ) -> None:
         self._recv_msg = recv_msg
         self.inbox: "queue.Queue[Tuple]" = queue.Queue()
         self.job_control: Optional[JobControl] = None
+        self.on_roster = on_roster
         self._thread = threading.Thread(
             target=self._loop, daemon=True, name="pool-ctrl-reader"
         )
@@ -599,6 +708,14 @@ class _CtrlReader:
                 control = self.job_control
                 if control is not None and msg[1] == control.job_seq:
                     control.deliver(msg[2])
+                continue
+            if msg[0] == "roster":
+                callback = self.on_roster
+                if callback is not None:
+                    try:
+                        callback(msg[1])
+                    except Exception:  # pragma: no cover - advisory frame
+                        pass
                 continue
             self.inbox.put(msg)
             if msg[0] != "job":
@@ -685,7 +802,7 @@ def serve_pool_jobs(
 ) -> None:
     """The pool worker control loop, over any coordinator transport.
 
-    Each ``("job", seq, builder, payload[, members])`` message rebinds
+    Each ``("job", seq, builder, payload[, members[, epoch]])`` message rebinds
     the comm to the job's tag window and traffic log
     (:meth:`Comm.begin_job`), builds the node program from the shipped
     ``(builder, payload)``, runs it, and reports the per-job result /
@@ -734,7 +851,16 @@ def serve_pool_jobs(
     rendezvous connection).
     """
     send_lock = threading.Lock()
-    reader = _CtrlReader(recv_msg)
+
+    def on_roster(info: Dict) -> None:
+        # Membership grew: track the new mesh size so later subsets can
+        # name the joined rank.  The peer link itself arrives via the
+        # worker's mesh-growth acceptor (add_peer), not this frame.
+        new_size = info.get("size")
+        if isinstance(new_size, int) and new_size > comm.size:
+            comm.size = new_size
+
+    reader = _CtrlReader(recv_msg, on_roster=on_roster)
     if drain is not None:
         drain._inbox = reader.inbox
 
@@ -748,6 +874,7 @@ def serve_pool_jobs(
             return  # "stop", drain sentinel, or coordinator EOF
         job_seq, builder, payload = msg[1], msg[2], msg[3]
         members: Optional[List[int]] = msg[4] if len(msg) > 4 else None
+        epoch: Optional[int] = msg[5] if len(msg) > 5 else None
         traffic = TrafficLog()
         heartbeater: Optional[_Heartbeater] = None
         job_comm: Comm = comm
@@ -755,8 +882,11 @@ def serve_pool_jobs(
         try:
             if members is not None:
                 # A malformed subset raises CommError straight into the
-                # typed handlers below — reported, never fatal here.
-                job_comm = SubsetComm(comm, members)
+                # typed handlers below — reported, never fatal here.  A
+                # member that rejoined an instant ago may still be mid-
+                # integration on this endpoint; wait briefly for its link.
+                comm.wait_for_peers(members)
+                job_comm = SubsetComm(comm, members, epoch=epoch)
             job_comm.begin_job(job_seq, traffic)
             job_comm.job_control = JobControl(job_seq)
             reader.job_control = job_comm.job_control

@@ -28,6 +28,14 @@ messages that must parse across versions, pickled tuples after that)::
     worker -> coord   READY
     coord  -> worker  ("job", seq, builder, payload) ...  |  ("stop",)
 
+Elastic rejoin (resilient pools, i.e. the sort service): the rendezvous
+listener keeps accepting after the mesh forms.  A replacement worker runs
+the same handshake; its ROSTER is a *dict* ``{"peers": {rank: (host,
+port)}, ...}`` of the live peers' standing mesh listeners (resilient
+workers keep theirs open and splice fresh links in via a join-acceptor
+thread), its WELCOME carries the membership ``epoch`` it joined at, and
+live workers learn the new size via a ``("roster", info)`` control frame.
+
 Every step is bounded: the coordinator's accept/handshake reads and the
 worker's connect/handshake reads all time out with errors naming the
 stuck step, a version or rank conflict is rejected with a reason instead
@@ -60,6 +68,7 @@ import selectors
 import signal
 import socket
 import struct
+import threading
 import time
 from typing import Any, Dict, List, Optional, Tuple
 
@@ -93,14 +102,18 @@ __all__ = [
 #: incompatibly; coordinator and workers must match exactly.  v2: job
 #: frames may carry a fifth ``members`` element (per-job worker subsets,
 #: see :class:`~repro.runtime.process.SubsetComm`) — a v1 worker would
-#: fail to unpack them, so the sort service requires v2 agents.
-PROTOCOL_VERSION = 2
+#: fail to unpack them, so the sort service requires v2 agents.  v3:
+#: PEER_HELLO grew a membership-epoch field and the rendezvous accepts
+#: mid-flight rejoins (elastic service pools) — a v2 worker would
+#: mis-unpack the peer handshake, so the mesh requires v3 agents.
+PROTOCOL_VERSION = 3
 
 _MAGIC = b"CODEDTS1"
 #: HELLO: magic, protocol version, requested rank (-1 = assign any).
 _HELLO = struct.Struct("<8sIi")
-#: PEER_HELLO: magic, mesh nonce, dialer rank.
-_PEER_HELLO = struct.Struct("<8sQI")
+#: PEER_HELLO: magic, mesh nonce, dialer rank, membership epoch the
+#: dialer joined at (0 for the initial rendezvous mesh).
+_PEER_HELLO = struct.Struct("<8sQIQ")
 
 #: Frame tags on control / peer-handshake links (one kind per link state,
 #: so a frame of the wrong tag is a protocol error, not a misroute).
@@ -230,7 +243,7 @@ def _form_mesh(
         sock = _dial(host, port, handshake_timeout)
         sock.settimeout(handshake_timeout)
         send_frame(
-            sock, _TAG_PEER, _PEER_HELLO.pack(_MAGIC, nonce, rank)
+            sock, _TAG_PEER, _PEER_HELLO.pack(_MAGIC, nonce, rank, 0)
         )
         peers[peer] = sock
     listener.settimeout(handshake_timeout)
@@ -247,7 +260,7 @@ def _form_mesh(
         sock.settimeout(handshake_timeout)
         try:
             tag, payload = recv_frame(sock)
-            magic, got_nonce, peer = _PEER_HELLO.unpack(bytes(payload))
+            magic, got_nonce, peer, _epoch = _PEER_HELLO.unpack(bytes(payload))
             if tag != _TAG_PEER or magic != _MAGIC or got_nonce != nonce:
                 raise TransportError("peer hello mismatch")
         except (OSError, TransportError, struct.error):
@@ -260,6 +273,86 @@ def _form_mesh(
     for sock in peers.values():
         sock.settimeout(None)
     return peers
+
+
+def _join_mesh(
+    rank: int,
+    peer_addrs: Dict[int, Tuple[str, int]],
+    nonce: int,
+    epoch: int,
+    handshake_timeout: float,
+) -> Dict[int, socket.socket]:
+    """Mid-flight join: dial every live peer's standing mesh listener.
+
+    Unlike :func:`_form_mesh`, a joiner dials *everyone* — resilient
+    workers keep their peer listeners open after the initial mesh forms
+    (see :func:`_serve_mesh_joins`), so no accept side is needed here.
+    The PEER_HELLO carries the membership epoch the coordinator assigned
+    this incarnation, letting peers stamp the link for the recycled-rank
+    guard in :class:`~repro.runtime.process.SubsetComm`.
+    """
+    peers: Dict[int, socket.socket] = {}
+    try:
+        for peer, (host, port) in sorted(peer_addrs.items()):
+            if peer == rank:
+                continue
+            sock = _dial(host, port, handshake_timeout)
+            sock.settimeout(handshake_timeout)
+            send_frame(
+                sock, _TAG_PEER, _PEER_HELLO.pack(_MAGIC, nonce, rank, epoch)
+            )
+            sock.settimeout(None)
+            peers[peer] = sock
+    except BaseException:
+        for sock in peers.values():
+            try:
+                sock.close()
+            except OSError:  # pragma: no cover
+                pass
+        raise
+    return peers
+
+
+def _serve_mesh_joins(
+    listener: socket.socket,
+    comm: _SocketComm,
+    nonce: int,
+    handshake_timeout: float,
+    say,
+) -> None:
+    """Accept replacement peers on the standing mesh listener (thread).
+
+    Resilient workers run this after mesh-up: a rejoining worker dials
+    every live peer (see :func:`_join_mesh`), and this loop validates its
+    nonce-guarded PEER_HELLO and splices the fresh link into the live
+    comm via :meth:`~repro.runtime.process._SocketComm.add_peer` — the
+    epoch in the hello stamps the link so jobs planned before the join
+    refuse the recycled rank.  Exits when the listener closes.
+    """
+    while True:
+        try:
+            sock, _ = listener.accept()
+        except OSError:
+            return  # listener closed: worker shutting down
+        try:
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            sock.settimeout(handshake_timeout)
+            tag, payload = recv_frame(sock)
+            magic, got_nonce, peer, epoch = _PEER_HELLO.unpack(bytes(payload))
+            if tag != _TAG_PEER or magic != _MAGIC or got_nonce != nonce:
+                raise TransportError("peer hello mismatch")
+        except (OSError, TransportError, struct.error):
+            try:
+                sock.close()  # stray/stale dialer; keep accepting
+            except OSError:  # pragma: no cover
+                pass
+            continue
+        if peer == comm.rank:
+            sock.close()
+            continue
+        sock.settimeout(None)
+        comm.add_peer(peer, sock, epoch=epoch)
+        say(f"peer {peer} rejoined the mesh (epoch {epoch})")
 
 
 def run_worker(
@@ -354,11 +447,27 @@ def run_worker(
         msg = _recv_ctrl(ctrl, "waiting for the peer roster")
         if msg[0] != "roster":
             raise TcpClusterError(f"unexpected rendezvous message {msg[0]!r}")
-        peers = _form_mesh(
-            my_rank, size, msg[1], listener, nonce, handshake_timeout
-        )
-        listener.close()
-        listener = None
+        roster = msg[1]
+        my_epoch = int(cfg.get("epoch", 0))
+        resilient = bool(cfg.get("resilient", False))
+        if isinstance(roster, dict):
+            # Mid-flight join: the coordinator sent the live peers'
+            # standing listener addresses instead of the dense initial
+            # roster — dial them all (no accept side; see _join_mesh).
+            peers = _join_mesh(
+                my_rank,
+                {int(g): tuple(a) for g, a in roster["peers"].items()},
+                nonce,
+                my_epoch,
+                handshake_timeout,
+            )
+        else:
+            peers = _form_mesh(
+                my_rank, size, roster, listener, nonce, handshake_timeout
+            )
+        if not resilient:
+            listener.close()
+            listener = None
 
         comm = make_socket_comm(
             my_rank,
@@ -370,6 +479,17 @@ def run_worker(
             cfg["chunk_bytes"],
             cfg["record_relays"],
         )
+        if resilient:
+            # Elastic pools: keep the mesh listener open so replacement
+            # workers can splice in later; a daemon thread validates and
+            # integrates their nonce-guarded peer hellos.
+            listener.settimeout(None)
+            threading.Thread(
+                target=_serve_mesh_joins,
+                args=(listener, comm, nonce, handshake_timeout, say),
+                name=f"mesh-joins-{my_rank}",
+                daemon=True,
+            ).start()
         _send_msg(ctrl, ("ready",))
         ctrl.settimeout(None)
         _bound_sends(ctrl, cfg["timeout"])
@@ -539,6 +659,11 @@ class _TcpPool:
         self._ctrl: List[socket.socket] = []
         self._job_seq = 0
         self._nonce = 0
+        #: Advertised mesh-listener addresses, by rank, of the current
+        #: generation — kept so an elastic ServicePool can hand a
+        #: rejoining worker the live peers' addresses (see
+        #: :meth:`repro.service.pool.ServicePool._admit_join`).
+        self._roster: List[Tuple[str, int]] = []
 
     @property
     def running(self) -> bool:
@@ -600,6 +725,7 @@ class _TcpPool:
                         f"worker {rank}: unexpected message {msg[0]!r}"
                     )
                 roster.append(tuple(msg[1]))
+            self._roster = roster
             for conn in ctrl:
                 _send_msg(conn, ("roster", roster))
             for rank, conn in enumerate(ctrl):
@@ -670,31 +796,34 @@ class _TcpPool:
         else:
             rank = want
         try:
-            _send_msg(
-                conn,
-                (
-                    "welcome",
-                    {
-                        "rank": rank,
-                        "size": self.size,
-                        "nonce": self._nonce,
-                        "multicast_mode": cluster.multicast_mode.value,
-                        "rate_bytes_per_s": cluster.rate_bytes_per_s,
-                        "timeout": cluster.timeout,
-                        "chunk_bytes": cluster.chunk_bytes,
-                        "record_relays": cluster.record_relays,
-                        # New keys ride the config dict, so older workers
-                        # (which .get with defaults) stay compatible — no
-                        # PROTOCOL_VERSION bump needed for additions.
-                        "heartbeat_interval": cluster.heartbeat_interval,
-                        "resilient": cluster.resilient_workers,
-                    },
-                ),
-            )
+            _send_msg(conn, ("welcome", self.welcome_config(rank)))
         except (OSError, TransportError):
             conn.close()
             return None
         return rank
+
+    def welcome_config(self, rank: int, **extra: Any) -> Dict[str, Any]:
+        """The WELCOME config dict for ``rank`` (plus ``extra`` keys).
+
+        New keys ride the config dict, so older workers (which ``.get``
+        with defaults) stay compatible — no PROTOCOL_VERSION bump is
+        needed for additions.  The elastic join path adds ``epoch``.
+        """
+        cluster = self._cluster
+        cfg: Dict[str, Any] = {
+            "rank": rank,
+            "size": self.size,
+            "nonce": self._nonce,
+            "multicast_mode": cluster.multicast_mode.value,
+            "rate_bytes_per_s": cluster.rate_bytes_per_s,
+            "timeout": cluster.timeout,
+            "chunk_bytes": cluster.chunk_bytes,
+            "record_relays": cluster.record_relays,
+            "heartbeat_interval": cluster.heartbeat_interval,
+            "resilient": cluster.resilient_workers,
+        }
+        cfg.update(extra)
+        return cfg
 
     # -- jobs ---------------------------------------------------------------
 

@@ -7,7 +7,14 @@ concurrently with no shared socket state.  :class:`ServiceJobHandle`
 duck-types the blocking half of :class:`~repro.session.JobHandle`
 (``done`` / ``wait`` / ``result`` / ``exception``), so driver code
 written against a local ``Session`` ports to the service by swapping
-``session.submit(spec)`` for ``client.submit(spec)``.
+``Session(...)`` for ``ServiceClient(addr)`` — both are context
+managers with the same ``submit(spec) -> handle`` surface::
+
+    with ServiceClient(addr) as client:
+        run = client.submit(TeraSortSpec(input=src)).result()
+
+A handle settled through an elastic shrink-to-fit re-plan reports the
+width it actually ran at via :attr:`ServiceJobHandle.replanned_k`.
 """
 
 from __future__ import annotations
@@ -64,8 +71,25 @@ class ServiceClient:
     ) -> None:
         self._host, self._port = parse_address(address)
         self._connect_timeout = connect_timeout
+        self._closed = False
+
+    # -- lifecycle (context-manager parity with Session) --------------------
+
+    def close(self) -> None:
+        """Mark the client closed; later requests raise.  There is no
+        standing connection to tear down (one connection per request),
+        so this is purely a use-after-close guard.  Idempotent."""
+        self._closed = True
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
     def _request(self, req: Any, timeout: Optional[float] = None) -> Any:
+        if self._closed:
+            raise RuntimeError("service client is closed")
         sock = socket.create_connection(
             (self._host, self._port), timeout=self._connect_timeout
         )
@@ -134,7 +158,15 @@ class ServiceClient:
 
 class ServiceJobHandle:
     """Future for one service job; API-compatible with the blocking half
-    of :class:`~repro.session.JobHandle`."""
+    of :class:`~repro.session.JobHandle`.
+
+    Attributes:
+        replanned_k: once settled, the smaller worker count the
+            scheduler's shrink-to-fit policy re-planned the final
+            attempt onto, or ``None`` when it ran at the requested
+            width.
+        attempts: once settled, how many attempts the job took.
+    """
 
     def __init__(
         self, client: ServiceClient, job_id: int, spec: JobSpec
@@ -142,6 +174,8 @@ class ServiceJobHandle:
         self._client = client
         self.job_id = job_id
         self.spec = spec
+        self.replanned_k: Optional[int] = None
+        self.attempts: Optional[int] = None
         self._outcome: Optional[Any] = None
         self._error: Optional[BaseException] = None
         self._settled = False
@@ -158,6 +192,9 @@ class ServiceJobHandle:
             return False
         if resp[0] == "ok":
             self._outcome = resp[1]
+            info = resp[2] if len(resp) > 2 else {}
+            self.replanned_k = info.get("replanned_k")
+            self.attempts = info.get("attempts")
         else:
             assert resp[0] == "failed", resp
             self._error = _rebuild_failure(resp[1], resp[2])

@@ -72,6 +72,9 @@ class ServiceJob:
     workers_used: List[int] = field(default_factory=list)
     attempts: List[JobAttempt] = field(default_factory=list)
     attempt: int = 0
+    #: Set while the current attempt runs at a shrink-to-fit width K'
+    #: below the requested ``workers``; recorded on the attempt.
+    replanned_k: Optional[int] = None
     error: Optional[Tuple[str, str]] = None
     result: Any = None
     prepared: Optional[PreparedJob] = None
@@ -92,6 +95,7 @@ class ServiceJob:
             "started_at": self.started_at,
             "finished_at": self.finished_at,
             "attempts": len(self.attempts),
+            "replanned_k": self.replanned_k,
             "error": list(self.error) if self.error else None,
         }
 
@@ -120,6 +124,11 @@ class SortService:
             :class:`~repro.service.scheduler.FairShareScheduler`.
         max_retries: WorkerFailure retry budget per job.
         retry_backoff: base of the shared bounded-exponential pacing.
+        shrink_to_fit: let the scheduler re-plan a queued shrinkable job
+            onto fewer free workers when nothing fits at full width (see
+            :class:`~repro.service.scheduler.FairShareScheduler`); the
+            re-plan is recorded as ``replanned_k`` on the job's attempt
+            metadata and status rows.
     """
 
     #: Cap one ``("result", ...)`` long-poll; clients re-poll.
@@ -134,16 +143,24 @@ class SortService:
         quotas: Optional[Dict[str, TenantQuota]] = None,
         max_retries: int = 1,
         retry_backoff: float = 0.1,
+        shrink_to_fit: bool = False,
     ) -> None:
         if max_retries < 0:
             raise ValueError(f"max_retries must be >= 0, got {max_retries}")
         self._cluster = cluster
         self._kick = threading.Event()
         self._pool = ServicePool(
-            cluster, on_done=self._job_done, on_idle=self._kick.set
+            cluster,
+            on_done=self._job_done,
+            on_idle=self._kick.set,
+            on_join=self._worker_joined,
         )
         self._scheduler = FairShareScheduler(
-            cluster.size, max_queue_depth, default_quota, quotas
+            cluster.size,
+            max_queue_depth,
+            default_quota,
+            quotas,
+            shrink_to_fit=shrink_to_fit,
         )
         self._stats = StatsRecorder(cluster.size)
         self._jobs: Dict[int, ServiceJob] = {}
@@ -227,7 +244,17 @@ class SortService:
     # -- stats / status -----------------------------------------------------
 
     def stats(self) -> ServiceStats:
-        return self._stats.snapshot(workers_live=self._pool.live_workers())
+        return self._stats.snapshot(
+            workers_live=self._pool.live_workers(),
+            workers_joined=self._pool.workers_joined,
+            membership_epoch=self._pool.membership_epoch,
+        )
+
+    def _worker_joined(self, rank: int, epoch: int) -> None:
+        """Pool callback: a replacement worker is live at ``rank``."""
+        with self._lock:
+            self._scheduler.set_total_workers(self._pool.size)
+        self._kick.set()
 
     def describe_jobs(
         self, job_id: Optional[int] = None
@@ -283,6 +310,7 @@ class SortService:
                         est_bytes=est_bytes,
                         payload=record,
                         enqueued_at=record.enqueued_mono,
+                        shrink=spec.shrink_to,
                     )
                 )
             except AdmissionError:
@@ -311,20 +339,30 @@ class SortService:
             if self._closed:
                 return False
             idle = self._pool.idle_workers()
-            queued = self._scheduler.next_job(len(idle))
+            queued = self._scheduler.next_job(
+                len(idle), live_workers=self._pool.live_workers()
+            )
             if queued is None:
                 return False
             record: ServiceJob = queued.payload
-            members = idle[: record.workers]
+            planned = queued.planned_workers or record.workers
+            members = idle[:planned]
             record.state = "running"
             record.started_at = time.time()
             record.workers_used = members
+            record.replanned_k = planned if planned != record.workers else None
             self._stats.dispatched(
                 record.tenant, time.monotonic() - queued.enqueued_at
             )
             try:
-                if record.prepared is None:
-                    record.prepared = record.spec.prepare(record.workers)
+                # Re-prepare when this attempt's width differs from the
+                # cached plan (first dispatch, or a shrink-to-fit
+                # re-plan / full-width retry after one).
+                if (
+                    record.prepared is None
+                    or len(record.prepared.payloads) != planned
+                ):
+                    record.prepared = record.spec.prepare(planned)
                 subset = self._pool.submit(members, record.prepared)
             except BaseException as exc:  # noqa: BLE001 - fail the record
                 self._scheduler.job_finished(record.tenant)
@@ -358,7 +396,11 @@ class SortService:
                     self._fail_locked(record, exc, duration)
                 else:
                     record.attempts.append(
-                        JobAttempt(index=record.attempt, duration=duration)
+                        JobAttempt(
+                            index=record.attempt,
+                            duration=duration,
+                            replanned_k=record.replanned_k,
+                        )
                     )
                     record.state = "done"
                     record.finished_at = time.time()
@@ -378,6 +420,7 @@ class SortService:
                         index=record.attempt,
                         duration=duration,
                         error=subset.error,
+                        replanned_k=record.replanned_k,
                     )
                 )
                 retry_in = retry_delay(record.attempt, self._retry_backoff)
@@ -399,7 +442,12 @@ class SortService:
         self, record: ServiceJob, exc: BaseException, duration: float
     ) -> None:
         record.attempts.append(
-            JobAttempt(index=record.attempt, duration=duration, error=exc)
+            JobAttempt(
+                index=record.attempt,
+                duration=duration,
+                error=exc,
+                replanned_k=record.replanned_k,
+            )
         )
         record.state = "failed"
         record.error = (_error_kind(exc), str(exc))
@@ -420,6 +468,7 @@ class SortService:
                     est_bytes=record.est_bytes,
                     payload=record,
                     enqueued_at=record.enqueued_mono,
+                    shrink=record.spec.shrink_to,
                 )
             )
         self._kick.set()
@@ -495,7 +544,16 @@ class SortService:
             if not record.done.is_set():
                 return ("pending", record.state)
             if record.state == "done":
-                return ("ok", record.result)
+                # Third element since protocol v2: attempt metadata the
+                # client surfaces on its handle (elastic re-plans).
+                return (
+                    "ok",
+                    record.result,
+                    {
+                        "replanned_k": record.replanned_k,
+                        "attempts": len(record.attempts),
+                    },
+                )
             assert record.error is not None
             return ("failed", record.error[0], record.error[1])
         if kind == "shutdown":

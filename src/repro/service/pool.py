@@ -22,8 +22,23 @@ surviving members (their abort-polling receives bail out promptly), and
 finishes the job with :func:`~repro.runtime.errors.job_failure` — a
 retryable :class:`~repro.runtime.errors.WorkerFailure` unless a program
 error dominates.  Dead workers shrink capacity (``workers_live``); the
-daemon keeps scheduling on the survivors.  Elastic rejoin is future work
-(see ROADMAP).
+daemon keeps scheduling on the survivors.
+
+**Elastic rejoin.**  The pool keeps the cluster's rendezvous listener in
+its select loop after the mesh forms: a replacement ``repro worker
+--join`` completes the same versioned handshake (serialized on a join
+lock so concurrent joiners see consistent rosters), is assigned a free
+rank — a dead rank is recycled, or the mesh grows — and receives the
+live peers' standing mesh-listener addresses to dial
+(:func:`~repro.runtime.tcp._join_mesh`).  Every membership change
+(death *or* join) bumps the pool's **membership epoch**; job frames
+carry the epoch they were planned under, so a job dispatched before a
+join can never alias a recycled rank: the worker-side
+:class:`~repro.runtime.process.SubsetComm` refuses members whose link
+epoch is newer than the job's, and the driver-side
+:class:`~repro.runtime.monitor.JobMonitor` drops feeds from newer
+incarnations.  Live workers learn about the new size via a
+``("roster", info)`` control frame.
 
 Threading: one reactor thread owns every control-connection *receive*;
 all sends (dispatch, aborts, speculation directives) happen under the
@@ -35,6 +50,7 @@ callback may re-enter ``submit`` (retry) without deadlock.
 from __future__ import annotations
 
 import socket
+import struct
 import threading
 import time
 from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple
@@ -47,13 +63,18 @@ from repro.runtime.program import (
     assemble_cluster_result,
 )
 from repro.runtime.tcp import (
+    _HELLO,
+    _MAGIC,
+    PROTOCOL_VERSION,
+    _TAG_HELLO,
     TcpCluster,
+    _bound_sends,
     _recv_msg,
     _select,
     _send_msg,
 )
 from repro.runtime.traffic import TrafficLog
-from repro.runtime.transport import TransportError
+from repro.runtime.transport import TransportError, recv_frame
 
 __all__ = ["ServicePool", "SubsetJob"]
 
@@ -74,12 +95,20 @@ class SubsetJob:
         prepared: PreparedJob,
         failure_timeout: float,
         timeout: float,
+        epoch: int = 0,
     ) -> None:
         k = len(members)
         self.seq = seq
         self.members = members
         self.prepared = prepared
-        self.monitor = JobMonitor(k, failure_timeout, prepared.speculation)
+        #: Membership epoch the job was planned under; shipped in the
+        #: job frame and enforced both worker-side (SubsetComm) and
+        #: driver-side (JobMonitor.accepts) so the job never aliases a
+        #: rank recycled by a later rejoin.
+        self.epoch = epoch
+        self.monitor = JobMonitor(
+            k, failure_timeout, prepared.speculation, epoch=epoch
+        )
         self.deadline = time.monotonic() + timeout
         self.grace_deadline: Optional[float] = None
         self.results: List[Any] = [None] * k
@@ -111,6 +140,9 @@ class ServicePool:
             no pool lock held, once per finished :class:`SubsetJob`.
         on_idle: called (same thread, no lock) whenever workers may have
             become free — the daemon's scheduler kicks on it.
+        on_join: called as ``on_join(rank, epoch)`` from the join
+            thread, with no pool lock held, after a replacement worker
+            is fully integrated into the mesh.
     """
 
     #: After a job's first failure, wait this long (bounded by the
@@ -124,12 +156,14 @@ class ServicePool:
         cluster: TcpCluster,
         on_done: Optional[Callable[[SubsetJob], None]] = None,
         on_idle: Optional[Callable[[], None]] = None,
+        on_join: Optional[Callable[[int, int], None]] = None,
     ) -> None:
         cluster.resilient_workers = True
         self._cluster = cluster
         self._pool = cluster.create_pool()
         self._on_done = on_done
         self._on_idle = on_idle
+        self._on_join = on_join
         self._lock = threading.RLock()
         self._conns: Dict[int, socket.socket] = {}
         self._busy: Dict[int, int] = {}  # global rank -> job seq
@@ -138,6 +172,21 @@ class ServicePool:
         self._callback_queue: List[SubsetJob] = []
         self._seq = 0
         self._closed = False
+        # -- elastic membership bookkeeping --
+        #: Bumped on every membership change, death *and* join.
+        self._epoch = 0
+        #: Epoch at which each rank's *current* incarnation joined
+        #: (0 for the initial mesh).
+        self._rank_epoch: Dict[int, int] = {}
+        #: Advertised mesh-listener address per live rank, handed to
+        #: joiners so they can dial the standing mesh.
+        self._addrs: Dict[int, Tuple[str, int]] = {}
+        #: Serializes join admissions: one joiner completes its whole
+        #: handshake (through READY + integration) before the next
+        #: starts, so every joiner's roster includes its predecessors.
+        self._join_lock = threading.Lock()
+        #: Total replacement workers integrated over the pool lifetime.
+        self.workers_joined = 0
         self._wake_r, self._wake_w = socket.socketpair()
         self._wake_r.setblocking(False)
         self._reactor: Optional[threading.Thread] = None
@@ -153,6 +202,11 @@ class ServicePool:
             # The reactor owns these sockets now; keep the inner pool
             # from double-closing them later.
             self._pool._ctrl = []
+            self._rank_epoch = {g: 0 for g in self._conns}
+            self._addrs = dict(enumerate(self._pool._roster))
+        # The rendezvous listener joins the reactor's select loop so
+        # replacement workers can rejoin mid-flight.
+        self._cluster._listener.settimeout(None)
         self._reactor = threading.Thread(
             target=self._run, daemon=True, name="service-reactor"
         )
@@ -208,6 +262,12 @@ class ServicePool:
         with self._lock:
             return len(self._conns)
 
+    @property
+    def membership_epoch(self) -> int:
+        """Bumps on every membership change (worker death or rejoin)."""
+        with self._lock:
+            return self._epoch
+
     # -- dispatch -----------------------------------------------------------
 
     def submit(
@@ -240,6 +300,7 @@ class ServicePool:
                 prepared,
                 self._cluster.failure_timeout,
                 self._cluster.timeout,
+                epoch=self._epoch,
             )
             self._jobs[seq] = job
             for logical, g in enumerate(members):
@@ -255,6 +316,7 @@ class ServicePool:
                             prepared.builder,
                             prepared.payloads[logical],
                             members,
+                            job.epoch,
                         ),
                     )
                 except (OSError, TransportError):
@@ -286,9 +348,11 @@ class ServicePool:
                 if job.grace_deadline is not None:
                     remaining = min(remaining, job.grace_deadline - now)
                 timeout = min(timeout, job.monitor.poll_timeout(remaining))
-            readable = _select(
-                list(socks) + [self._wake_r], max(0.0, timeout)
-            )[0]
+            listener = self._cluster._listener
+            wait_on = list(socks) + [self._wake_r]
+            if listener.fileno() >= 0:
+                wait_on.append(listener)
+            readable = _select(wait_on, max(0.0, timeout))[0]
             for sock in readable:
                 if sock is self._wake_r:
                     try:
@@ -296,9 +360,27 @@ class ServicePool:
                     except (BlockingIOError, OSError):
                         pass
                     continue
+                if sock is listener:
+                    # A replacement worker is dialing the standing
+                    # rendezvous: hand the handshake to a join thread
+                    # (it blocks on the joiner, the reactor must not).
+                    try:
+                        conn, _ = listener.accept()
+                    except OSError:
+                        continue  # listener closed under us
+                    threading.Thread(
+                        target=self._admit_join,
+                        args=(conn,),
+                        daemon=True,
+                        name="service-join",
+                    ).start()
+                    continue
                 g = socks[sock]
-                sock.settimeout(min(30.0, self._cluster.timeout))
                 try:
+                    # settimeout is inside the guard: the conn may have
+                    # been closed (death handling, shutdown) between the
+                    # select snapshot and here.
+                    sock.settimeout(min(30.0, self._cluster.timeout))
                     msg = _recv_msg(sock)
                 except (OSError, TransportError) as exc:
                     with self._lock:
@@ -332,7 +414,11 @@ class ServicePool:
                 _, hb_rank, seq, stage = msg
                 job = self._jobs.get(seq)
                 if job is not None and hb_rank in job.pending:
-                    job.monitor.heartbeat(job.logical(hb_rank), stage)
+                    job.monitor.heartbeat(
+                        job.logical(hb_rank),
+                        stage,
+                        member_epoch=self._rank_epoch.get(g, 0),
+                    )
                 return
             if kind not in ("ok", "comm_error", "error"):
                 return  # unknown frame; ignore (forward compatibility)
@@ -345,6 +431,8 @@ class ServicePool:
             job = self._jobs.get(seq)
             if job is None or g not in job.pending:
                 return
+            if not job.monitor.accepts(self._rank_epoch.get(g, 0)):
+                return  # stale seq from a recycled rank's new incarnation
             lidx = job.logical(g)
             job.pending.discard(g)
             job.monitor.result(lidx)
@@ -412,6 +500,8 @@ class ServicePool:
         if g in self._dead:
             return
         self._dead.add(g)
+        self._epoch += 1  # membership changed: jobs planned before this
+        # death must not alias a later reuse of rank g
         conn = self._conns.pop(g, None)
         if conn is not None:
             try:
@@ -426,6 +516,120 @@ class ServicePool:
             job.monitor.result(lidx)
             self._record_failure(job, lidx, cause, program_error=False)
             self._maybe_finish(job)
+
+    # -- elastic rejoin -----------------------------------------------------
+
+    def _admit_join(self, conn: socket.socket) -> None:
+        """Run one replacement worker's whole join handshake (thread).
+
+        Serialized on the join lock: a joiner's roster must include
+        every earlier joiner's mesh listener, so only one admission is
+        in flight at a time.  Any handshake failure just drops the
+        dialer; the standing mesh is never disturbed.
+        """
+        try:
+            with self._join_lock:
+                self._do_admit_join(conn)
+        except (OSError, TransportError, struct.error, RuntimeError):
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover
+                pass
+
+    def _do_admit_join(self, conn: socket.socket) -> None:
+        cluster = self._cluster
+        conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        conn.settimeout(cluster.handshake_timeout)
+        tag, payload = recv_frame(conn)
+
+        def reject(reason: str) -> None:
+            try:
+                _send_msg(conn, ("reject", reason))
+            except (OSError, TransportError):  # pragma: no cover
+                pass
+            conn.close()
+
+        try:
+            magic, version, want = _HELLO.unpack(bytes(payload))
+        except struct.error:
+            reject("malformed hello frame")
+            return
+        if tag != _TAG_HELLO or magic != _MAGIC:
+            reject("not a codedterasort worker hello")
+            return
+        if version != PROTOCOL_VERSION:
+            reject(
+                f"protocol version mismatch: worker speaks {version}, "
+                f"coordinator speaks {PROTOCOL_VERSION}"
+            )
+            return
+        with self._lock:
+            if self._closed:
+                reject("service pool is closed")
+                return
+            if want >= 0 and want in self._conns:
+                reject(
+                    f"duplicate rank: {want} is live at membership epoch "
+                    f"{self._rank_epoch.get(want, 0)}"
+                )
+                return
+            if want >= 0 and want not in self._dead and want > self.size:
+                reject(
+                    f"rank {want} out of range for a size-{self.size} mesh"
+                )
+                return
+            if want >= 0:
+                rank = want
+            elif self._dead:
+                rank = min(self._dead)  # recycle the lowest dead rank
+            else:
+                rank = self.size  # grow the mesh by one
+            self._epoch += 1
+            epoch = self._epoch
+            if rank >= self.size:
+                self._cluster.size = rank + 1
+                self._pool.size = rank + 1
+            peers = {g: self._addrs[g] for g in self._conns}
+            cfg = self._pool.welcome_config(rank, epoch=epoch)
+        _send_msg(conn, ("welcome", cfg))
+        msg = _recv_msg(conn)
+        if msg[0] != "listening":
+            raise RuntimeError(f"joiner sent {msg[0]!r}, expected listening")
+        addr = tuple(msg[1])
+        # The joiner now dials every live peer's standing mesh listener;
+        # worker-side join-acceptor threads splice the links in.
+        _send_msg(
+            conn,
+            ("roster", {"peers": peers, "epoch": epoch, "size": cfg["size"]}),
+        )
+        msg = _recv_msg(conn)
+        if msg[0] != "ready":
+            raise RuntimeError(f"joiner sent {msg[0]!r}, expected ready")
+        conn.settimeout(None)
+        _bound_sends(conn, cluster.timeout)
+        with self._lock:
+            if self._closed:
+                conn.close()
+                return
+            self._conns[rank] = conn
+            self._dead.discard(rank)
+            self._addrs[rank] = addr
+            self._rank_epoch[rank] = epoch
+            self.workers_joined += 1
+            roster_update = {"size": self.size, "epoch": epoch, "joined": rank}
+            others = [
+                c for g, c in self._conns.items() if g != rank
+            ]
+        # Announce to live workers (they grow comm.size if needed) with
+        # no lock held — a wedged worker must not stall membership.
+        for other in others:
+            try:
+                _send_msg(other, ("roster", roster_update))
+            except (OSError, TransportError):  # pragma: no cover
+                pass
+        if self._on_join is not None:
+            self._on_join(rank, epoch)
+        self._wake()  # reactor re-snapshots conns; on_idle kicks scheduler
 
     def _tick(self) -> None:
         now = time.monotonic()

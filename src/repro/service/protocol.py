@@ -16,6 +16,9 @@ Requests (client -> daemon)::
 Responses are ``("ok", payload)`` or ``("error", kind, message)`` —
 errors travel as strings because the runtime's typed failures do not
 round-trip through pickle (``WorkerFailure`` rewrites its ``args``).
+Since protocol v2 a settled ``("result", ...)`` success is ``("ok",
+payload, info)`` where ``info`` carries attempt metadata (the elastic
+scheduler's ``replanned_k``, the attempt count).
 
 Trust model matches the worker rendezvous: submissions pickle arbitrary
 job specs, so expose the control port only to trusted clients on a
@@ -40,7 +43,8 @@ __all__ = [
 ]
 
 #: Bumped on incompatible control-port changes; checked per frame.
-SERVICE_PROTOCOL_VERSION = 1
+#: v2: settled result responses grew a third attempt-metadata element.
+SERVICE_PROTOCOL_VERSION = 2
 
 #: Frame tag for service control messages — distinct from the worker
 #: rendezvous tags so a client dialing the wrong port fails typed.

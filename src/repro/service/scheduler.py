@@ -24,12 +24,23 @@ Policy, in the order it is applied:
   free, a 3-worker job behind it runs now.  Big jobs still drain-in
   eventually because finishing jobs free workers faster than the
   scheduler admits new large ones ahead of them.
+* **Shrink-to-fit** (opt-in, ``shrink_to_fit=True``): when *no* queued
+  job fits at full width and a queued job is wider than the *live mesh
+  itself* (not merely wider than what's momentarily free — a busy mesh
+  at full strength is a reason to wait, not to re-plan), a job that can
+  re-plan to fewer workers (its :class:`QueuedJob` carries a ``shrink``
+  callable, typically ``JobSpec.shrink_to``) runs now at the largest
+  valid ``K' <= free_workers`` instead of waiting for the mesh to
+  regrow — the elastic half of the rejoin story.  Full-width dispatch
+  always wins over a shrink (the re-plan costs Map-phase parallelism),
+  and the chosen width is reported on the returned job's
+  ``planned_workers``.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional
 
 __all__ = [
     "AdmissionError",
@@ -98,7 +109,15 @@ class TenantQuota:
 @dataclass
 class QueuedJob:
     """One queue entry; ``payload`` is opaque to the scheduler (the
-    daemon stores its job record there)."""
+    daemon stores its job record there).
+
+    ``shrink`` (optional) makes the job elastic: called with the free
+    worker count, it returns the largest valid smaller width or ``None``
+    (see :meth:`repro.session.JobSpec.shrink_to`).  ``planned_workers``
+    is set by :meth:`FairShareScheduler.next_job` to the width the job
+    was actually dispatched at — equal to ``workers`` unless the
+    shrink-to-fit policy re-planned it.
+    """
 
     job_id: int
     tenant: str
@@ -107,6 +126,8 @@ class QueuedJob:
     est_bytes: int
     payload: Any = None
     enqueued_at: float = 0.0
+    shrink: Optional[Callable[[int], Optional[int]]] = None
+    planned_workers: int = 0
 
 
 class FairShareScheduler:
@@ -121,6 +142,9 @@ class FairShareScheduler:
         max_queue_depth: global bound on queued jobs.
         default_quota: quota applied to tenants without an explicit one.
         quotas: per-tenant overrides, keyed by tenant name.
+        shrink_to_fit: allow :meth:`next_job` to dispatch a shrinkable
+            job at a smaller valid width when nothing fits at full
+            width (see the module docstring).
     """
 
     def __init__(
@@ -129,6 +153,7 @@ class FairShareScheduler:
         max_queue_depth: int = 64,
         default_quota: Optional[TenantQuota] = None,
         quotas: Optional[Dict[str, TenantQuota]] = None,
+        shrink_to_fit: bool = False,
     ) -> None:
         if total_workers < 1:
             raise ValueError(
@@ -140,11 +165,21 @@ class FairShareScheduler:
             )
         self.total_workers = total_workers
         self.max_queue_depth = max_queue_depth
+        self.shrink_to_fit = shrink_to_fit
         self._default_quota = default_quota or TenantQuota()
         self._quotas = dict(quotas or {})
         self._queue: List[QueuedJob] = []
         self._running: Dict[str, int] = {}  # tenant -> running job count
         self._served: Dict[str, int] = {}  # tenant -> jobs ever dispatched
+
+    def set_total_workers(self, total_workers: int) -> None:
+        """Elastic capacity update (mesh grew or a rank was recycled at a
+        larger size); affects only future admissions."""
+        if total_workers < 1:
+            raise ValueError(
+                f"total_workers must be >= 1, got {total_workers}"
+            )
+        self.total_workers = total_workers
 
     # -- introspection ------------------------------------------------------
 
@@ -207,7 +242,11 @@ class FairShareScheduler:
 
     # -- dispatch -----------------------------------------------------------
 
-    def next_job(self, free_workers: int) -> Optional[QueuedJob]:
+    def next_job(
+        self,
+        free_workers: int,
+        live_workers: Optional[int] = None,
+    ) -> Optional[QueuedJob]:
         """Pick and remove the next runnable job, or ``None``.
 
         A job is runnable when ``free_workers`` covers its subset and
@@ -216,12 +255,59 @@ class FairShareScheduler:
         ``service = running + served`` for the tenant — higher priority
         first, then the least-served tenant (fair share), then FIFO.
         The caller must pair every returned job with a later
-        :meth:`job_finished`.
+        :meth:`job_finished`, and dispatch at ``planned_workers`` (which
+        the shrink-to-fit pass may set below ``workers``; a full-width
+        pick always wins over a shrink).
+
+        ``live_workers`` is the mesh's current live membership.  The
+        shrink-to-fit pass only considers jobs that could not run even
+        on an *idle* live mesh (``workers > live_workers``): a job that
+        merely has to wait for busy workers to free up keeps its full
+        width — re-planning costs Map-phase parallelism and is reserved
+        for genuine mesh shrinkage.  When omitted it defaults to
+        ``free_workers`` (no membership information: anything that does
+        not fit now is treated as shrinkable).
         """
+        if live_workers is None:
+            live_workers = free_workers
+        best_idx = self._pick(free_workers, shrink=False)
+        planned: Optional[int] = None
+        if best_idx is None and self.shrink_to_fit and free_workers >= 1:
+            best_idx = self._pick(
+                free_workers, shrink=True, live_workers=live_workers
+            )
+            if best_idx is not None:
+                shrink = self._queue[best_idx].shrink
+                assert shrink is not None
+                planned = shrink(free_workers)
+        if best_idx is None:
+            return None
+        job = self._queue.pop(best_idx)
+        job.planned_workers = job.workers if planned is None else planned
+        self._running[job.tenant] = self._running.get(job.tenant, 0) + 1
+        self._served[job.tenant] = self._served.get(job.tenant, 0) + 1
+        return job
+
+    def _pick(
+        self,
+        free_workers: int,
+        shrink: bool,
+        live_workers: int = 0,
+    ) -> Optional[int]:
+        """Queue index of the best runnable job (full-width pass, or the
+        shrink-to-fit pass over jobs that can re-plan down)."""
         best_idx: Optional[int] = None
         best_key = None
         for idx, job in enumerate(self._queue):
-            if job.workers > free_workers:
+            if shrink:
+                if job.shrink is None or job.workers <= free_workers:
+                    continue
+                if job.workers <= live_workers:
+                    continue  # fits the live mesh: wait, don't shrink
+                shrunk = job.shrink(free_workers)
+                if shrunk is None or shrunk > free_workers:
+                    continue
+            elif job.workers > free_workers:
                 continue
             quota = self.quota_for(job.tenant)
             if self._running.get(job.tenant, 0) >= quota.max_concurrent:
@@ -233,12 +319,7 @@ class FairShareScheduler:
             if best_key is None or key < best_key:
                 best_key = key
                 best_idx = idx
-        if best_idx is None:
-            return None
-        job = self._queue.pop(best_idx)
-        self._running[job.tenant] = self._running.get(job.tenant, 0) + 1
-        self._served[job.tenant] = self._served.get(job.tenant, 0) + 1
-        return job
+        return best_idx
 
     def job_finished(self, tenant: str) -> None:
         """Release one running slot for ``tenant`` (success or failure)."""

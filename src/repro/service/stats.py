@@ -51,7 +51,12 @@ class ServiceStats:
 
     Attributes:
         workers: mesh size the service was configured with.
-        workers_live: workers currently usable (mesh size minus deaths).
+        workers_live: workers currently usable — shrinks on deaths and
+            *recovers* as replacement workers rejoin the elastic pool.
+        workers_joined: lifetime count of replacement workers integrated
+            into the standing mesh.
+        membership_epoch: bumps on every membership change (death or
+            rejoin); jobs are fenced to the epoch they were planned in.
         jobs_queued / jobs_running: current gauges, summed over tenants.
         jobs_done / jobs_failed / jobs_rejected: lifetime counters.
         queue_wait_p50 / queue_wait_p95: seconds from admission to
@@ -62,6 +67,8 @@ class ServiceStats:
 
     workers: int = 0
     workers_live: int = 0
+    workers_joined: int = 0
+    membership_epoch: int = 0
     jobs_queued: int = 0
     jobs_running: int = 0
     jobs_done: int = 0
@@ -134,7 +141,12 @@ class StatsRecorder:
             else:
                 t.jobs_failed += 1
 
-    def snapshot(self, workers_live: Optional[int] = None) -> ServiceStats:
+    def snapshot(
+        self,
+        workers_live: Optional[int] = None,
+        workers_joined: int = 0,
+        membership_epoch: int = 0,
+    ) -> ServiceStats:
         with self._lock:
             waits = list(self._waits)
             tenants = {
@@ -146,6 +158,8 @@ class StatsRecorder:
             workers_live=(
                 self._workers if workers_live is None else workers_live
             ),
+            workers_joined=workers_joined,
+            membership_epoch=membership_epoch,
             jobs_queued=sum(t.jobs_queued for t in tenants.values()),
             jobs_running=sum(t.jobs_running for t in tenants.values()),
             jobs_done=sum(t.jobs_done for t in tenants.values()),

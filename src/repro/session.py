@@ -54,7 +54,7 @@ from __future__ import annotations
 import threading
 import time
 from abc import ABC, abstractmethod
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Any, List, Optional, Sequence
 
 from repro.core.cmr import CMRRun, MapReduceJob, prepare_mapreduce
@@ -105,6 +105,50 @@ class JobSpec(ABC):
     @abstractmethod
     def prepare(self, size: int) -> PreparedJob:
         """Compile the spec for a ``size``-node worker pool."""
+
+    def with_(self, **overrides: Any) -> "JobSpec":
+        """A copy of this spec with the given fields replaced.
+
+        A validated :func:`dataclasses.replace` wrapper: unknown field
+        names raise :class:`TypeError` and the new spec's own field
+        validation (``__post_init__`` where defined) runs on the copy —
+        so the elastic re-planner and user code stop hand-copying
+        ten-field specs::
+
+            wider = CodedTeraSortSpec(data=data, redundancy=3).with_(
+                schedule="parallel"
+            )
+        """
+        bad = set(overrides) - {f for f in type(self).__dataclass_fields__}
+        if bad:
+            raise TypeError(
+                f"{type(self).__name__}.with_() got unknown field(s) "
+                f"{sorted(bad)}; valid fields: "
+                f"{sorted(type(self).__dataclass_fields__)}"
+            )
+        return replace(self, **overrides)
+
+    def shrink_to(self, free: int) -> Optional[int]:
+        """The largest worker count ``K' <= free`` this spec can re-plan
+        to, or ``None`` when it cannot shrink.
+
+        Powers the scheduler's ``shrink_to_fit`` policy: a queued K-wide
+        job may run now on fewer free workers instead of waiting for the
+        mesh to regrow.  The base spec is not shrinkable; the sort specs
+        override this (uncoded: any ``K' >= 2``; coded: the largest
+        ``K'`` with a valid ``(K', r)`` per the tradeoff constraints).
+        """
+        return None
+
+    def _shrink_by_validate(self, free: int, floor: int) -> Optional[int]:
+        """Largest ``K' in [floor, free]`` accepted by :meth:`validate`."""
+        for k in range(free, floor - 1, -1):
+            try:
+                self.validate(k)
+            except ValueError:
+                continue
+            return k
+        return None
 
 
 def _check_input_fields(spec) -> None:
@@ -209,6 +253,11 @@ class TeraSortSpec(JobSpec):
                     f"got {self.speculation_min_wait}"
                 )
 
+    def shrink_to(self, free: int) -> Optional[int]:
+        # The uncoded sort re-splits at the descriptor level: any K' >= 2
+        # is a valid (smaller) re-plan of the same spec.
+        return self._shrink_by_validate(free, floor=2)
+
     def prepare(self, size: int) -> PreparedJob:
         return prepare_terasort(
             size,
@@ -261,6 +310,12 @@ class CodedTeraSortSpec(JobSpec):
                 f"got {self.batches_per_subset}"
             )
         _check_input_fields(self)
+
+    def shrink_to(self, free: int) -> Optional[int]:
+        # Coded geometry: (K', r) stays valid only while r <= K'-1, so
+        # the smallest shrink target is r+1 workers (1604.07086's
+        # tradeoff constraint); validate() enforces the rest.
+        return self._shrink_by_validate(free, floor=self.redundancy + 1)
 
     def prepare(self, size: int) -> PreparedJob:
         return prepare_coded_terasort(
@@ -359,11 +414,15 @@ class JobAttempt:
         error: the typed failure that ended the attempt
             (:class:`~repro.runtime.errors.WorkerFailure` for the retried
             ones), or ``None`` for the successful attempt.
+        replanned_k: when the sort service's ``shrink_to_fit`` policy
+            re-planned this attempt onto fewer workers than the spec
+            asked for, the K' it actually ran at; ``None`` otherwise.
     """
 
     index: int
     duration: float
     error: Optional[BaseException] = None
+    replanned_k: Optional[int] = None
 
 
 def retry_delay(attempt: int, backoff: float, cap: float = 30.0) -> float:

@@ -1,0 +1,76 @@
+"""The unified cluster factory: ``repro.connect`` URL routing.
+
+One address scheme per backend, every other knob passed through to the
+constructor unchanged, and typed errors for every way the URL can be
+wrong — so the CLI, the benchmarks, and user code share one entry point
+while the old constructors remain importable aliases.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+from repro.cluster import connect
+from repro.runtime.inproc import ThreadCluster
+from repro.runtime.process import ProcessCluster
+from repro.runtime.tcp import TcpCluster
+
+
+class TestLocalSchemes:
+    def test_inproc_builds_a_thread_cluster(self):
+        cluster = connect("inproc://4")
+        assert isinstance(cluster, ThreadCluster)
+        assert cluster.size == 4
+
+    def test_thread_is_an_alias_for_inproc(self):
+        assert isinstance(connect("thread://2"), ThreadCluster)
+
+    def test_proc_builds_a_process_cluster(self):
+        cluster = connect("proc://3")
+        assert isinstance(cluster, ProcessCluster)
+        assert cluster.size == 3
+
+    def test_process_is_an_alias_for_proc(self):
+        assert isinstance(connect("process://2"), ProcessCluster)
+
+    def test_options_pass_through_to_the_constructor(self):
+        cluster = connect("proc://2", rate_bytes_per_s=12.5e6, timeout=7.0)
+        assert cluster.rate_bytes_per_s == 12.5e6
+        assert cluster.timeout == 7.0
+
+    def test_redundant_size_kwarg_must_agree(self):
+        assert connect("inproc://4", size=4).size == 4
+        with pytest.raises(ValueError, match="conflicting worker counts"):
+            connect("inproc://4", size=5)
+
+
+class TestTcpScheme:
+    def test_tcp_builds_a_cluster_on_the_given_address(self):
+        with connect("tcp://127.0.0.1:0", size=3) as cluster:
+            assert isinstance(cluster, TcpCluster)
+            assert cluster.size == 3
+            # Port 0 resolved at bind: the address is dialable now.
+            assert not cluster.address.endswith(":0")
+
+    def test_tcp_without_size_is_a_typed_error(self):
+        with pytest.raises(ValueError, match="needs size="):
+            connect("tcp://127.0.0.1:4000")
+
+
+class TestBadAddresses:
+    def test_unknown_scheme_lists_the_known_ones(self):
+        with pytest.raises(ValueError, match="inproc"):
+            connect("carrier-pigeon://4")
+
+    def test_missing_scheme_separator(self):
+        with pytest.raises(ValueError, match="cluster address"):
+            connect("inproc:4")
+
+    def test_non_integer_worker_count(self):
+        with pytest.raises(ValueError, match="worker count"):
+            connect("proc://many")
+
+
+def test_connect_is_exported_from_the_package_root():
+    assert repro.connect is connect

@@ -209,3 +209,86 @@ class TestDispatch:
         sched.job_finished("a")
         assert sched.running_count("a") == 1
         assert sched.next_job(8).job_id == 2
+
+
+def _shrinkable(job_id, workers, floor=2, tenant="a", priority=0):
+    """A queued job that (like the sort specs) re-plans to any width in
+    ``[floor, free]``."""
+
+    def shrink(free):
+        return free if free >= floor else None
+
+    return QueuedJob(
+        job_id=job_id,
+        tenant=tenant,
+        priority=priority,
+        workers=workers,
+        est_bytes=0,
+        shrink=shrink,
+    )
+
+
+class TestShrinkToFit:
+    def test_off_by_default_keeps_the_job_queued(self):
+        sched = FairShareScheduler(total_workers=6)
+        sched.submit(_shrinkable(0, workers=6))
+        assert sched.next_job(4) is None
+        assert sched.queue_depth() == 1
+
+    def test_replans_a_too_wide_job_onto_the_free_workers(self):
+        sched = FairShareScheduler(total_workers=6, shrink_to_fit=True)
+        sched.submit(_shrinkable(0, workers=6))
+        job = sched.next_job(4)
+        assert job is not None and job.job_id == 0
+        assert job.planned_workers == 4
+
+    def test_full_width_wins_when_it_fits(self):
+        sched = FairShareScheduler(total_workers=6, shrink_to_fit=True)
+        sched.submit(_shrinkable(0, workers=6))
+        job = sched.next_job(6)
+        assert job.planned_workers == 6  # no re-plan recorded
+
+    def test_unshrinkable_job_waits(self):
+        sched = FairShareScheduler(total_workers=6, shrink_to_fit=True)
+        # No shrink hook at all (e.g. MapReduceSpec) ...
+        sched.submit(QueuedJob(
+            job_id=0, tenant="a", priority=0, workers=6, est_bytes=0,
+        ))
+        # ... and a coded-style floor the free workers are below.
+        sched.submit(_shrinkable(1, workers=6, floor=4, tenant="b"))
+        assert sched.next_job(3) is None
+        assert sched.queue_depth() == 2
+
+    def test_full_fit_job_preferred_over_shrinking_the_head(self):
+        sched = FairShareScheduler(total_workers=8, shrink_to_fit=True)
+        sched.submit(_shrinkable(0, workers=8))
+        sched.submit(QueuedJob(
+            job_id=1, tenant="b", priority=0, workers=4, est_bytes=0,
+        ))
+        job = sched.next_job(4)
+        assert job.job_id == 1
+        assert job.planned_workers == 4
+
+    def test_busy_full_strength_mesh_waits_instead_of_shrinking(self):
+        # 4 of 6 live workers are busy: the 6-wide job still fits the
+        # live mesh, so it must wait for them, not re-plan onto the 2
+        # transiently free ones.
+        sched = FairShareScheduler(total_workers=6, shrink_to_fit=True)
+        sched.submit(_shrinkable(0, workers=6))
+        assert sched.next_job(2, live_workers=6) is None
+        assert sched.queue_depth() == 1
+        # Once the mesh genuinely shrinks to 2 live, the same call
+        # re-plans.
+        job = sched.next_job(2, live_workers=2)
+        assert job is not None and job.planned_workers == 2
+
+    def test_set_total_workers_grows_elastic_capacity(self):
+        sched = FairShareScheduler(total_workers=4)
+        with pytest.raises(QuotaExceeded):
+            sched.submit(_job(0, workers=6))
+        # A replacement worker grew the mesh: wider jobs admit now.
+        sched.set_total_workers(6)
+        sched.submit(_job(1, workers=6))
+        assert sched.next_job(6).job_id == 1
+        with pytest.raises(ValueError):
+            sched.set_total_workers(0)

@@ -337,3 +337,42 @@ class TestProcessPoolReuse:
             assert bad.exception() is not None
             run = session.submit(TeraSortSpec(data=data)).result()
         validate_sorted_permutation(data, run.partitions)
+
+
+class TestSpecWithAndShrink:
+    """The elastic-pool spec surface: validated copies and shrink math."""
+
+    def test_with_overrides_one_field_and_keeps_the_rest(self):
+        data = teragen(100, seed=20)
+        spec = CodedTeraSortSpec(data=data, redundancy=2)
+        wider = spec.with_(schedule="parallel")
+        assert wider.schedule == "parallel"
+        assert wider.redundancy == 2
+        assert wider.data is data
+        # The original is untouched (frozen dataclass copy).
+        assert spec.schedule == "serial"
+
+    def test_with_unknown_field_is_a_typed_error_naming_it(self):
+        spec = TeraSortSpec(data=teragen(100, seed=20))
+        with pytest.raises(TypeError) as exc_info:
+            spec.with_(nodes=4)
+        assert "nodes" in str(exc_info.value)
+        assert "memory_budget" in str(exc_info.value)  # lists valid fields
+
+    def test_terasort_shrinks_to_any_k_down_to_two(self):
+        spec = TeraSortSpec(data=teragen(100, seed=21))
+        assert spec.shrink_to(4) == 4
+        assert spec.shrink_to(2) == 2
+        assert spec.shrink_to(1) is None
+
+    def test_coded_shrink_respects_the_redundancy_floor(self):
+        # (K', r) is valid only while r <= K'-1: with r=2 the smallest
+        # re-plan is 3 workers.
+        spec = CodedTeraSortSpec(data=teragen(100, seed=22), redundancy=2)
+        assert spec.shrink_to(5) == 5
+        assert spec.shrink_to(3) == 3
+        assert spec.shrink_to(2) is None
+
+    def test_base_spec_is_not_shrinkable(self):
+        spec = MapReduceSpec(job=WordCountJob(), files=_corpus(K, R))
+        assert spec.shrink_to(3) is None
