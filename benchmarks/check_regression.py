@@ -68,6 +68,13 @@ MANIFEST: Dict[str, List[Tuple[str, str]]] = {
          "elastic-lane throughput (SIGKILL 2 mid-service, rejoin, "
          "6-wide job through the membership change)"),
     ],
+    "overlap": [
+        ("uncoded.speedup",
+         "streaming-overlap speedup over the staged uncoded sort "
+         "(100 Mbps-paced mesh)"),
+        ("coded.speedup",
+         "streaming-overlap speedup over the staged coded sort"),
+    ],
     "merge_kernels": [
         ("merge.speedup", "OVC k-way merge speedup over classic kernels"),
         ("merge.ovc_mbps", "k-way OVC merge throughput"),

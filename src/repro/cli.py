@@ -57,6 +57,13 @@ def _sort_spec(args: argparse.Namespace, data, source):
         memory_budget=args.memory_budget,
         output_dir=args.output,
     )
+    if args.overlap and args.speculation:
+        raise SystemExit(
+            "--overlap and --speculation are mutually exclusive: both "
+            "replace the shuffle with their own event loop (hide "
+            "communication with --overlap, or run stragglers with "
+            "--speculation)"
+        )
     if args.algorithm == "coded":
         if args.speculation:
             raise SystemExit(
@@ -65,9 +72,12 @@ def _sort_spec(args: argparse.Namespace, data, source):
                 "re-execute)"
             )
         return CodedTeraSortSpec(
-            redundancy=args.redundancy, schedule=args.schedule, **fields
+            redundancy=args.redundancy, schedule=args.schedule,
+            overlap=args.overlap, **fields
         )
-    return TeraSortSpec(speculation=args.speculation, **fields)
+    return TeraSortSpec(
+        speculation=args.speculation, overlap=args.overlap, **fields
+    )
 
 
 def _cmd_gen(args: argparse.Namespace) -> int:
@@ -616,6 +626,12 @@ def build_parser() -> argparse.ArgumentParser:
                         "backup copies of straggling map shards on "
                         "finished workers (first finisher wins; output "
                         "stays byte-identical)")
+    p.add_argument("--overlap", action="store_true",
+                   help="streaming phase overlap: ship shuffle traffic "
+                        "while Map is still running and merge it while "
+                        "it arrives, hiding communication behind compute "
+                        "(both algorithms; output stays byte-identical; "
+                        "mutually exclusive with --speculation)")
     p.set_defaults(func=_cmd_sort)
 
     p = sub.add_parser(

@@ -87,11 +87,13 @@ from repro.core.outofcore import (
 from repro.core.partitioner import RangePartitioner
 from repro.core.placement import CodedPlacement
 from repro.core.terasort import SortRun, _build_partitioner_from_source
+from repro.kvpairs import kernels
 from repro.kvpairs.datasource import DataSource, FileSource, as_source
 from repro.kvpairs.records import RecordBatch
 from repro.kvpairs.sorting import sort_batch
 from repro.kvpairs.spill import (
     ExternalSorter,
+    IncrementalMerger,
     Run,
     SpillDir,
     StreamStore,
@@ -103,9 +105,11 @@ from repro.runtime.program import (
     NodeProgram,
     PreparedJob,
     execute_multicast_shuffle,
+    overlap_meta,
+    overlapped_multicast_shuffle,
 )
 from repro.utils.residency import ResidencyMeter
-from repro.utils.subsets import Subset
+from repro.utils.subsets import Subset, without
 
 #: Tag base for multicast shuffle; group index is added per packet.
 MULTICAST_TAG_BASE = 10_000
@@ -131,6 +135,10 @@ class CodedTeraSortProgram(NodeProgram):
             pipeline (byte-identical output, both schedules).
         output_dir: with a budget, stream the sorted partition to
             ``<output_dir>/part-<rank>`` and return a ``FileSource``.
+        overlap: streaming phase overlap — interleave Map with the coded
+            shuffle (a group multicasts as soon as every subset it draws
+            on is fully mapped) and feed Reduce incrementally; output
+            stays byte-identical to the staged execution.
     """
 
     STAGES = STAGES_CODED
@@ -145,6 +153,7 @@ class CodedTeraSortProgram(NodeProgram):
         schedule: str = "serial",
         memory_budget: Optional[int] = None,
         output_dir: Optional[str] = None,
+        overlap: bool = False,
     ) -> None:
         super().__init__(comm)
         check_schedule(schedule)
@@ -155,14 +164,24 @@ class CodedTeraSortProgram(NodeProgram):
         self.schedule = schedule
         self.memory_budget = memory_budget
         self.output_dir = output_dir
+        self.overlap = overlap
         #: Telemetry from the pipelined engine (parallel schedule only).
         self.shuffle_telemetry: Dict[str, float] = {}
         #: Residency accounting for the out-of-core path (None otherwise).
         self.meter: Optional[ResidencyMeter] = None
 
     def run(self) -> Union[RecordBatch, FileSource]:
+        before_ks = kernels.stats.snapshot()
+        try:
+            return self._execute()
+        finally:
+            kernels.export_stats(self.stopwatch, before_ks)
+
+    def _execute(self) -> Union[RecordBatch, FileSource]:
         if self.memory_budget is not None:
             return self._run_out_of_core()
+        if self.overlap:
+            return self._run_overlap()
         rank = self.rank
 
         with self.stage("codegen"):
@@ -253,6 +272,159 @@ class CodedTeraSortProgram(NodeProgram):
         )
         return RecordBatch.from_buffer(raw_value)
 
+    # -- streaming overlap ---------------------------------------------------
+
+    def _codegen_overlap(self):
+        """CodeGen for the overlapped run: plan, rounds, readiness sets.
+
+        ``needed[gidx]`` lists the local file subsets group ``gidx``'s
+        traffic draws on: this rank's packet for group ``M`` XORs
+        ``{I^t_{M\\{t}} : t ∈ M\\{rank}}`` (every such subset contains
+        this rank), and decoding the group's inbound packets XORs local
+        copies of the *same* subsets back out — so one monotone predicate
+        ("all of ``needed[gidx]`` fully mapped") gates both the send and
+        the decode of a group.
+        """
+        with self.stage("codegen"):
+            plan: CodingPlan = build_coding_plan(self.size, self.redundancy)
+            my_groups = plan.groups_of_node[self.rank]
+            rounds = plan.rounds_for(self.schedule)
+            needed: Dict[int, List[Subset]] = {
+                gidx: [
+                    without(plan.groups[gidx], t)
+                    for t in plan.groups[gidx]
+                    if t != self.rank
+                ]
+                for gidx in my_groups
+            }
+        return plan, my_groups, rounds, needed
+
+    def _subset_plan(self):
+        """Per-subset map bookkeeping, deterministic from the placement.
+
+        Returns ``(fids, subset_order, remaining, targets)``: file ids in
+        map order, subsets in first-appearance order (== the store's own-
+        entry order), files left per subset, and each subset's retained
+        targets (this rank first, then ascending ``j ∉ S`` — the
+        retention rule's insertion order).
+        """
+        rank = self.rank
+        fids = sorted(self.files)
+        subset_order: List[Subset] = []
+        remaining: Dict[Subset, int] = {}
+        targets: Dict[Subset, List[int]] = {}
+        for fid in fids:
+            subset = self.subsets[fid]
+            if rank not in subset:
+                raise ValueError(
+                    f"node {rank} asked to map file {fid} of subset {subset}"
+                )
+            if subset not in remaining:
+                subset_order.append(subset)
+                remaining[subset] = 0
+                in_subset = set(subset)
+                targets[subset] = [rank] + [
+                    j
+                    for j in range(self.size)
+                    if j != rank and j not in in_subset
+                ]
+            remaining[subset] += 1
+        return fids, subset_order, remaining, targets
+
+    def _run_overlap(self) -> RecordBatch:
+        """Streaming overlap, in-memory: Map / Encode / Shuffle / Decode /
+        Reduce as one event loop.
+
+        Files are mapped one at a time; the moment a subset's last file
+        is hashed, its intermediate values are serialized and every group
+        whose ``needed`` subsets are now complete multicasts (posting
+        priority = the schedule's round order; no barriers).  Decoded
+        groups and own partition values feed an
+        :class:`~repro.kvpairs.spill.IncrementalMerger` whose slot order
+        replays the staged reduce concatenation — own store entries in
+        store order, then decoded groups in ``my_groups`` order — so the
+        final merge is byte-identical to the staged
+        ``sort_batch(concat(...))``.
+        """
+        rank = self.rank
+        plan, my_groups, rounds, needed = self._codegen_overlap()
+        fids, subset_order, remaining, targets = self._subset_plan()
+
+        slot_of_own = {subset: i for i, subset in enumerate(subset_order)}
+        slot_of_group = {
+            gidx: len(subset_order) + i for i, gidx in enumerate(my_groups)
+        }
+        merger = IncrementalMerger(len(subset_order) + len(my_groups))
+
+        acc: Dict[Tuple[Subset, int], List[RecordBatch]] = {}
+        completed: set = set()
+        serialized: Dict[Tuple[Subset, int], bytes] = {}
+
+        def lookup(subset: Subset, target: int) -> bytes:
+            return serialized[(subset, target)]
+
+        def complete_subset(subset: Subset) -> None:
+            """Seal a fully-mapped subset: serialize its outbound values
+            (encode) and feed its own partition into the merge (reduce)."""
+            completed.add(subset)
+            for target in targets[subset]:
+                value = RecordBatch.concat(acc.pop((subset, target), []))
+                if target == rank:
+                    with self.stage("reduce"):
+                        merger.feed(slot_of_own[subset], sort_batch(value))
+                else:
+                    with self.stage("encode"):
+                        serialized[(subset, target)] = value.to_bytes()
+
+        fid_iter = iter(fids)
+
+        def map_step() -> bool:
+            fid = next(fid_iter, None)
+            if fid is None:
+                return False
+            subset = self.subsets[fid]
+            parts = hash_file(
+                as_source(self.files[fid]).load(), self.partitioner
+            )
+            for target in targets[subset]:
+                acc.setdefault((subset, target), []).append(parts[target])
+            remaining[subset] -= 1
+            if remaining[subset] == 0:
+                complete_subset(subset)
+            self.fault_checkpoint()
+            return True
+
+        def encode_for(gidx: int):
+            return encode_packet(rank, plan.groups[gidx], lookup).to_parts()
+
+        def consume(gidx: int, payloads: Dict[int, bytes]) -> None:
+            batch = self._recover_group(plan, gidx, payloads, lookup)
+            # sort_batch copies out of the receive arena, so no payload
+            # view survives this call.
+            with self.stage("reduce"):
+                merger.feed(slot_of_group[gidx], sort_batch(batch))
+
+        def group_ready(gidx: int) -> bool:
+            return all(s in completed for s in needed[gidx])
+
+        self.shuffle_telemetry = overlapped_multicast_shuffle(
+            self,
+            plan.groups,
+            my_groups,
+            rounds,
+            MULTICAST_TAG_BASE,
+            encode_for,
+            consume,
+            map_step,
+            group_ready,
+        )
+
+        with self.stage("reduce"):
+            chunks = list(merger.finish())
+            return (
+                RecordBatch.concat(chunks) if chunks else RecordBatch.empty()
+            )
+
     # -- bounded-memory pipeline --------------------------------------------
 
     def _run_out_of_core(self) -> Union[RecordBatch, FileSource]:
@@ -269,6 +441,8 @@ class CodedTeraSortProgram(NodeProgram):
         ``my_groups`` order — the same concatenation the in-memory path
         stably sorts.
         """
+        if self.overlap:
+            return self._run_out_of_core_overlap()
         rank = self.rank
         assert self.memory_budget is not None
         plan_oc = OutOfCorePlan.for_budget(self.memory_budget)
@@ -390,10 +564,163 @@ class CodedTeraSortProgram(NodeProgram):
             spill.cleanup()
             export_residency(self, meter, self.memory_budget)
 
+    def _run_out_of_core_overlap(self) -> Union[RecordBatch, FileSource]:
+        """Streaming overlap under a memory budget.
+
+        Map streams file windows into the :class:`StreamStore`; the
+        moment a subset's last window lands its keys are ``seal``-ed
+        (flushed + readable while other keys still append), unlocking
+        that subset's multicasts and its own-partition external sort.
+        Decoded groups become kept-or-spilled sorted runs feeding the
+        incremental merge during the loop; the own stream's sorted runs
+        enter slot 0 after Map, preserving the staged reduce's leaf
+        order (own runs in store order, then groups in ``my_groups``
+        order) — so the merge is byte-identical to the staged path.
+        """
+        rank = self.rank
+        assert self.memory_budget is not None
+        plan_oc = OutOfCorePlan.for_budget(self.memory_budget)
+        meter = self.meter = ResidencyMeter()
+        spill = SpillDir(tag=f"cts-ov-r{rank}")
+        try:
+            plan, my_groups, rounds, needed = self._codegen_overlap()
+            fids, subset_order, remaining, targets = self._subset_plan()
+            slot_of_group = {
+                gidx: 1 + i for i, gidx in enumerate(my_groups)
+            }
+
+            store = StreamStore(
+                spill, plan_oc.flush_bytes, meter, tag="store"
+            )
+            merger = IncrementalMerger(
+                1 + len(my_groups),
+                spill=spill,
+                resident_limit=plan_oc.memory_budget // 8,
+                window_records=plan_oc.merge_window_records(8),
+                out_records=plan_oc.out_records,
+                meter=meter,
+                tag="ov-merge",
+            )
+            own_sorter = ExternalSorter(
+                spill, plan_oc.sort_chunk_bytes, meter, tag="own"
+            )
+            completed: set = set()
+            own_fed = 0  # subsets whose own stream has entered the sorter
+
+            def lookup(subset: Subset, target: int) -> memoryview:
+                # Zero-copy mmap view of the sealed on-disk I^t_S stream.
+                return store.get_bytes((subset, target))
+
+            def advance_own() -> None:
+                # Feed own streams in store (= subset first-appearance)
+                # order, never skipping ahead of an unfinished subset —
+                # the external sort's chunk stream must replay the staged
+                # reduce's key walk exactly.
+                nonlocal own_fed
+                while (
+                    own_fed < len(subset_order)
+                    and subset_order[own_fed] in completed
+                ):
+                    key = (subset_order[own_fed], rank)
+                    with self.stage("reduce"):
+                        for window in store.iter_batches(
+                            key, plan_oc.input_window_records
+                        ):
+                            own_sorter.add(window)
+                    own_fed += 1
+
+            def complete_subset(subset: Subset) -> None:
+                completed.add(subset)
+                for target in targets[subset]:
+                    store.seal((subset, target))
+                advance_own()
+
+            def window_stream():
+                for fid in fids:
+                    subset = self.subsets[fid]
+                    in_subset = set(subset)
+                    source = as_source(self.files[fid])
+                    for window in source.iter_batches(
+                        plan_oc.input_window_records
+                    ):
+                        meter.charge(window.nbytes, "map.window")
+                        parts = hash_file(window, self.partitioner)
+                        # Retained minority copied out, as in the staged
+                        # path: keeping views would pin the full window.
+                        store.append((subset, rank), parts[rank].copy())
+                        for j in range(self.size):
+                            if j != rank and j not in in_subset:
+                                store.append((subset, j), parts[j].copy())
+                        meter.discharge(window.nbytes)
+                        self.fault_checkpoint()
+                        yield True
+                    remaining[subset] -= 1
+                    if remaining[subset] == 0:
+                        complete_subset(subset)
+
+            stream = window_stream()
+
+            def map_step() -> bool:
+                return next(stream, False)
+
+            def encode_for(gidx: int):
+                return encode_packet(
+                    rank, plan.groups[gidx], lookup
+                ).to_parts()
+
+            def consume(gidx: int, payloads: Dict[int, bytes]) -> None:
+                packets = {
+                    sender: CodedPacket.from_bytes(raw)
+                    for sender, raw in payloads.items()
+                }
+                raw_value = recover_intermediate(
+                    rank, plan.groups[gidx], packets, lookup
+                )
+                batch = RecordBatch.from_buffer(raw_value)
+                meter.charge(batch.nbytes, "decode.recovered")
+                chunk = sort_batch(batch)
+                meter.discharge(batch.nbytes)
+                run = keep_or_spill(
+                    chunk, spill, plan_oc, meter, f"grp-{gidx}", owned=True
+                )
+                with self.stage("reduce"):
+                    merger.feed(slot_of_group[gidx], run)
+
+            def group_ready(gidx: int) -> bool:
+                return all(s in completed for s in needed[gidx])
+
+            self.shuffle_telemetry = overlapped_multicast_shuffle(
+                self,
+                plan.groups,
+                my_groups,
+                rounds,
+                MULTICAST_TAG_BASE,
+                encode_for,
+                consume,
+                map_step,
+                group_ready,
+            )
+
+            store.finalize()
+            with self.stage("reduce"):
+                advance_own()
+                for run in own_sorter.finish():
+                    merger.feed(0, run)
+                merged = merger.finish(
+                    window_records=plan_oc.merge_window_records(
+                        max(2, merger.pending_runs)
+                    )
+                )
+                result = emit_output(merged, rank, self.output_dir, meter)
+            return result
+        finally:
+            spill.cleanup()
+            export_residency(self, meter, self.memory_budget)
+
 
 def _coded_terasort_program(comm: Comm, payload: Tuple) -> CodedTeraSortProgram:
     """Pool builder (module-level for pickling): payload -> node program."""
-    files, subsets, partitioner, redundancy, schedule, budget, outdir = payload
+    files, subsets, partitioner, redundancy, schedule, budget, outdir, overlap = payload
     return CodedTeraSortProgram(
         comm,
         files,
@@ -403,6 +730,7 @@ def _coded_terasort_program(comm: Comm, payload: Tuple) -> CodedTeraSortProgram:
         schedule=schedule,
         memory_budget=budget,
         output_dir=outdir,
+        overlap=overlap,
     )
 
 
@@ -432,6 +760,7 @@ def prepare_coded_terasort(
     schedule: str = "serial",
     memory_budget: Optional[int] = None,
     output_dir: Optional[str] = None,
+    overlap: bool = False,
 ) -> PreparedJob:
     """Compile one CodedTeraSort over ``size`` nodes into a pool job.
 
@@ -470,6 +799,7 @@ def prepare_coded_terasort(
             schedule,
             memory_budget,
             output_dir,
+            overlap,
         )
         for rank in range(size)
     ]
@@ -496,6 +826,9 @@ def prepare_coded_terasort(
             meta.update(residency_meta(result.per_node_times))
         if schedule == "parallel":
             meta.update(parallel_schedule_meta(plan, result.per_node_times))
+        meta["kernel_stats"] = kernels.stats_meta(result.per_node_times)
+        if overlap:
+            meta["overlap"] = overlap_meta(result.per_node_times)
         return SortRun(
             partitions=list(result.results),
             stage_times=result.stage_times,

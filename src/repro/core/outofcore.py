@@ -38,7 +38,7 @@ from __future__ import annotations
 
 import os
 from dataclasses import dataclass
-from typing import Dict, Iterator, List, Optional, Union
+from typing import Callable, Dict, Iterator, List, Optional, Union
 
 from repro.kvpairs.datasource import FileSource
 from repro.kvpairs.records import RECORD_BYTES, RecordBatch
@@ -99,10 +99,14 @@ class PartitionSpiller:
         spill: SpillDir,
         flush_bytes: int,
         meter: Optional[ResidencyMeter] = None,
+        on_run: Optional[Callable[[int, Run], None]] = None,
     ) -> None:
         self._spill = spill
         self._flush_bytes = max(flush_bytes, RECORD_BYTES)
         self._meter = meter
+        #: Streaming-overlap hook: called with ``(dst, run)`` the moment a
+        #: destination's next run is sealed (runs per dst in chunk order).
+        self._on_run = on_run
         self._pending: List[List[RecordBatch]] = [
             [] for _ in range(num_partitions)
         ]
@@ -126,10 +130,13 @@ class PartitionSpiller:
             chunk = sort_batch(RecordBatch.concat(batches))
             path = self._spill.new_path(f"part-{dst}")
             write_sorted_run(path, chunk)
-            self._runs[dst].append(Run.from_file(path, len(chunk)))
+            run = Run.from_file(path, len(chunk))
+            self._runs[dst].append(run)
             if self._meter is not None:
                 self._meter.spilled(chunk.nbytes)
             self._pending[dst] = []
+            if self._on_run is not None:
+                self._on_run(dst, run)
         if self._meter is not None:
             self._meter.discharge(self._resident)
         self._resident = 0

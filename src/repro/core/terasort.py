@@ -64,10 +64,22 @@ from repro.kvpairs.serialization import (
     unpack_batch,
     unpack_batches,
 )
+from repro.kvpairs import kernels
 from repro.kvpairs.sorting import sort_batch
-from repro.kvpairs.spill import Run, SpillDir, merge_runs
+from repro.kvpairs.spill import (
+    IncrementalMerger,
+    Run,
+    SpillDir,
+    merge_runs,
+)
 from repro.runtime.api import Comm
-from repro.runtime.program import ClusterResult, NodeProgram, PreparedJob
+from repro.runtime.program import (
+    ClusterResult,
+    NodeProgram,
+    PreparedJob,
+    export_overlap,
+    overlap_meta,
+)
 from repro.utils.residency import ResidencyMeter
 from repro.utils.timer import StageTimes
 
@@ -101,6 +113,11 @@ def _spec_window(num_records: int) -> int:
 _FRAME_DATA = 1  # packed partition bytes follow
 _FRAME_YIELD = 0  # uint32 backup rank follows: fetch the shard from there
 
+#: First byte of a streaming-overlap shuffle frame (same marker protocol,
+#: different meaning: many frames per channel instead of one).
+_FRAME_CHUNK = 1  # one map window's packed partition chunk follows
+_FRAME_END = 0  # sender's map is complete; no more chunks on this channel
+
 STAGES_TERASORT = ["map", "pack", "shuffle", "unpack", "reduce"]
 
 
@@ -124,6 +141,9 @@ class TeraSortProgram(NodeProgram):
             map re-execution (any rank can re-map a straggler's shard).
             Requires a live pool backend (a driver control channel);
             without one the program degrades to the plain path.
+        overlap: streaming-overlap execution — ship each map window's
+            partition chunks as they complete and merge arriving chunks
+            incrementally (byte-identical to the serial schedule).
     """
 
     STAGES = STAGES_TERASORT
@@ -136,6 +156,7 @@ class TeraSortProgram(NodeProgram):
         memory_budget: Optional[int] = None,
         output_dir: Optional[str] = None,
         spec_splits: Optional[List[DataSource]] = None,
+        overlap: bool = False,
     ) -> None:
         super().__init__(comm)
         self.source = as_source(file_data)
@@ -143,12 +164,22 @@ class TeraSortProgram(NodeProgram):
         self.memory_budget = memory_budget
         self.output_dir = output_dir
         self.spec_splits = spec_splits
+        self.overlap = overlap
         #: Residency accounting for the out-of-core path (None otherwise).
         self.meter: Optional[ResidencyMeter] = None
 
     def run(self) -> Union[RecordBatch, FileSource]:
+        before_ks = kernels.stats.snapshot()
+        try:
+            return self._execute()
+        finally:
+            kernels.export_stats(self.stopwatch, before_ks)
+
+    def _execute(self) -> Union[RecordBatch, FileSource]:
         if self.memory_budget is not None:
             return self._run_out_of_core()
+        if self.overlap:
+            return self._run_overlap()
         if self.spec_splits is not None and self.comm.job_control is not None:
             return self._run_speculative()
         k = self.size
@@ -193,6 +224,103 @@ class TeraSortProgram(NodeProgram):
         with self.stage("reduce"):
             result = sort_batch(RecordBatch.concat([own] + incoming))
         return result
+
+    # -- streaming overlap ---------------------------------------------------
+
+    def _run_overlap(self) -> RecordBatch:
+        """In-memory TeraSort with map↔shuffle↔reduce streaming overlap.
+
+        One single-threaded event loop: each map window's partition
+        chunks are posted as non-blocking sends the moment the window
+        completes, and arriving chunks are sorted and fed into the
+        incremental merge frontier between windows — so communication
+        rides behind map compute on the send side and behind merge
+        compute on the receive side, and the final merge only has the
+        leftovers.  Byte-identity with the plain path: one stable argsort
+        per window makes the windowed map equal the whole-shard map per
+        partition (the speculation path's invariant), and the stable
+        merge over [own windows, then each sender's windows in rank
+        order] reproduces the plain path's stable
+        ``sort_batch(concat([own] + incoming))`` exactly.
+        """
+        k = self.size
+        rank = self.rank
+        comm = self.comm
+        senders = [s for s in range(k) if s != rank]
+        slot_of = {s: 1 + i for i, s in enumerate(senders)}
+        merger = IncrementalMerger(k)
+        send_reqs: List[Tuple[Any, Any]] = []
+        end_frame = bytes([_FRAME_END])
+
+        with self.stage("shuffle") as scope:
+            recvs = {
+                s: comm.irecv(s, SHUFFLE_TAG, copy=False) for s in senders
+            }
+
+            def poll_arrivals() -> bool:
+                progressed = False
+                for s in list(recvs):
+                    req = recvs[s]
+                    if not req.test():
+                        continue
+                    payload = req.wait()
+                    progressed = True
+                    if payload[0] == _FRAME_END:
+                        del recvs[s]
+                        continue
+                    with self.stage("unpack"):
+                        tag, batch = unpack_batch(
+                            memoryview(payload)[1:], copy=False
+                        )
+                        if tag != s:
+                            raise RuntimeError(
+                                f"overlap chunk tag {tag} does not match "
+                                f"sender {s}"
+                            )
+                    with self.stage("reduce"):
+                        # sort_batch copies out of the receive arena, so
+                        # the payload view is not retained past the call.
+                        merger.feed(slot_of[s], sort_batch(batch))
+                    recvs[s] = comm.irecv(s, SHUFFLE_TAG, copy=False)
+                # Drop completed sends (their frame buffers with them).
+                send_reqs[:] = [
+                    pair for pair in send_reqs if not pair[0].test()
+                ]
+                return progressed
+
+            window_records = _spec_window(self.source.num_records)
+            for window in self.source.iter_batches(window_records):
+                with self.stage("map"):
+                    wparts = hash_file(window, self.partitioner)
+                with self.stage("pack"):
+                    frames = {
+                        dst: [bytes([_FRAME_CHUNK]),
+                              *pack_batch_parts(wparts[dst], tag=rank)]
+                        for dst in senders
+                        if len(wparts[dst])
+                    }
+                for dst, frame in frames.items():
+                    send_reqs.append(
+                        (comm.isend(dst, SHUFFLE_TAG, frame), frame)
+                    )
+                with self.stage("reduce"):
+                    merger.feed(0, sort_batch(wparts[rank]))
+                self.fault_checkpoint()
+                poll_arrivals()
+            for dst in senders:
+                send_reqs.append(
+                    (comm.isend(dst, SHUFFLE_TAG, end_frame), end_frame)
+                )
+            while recvs or send_reqs:
+                if not poll_arrivals():
+                    time.sleep(0.0005)
+        export_overlap(self, scope)
+
+        with self.stage("reduce"):
+            chunks = list(merger.finish())
+            return (
+                RecordBatch.concat(chunks) if chunks else RecordBatch.empty()
+            )
 
     # -- speculative map re-execution ---------------------------------------
 
@@ -457,6 +585,8 @@ class TeraSortProgram(NodeProgram):
         breaks ties toward the earlier run — which reproduces exactly the
         stable ``sort_batch(concat([own] + incoming))`` of the seed path.
         """
+        if self.overlap:
+            return self._run_out_of_core_overlap()
         k = self.size
         rank = self.rank
         assert self.memory_budget is not None
@@ -540,6 +670,137 @@ class TeraSortProgram(NodeProgram):
             spill.cleanup()
             export_residency(self, meter, self.memory_budget)
 
+    def _run_out_of_core_overlap(self) -> Union[RecordBatch, FileSource]:
+        """Bounded-memory TeraSort with streaming overlap.
+
+        Same stability discipline as :meth:`_run_out_of_core`, but each
+        per-destination run ships the moment the spiller seals it (one
+        frame per run, tagged with its chunk index) and received runs
+        feed the incremental merge frontier as they land.  The merge
+        frontier adds at most ~1/8 budget of transient residency on top
+        of the serial pipeline's peak (its pair merges stream through
+        bounded windows).
+        """
+        k = self.size
+        rank = self.rank
+        comm = self.comm
+        assert self.memory_budget is not None
+        plan = OutOfCorePlan.for_budget(self.memory_budget)
+        meter = self.meter = ResidencyMeter()
+        spill = SpillDir(tag=f"ts-ov-r{rank}")
+        senders = [s for s in range(k) if s != rank]
+        slot_of = {s: 1 + i for i, s in enumerate(senders)}
+        merger = IncrementalMerger(
+            k,
+            spill=spill,
+            resident_limit=plan.memory_budget // 8,
+            window_records=plan.merge_window_records(8),
+            out_records=plan.out_records,
+            meter=meter,
+            tag="ov-merge",
+        )
+        send_reqs: List[Tuple[Any, Any]] = []
+        sent_counts = [0] * k
+        end_frame = bytes([_FRAME_END])
+        try:
+            with self.stage("shuffle") as scope:
+                recvs = {
+                    s: comm.irecv(s, SHUFFLE_TAG, copy=False) for s in senders
+                }
+                recv_counts = {s: 0 for s in senders}
+
+                def poll_arrivals() -> bool:
+                    progressed = False
+                    for s in list(recvs):
+                        req = recvs[s]
+                        if not req.test():
+                            continue
+                        payload = req.wait()
+                        progressed = True
+                        if payload[0] == _FRAME_END:
+                            del recvs[s]
+                            continue
+                        with self.stage("unpack"):
+                            tag, batch = unpack_batch(
+                                memoryview(payload)[1:], copy=False
+                            )
+                            if tag != recv_counts[s]:
+                                raise RuntimeError(
+                                    f"run {recv_counts[s]} from sender {s} "
+                                    f"tagged {tag}"
+                                )
+                            recv_counts[s] += 1
+                            run = keep_or_spill(
+                                batch, spill, plan, meter, f"recv-{s}"
+                            )
+                        del payload, batch  # release the receive arena
+                        with self.stage("reduce"):
+                            merger.feed(slot_of[s], run)
+                        recvs[s] = comm.irecv(s, SHUFFLE_TAG, copy=False)
+                    send_reqs[:] = [
+                        pair for pair in send_reqs if not pair[0].test()
+                    ]
+                    return progressed
+
+                def on_run(dst: int, run: Run) -> None:
+                    if dst == rank:
+                        with self.stage("reduce"):
+                            merger.feed(0, run)
+                        return
+                    with self.stage("pack"):
+                        # The frame holds the run's mmap view: disk pages
+                        # flow to the socket without a resident copy.
+                        frame = [
+                            bytes([_FRAME_CHUNK]),
+                            *pack_batch_parts(
+                                run.load(), tag=sent_counts[dst]
+                            ),
+                        ]
+                    sent_counts[dst] += 1
+                    with self.stage("shuffle"):
+                        # Posted under the shuffle stage so the frame's
+                        # traffic is attributed like the serial schedule.
+                        send_reqs.append(
+                            (comm.isend(dst, SHUFFLE_TAG, frame), frame)
+                        )
+
+                with self.stage("map"):
+                    spiller = PartitionSpiller(
+                        k, spill, plan.flush_bytes, meter, on_run=on_run
+                    )
+                    for window in self.source.iter_batches(
+                        plan.input_window_records
+                    ):
+                        meter.charge(window.nbytes, "map.window")
+                        parts = hash_file(window, self.partitioner)
+                        for dst in range(k):
+                            spiller.add(dst, parts[dst])
+                        meter.discharge(window.nbytes)
+                        self.fault_checkpoint()
+                        poll_arrivals()
+                    spiller.finish()
+
+                for dst in senders:
+                    send_reqs.append(
+                        (comm.isend(dst, SHUFFLE_TAG, end_frame), end_frame)
+                    )
+                while recvs or send_reqs:
+                    if not poll_arrivals():
+                        time.sleep(0.0005)
+            export_overlap(self, scope)
+
+            with self.stage("reduce"):
+                merged = merger.finish(
+                    window_records=plan.merge_window_records(
+                        max(2, merger.pending_runs)
+                    )
+                )
+                result = emit_output(merged, rank, self.output_dir, meter)
+            return result
+        finally:
+            spill.cleanup()
+            export_residency(self, meter, self.memory_budget)
+
 
 @dataclass
 class SortRun:
@@ -580,6 +841,7 @@ def _terasort_program(comm: Comm, payload: Tuple) -> TeraSortProgram:
         memory_budget=memory_budget,
         output_dir=output_dir,
         spec_splits=rest[0] if rest else None,
+        overlap=bool(rest[1]) if len(rest) > 1 else False,
     )
 
 
@@ -594,6 +856,7 @@ def prepare_terasort(
     speculation: bool = False,
     speculation_wait_factor: float = 1.5,
     speculation_min_wait: float = 0.2,
+    overlap: bool = False,
 ) -> PreparedJob:
     """Compile one TeraSort over ``size`` nodes into a pool-runnable job.
 
@@ -616,6 +879,11 @@ def prepare_terasort(
     """
     source = as_source(data)
     if speculation:
+        if overlap:
+            raise ValueError(
+                "overlap and speculation are mutually exclusive: both "
+                "replace the shuffle with their own event loop"
+            )
         if isinstance(source, InlineSource):
             raise ValueError(
                 "speculation requires a re-readable DataSource input "
@@ -633,7 +901,8 @@ def prepare_terasort(
     splits = UncodedPlacement(size).split_source(source)
     spec_splits = list(splits) if speculation else None
     payloads: List[Any] = [
-        (splits[rank], partitioner, memory_budget, output_dir, spec_splits)
+        (splits[rank], partitioner, memory_budget, output_dir, spec_splits,
+         overlap)
         for rank in range(size)
     ]
     input_records = source.num_records
@@ -645,6 +914,9 @@ def prepare_terasort(
             "input_records": input_records,
             "input_kind": type(source).__name__,
         }
+        meta["kernel_stats"] = kernels.stats_meta(result.per_node_times)
+        if overlap:
+            meta["overlap"] = overlap_meta(result.per_node_times)
         if memory_budget is not None:
             meta["memory_budget"] = memory_budget
             meta.update(residency_meta(result.per_node_times))

@@ -141,6 +141,44 @@ class KernelStats:
 #: Module-level counters; cheap (a few Python ints per merge call).
 stats = KernelStats()
 
+#: Pseudo-stage prefix carrying per-job kernel-counter deltas to the
+#: driver inside each node's raw stage dict (see ``export_stats``).
+KS_PREFIX = "ks_"
+
+
+def export_stats(stopwatch, before: dict) -> None:
+    """Stamp this job's kernel-counter deltas as ``ks_*`` pseudo-stages.
+
+    Node programs snapshot :data:`stats` at run start and call this at
+    run end; the deltas ride the per-node stage dicts to the driver
+    (values are counts, not seconds — the same channel the residency
+    and speculation stamps use).  Zero deltas are skipped so jobs that
+    never touched a kernel add no keys.
+    """
+    after = stats.snapshot()
+    for name, value in after.items():
+        delta = value - before.get(name, 0)
+        if delta:
+            stopwatch.add(KS_PREFIX + name, float(delta))
+
+
+def stats_meta(per_node_times) -> dict:
+    """Sum every node's ``ks_*`` stamps into one kernel-stats dict.
+
+    The driver-side finalize aggregator (the ``SortRun.meta
+    ["kernel_stats"]`` payload): counter totals across nodes plus the
+    active kernel mode, so benches can attribute wins to comm-hiding
+    vs merge speed.
+    """
+    total = {name: 0 for name in KernelStats.__dataclass_fields__}
+    for times in per_node_times:
+        for name in total:
+            value = times.get(KS_PREFIX + name)
+            if value:
+                total[name] += int(value)
+    total["mode"] = kernel_mode()
+    return total
+
 
 # ---------------------------------------------------------------------------
 # Key columns and OVC code computation.

@@ -674,6 +674,172 @@ class ExternalSorter:
 
 
 # ---------------------------------------------------------------------------
+# Incremental merge frontier (streaming-overlap reduce side).
+# ---------------------------------------------------------------------------
+
+
+class SortedRunWriter:
+    """Stream sorted chunks into one run file (+ OVC sidecar with carry).
+
+    The incremental cousin of :func:`write_sorted_run`: chunks arrive one
+    at a time (each sorted, each starting at or after the previous
+    chunk's last key), records append to the run file and — in ovc mode —
+    each chunk's code column is computed **relative to the previous
+    chunk's last key** and appended to the sidecar, so the finished file
+    is indistinguishable from one written whole.
+    """
+
+    def __init__(self, path: str) -> None:
+        self._path = path
+        self._f = open(path, "ab")
+        self._fovc = (
+            open(ovc_sidecar_path(path), "ab") if kernels.use_ovc() else None
+        )
+        self._last_key: Optional[np.bytes_] = None
+        self._num = 0
+
+    def write(self, chunk: RecordBatch) -> None:
+        if len(chunk) == 0:
+            return
+        self._f.write(chunk.as_memoryview())
+        if self._fovc is not None:
+            base = (
+                None
+                if self._last_key is None
+                else bytes(self._last_key).ljust(KEY_BYTES, b"\x00")
+            )
+            codes = kernels.ovc_codes(chunk, base_key=base, check=False)
+            self._fovc.write(
+                np.ascontiguousarray(codes, dtype=OVC_DTYPE).tobytes()
+            )
+        self._last_key = chunk.keys[-1]
+        self._num += len(chunk)
+
+    def close(self) -> Run:
+        self._f.close()
+        if self._fovc is not None:
+            self._fovc.close()
+        return Run.from_file(self._path, self._num)
+
+
+class IncrementalMerger:
+    """Merge frontier that starts merge work at first arrival.
+
+    The shuffle ↔ reduce overlap primitive: sorted runs are fed into
+    priority **slots** as they arrive (slot index = the run's position in
+    the serial reduce's priority order; runs within a slot arrive in
+    stream order), and the merger eagerly pre-merges *adjacent* runs
+    within a slot whenever the stack top grows to within ``eager_factor``
+    of its neighbor — a size-ladder that keeps eager work amortized
+    ``O(n log n)`` while the shuffle is still in flight.  Because the
+    stable merge is associative and ties break toward the earlier run,
+    pre-merging adjacent runs never changes the final byte stream:
+    :meth:`finish` yields exactly what :func:`merge_runs` over all fed
+    runs in slot-major, feed order would.
+
+    With a ``spill`` dir the pair-merge streams through
+    :func:`merge_runs` into a new run file (OVC sidecar carried by
+    :class:`SortedRunWriter`) whenever either side is file-backed or the
+    pair exceeds ``resident_limit``; merged source files are unlinked
+    (fed file runs are owned by the merger).  Without one, everything
+    stays resident.
+    """
+
+    def __init__(
+        self,
+        num_slots: int,
+        spill: Optional[SpillDir] = None,
+        resident_limit: Optional[int] = None,
+        window_records: int = DEFAULT_WINDOW_RECORDS,
+        out_records: int = DEFAULT_WINDOW_RECORDS,
+        meter: Optional[ResidencyMeter] = None,
+        eager_factor: float = 2.0,
+        tag: str = "overlap",
+    ) -> None:
+        self._slots: List[List[Run]] = [[] for _ in range(num_slots)]
+        self._spill = spill
+        self._limit = (
+            resident_limit if resident_limit is not None else float("inf")
+        )
+        self._window = window_records
+        self._out = out_records
+        self._meter = meter
+        self._factor = max(1.0, eager_factor)
+        self._tag = tag
+        #: Eager pre-merge accounting (overlap telemetry).
+        self.eager_merges = 0
+        self.eager_records = 0
+
+    @property
+    def pending_runs(self) -> int:
+        return sum(len(s) for s in self._slots)
+
+    def feed(self, slot: int, run: RunLike) -> None:
+        """Add the next run of ``slot`` (runs within a slot in stream order)."""
+        run = _as_run(run)
+        if run.num_records == 0:
+            return
+        stack = self._slots[slot]
+        stack.append(run)
+        while (
+            len(stack) >= 2
+            and stack[-2].num_records <= self._factor * stack[-1].num_records
+        ):
+            hi = stack.pop()
+            lo = stack.pop()
+            stack.append(self._merge_pair(lo, hi))
+
+    def _merge_pair(self, lo: Run, hi: Run) -> Run:
+        self.eager_merges += 1
+        self.eager_records += lo.num_records + hi.num_records
+        resident = lo.batch is not None and hi.batch is not None
+        if self._spill is None or (
+            resident and lo.nbytes + hi.nbytes <= self._limit
+        ):
+            return Run.resident(
+                merge_sorted([lo.load(), hi.load()], check=False)
+            )
+        writer = SortedRunWriter(self._spill.new_path(self._tag))
+        for chunk in merge_runs(
+            [lo, hi],
+            window_records=self._window,
+            out_records=self._out,
+            meter=self._meter,
+        ):
+            writer.write(chunk)
+        merged = writer.close()
+        if self._meter is not None:
+            self._meter.spilled(merged.nbytes)
+        for old in (lo, hi):
+            if old.path is not None:
+                for stale in (old.path, ovc_sidecar_path(old.path)):
+                    try:
+                        os.unlink(stale)
+                    except OSError:
+                        pass
+        return merged
+
+    def finish(
+        self, window_records: Optional[int] = None
+    ) -> Iterator[RecordBatch]:
+        """Stream the stable merge of everything fed, in slot order.
+
+        ``window_records`` overrides the construction-time window for the
+        final merge (out-of-core callers re-derive it from how many runs
+        actually remain on the frontier).
+        """
+        runs = [run for stack in self._slots for run in stack]
+        return merge_runs(
+            runs,
+            window_records=(
+                self._window if window_records is None else window_records
+            ),
+            out_records=self._out,
+            meter=self._meter,
+        )
+
+
+# ---------------------------------------------------------------------------
 # StreamStore: per-key append-ordered record streams (the coded Map store).
 # ---------------------------------------------------------------------------
 
@@ -708,11 +874,14 @@ class StreamStore:
         self._counts: Dict[Hashable, int] = {}
         self._resident = 0
         self._order: List[Hashable] = []
+        self._sealed: Dict[Hashable, Optional[RecordBatch]] = {}
         self._final: Optional[Dict[Hashable, RecordBatch]] = None
 
     def append(self, key: Hashable, batch: RecordBatch) -> None:
         if self._final is not None:
             raise RuntimeError("store already finalized")
+        if key in self._sealed:
+            raise RuntimeError(f"key {key!r} already sealed")
         if key not in self._counts:
             self._counts[key] = 0
             self._order.append(key)
@@ -748,6 +917,32 @@ class StreamStore:
     def num_records(self, key: Hashable) -> int:
         return self._counts.get(key, 0)
 
+    def seal(self, key: Hashable) -> None:
+        """Flush ``key``'s pending tail and allow reading it back early.
+
+        Streaming-overlap hook: once a subset's last file is mapped its
+        store entries are complete, so sealing just those keys lets the
+        encoder / decoder mmap them while other subsets still append.
+        The per-key file receives exactly the bytes the eventual global
+        flush would have written (append order is preserved; flush timing
+        never reorders within a key), so sealed reads are byte-identical
+        to post-:meth:`finalize` reads.
+        """
+        if self._final is not None or key in self._sealed:
+            return
+        batches = self._pending.pop(key, None)
+        if batches:
+            nbytes = sum(b.nbytes for b in batches)
+            path = self._paths.get(key)
+            if path is None:
+                path = self._paths[key] = self._spill.new_path(self._tag)
+            written = write_run_file(path, batches)
+            self._resident -= nbytes
+            if self._meter is not None:
+                self._meter.spilled(written)
+                self._meter.discharge(nbytes)
+        self._sealed[key] = None
+
     def finalize(self) -> None:
         """Flush every tail; afterwards keys read back as mmap views."""
         if self._final is None:
@@ -755,9 +950,27 @@ class StreamStore:
             self._final = {}
 
     def get(self, key: Hashable) -> RecordBatch:
-        """The complete stream for ``key`` as one zero-copy mmap view."""
+        """The complete stream for ``key`` as one zero-copy mmap view.
+
+        Readable after :meth:`finalize`, or early for a :meth:`seal`-ed
+        key (the streaming-overlap path reads completed subsets while
+        the map tail is still appending other keys).
+        """
         if self._final is None:
-            raise RuntimeError("finalize() the store before reading it back")
+            if key not in self._sealed:
+                raise RuntimeError(
+                    "finalize() the store (or seal() the key) before "
+                    "reading it back"
+                )
+            batch = self._sealed[key]
+            if batch is None:
+                path = self._paths.get(key)
+                batch = (
+                    RecordBatch.empty() if path is None
+                    else read_run_file(path)
+                )
+                self._sealed[key] = batch
+            return batch
         batch = self._final.get(key)
         if batch is None:
             path = self._paths.get(key)

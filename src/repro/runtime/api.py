@@ -389,6 +389,7 @@ class Comm(ABC):
         self.chunk_bytes = chunk_bytes
         self.record_relays = record_relays
         self._stage = "init"
+        self._stage_listeners: List[Callable[[str, str], None]] = []
         # Set once the async sender path has been used; from then on
         # blocking sends route through it too, preserving per-channel FIFO
         # with any still-queued closures.
@@ -443,11 +444,40 @@ class Comm(ABC):
 
     def set_stage(self, name: str) -> None:
         """Attribute subsequent traffic to stage ``name``."""
+        previous = self._stage
         self._stage = name
+        if previous != name:
+            for listener in list(self._stage_listeners):
+                listener(previous, name)
 
     @property
     def stage(self) -> str:
         return self._stage
+
+    def add_stage_listener(
+        self, listener: Callable[[str, str], None]
+    ) -> None:
+        """Register ``listener(previous, current)`` for stage changes.
+
+        Stage-progress hook: fired from :meth:`set_stage` whenever the
+        attributed stage actually changes — including entry/exit of the
+        nested stage scopes the overlapped engines open mid-loop, so a
+        listener observes the real stage interleaving (e.g. ``shuffle``
+        -> ``map`` -> ``shuffle`` transitions prove Map ran inside the
+        shuffle span).  Listeners run on the worker's own thread; they
+        must be cheap and must not raise.  ``begin_job`` resets the
+        stage directly, so listeners only see intra-job transitions.
+        """
+        self._stage_listeners.append(listener)
+
+    def remove_stage_listener(
+        self, listener: Callable[[str, str], None]
+    ) -> None:
+        """Deregister a listener; unknown listeners are ignored."""
+        try:
+            self._stage_listeners.remove(listener)
+        except ValueError:
+            pass
 
     # -- backend primitives ----------------------------------------------------
 

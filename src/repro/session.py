@@ -209,6 +209,14 @@ class TeraSortSpec(JobSpec):
             declared straggling once the job has run
             ``max(min_wait, wait_factor x median map completion time)``
             seconds and at least half the workers finished their map.
+        overlap: enable the streaming-overlap execution mode: each map
+            window's partition chunks are shipped the moment the window
+            completes (map ↔ shuffle overlap) and arriving runs feed an
+            incremental merge frontier (shuffle ↔ reduce overlap), so
+            makespan approaches ``max(compute, comm)`` instead of their
+            sum.  Output stays byte-identical to the serial schedule.
+            Mutually exclusive with ``speculation`` (both rewire the
+            shuffle event loop); composes with ``memory_budget``.
     """
 
     data: Optional[RecordBatch] = None
@@ -221,6 +229,7 @@ class TeraSortSpec(JobSpec):
     speculation: bool = False
     speculation_wait_factor: float = 1.5
     speculation_min_wait: float = 0.2
+    overlap: bool = False
 
     def validate(self, size: int) -> None:
         if size < 1:
@@ -252,6 +261,13 @@ class TeraSortSpec(JobSpec):
                     f"speculation_min_wait must be >= 0, "
                     f"got {self.speculation_min_wait}"
                 )
+        if self.overlap and self.speculation:
+            raise ValueError(
+                "overlap and speculation are mutually exclusive: both "
+                "replace the shuffle with their own event loop (run "
+                "stragglers with speculation, hide communication with "
+                "overlap)"
+            )
 
     def shrink_to(self, free: int) -> Optional[int]:
         # The uncoded sort re-splits at the descriptor level: any K' >= 2
@@ -270,6 +286,7 @@ class TeraSortSpec(JobSpec):
             speculation=self.speculation,
             speculation_wait_factor=self.speculation_wait_factor,
             speculation_min_wait=self.speculation_min_wait,
+            overlap=self.overlap,
         )
 
 
@@ -289,6 +306,13 @@ class CodedTeraSortSpec(JobSpec):
             (pipelined conflict-free rounds); byte-identical output.
         sampled_partitioner / sample_size / sample_seed: see
             :class:`TeraSortSpec`.
+        overlap: streaming-overlap execution — each multicast group is
+            encoded and sent as soon as all of its contributing file
+            segments are mapped (map ↔ shuffle), and decoded groups feed
+            an incremental merge frontier (shuffle ↔ reduce).  Composes
+            with either ``schedule`` (the schedule fixes the posting
+            priority) and with ``memory_budget``; output stays
+            byte-identical.
     """
 
     data: Optional[RecordBatch] = None
@@ -301,6 +325,7 @@ class CodedTeraSortSpec(JobSpec):
     sampled_partitioner: bool = False
     sample_size: int = 10000
     sample_seed: int = 7
+    overlap: bool = False
 
     def validate(self, size: int) -> None:
         check_coded_params(size, self.redundancy, self.schedule)
@@ -329,6 +354,7 @@ class CodedTeraSortSpec(JobSpec):
             schedule=self.schedule,
             memory_budget=self.memory_budget,
             output_dir=self.output_dir,
+            overlap=self.overlap,
         )
 
 

@@ -10,6 +10,7 @@ so merged stage time is the max over nodes).
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Mapping
@@ -17,6 +18,15 @@ from typing import Dict, Iterable, List, Mapping
 
 class Stopwatch:
     """Accumulates wall-clock time into named stages.
+
+    Accounting is **exclusive**: when stage scopes nest (an overlapped
+    engine charging a slice of work inside one stage's span to another
+    stage), the inner scope's elapsed time is subtracted from the
+    enclosing scope, so per-stage times always sum to wall-clock time.
+    Nesting is tracked per thread and the accumulator is lock-protected,
+    so concurrent stages on one program (e.g. a heartbeat thread timing
+    alongside the main loop) never double-count.  Raw :meth:`add` calls
+    bypass the nesting logic (pseudo-stages ride on top of real spans).
 
     Usage::
 
@@ -28,32 +38,63 @@ class Stopwatch:
 
     def __init__(self) -> None:
         self._times: Dict[str, float] = {}
+        self._lock = threading.Lock()
+        self._local = threading.local()
 
     def stage(self, name: str) -> "_StageContext":
         return _StageContext(self, name)
 
     def add(self, name: str, seconds: float) -> None:
         """Directly add ``seconds`` to stage ``name`` (used by simulators)."""
-        self._times[name] = self._times.get(name, 0.0) + float(seconds)
+        with self._lock:
+            self._times[name] = self._times.get(name, 0.0) + float(seconds)
 
     def times(self) -> Dict[str, float]:
-        return dict(self._times)
+        with self._lock:
+            return dict(self._times)
+
+    def _stack(self) -> List["_StageContext"]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
 
 
 class _StageContext:
-    __slots__ = ("_sw", "_name", "_start")
+    """One timed scope.  After exit, :attr:`elapsed` is the full span and
+    :attr:`exclusive` the span minus any scopes nested inside it (what was
+    charged to the stage)."""
+
+    __slots__ = ("_sw", "_name", "_start", "_child", "elapsed", "exclusive")
 
     def __init__(self, sw: Stopwatch, name: str) -> None:
         self._sw = sw
         self._name = name
         self._start = 0.0
+        self._child = 0.0
+        self.elapsed = 0.0
+        self.exclusive = 0.0
 
     def __enter__(self) -> "_StageContext":
         self._start = time.perf_counter()
+        self._child = 0.0
+        self._sw._stack().append(self)
         return self
 
     def __exit__(self, *exc) -> None:
-        self._sw.add(self._name, time.perf_counter() - self._start)
+        self.elapsed = time.perf_counter() - self._start
+        stack = self._sw._stack()
+        if stack and stack[-1] is self:
+            stack.pop()
+        else:  # tolerate out-of-order exits (generator scopes)
+            try:
+                stack.remove(self)
+            except ValueError:
+                pass
+        self.exclusive = max(0.0, self.elapsed - self._child)
+        self._sw.add(self._name, self.exclusive)
+        if stack:
+            stack[-1]._child += self.elapsed
 
 
 @dataclass

@@ -141,3 +141,49 @@ class TestScheduleShuffleModels:
             cost.serial_multicast_shuffle_time(-1, 1e6, 3)
         with pytest.raises(ValueError):
             cost.parallel_multicast_shuffle_time(-1, 1e6, 3)
+
+
+class TestOverlappedMakespan:
+    def test_staged_limit_at_one_window(self):
+        m = EC2CostModel.paper_calibrated()
+        assert m.overlapped_makespan(10.0, 4.0, windows=1) == pytest.approx(
+            14.0
+        )
+
+    def test_compute_bound_hides_communication(self):
+        m = EC2CostModel.paper_calibrated()
+        # comm hides behind compute except the last window's share.
+        assert m.overlapped_makespan(10.0, 4.0, windows=16) == pytest.approx(
+            10.0 + 4.0 / 16
+        )
+
+    def test_comm_bound_primes_pipeline(self):
+        m = EC2CostModel.paper_calibrated()
+        assert m.overlapped_makespan(4.0, 10.0, windows=16) == pytest.approx(
+            10.0 + 4.0 / 16
+        )
+
+    def test_never_better_than_envelope_never_worse_than_staged(self):
+        m = EC2CostModel.paper_calibrated()
+        for compute, comm in [(1.0, 9.0), (5.0, 5.0), (9.0, 1.0)]:
+            got = m.overlapped_makespan(compute, comm, windows=8)
+            assert got >= max(compute, comm)
+            assert got <= compute + comm
+
+    def test_rejects_bad_args(self):
+        m = EC2CostModel.paper_calibrated()
+        with pytest.raises(ValueError):
+            m.overlapped_makespan(1.0, 1.0, windows=0)
+        with pytest.raises(ValueError):
+            m.overlapped_makespan(-1.0, 1.0)
+
+    def test_uncoded_overlap_speedup_above_one(self):
+        m = EC2CostModel.paper_calibrated()
+        # Communication-heavy regime: staged pays compute + shuffle, the
+        # overlapped engine pays ~shuffle/K — speedup well above 1.3x.
+        speedup = m.uncoded_overlap_speedup(
+            compute_time=2.0, serial_shuffle_time=20.0, num_nodes=4
+        )
+        assert speedup > 1.3
+        with pytest.raises(ValueError):
+            m.uncoded_overlap_speedup(1.0, 1.0, 0)

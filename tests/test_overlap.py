@@ -1,0 +1,305 @@
+"""Streaming phase overlap: byte-identity, validation, and telemetry.
+
+The overlap execution mode (``overlap=True`` on either sort spec) hides
+shuffle communication behind Map and Reduce compute — the acceptance
+contract is that it never changes a single output byte:
+
+* uncoded and coded (both schedules), in-memory and out-of-core, on the
+  thread, process, and TCP backends, the overlapped output equals the
+  staged output byte for byte;
+* an injected map crash under ``$REPRO_FAULT_PLAN`` retries an
+  overlapped job byte-identically;
+* overlap and speculation are mutually exclusive and rejected
+  synchronously (spec validation and the CLI);
+* the run meta reports the overlap span and the hidden-communication
+  seconds, and the ``Comm`` stage listener observes Map genuinely
+  re-entered inside the shuffle span (the stages really interleave).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+
+import pytest
+
+from repro.core.terasort import _terasort_program, prepare_terasort
+from repro.kvpairs.teragen import teragen
+from repro.kvpairs.validation import validate_sorted_permutation
+from repro.runtime.process import ProcessCluster
+from repro.session import CodedTeraSortSpec, Session, TeraSortSpec
+from repro.testing.faults import ENV_VAR
+
+_CTX = multiprocessing.get_context("fork")
+
+
+def _bytes(run):
+    return [p.to_bytes() for p in run.partitions]
+
+
+@pytest.fixture
+def no_plan(monkeypatch):
+    monkeypatch.delenv(ENV_VAR, raising=False)
+    return monkeypatch
+
+
+def _specs(data, k, r, overlap, memory_budget=None):
+    """One spec per lane: uncoded, coded serial, coded parallel."""
+    return {
+        "uncoded": TeraSortSpec(
+            data=data, overlap=overlap, memory_budget=memory_budget
+        ),
+        "coded-serial": CodedTeraSortSpec(
+            data=data,
+            redundancy=r,
+            schedule="serial",
+            overlap=overlap,
+            memory_budget=memory_budget,
+        ),
+        "coded-parallel": CodedTeraSortSpec(
+            data=data,
+            redundancy=r,
+            schedule="parallel",
+            overlap=overlap,
+            memory_budget=memory_budget,
+        ),
+    }
+
+
+class TestByteIdentityInproc:
+    """The full (K, r) grid on the thread backend, all three lanes."""
+
+    @pytest.mark.parametrize("k,r", [(4, 1), (6, 2), (8, 3)])
+    def test_overlap_matches_staged(self, k, r, thread_cluster_factory):
+        data = teragen(4000 * k // 4, seed=100 + k)
+        for lane in ["uncoded", "coded-serial", "coded-parallel"]:
+            with Session(thread_cluster_factory(k)) as s:
+                staged = s.submit(_specs(data, k, r, False)[lane]).result()
+            with Session(thread_cluster_factory(k)) as s:
+                overlapped = s.submit(_specs(data, k, r, True)[lane]).result()
+            assert _bytes(overlapped) == _bytes(staged), lane
+            validate_sorted_permutation(data, overlapped.partitions)
+            meta = overlapped.meta["overlap"]
+            assert meta["span_seconds"] > 0.0
+            assert meta["hidden_seconds"] >= 0.0
+            assert len(meta["per_node_hidden_seconds"]) == k
+            assert "overlap" not in staged.meta
+
+    @pytest.mark.parametrize("k,r", [(4, 1), (6, 2)])
+    def test_out_of_core_overlap_under_8mib(
+        self, k, r, thread_cluster_factory
+    ):
+        budget = 8 * 1024 * 1024
+        data = teragen(30_000, seed=200 + k)
+        for lane in ["uncoded", "coded-serial", "coded-parallel"]:
+            with Session(thread_cluster_factory(k)) as s:
+                staged = s.submit(
+                    _specs(data, k, r, False, budget)[lane]
+                ).result()
+            with Session(thread_cluster_factory(k)) as s:
+                overlapped = s.submit(
+                    _specs(data, k, r, True, budget)[lane]
+                ).result()
+            assert _bytes(overlapped) == _bytes(staged), lane
+            assert overlapped.meta["oc_peak_resident_bytes"] <= budget, lane
+            assert overlapped.meta["overlap"]["span_seconds"] > 0.0
+
+
+class TestByteIdentityProcess:
+    """Real multiprocessing workers: one (K, r), all three lanes."""
+
+    def test_overlap_matches_staged(self):
+        k, r = 4, 1
+        data = teragen(4000, seed=300)
+        for lane in ["uncoded", "coded-serial", "coded-parallel"]:
+            with Session(ProcessCluster(k, timeout=120)) as s:
+                staged = s.submit(_specs(data, k, r, False)[lane]).result()
+            with Session(ProcessCluster(k, timeout=120)) as s:
+                overlapped = s.submit(_specs(data, k, r, True)[lane]).result()
+            assert _bytes(overlapped) == _bytes(staged), lane
+            assert overlapped.meta["overlap"]["span_seconds"] > 0.0
+
+
+class TestByteIdentityTcp:
+    """Localhost TCP mesh: overlapped == staged for uncoded + coded."""
+
+    def test_overlap_matches_staged(self):
+        from repro.runtime.tcp import TcpCluster, run_worker
+
+        k, r = 4, 1
+        data = teragen(3000, seed=400)
+
+        def submit_all(session, overlap):
+            handles = [
+                session.submit(TeraSortSpec(data=data, overlap=overlap)),
+                session.submit(
+                    CodedTeraSortSpec(
+                        data=data,
+                        redundancy=r,
+                        schedule="parallel",
+                        overlap=overlap,
+                    )
+                ),
+            ]
+            return [h.result() for h in handles]
+
+        with TcpCluster(
+            k, "tcp://127.0.0.1:0", timeout=120, connect_timeout=60
+        ) as cluster:
+            procs = [
+                _CTX.Process(
+                    target=run_worker,
+                    kwargs=dict(
+                        join=cluster.address,
+                        quiet=True,
+                        connect_timeout=30.0,
+                        handshake_timeout=30.0,
+                    ),
+                    daemon=True,
+                )
+                for _ in range(k)
+            ]
+            for p in procs:
+                p.start()
+            try:
+                with Session(cluster) as session:
+                    staged = submit_all(session, False)
+                    overlapped = submit_all(session, True)
+            finally:
+                for p in procs:
+                    p.join(15.0)
+                    if p.is_alive():  # pragma: no cover - defensive
+                        p.terminate()
+                        p.join()
+        for st, ov in zip(staged, overlapped):
+            assert _bytes(ov) == _bytes(st)
+            assert ov.meta["overlap"]["span_seconds"] > 0.0
+
+
+class TestOverlapWithFaults:
+    """Overlap composes with the fault-tolerant runtime."""
+
+    def test_map_crash_retried_byte_identical(self, no_plan):
+        k = 4
+        data = teragen(2000, seed=500)
+        with Session(ProcessCluster(k, timeout=60)) as s:
+            reference = _bytes(
+                s.submit(TeraSortSpec(data=data)).result(timeout=60)
+            )
+        no_plan.setenv(ENV_VAR, "stage.crash,rank=1,stage=map,job_lt=1")
+        with Session(
+            ProcessCluster(k, timeout=60), max_retries=2, retry_backoff=0.05
+        ) as s:
+            handle = s.submit(TeraSortSpec(data=data, overlap=True))
+            run = handle.result(timeout=60)
+        assert _bytes(run) == reference
+        assert len(handle.attempts) == 2
+        assert handle.attempts[0].error is not None
+        assert handle.attempts[1].error is None
+
+
+class TestValidation:
+    """overlap + speculation is rejected synchronously, everywhere."""
+
+    def test_spec_rejects_overlap_with_speculation(self, tmp_path):
+        from repro.kvpairs.datasource import FileSource
+        from repro.kvpairs.teragen import teragen_to_file
+
+        path = str(tmp_path / "in.bin")
+        teragen_to_file(path, 1000, seed=1)
+        with pytest.raises(ValueError, match="mutually exclusive"):
+            TeraSortSpec(
+                input=FileSource(path), overlap=True, speculation=True
+            ).validate(4)
+
+    def test_prepare_rejects_overlap_with_speculation(self, tmp_path):
+        from repro.kvpairs.datasource import FileSource
+        from repro.kvpairs.teragen import teragen_to_file
+
+        path = str(tmp_path / "in.bin")
+        teragen_to_file(path, 1000, seed=2)
+        with pytest.raises(ValueError, match="mutually exclusive"):
+            prepare_terasort(
+                4, FileSource(path), speculation=True, overlap=True
+            )
+
+    def test_cli_rejects_overlap_with_speculation(self, tmp_path):
+        from repro.cli import main
+        from repro.kvpairs.teragen import teragen_to_file
+
+        path = str(tmp_path / "in.bin")
+        teragen_to_file(path, 1000, seed=3)
+        with pytest.raises(SystemExit, match="mutually exclusive"):
+            main(
+                [
+                    "sort",
+                    "-K",
+                    "4",
+                    "--input",
+                    path,
+                    "--overlap",
+                    "--speculation",
+                ]
+            )
+
+    def test_cli_overlap_runs(self):
+        from repro.cli import main
+
+        assert main(["sort", "-K", "4", "-n", "2000", "--overlap"]) == 0
+        assert (
+            main(
+                [
+                    "sort",
+                    "-K",
+                    "4",
+                    "-r",
+                    "2",
+                    "-n",
+                    "2000",
+                    "--schedule",
+                    "parallel",
+                    "--overlap",
+                ]
+            )
+            == 0
+        )
+
+
+class TestStageInterleaving:
+    """The Comm stage listener proves the phases really overlap."""
+
+    def test_listener_sees_map_inside_shuffle(self, thread_cluster_factory):
+        k = 4
+        data = teragen(4000, seed=600)
+        job = prepare_terasort(k, data=data, overlap=True)
+        events = {rank: [] for rank in range(k)}
+
+        def factory(comm):
+            log = events[comm.rank]
+            comm.add_stage_listener(
+                lambda prev, cur: log.append((prev, cur))
+            )
+            return _terasort_program(comm, job.payloads[comm.rank])
+
+        result = thread_cluster_factory(k).run(factory)
+        assert len(result.results) == k
+        for rank in range(k):
+            # Nested map scopes inside the overlapped shuffle loop show up
+            # as shuffle -> map transitions; the staged path never emits
+            # them (its map fully precedes its shuffle).
+            assert ("shuffle", "map") in events[rank], events[rank]
+
+    def test_listener_removal(self, thread_cluster_factory):
+        k = 2
+        data = teragen(1000, seed=601)
+        job = prepare_terasort(k, data=data)
+        seen = []
+
+        def factory(comm):
+            listener = lambda prev, cur: seen.append((comm.rank, prev, cur))
+            comm.add_stage_listener(listener)
+            comm.remove_stage_listener(listener)
+            comm.remove_stage_listener(listener)  # unknown: ignored
+            return _terasort_program(comm, job.payloads[comm.rank])
+
+        thread_cluster_factory(k).run(factory)
+        assert seen == []

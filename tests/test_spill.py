@@ -245,3 +245,200 @@ class TestSpillHygiene:
         assert removed == [dead]
         assert live.exists and os.path.isdir(bogus)
         live.cleanup()
+
+
+class TestSortedRunWriter:
+    """Incremental run writing must match whole-run writing, sidecar too."""
+
+    def test_chunked_write_equals_whole_write(self, tmp_path):
+        from repro.kvpairs.spill import SortedRunWriter, write_sorted_run
+
+        whole = sort_batch(teragen(5000, seed=60))
+        ref_path = str(tmp_path / "whole.run")
+        write_sorted_run(ref_path, whole)
+
+        inc_path = str(tmp_path / "inc.run")
+        writer = SortedRunWriter(inc_path)
+        for chunk in whole.iter_slices(700):
+            writer.write(chunk)
+        run = writer.close()
+        assert run.num_records == len(whole)
+        assert read_run_file(inc_path).to_bytes() == whole.to_bytes()
+        with open(ref_path, "rb") as a, open(inc_path, "rb") as b:
+            assert a.read() == b.read()
+        from repro.kvpairs.spill import ovc_sidecar_path
+
+        ref_ovc, inc_ovc = ovc_sidecar_path(ref_path), ovc_sidecar_path(inc_path)
+        assert os.path.exists(ref_ovc) == os.path.exists(inc_ovc)
+        if os.path.exists(ref_ovc):
+            with open(ref_ovc, "rb") as a, open(inc_ovc, "rb") as b:
+                assert a.read() == b.read()
+
+    def test_empty_chunks_skipped(self, tmp_path):
+        from repro.kvpairs.spill import SortedRunWriter
+
+        writer = SortedRunWriter(str(tmp_path / "e.run"))
+        writer.write(RecordBatch.empty())
+        batch = sort_batch(teragen(100, seed=61))
+        writer.write(batch)
+        writer.write(RecordBatch.empty())
+        run = writer.close()
+        assert run.num_records == 100
+
+
+class TestIncrementalMerger:
+    """Eager pre-merging never changes the final byte stream."""
+
+    def _reference(self, slot_batches):
+        ordered = [b for slot in slot_batches for b in slot if len(b)]
+        runs = [Run.resident(b) for b in ordered]
+        return b"".join(
+            chunk.to_bytes() for chunk in merge_runs(runs)
+        )
+
+    def _feed_orders(self, num_slots, counts, seed):
+        """A few interleavings of (slot, index-within-slot) feed events."""
+        rng = np.random.default_rng(seed)
+        events = [
+            (slot, i) for slot in range(num_slots)
+            for i in range(counts[slot])
+        ]
+        orders = [list(events)]
+        for _ in range(3):
+            # Within-slot order must be preserved; shuffle then stable-fix.
+            perm = list(events)
+            rng.shuffle(perm)
+            fixed, seen = [], {s: 0 for s in range(num_slots)}
+            pos = {
+                s: [e for e in perm if e[0] == s] for s in range(num_slots)
+            }
+            for slot, _ in perm:
+                fixed.append((slot, seen[slot]))
+                seen[slot] += 1
+            orders.append(fixed)
+        return orders
+
+    def test_random_feed_orders_match_merge_runs(self):
+        from repro.kvpairs.spill import IncrementalMerger
+
+        num_slots, counts = 3, [4, 3, 5]
+        slot_batches = [
+            [
+                sort_batch(_dup_batch(400, 5, seed=10 * s + i))
+                for i in range(counts[s])
+            ]
+            for s in range(num_slots)
+        ]
+        reference = self._reference(slot_batches)
+        for order in self._feed_orders(num_slots, counts, seed=62):
+            merger = IncrementalMerger(num_slots)
+            for slot, i in order:
+                merger.feed(slot, slot_batches[slot][i])
+            out = b"".join(c.to_bytes() for c in merger.finish())
+            assert out == reference
+
+    def test_eager_merging_happens(self):
+        from repro.kvpairs.spill import IncrementalMerger
+
+        merger = IncrementalMerger(1)
+        for i in range(8):
+            merger.feed(0, sort_batch(_dup_batch(500, 4, seed=i)))
+        assert merger.eager_merges > 0
+        assert merger.pending_runs < 8
+
+    def test_spilled_pair_merge_matches_resident(self, tmp_path):
+        from repro.kvpairs.spill import IncrementalMerger
+
+        batches = [
+            sort_batch(_dup_batch(600, 6, seed=70 + i)) for i in range(6)
+        ]
+        reference = self._reference([batches])
+
+        spill = SpillDir(tag="im-test")
+        try:
+            meter = ResidencyMeter()
+            merger = IncrementalMerger(
+                1,
+                spill=spill,
+                resident_limit=2 * 600 * RECORD_BYTES,
+                window_records=128,
+                out_records=128,
+                meter=meter,
+            )
+            for b in batches:
+                merger.feed(0, b)
+            out = b"".join(c.to_bytes() for c in merger.finish())
+            assert out == reference
+        finally:
+            spill.cleanup()
+
+    def test_empty_runs_ignored(self):
+        from repro.kvpairs.spill import IncrementalMerger
+
+        merger = IncrementalMerger(2)
+        merger.feed(0, RecordBatch.empty())
+        batch = sort_batch(teragen(200, seed=63))
+        merger.feed(1, batch)
+        out = b"".join(c.to_bytes() for c in merger.finish())
+        assert out == batch.to_bytes()
+        assert merger.pending_runs == 1
+
+
+class TestStreamStoreSeal:
+    """Per-key sealing: early reads while other keys still append."""
+
+    def test_sealed_key_readable_before_finalize(self):
+        spill = SpillDir(tag="seal-test")
+        try:
+            store = StreamStore(spill, flush_bytes=1 << 20)
+            a = teragen(300, seed=64)
+            b = teragen(200, seed=65)
+            store.append("a", a)
+            store.append("b", b.slice(0, 100))
+            store.seal("a")
+            assert store.get("a").to_bytes() == a.to_bytes()
+            # Other keys keep appending after the seal.
+            store.append("b", b.slice(100, 200))
+            with pytest.raises(RuntimeError, match="sealed"):
+                store.append("a", a)
+            with pytest.raises(RuntimeError):
+                store.get("b")
+            store.finalize()
+            assert store.get("b").to_bytes() == b.to_bytes()
+            assert store.get("a").to_bytes() == a.to_bytes()
+        finally:
+            spill.cleanup()
+
+    def test_seal_matches_unsealed_bytes(self):
+        """Seal timing never changes a key's byte stream."""
+        batches = [teragen(150, seed=66 + i) for i in range(4)]
+
+        def build(seal_early):
+            spill = SpillDir(tag="seal-eq")
+            try:
+                store = StreamStore(spill, flush_bytes=200 * RECORD_BYTES)
+                for i, b in enumerate(batches):
+                    store.append("k", b.slice(0, 75))
+                    store.append("other", b)
+                store.append("k", batches[0].slice(75, 150))
+                if seal_early:
+                    store.seal("k")
+                    blob = store.get("k").to_bytes()
+                    store.append("other", batches[0])
+                    store.finalize()
+                    return blob
+                store.finalize()
+                return store.get("k").to_bytes()
+            finally:
+                spill.cleanup()
+
+        assert build(True) == build(False)
+
+    def test_seal_unknown_key_reads_empty(self):
+        spill = SpillDir(tag="seal-unk")
+        try:
+            store = StreamStore(spill, flush_bytes=1 << 20)
+            store.seal("ghost")
+            assert len(store.get("ghost")) == 0
+        finally:
+            spill.cleanup()

@@ -60,3 +60,76 @@ class TestStageTimes:
         merged = StageTimes.merge_max(["a"], [{"a": 1.0}])
         with pytest.raises(KeyError):
             merged["nope"]
+
+
+class TestNestedScopes:
+    """Nested stage scopes: exclusive attribution and thread safety."""
+
+    def test_child_time_subtracted_from_parent(self):
+        import time
+
+        sw = Stopwatch()
+        with sw.stage("outer"):
+            time.sleep(0.02)
+            with sw.stage("inner"):
+                time.sleep(0.02)
+        times = sw.times()
+        assert times["inner"] >= 0.02
+        # The parent was charged only its exclusive share: the inner
+        # sleep must not be double-counted.
+        assert times["outer"] < times["inner"] + 0.02
+
+    def test_scope_exposes_elapsed_and_exclusive(self):
+        import time
+
+        sw = Stopwatch()
+        with sw.stage("outer") as scope:
+            with sw.stage("inner"):
+                time.sleep(0.02)
+        assert scope.elapsed >= 0.02
+        assert scope.exclusive <= scope.elapsed
+        assert scope.elapsed - scope.exclusive >= 0.02
+
+    def test_same_name_nesting(self):
+        sw = Stopwatch()
+        with sw.stage("reduce"):
+            with sw.stage("reduce"):
+                pass
+        assert sw.times()["reduce"] >= 0.0
+
+    def test_raw_add_bypasses_nesting(self):
+        sw = Stopwatch()
+        with sw.stage("outer") as scope:
+            sw.add("pseudo", 123.0)
+        assert sw.times()["pseudo"] == 123.0
+        # A raw add is not a child scope: the parent keeps its full span.
+        assert scope.exclusive == pytest.approx(scope.elapsed)
+
+    def test_concurrent_threads_do_not_interfere(self):
+        import threading
+        import time
+
+        sw = Stopwatch()
+        errors = []
+
+        def worker(name):
+            try:
+                for _ in range(50):
+                    with sw.stage(name):
+                        with sw.stage(f"{name}-inner"):
+                            time.sleep(0.0001)
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=worker, args=(f"t{i}",)) for i in range(4)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert errors == []
+        times = sw.times()
+        for i in range(4):
+            assert times[f"t{i}"] >= 0.0
+            assert times[f"t{i}-inner"] > 0.0
